@@ -1,0 +1,145 @@
+// Host-hardware microbenchmarks (google-benchmark).
+//
+// The paper's numbers come from the simulated C-VAX; this binary checks
+// that the *shape* of the result — direct same-thread dispatch through a
+// shared argument region beats a concrete-thread message rendezvous by a
+// large factor — also holds on the machine this reproduction runs on.
+//
+//   LrpcStyleCall        write args into a shared region, call the server
+//                        procedure on the caller's own thread (LRPC's
+//                        control transfer), read the results back.
+//   MessageQueueRpc      marshal into a message, wake a concrete server
+//                        thread through a mutex/condvar rendezvous, block
+//                        for the reply (conventional RPC's control
+//                        transfer).
+//   SimulatedLrpcCall    host cost of one fully-simulated LRPC call (the
+//                        simulator's own overhead, for context).
+
+#include <benchmark/benchmark.h>
+
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "src/lrpc/testbed.h"
+
+namespace {
+
+// --- LRPC-style: shared region + direct call. ---
+
+struct SharedRegion {
+  alignas(64) std::uint8_t bytes[256];
+};
+
+int AddServerProc(const SharedRegion& region) {
+  std::int32_t a, b;
+  std::memcpy(&a, region.bytes, 4);
+  std::memcpy(&b, region.bytes + 8, 4);
+  return a + b;
+}
+
+void LrpcStyleCall(benchmark::State& state) {
+  SharedRegion region;
+  std::int32_t a = 19, b = 23;
+  for (auto _ : state) {
+    // Client stub: push arguments onto the shared A-stack...
+    std::memcpy(region.bytes, &a, 4);
+    std::memcpy(region.bytes + 8, &b, 4);
+    // ...and run the server procedure on this same thread.
+    std::int32_t sum = AddServerProc(region);
+    // Copy the result to its final destination.
+    std::int32_t result;
+    std::memcpy(&result, &sum, 4);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(LrpcStyleCall);
+
+// --- Conventional: concrete threads exchanging messages. ---
+
+class MessageChannel {
+ public:
+  MessageChannel() {
+    server_ = std::thread([this] { ServeLoop(); });
+  }
+  ~MessageChannel() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+      has_request_ = true;
+    }
+    request_ready_.notify_one();
+    server_.join();
+  }
+
+  std::int32_t Call(std::int32_t a, std::int32_t b) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      request_[0] = a;
+      request_[1] = b;
+      has_request_ = true;
+      has_reply_ = false;
+    }
+    request_ready_.notify_one();
+    std::unique_lock<std::mutex> lock(mu_);
+    reply_ready_.wait(lock, [this] { return has_reply_; });
+    return reply_;
+  }
+
+ private:
+  void ServeLoop() {
+    while (true) {
+      std::int32_t a, b;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        request_ready_.wait(lock, [this] { return has_request_; });
+        if (stop_) {
+          return;
+        }
+        has_request_ = false;
+        a = request_[0];
+        b = request_[1];
+      }
+      const std::int32_t sum = a + b;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        reply_ = sum;
+        has_reply_ = true;
+      }
+      reply_ready_.notify_one();
+    }
+  }
+
+  std::thread server_;
+  std::mutex mu_;
+  std::condition_variable request_ready_, reply_ready_;
+  std::int32_t request_[2] = {};
+  std::int32_t reply_ = 0;
+  bool has_request_ = false;
+  bool has_reply_ = false;
+  bool stop_ = false;
+};
+
+void MessageQueueRpc(benchmark::State& state) {
+  MessageChannel channel;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(channel.Call(19, 23));
+  }
+}
+BENCHMARK(MessageQueueRpc);
+
+// --- The simulator's own host-time cost per simulated call. ---
+
+void SimulatedLrpcCall(benchmark::State& state) {
+  lrpc::Testbed bed;
+  std::int32_t sum = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bed.CallAdd(19, 23, &sum));
+  }
+}
+BENCHMARK(SimulatedLrpcCall);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,187 @@
+// LRPC's data path between REAL protection domains on the host.
+//
+// Two processes (fork: genuinely separate address spaces, the modern
+// analogue of the paper's protection domains) share one anonymous mapping
+// that plays the A-stack: the client writes arguments into it, rings a
+// doorbell word, and the server process executes the procedure against the
+// shared bytes and rings back. That is LRPC's "simple data transfer"
+// reduced to its modern essentials — no sockets, no pipes, no kernel
+// message copies; the only kernel involvement after setup is scheduling.
+//
+// For contrast, the same Add procedure is then driven over a UNIX-domain
+// socketpair (the conventional "message through the kernel" path).
+//
+// This binary measures host wall-clock time (not simulated time) and is
+// therefore machine-dependent; the interesting output is the ratio.
+
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <sched.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+
+namespace {
+
+constexpr int kCalls = 50000;
+
+double NowSeconds() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+// The shared "A-stack": a doorbell each way plus argument/result slots.
+struct SharedAStack {
+  std::atomic<std::uint32_t> call_seq;    // Client bumps to request.
+  std::atomic<std::uint32_t> return_seq;  // Server bumps when done.
+  std::int32_t a;
+  std::int32_t b;
+  std::int32_t sum;
+  std::atomic<bool> shutdown;
+};
+
+void ServerLoop(SharedAStack* astack) {
+  std::uint32_t seen = 0;
+  while (true) {
+    // Spin on the doorbell (an idle processor "caching the domain").
+    // Yield while waiting so the benchmark also works on single-core
+    // machines, where pure spinning would deadlock-by-timeslice.
+    while (astack->call_seq.load(std::memory_order_acquire) == seen) {
+      if (astack->shutdown.load(std::memory_order_relaxed)) {
+        return;
+      }
+      sched_yield();
+    }
+    seen = astack->call_seq.load(std::memory_order_acquire);
+    // The server procedure reads its arguments straight off the shared
+    // region and writes the result back into it.
+    astack->sum = astack->a + astack->b;
+    astack->return_seq.store(seen, std::memory_order_release);
+  }
+}
+
+double RunSharedMemory() {
+  auto* astack = static_cast<SharedAStack*>(
+      mmap(nullptr, sizeof(SharedAStack), PROT_READ | PROT_WRITE,
+           MAP_SHARED | MAP_ANONYMOUS, -1, 0));
+  if (astack == MAP_FAILED) {
+    std::perror("mmap");
+    return -1;
+  }
+  new (astack) SharedAStack{};
+
+  const pid_t child = fork();
+  if (child < 0) {
+    std::perror("fork");
+    return -1;
+  }
+  if (child == 0) {
+    ServerLoop(astack);
+    _exit(0);
+  }
+
+  // Warm up and verify correctness.
+  astack->a = 19;
+  astack->b = 23;
+  astack->call_seq.store(1, std::memory_order_release);
+  while (astack->return_seq.load(std::memory_order_acquire) != 1) {
+    sched_yield();
+  }
+  if (astack->sum != 42) {
+    std::fprintf(stderr, "shared-memory add failed\n");
+    return -1;
+  }
+
+  const double start = NowSeconds();
+  for (std::uint32_t i = 2; i < 2 + kCalls; ++i) {
+    astack->a = static_cast<std::int32_t>(i);
+    astack->b = 1;
+    astack->call_seq.store(i, std::memory_order_release);
+    while (astack->return_seq.load(std::memory_order_acquire) != i) {
+      sched_yield();
+    }
+  }
+  const double elapsed = NowSeconds() - start;
+
+  astack->shutdown.store(true, std::memory_order_relaxed);
+  waitpid(child, nullptr, 0);
+  munmap(astack, sizeof(SharedAStack));
+  return elapsed / kCalls;
+}
+
+double RunSocketpair() {
+  int fds[2];
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    std::perror("socketpair");
+    return -1;
+  }
+  const pid_t child = fork();
+  if (child < 0) {
+    std::perror("fork");
+    return -1;
+  }
+  if (child == 0) {
+    close(fds[0]);
+    std::int32_t request[2];
+    while (read(fds[1], request, sizeof(request)) == sizeof(request)) {
+      const std::int32_t sum = request[0] + request[1];
+      if (write(fds[1], &sum, sizeof(sum)) != sizeof(sum)) {
+        break;
+      }
+    }
+    _exit(0);
+  }
+  close(fds[1]);
+
+  std::int32_t request[2] = {19, 23};
+  std::int32_t sum = 0;
+  (void)!write(fds[0], request, sizeof(request));
+  (void)!read(fds[0], &sum, sizeof(sum));
+  if (sum != 42) {
+    std::fprintf(stderr, "socketpair add failed\n");
+    return -1;
+  }
+
+  const double start = NowSeconds();
+  for (int i = 0; i < kCalls / 10; ++i) {  // Slower path: fewer iterations.
+    request[0] = i;
+    request[1] = 1;
+    (void)!write(fds[0], request, sizeof(request));
+    (void)!read(fds[0], &sum, sizeof(sum));
+  }
+  const double elapsed = NowSeconds() - start;
+  close(fds[0]);
+  waitpid(child, nullptr, 0);
+  return elapsed / (kCalls / 10);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Host hardware: LRPC's data path between real processes ==\n");
+  std::printf("(two address spaces; %d Add round trips; wall-clock time)\n\n",
+              kCalls);
+
+  const double shm = RunSharedMemory();
+  const double sock = RunSocketpair();
+  if (shm < 0 || sock < 0) {
+    std::printf("environment does not permit fork/mmap benchmarks; skipped\n");
+    return 0;
+  }
+  std::printf("  shared A-stack + doorbell (spin):  %8.0f ns/call\n",
+              shm * 1e9);
+  std::printf("  socketpair message round trip:     %8.0f ns/call\n",
+              sock * 1e9);
+  std::printf("\nThe kernel-message path costs %.0fx the shared-region path\n"
+              "between the same two processes — the 1989 gap, still here.\n"
+              "(The spin server stands in for a processor idling in the\n"
+              "server's domain, Section 3.4's domain caching.)\n",
+              sock / shm);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Regenerates Table 2: Cross-Domain Performance.
+//
+// For each of the six systems the paper compares, runs the Null call on the
+// system's machine/cost model and prints the theoretical minimum, the
+// simulated "actual", and the resulting overhead — alongside the published
+// numbers.
+
+#include <cstdio>
+
+#include "src/common/table_printer.h"
+#include "src/rpc/peer_systems.h"
+
+int main() {
+  using namespace lrpc;
+
+  std::printf("== Table 2: Cross-Domain Performance (microseconds) ==\n\n");
+
+  TablePrinter table({"System", "Processor", "Null (min)", "Null (actual)",
+                      "Overhead", "Paper actual"});
+  for (const PeerSystem& system : Table2Systems()) {
+    Machine machine(system.machine, 1);
+    const SimDuration actual = system.RunNull(machine.processor(0));
+    const SimDuration minimum = system.machine.TheoreticalMinimumNull();
+    table.AddRow({system.name, system.processor,
+                  TablePrinter::Num(ToMicros(minimum), 0),
+                  TablePrinter::Num(ToMicros(actual), 0),
+                  TablePrinter::Num(ToMicros(actual - minimum), 0),
+                  TablePrinter::Num(system.published_actual_us, 0)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf(
+      "The minimum is one procedure call + two kernel traps + two context\n"
+      "switches on the system's hardware; everything above it is the RPC\n"
+      "system's overhead (stubs, buffers, validation, queueing, scheduling,\n"
+      "dispatch, run-time indirection). LRPC on the same C-VAX hardware as\n"
+      "Taos costs 157 us total: 48 us over the 109 us minimum.\n");
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Regenerates Table 3: Copy Operations for LRPC vs. Message-Based RPC.
+//
+// Instruments one call with a mutable parameter, one with an immutable
+// parameter, and the return path, on all three implementations, and prints
+// which copy operations (A-F) each performed.
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/table_printer.h"
+#include "src/lrpc/server_frame.h"
+#include "src/lrpc/testbed.h"
+#include "src/rpc/msg_rpc.h"
+
+namespace lrpc {
+namespace {
+
+// Renders call-direction copies and return-direction copies as the paper's
+// letter strings.
+std::string CallLetters(const CopyStats& s) {
+  std::string out;
+  if (s.a > 0) out += 'A';
+  if (s.b > 0) out += 'B';
+  if (s.c > 0) out += 'C';
+  if (s.d > 0) out += 'D';
+  if (s.e > 0) out += 'E';
+  return out.empty() ? "-" : out;
+}
+
+std::string ReturnLetters(const CopyStats& s) {
+  std::string out;
+  if (s.a > 0) out += 'A';
+  if (s.b > 0) out += 'B';
+  if (s.c > 0) out += 'C';
+  if (s.d > 0) out += 'D';
+  if (s.f > 0) out += 'F';
+  return out.empty() ? "-" : out;
+}
+
+// Splits one round trip's copies into call-leg and return-leg stats by
+// running two calls: one with only an in-param, one with only a result.
+struct LegStats {
+  CopyStats call;    // In-parameter copies.
+  CopyStats ret;     // Result copies.
+};
+
+Interface* MakeInterface(LrpcRuntime& runtime, DomainId server,
+                         const std::string& name, bool immutable) {
+  Interface* iface = runtime.CreateInterface(server, name);
+  {
+    ProcedureDef def;
+    def.name = "In";
+    def.params.push_back({.name = "data",
+                          .direction = ParamDirection::kIn,
+                          .size = 64,
+                          .flags = {.immutable = immutable}});
+    def.handler = [](ServerFrame&) { return Status::Ok(); };
+    iface->AddProcedure(std::move(def));
+  }
+  {
+    ProcedureDef def;
+    def.name = "Out";
+    def.params.push_back(
+        {.name = "data", .direction = ParamDirection::kOut, .size = 64});
+    def.handler = [](ServerFrame& frame) {
+      std::uint8_t zero[64] = {};
+      return frame.WriteResult(0, zero, sizeof(zero));
+    };
+    iface->AddProcedure(std::move(def));
+  }
+  return iface;
+}
+
+LegStats RunLrpc(bool immutable) {
+  Testbed bed;
+  Interface* iface =
+      MakeInterface(bed.runtime(), bed.server_domain(),
+                    immutable ? "t3.lrpc.imm" : "t3.lrpc.mut", immutable);
+  (void)bed.runtime().Export(iface);
+  auto binding =
+      bed.runtime().Import(bed.cpu(0), bed.client_domain(), iface->name());
+
+  LegStats legs;
+  std::uint8_t data[64] = {};
+  const CallArg args[] = {CallArg(data, sizeof(data))};
+  CallStats in_stats;
+  (void)bed.runtime().Call(bed.cpu(0), bed.client_thread(), **binding, 0, args,
+                           {}, &in_stats);
+  legs.call = in_stats.copies;
+
+  std::uint8_t out[64];
+  const CallRet rets[] = {CallRet(out, sizeof(out))};
+  CallStats out_stats;
+  (void)bed.runtime().Call(bed.cpu(0), bed.client_thread(), **binding, 1, {},
+                           rets, &out_stats);
+  legs.ret = out_stats.copies;
+  return legs;
+}
+
+LegStats RunMsg(MsgRpcMode mode, bool immutable) {
+  Machine machine(MachineModel::CVaxFirefly(), 1);
+  Kernel kernel(machine);
+  LrpcRuntime runtime(kernel);  // Owns the interface definitions.
+  MsgRpcSystem system(kernel, mode);
+  const DomainId client = kernel.CreateDomain({.name = "client"});
+  const DomainId server = kernel.CreateDomain({.name = "server"});
+  const ThreadId thread = kernel.CreateThread(client);
+  Interface* iface = MakeInterface(runtime, server, "t3.msg", immutable);
+  iface->Seal();
+  MsgServer* msg_server = system.RegisterServer(server, iface);
+  MsgBinding binding = system.Bind(client, msg_server);
+
+  LegStats legs;
+  std::uint8_t data[64] = {};
+  const CallArg args[] = {CallArg(data, sizeof(data))};
+  CallStats in_stats;
+  (void)system.Call(machine.processor(0), thread, binding, 0, args, {},
+                    &in_stats);
+  legs.call = in_stats.copies;
+
+  std::uint8_t out[64];
+  const CallRet rets[] = {CallRet(out, sizeof(out))};
+  CallStats out_stats;
+  (void)system.Call(machine.processor(0), thread, binding, 1, {}, rets,
+                    &out_stats);
+  legs.ret = out_stats.copies;
+  return legs;
+}
+
+}  // namespace
+}  // namespace lrpc
+
+int main() {
+  using namespace lrpc;
+
+  std::printf("== Table 3: Copy Operations, LRPC vs. Message-Based RPC ==\n\n");
+
+  const LegStats lrpc_mutable = RunLrpc(/*immutable=*/false);
+  const LegStats lrpc_immutable = RunLrpc(/*immutable=*/true);
+  const LegStats msg = RunMsg(MsgRpcMode::kTraditional, true);
+  const LegStats dash = RunMsg(MsgRpcMode::kRestrictedDash, true);
+
+  TablePrinter table({"Operation", "LRPC", "Message Passing",
+                      "Restricted Message Passing"});
+  table.AddRow({"call (mutable parameters)", CallLetters(lrpc_mutable.call),
+                CallLetters(msg.call), CallLetters(dash.call)});
+  table.AddRow({"call (immutable parameters)",
+                CallLetters(lrpc_immutable.call), CallLetters(msg.call),
+                CallLetters(dash.call)});
+  table.AddRow({"return", ReturnLetters(lrpc_mutable.ret),
+                ReturnLetters(msg.ret), ReturnLetters(dash.ret)});
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("Copy operations per immutable-parameter round trip:\n");
+  std::printf("  LRPC:                       %u (paper: 3)\n",
+              lrpc_immutable.call.total_ops() + lrpc_immutable.ret.total_ops());
+  std::printf("  Message passing:            %u (paper: 7)\n",
+              msg.call.total_ops() + msg.ret.total_ops());
+  std::printf("  Restricted message passing: %u (paper: 5)\n\n",
+              dash.call.total_ops() + dash.ret.total_ops());
+
+  std::printf(
+      "Key:\n"
+      "  A  client stack -> message (or A-stack)\n"
+      "  B  sender domain -> kernel domain\n"
+      "  C  kernel domain -> receiver domain\n"
+      "  D  sender/kernel -> receiver (restricted MP fuses B and C)\n"
+      "  E  message (or A-stack) -> server's stack\n"
+      "  F  message (or A-stack) -> client's results\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Regenerates Table 5: Breakdown of Time for the Single-Processor Null LRPC,
+// plus the TLB-miss estimate of Section 4.
+
+#include <cstdio>
+
+#include "src/common/table_printer.h"
+#include "src/lrpc/testbed.h"
+
+int main() {
+  using namespace lrpc;
+
+  std::printf(
+      "== Table 5: Breakdown of Time for Single-Processor Null LRPC ==\n\n");
+
+  Testbed bed;
+  // Reach steady state, then attribute exactly one call.
+  for (int i = 0; i < 3; ++i) {
+    (void)bed.CallNull();
+  }
+  const CostLedger before = bed.cpu(0).ledger();
+  const std::uint64_t misses_before = bed.cpu(0).tlb().miss_count();
+  (void)bed.CallNull();
+  const CostLedger d = bed.cpu(0).ledger().Diff(before);
+  const std::uint64_t misses =
+      bed.cpu(0).tlb().miss_count() - misses_before;
+
+  TablePrinter table({"Operation", "Minimum (us)", "LRPC Overhead (us)"});
+  table.AddRow({"Modula2+ procedure call",
+                TablePrinter::Num(ToMicros(d.total(CostCategory::kProcedureCall)), 0),
+                ""});
+  table.AddRow({"Two kernel traps",
+                TablePrinter::Num(ToMicros(d.total(CostCategory::kKernelTrap)), 0),
+                ""});
+  table.AddRow({"Two context switches",
+                TablePrinter::Num(ToMicros(d.total(CostCategory::kContextSwitch)), 0),
+                ""});
+  table.AddRow({"Stubs (client + server)", "",
+                TablePrinter::Num(
+                    ToMicros(d.total(CostCategory::kClientStub) +
+                             d.total(CostCategory::kServerStub)), 0)});
+  table.AddRow({"Kernel transfer (binding validation, linkage mgmt)", "",
+                TablePrinter::Num(ToMicros(d.total(CostCategory::kKernelPath)), 0)});
+  table.AddRow({"TOTAL", TablePrinter::Num(ToMicros(d.MinimumTotal()), 0),
+                TablePrinter::Num(ToMicros(d.LrpcOverheadTotal()), 0)});
+  std::printf("%s\n", table.ToString().c_str());
+
+  const double total_us = ToMicros(d.GrandTotal());
+  std::printf("Null LRPC total: %.0f us (paper: 157 us = 109 minimum + 48 "
+              "overhead)\n",
+              total_us);
+  std::printf("  client stub %.0f us, server stub %.0f us (paper: 18 + 3)\n",
+              ToMicros(d.total(CostCategory::kClientStub)),
+              ToMicros(d.total(CostCategory::kServerStub)));
+
+  const double tlb_cost =
+      static_cast<double>(misses) * bed.machine().model().tlb_miss_us;
+  std::printf(
+      "\nTLB accounting (Section 4): %llu misses during the call, ~%.1f us\n"
+      "at %.1f us per miss = %.0f%% of the total (paper: 43 misses, ~25%%).\n",
+      static_cast<unsigned long long>(misses), tlb_cost,
+      bed.machine().model().tlb_miss_us, 100.0 * tlb_cost / total_us);
+  return 0;
+}

@@ -1,0 +1,224 @@
+// Workload replay: a day in the life of a decomposed OS.
+//
+// The paper argues from two measurements — most calls are cross-domain
+// (Table 1) and most are small (Figure 1) — to a design. This bench closes
+// the loop: it draws calls from the measured mix (procedure popularity from
+// Section 2.2, sizes from Figure 1, locality from Table 1's Taos model) and
+// issues them as *real* calls through both transports, reporting what a
+// whole workload costs end to end — including the occasional genuinely
+// remote call, which LRPC's first stub instruction routes to the network
+// path (Section 5.1).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/table_printer.h"
+#include "src/lrpc/server_frame.h"
+#include "src/lrpc/testbed.h"
+#include "src/rpc/msg_rpc.h"
+#include "src/trace/size_model.h"
+#include "src/trace/workload.h"
+
+namespace lrpc {
+namespace {
+
+constexpr int kCalls = 50000;
+constexpr int kProcedures = 16;  // Distinct payload shapes.
+
+// Builds an interface with kProcedures procedures of increasing payload
+// size (the call mix maps sampled sizes onto the nearest procedure).
+std::vector<std::size_t> ProcedureSizes() {
+  std::vector<std::size_t> sizes;
+  for (int i = 0; i < kProcedures; ++i) {
+    // 8, 16, 32, ... up to ~1800 (log-spaced-ish).
+    sizes.push_back(static_cast<std::size_t>(8 << (i / 2)) +
+                    (i % 2) * static_cast<std::size_t>(4 << (i / 2)));
+  }
+  for (auto& s : sizes) {
+    s = std::min<std::size_t>(s, 1800);
+  }
+  return sizes;
+}
+
+Interface* BuildWorkloadInterface(LrpcRuntime& runtime, DomainId server,
+                                  const std::string& name) {
+  Interface* iface = runtime.CreateInterface(server, name);
+  for (std::size_t size : ProcedureSizes()) {
+    ProcedureDef def;
+    def.name = "Op" + std::to_string(size);
+    def.params.push_back({.name = "data",
+                          .direction = ParamDirection::kIn,
+                          .size = size,
+                          .flags = {.no_verify = true}});
+    def.params.push_back(
+        {.name = "status", .direction = ParamDirection::kOut, .size = 4});
+    def.handler = [](ServerFrame& frame) {
+      return frame.Result_<std::int32_t>(1, 0);
+    };
+    iface->AddProcedure(std::move(def));
+  }
+  return iface;
+}
+
+int ProcedureForSize(const std::vector<std::size_t>& sizes,
+                     std::uint32_t sampled) {
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (sampled <= sizes[i]) {
+      return static_cast<int>(i);
+    }
+  }
+  return static_cast<int>(sizes.size()) - 1;
+}
+
+struct ReplayResult {
+  double mean_us = 0;
+  double local_mean_us = 0;
+  double remote_mean_us = 0;
+  double total_ms = 0;
+  std::uint64_t remote_calls = 0;
+};
+
+ReplayResult ReplayLrpc(bool multiprocessor) {
+  Machine machine(MachineModel::CVaxFirefly(), multiprocessor ? 2 : 1);
+  Kernel kernel(machine);
+  LrpcRuntime runtime(kernel);
+  const DomainId client = kernel.CreateDomain({.name = "app"});
+  const DomainId local = kernel.CreateDomain({.name = "os-services"});
+  const DomainId remote = kernel.CreateDomain({.name = "file-server",
+                                               .node = 1});
+  const ThreadId thread = kernel.CreateThread(client);
+  Processor& cpu = machine.processor(0);
+
+  (void)runtime.Export(BuildWorkloadInterface(runtime, local, "wl.Local"));
+  (void)runtime.Export(BuildWorkloadInterface(runtime, remote, "wl.Remote"));
+  ClientBinding* local_binding = *runtime.Import(cpu, client, "wl.Local");
+  ClientBinding* remote_binding = *runtime.Import(cpu, client, "wl.Remote");
+  cpu.LoadContext(kernel.domain(client).vm_context());
+  if (multiprocessor) {
+    kernel.ParkIdleProcessor(machine.processor(1), local);
+  }
+
+  const auto sizes = ProcedureSizes();
+  CallSizeModel size_model;
+  Rng rng(1989);
+  // Taos locality: ~5.3% of operations are genuinely remote.
+  const double remote_fraction = TaosModel().published_remote_percent / 100.0;
+
+  std::vector<std::uint8_t> payload(2048, 0x5a);
+  ReplayResult result;
+  SimDuration local_time = 0, remote_time = 0;
+  const SimTime start = cpu.clock();
+  for (int i = 0; i < kCalls; ++i) {
+    const int proc = ProcedureForSize(sizes, size_model.Sample(rng));
+    const bool go_remote = rng.NextBool(remote_fraction);
+    ClientBinding* binding = go_remote ? remote_binding : local_binding;
+    if (go_remote) {
+      ++result.remote_calls;
+    }
+    std::int32_t status_word = -1;
+    const CallArg args[] = {
+        CallArg(payload.data(), sizes[static_cast<std::size_t>(proc)])};
+    const CallRet rets[] = {CallRet::Of(&status_word)};
+    const SimTime call_start = cpu.clock();
+    (void)runtime.Call(cpu, thread, *binding, proc, args, rets);
+    (go_remote ? remote_time : local_time) += cpu.clock() - call_start;
+  }
+  const SimDuration elapsed = cpu.clock() - start;
+  result.mean_us = ToMicros(elapsed) / kCalls;
+  result.local_mean_us =
+      ToMicros(local_time) / static_cast<double>(kCalls - result.remote_calls);
+  result.remote_mean_us =
+      result.remote_calls > 0
+          ? ToMicros(remote_time) / static_cast<double>(result.remote_calls)
+          : 0;
+  result.total_ms = ToMicros(elapsed) / 1000.0;
+  return result;
+}
+
+ReplayResult ReplaySrc() {
+  Machine machine(MachineModel::CVaxFirefly(), 1);
+  Kernel kernel(machine);
+  LrpcRuntime runtime(kernel);
+  MsgRpcSystem system(kernel, MsgRpcMode::kSrcFirefly);
+  const DomainId client = kernel.CreateDomain({.name = "app"});
+  const DomainId local = kernel.CreateDomain({.name = "os-services"});
+  const ThreadId thread = kernel.CreateThread(client);
+  Processor& cpu = machine.processor(0);
+
+  Interface* iface = BuildWorkloadInterface(runtime, local, "wl.Msg");
+  iface->Seal();
+  MsgServer* server = system.RegisterServer(local, iface);
+  MsgBinding binding = system.Bind(client, server);
+  cpu.LoadContext(kernel.domain(client).vm_context());
+
+  const auto sizes = ProcedureSizes();
+  CallSizeModel size_model;
+  Rng rng(1989);
+  const double remote_fraction = TaosModel().published_remote_percent / 100.0;
+
+  std::vector<std::uint8_t> payload(2048, 0x5a);
+  ReplayResult result;
+  const SimTime start = cpu.clock();
+  for (int i = 0; i < kCalls; ++i) {
+    const int proc = ProcedureForSize(sizes, size_model.Sample(rng));
+    // SRC RPC treats local and remote uniformly; the locality draw only
+    // counts (its remote path is the same machinery plus the wire, which
+    // this comparison charges identically and therefore omits).
+    if (rng.NextBool(remote_fraction)) {
+      ++result.remote_calls;
+    }
+    std::int32_t status_word = -1;
+    const CallArg args[] = {
+        CallArg(payload.data(), sizes[static_cast<std::size_t>(proc)])};
+    const CallRet rets[] = {CallRet::Of(&status_word)};
+    (void)system.Call(cpu, thread, binding, proc, args, rets);
+  }
+  const SimDuration elapsed = cpu.clock() - start;
+  result.mean_us = ToMicros(elapsed) / kCalls;
+  result.total_ms = ToMicros(elapsed) / 1000.0;
+  return result;
+}
+
+}  // namespace
+}  // namespace lrpc
+
+int main() {
+  using namespace lrpc;
+
+  std::printf("== Workload replay: Figure 1 sizes x Table 1 locality ==\n");
+  std::printf("(%d calls through the real transports, seed 1989)\n\n", kCalls);
+
+  const ReplayResult lrpc_sp = ReplayLrpc(/*multiprocessor=*/false);
+  const ReplayResult lrpc_mp = ReplayLrpc(/*multiprocessor=*/true);
+  const ReplayResult src = ReplaySrc();
+
+  TablePrinter table({"Transport", "Mean/call (us)", "Local mean (us)",
+                      "Remote mean (us)", "Whole workload (ms)",
+                      "Remote calls"});
+  table.AddRow({"LRPC", TablePrinter::Num(lrpc_sp.mean_us, 1),
+                TablePrinter::Num(lrpc_sp.local_mean_us, 1),
+                TablePrinter::Num(lrpc_sp.remote_mean_us, 0),
+                TablePrinter::Num(lrpc_sp.total_ms, 1),
+                TablePrinter::Int(static_cast<long long>(lrpc_sp.remote_calls))});
+  table.AddRow({"LRPC/MP", TablePrinter::Num(lrpc_mp.mean_us, 1),
+                TablePrinter::Num(lrpc_mp.local_mean_us, 1),
+                TablePrinter::Num(lrpc_mp.remote_mean_us, 0),
+                TablePrinter::Num(lrpc_mp.total_ms, 1),
+                TablePrinter::Int(static_cast<long long>(lrpc_mp.remote_calls))});
+  table.AddRow({"SRC RPC (local only)", TablePrinter::Num(src.mean_us, 1),
+                TablePrinter::Num(src.mean_us, 1), "n/a",
+                TablePrinter::Num(src.total_ms, 1), "n/a"});
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf(
+      "The ~5%% of calls that really cross the machine cost ~%.1f ms of the\n"
+      "%.1f ms total — locality plus caching keep them rare (Table 1), and\n"
+      "LRPC keeps the other 95%% at %.0f us. Against SRC RPC's local-only\n"
+      "mean, the local-call speedup is %.1fx.\n",
+      lrpc_sp.remote_mean_us * lrpc_sp.remote_calls / 1000.0,
+      lrpc_sp.total_ms, lrpc_sp.local_mean_us,
+      src.mean_us / lrpc_sp.local_mean_us);
+  return 0;
+}

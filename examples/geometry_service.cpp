@@ -1,0 +1,108 @@
+// Typed record parameters through generated stubs.
+//
+// The IDL in examples/geometry.idl declares Point and Rect record types;
+// lrpc_stubgen lays them out (static_asserts pin the generated C++ structs
+// to the wire layout) and emits typed client/server stubs, including an
+// `inout` Point that travels both ways through a single A-stack slot.
+
+#include <cstdio>
+
+#include "examples/generated/geometry_stubs.h"
+#include "src/lrpc/runtime.h"
+
+namespace {
+
+class GeometryImpl : public lrpcgen::GeometryServer {
+ public:
+  lrpc::Status Area(lrpc::ServerFrame& frame, const lrpcgen::Rect& r,
+                    std::int64_t* area) override {
+    (void)frame;
+    *area = static_cast<std::int64_t>(r.width) * r.height;
+    return lrpc::Status::Ok();
+  }
+
+  lrpc::Status Translate(lrpc::ServerFrame& frame, lrpcgen::Point* p,
+                         std::int32_t dx, std::int32_t dy) override {
+    (void)frame;
+    p->x += dx;  // The stub writes the updated record back into the
+    p->y += dy;  // caller's A-stack slot: inout, one slot, both ways.
+    return lrpc::Status::Ok();
+  }
+
+  lrpc::Status Union(lrpc::ServerFrame& frame, const lrpcgen::Rect& a,
+                     const lrpcgen::Rect& b, lrpcgen::Rect* bounding) override {
+    (void)frame;
+    const std::int32_t left = std::min(a.origin.x, b.origin.x);
+    const std::int32_t top = std::min(a.origin.y, b.origin.y);
+    const std::int32_t right =
+        std::max(a.origin.x + a.width, b.origin.x + b.width);
+    const std::int32_t bottom =
+        std::max(a.origin.y + a.height, b.origin.y + b.height);
+    bounding->origin = {left, top};
+    bounding->width = right - left;
+    bounding->height = bottom - top;
+    return lrpc::Status::Ok();
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace lrpc;
+
+  Machine machine(MachineModel::CVaxFirefly(), 1);
+  Kernel kernel(machine);
+  LrpcRuntime runtime(kernel);
+  const DomainId app = kernel.CreateDomain({.name = "app"});
+  const DomainId service = kernel.CreateDomain({.name = "geometry"});
+  const ThreadId thread = kernel.CreateThread(app);
+  Processor& cpu = machine.processor(0);
+
+  GeometryImpl impl;
+  if (!impl.Export(runtime, service).ok()) {
+    return 1;
+  }
+  cpu.LoadContext(kernel.domain(app).vm_context());
+  Result<lrpcgen::GeometryClient> client =
+      lrpcgen::GeometryClient::Import(runtime, cpu, app);
+  if (!client.ok()) {
+    return 1;
+  }
+
+  std::printf("== Geometry service (generated struct stubs) ==\n\n");
+
+  lrpcgen::Rect desk{{100, 50}, 1200, 800};
+  std::int64_t area = 0;
+  SimTime t0 = cpu.clock();
+  if (!client->Area(cpu, thread, desk, &area).ok()) {
+    return 1;
+  }
+  std::printf("  Area({%d,%d %dx%d})      = %lld      (%.1f us)\n",
+              desk.origin.x, desk.origin.y, desk.width, desk.height,
+              static_cast<long long>(area), ToMicros(cpu.clock() - t0));
+
+  lrpcgen::Point cursor{10, 20};
+  t0 = cpu.clock();
+  if (!client->Translate(cpu, thread, &cursor, 5, -8).ok()) {
+    return 1;
+  }
+  std::printf("  Translate({10,20},5,-8)  = {%d,%d}   (%.1f us, inout slot)\n",
+              cursor.x, cursor.y, ToMicros(cpu.clock() - t0));
+
+  lrpcgen::Rect a{{0, 0}, 10, 10};
+  lrpcgen::Rect b{{5, 5}, 10, 10};
+  lrpcgen::Rect bounding{};
+  t0 = cpu.clock();
+  if (!client->Union(cpu, thread, a, b, &bounding).ok()) {
+    return 1;
+  }
+  std::printf("  Union(2 rects)           = {%d,%d %dx%d} (%.1f us)\n",
+              bounding.origin.x, bounding.origin.y, bounding.width,
+              bounding.height, ToMicros(cpu.clock() - t0));
+
+  std::printf(
+      "\nRecords crossed the domain boundary as single byte-copies onto the\n"
+      "shared A-stack; the static_asserts in the generated header pin the\n"
+      "C++ structs to the stub generator's wire layout.\n");
+  return 0;
+}

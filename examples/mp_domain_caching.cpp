@@ -1,0 +1,119 @@
+// Multiprocessor LRPC: idle-processor domain caching in action (Section 3.4).
+//
+// A two-processor Firefly runs a client and a server domain. With processor
+// 1 idling in the server's context, every call exchanges processors instead
+// of switching VM contexts — no TLB invalidation, 125 us instead of 157 us.
+// The example then shows the kernel's idle-miss counters prodding an idle
+// processor toward the domain showing the most LRPC activity, and finishes
+// with a four-processor throughput run.
+
+#include <cstdio>
+
+#include "src/lrpc/server_frame.h"
+#include "src/lrpc/testbed.h"
+
+int main() {
+  using namespace lrpc;
+
+  std::printf("== Multiprocessor domain caching ==\n\n");
+
+  // --- Latency: exchange vs switch. ---
+  {
+    Testbed switching;  // One processor: every call context-switches.
+    (void)switching.CallNull();
+    SimTime t0 = switching.cpu(0).clock();
+    (void)switching.CallNull();
+    const double switch_us = ToMicros(switching.cpu(0).clock() - t0);
+
+    Testbed caching({.processors = 2, .park_idle_in_server = true});
+    CallStats stats;
+    (void)caching.CallNull(&stats);
+    t0 = caching.cpu(0).clock();
+    (void)caching.CallNull(&stats);
+    const double exchange_us = ToMicros(caching.cpu(0).clock() - t0);
+
+    std::printf("  Null via context switches:     %.0f us\n", switch_us);
+    std::printf("  Null via processor exchange:   %.0f us "
+                "(exchanged on call: %s, on return: %s)\n",
+                exchange_us, stats.exchanged_on_call ? "yes" : "no",
+                stats.exchanged_on_return ? "yes" : "no");
+    std::printf("  TLB invalidations avoided: the exchange moves the thread\n"
+                "  to a processor whose TLB is already warm for the server.\n\n");
+  }
+
+  // --- The kernel prods idlers toward busy domains. ---
+  {
+    Testbed bed({.processors = 2});
+    // Park the idle processor in the WRONG domain (the client's).
+    bed.kernel().ParkIdleProcessor(bed.cpu(1), bed.client_domain());
+    // Calls into the server miss the idle-processor check and bump the
+    // server context's miss counter...
+    for (int i = 0; i < 5; ++i) {
+      (void)bed.CallNull();
+    }
+    const VmContextId server_ctx =
+        bed.kernel().domain(bed.server_domain()).vm_context();
+    std::printf("  idle misses recorded for the server context: %llu\n",
+                static_cast<unsigned long long>(
+                    bed.machine().idle_misses(server_ctx)));
+    // ...and prodding re-points the idler.
+    bed.kernel().ProdIdleProcessors();
+    std::printf("  after ProdIdleProcessors(): processor 1 now spins in %s\n",
+                bed.cpu(1).loaded_context() == server_ctx
+                    ? "the server's context"
+                    : "the wrong context");
+    CallStats stats;
+    (void)bed.CallNull(&stats);
+    std::printf("  next call used the exchange path: %s\n\n",
+                stats.exchanged_on_call ? "yes" : "no");
+  }
+
+  // --- Throughput scales with processors (domain caching disabled, as in
+  //     the paper's Figure 2 experiment). ---
+  {
+    std::printf("  Throughput, Null calls, per-binding A-stack queues:\n");
+    for (int n = 1; n <= 4; ++n) {
+      Machine machine(MachineModel::CVaxFirefly(), n);
+      machine.set_active_processors(n);
+      Kernel kernel(machine);
+      kernel.set_domain_caching(false);
+      LrpcRuntime runtime(kernel);
+      const DomainId server = kernel.CreateDomain({.name = "server"});
+      Interface* iface = runtime.CreateInterface(server, "mp.Null");
+      ProcedureDef def;
+      def.name = "Null";
+      def.handler = [](ServerFrame&) { return Status::Ok(); };
+      iface->AddProcedure(std::move(def));
+      (void)runtime.Export(iface);
+
+      struct Client {
+        ThreadId thread;
+        ClientBinding* binding;
+      };
+      std::vector<Client> clients;
+      for (int p = 0; p < n; ++p) {
+        const DomainId c = kernel.CreateDomain({.name = "c"});
+        auto binding = runtime.Import(machine.processor(p), c, "mp.Null");
+        machine.processor(p).LoadContext(kernel.domain(c).vm_context());
+        machine.processor(p).set_clock(0);
+        clients.push_back({kernel.CreateThread(c), *binding});
+      }
+      const int kCalls = 5000 * n;
+      for (int i = 0; i < kCalls; ++i) {
+        Processor& cpu = machine.NextProcessorToRun();
+        Client& c = clients[static_cast<std::size_t>(cpu.id())];
+        (void)runtime.Call(cpu, c.thread, *c.binding, 0, {}, {});
+      }
+      SimTime end = 0;
+      for (int p = 0; p < n; ++p) {
+        end = std::max(end, machine.processor(p).clock());
+      }
+      std::printf("    %d processor%s: %6.0f calls/s\n", n, n > 1 ? "s" : " ",
+                  kCalls / ToSeconds(end));
+    }
+    std::printf(
+        "\n  No shared locks on the transfer path: \"queuing operations\n"
+        "  take less than 2%% of the total call time\" (Section 3.4).\n");
+  }
+  return 0;
+}

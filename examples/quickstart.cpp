@@ -1,0 +1,89 @@
+// Quickstart: the smallest complete LRPC program.
+//
+// Creates a simulated machine and kernel, two protection domains, exports a
+// one-procedure interface from the server, imports it in the client, and
+// makes a cross-domain call — then shows what the call cost on the
+// simulated C-VAX and which copy operations it performed.
+
+#include <cstdio>
+
+#include "src/lrpc/runtime.h"
+#include "src/lrpc/server_frame.h"
+
+int main() {
+  using namespace lrpc;
+
+  // 1. A one-processor C-VAX Firefly, its kernel, and the LRPC runtime.
+  Machine machine(MachineModel::CVaxFirefly(), 1);
+  Kernel kernel(machine);
+  LrpcRuntime runtime(kernel);
+
+  // 2. Two protection domains and a client thread.
+  const DomainId client = kernel.CreateDomain({.name = "client"});
+  const DomainId server = kernel.CreateDomain({.name = "server"});
+  const ThreadId thread = kernel.CreateThread(client);
+  Processor& cpu = machine.processor(0);
+
+  // 3. The server defines and exports an interface. A procedure reads its
+  //    arguments off the shared A-stack and writes results back into it.
+  Interface* iface = runtime.CreateInterface(server, "demo.Greeter");
+  ProcedureDef def;
+  def.name = "Greet";
+  def.params.push_back({.name = "count",
+                        .direction = ParamDirection::kIn,
+                        .size = sizeof(std::int32_t)});
+  def.params.push_back({.name = "reply",
+                        .direction = ParamDirection::kOut,
+                        .size = 0,
+                        .max_size = 64});
+  def.handler = [](ServerFrame& frame) -> Status {
+    Result<std::int32_t> count = frame.Arg<std::int32_t>(0);
+    if (!count.ok()) {
+      return count.status();
+    }
+    char reply[64];
+    const int n = std::snprintf(reply, sizeof(reply),
+                                "hello from the server domain (call #%d)",
+                                *count);
+    return frame.WriteResult(1, reply, static_cast<std::size_t>(n) + 1);
+  };
+  iface->AddProcedure(std::move(def));
+  if (!runtime.Export(iface).ok()) {
+    return 1;
+  }
+
+  // 4. The client binds: the kernel notifies the server's clerk, which
+  //    enables the binding; A-stacks get mapped into both domains, and the
+  //    client receives its Binding Object.
+  cpu.LoadContext(kernel.domain(client).vm_context());
+  Result<ClientBinding*> binding = runtime.Import(cpu, client, "demo.Greeter");
+  if (!binding.ok()) {
+    return 1;
+  }
+
+  // 5. Call across the domain boundary.
+  std::printf("== LRPC quickstart ==\n\n");
+  for (std::int32_t i = 1; i <= 3; ++i) {
+    char reply[64] = {};
+    const CallArg args[] = {CallArg::Of(i)};
+    const CallRet rets[] = {CallRet(reply, sizeof(reply))};
+    CallStats stats;
+    const SimTime start = cpu.clock();
+    const Status status =
+        runtime.Call(cpu, thread, **binding, 0, args, rets, &stats);
+    if (!status.ok()) {
+      std::printf("call failed\n");
+      return 1;
+    }
+    std::printf("  \"%s\"\n", reply);
+    std::printf("    %.1f simulated us; copies A=%u F=%u; %s\n",
+                ToMicros(cpu.clock() - start), stats.copies.a, stats.copies.f,
+                stats.exchanged_on_call ? "processor exchange"
+                                        : "context switches");
+  }
+
+  std::printf(
+      "\nThe client's own thread executed the server procedure; the only\n"
+      "copies were onto and off the pair-wise shared argument stack.\n");
+  return 0;
+}

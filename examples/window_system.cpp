@@ -1,0 +1,191 @@
+// A decomposed window system: three protection domains with nested LRPC.
+//
+// Taos placed window management in the big OS domain; a small-kernel design
+// would give it a domain of its own — if cross-domain calls are cheap
+// enough. This example builds that structure:
+//
+//   application --LRPC--> window manager --LRPC--> font server
+//
+// The application draws labels; the window manager calls the font server to
+// rasterize glyphs (a nested call on the same thread, two linkage records
+// deep), then composites into its framebuffer. Pixel data rides noverify
+// byte buffers. Finally the window manager domain is terminated mid-session
+// (the unhandled-exception / CTRL-C case of Section 5.3) and the
+// application observes call-failed followed by revoked bindings.
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "src/lrpc/runtime.h"
+#include "src/lrpc/server_frame.h"
+
+namespace {
+
+constexpr int kGlyphWidth = 8;
+constexpr int kGlyphHeight = 8;
+constexpr int kScreenWidth = 64;
+constexpr int kScreenHeight = 16;
+
+// A trivial 8x8 "font": each glyph is its character code repeated.
+void Rasterize(char c, std::uint8_t* out) {
+  for (int i = 0; i < kGlyphWidth * kGlyphHeight; ++i) {
+    out[i] = static_cast<std::uint8_t>(c);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace lrpc;
+
+  Machine machine(MachineModel::CVaxFirefly(), 1);
+  Kernel kernel(machine);
+  LrpcRuntime runtime(kernel);
+  Processor& cpu = machine.processor(0);
+
+  const DomainId app = kernel.CreateDomain({.name = "application"});
+  const DomainId wm = kernel.CreateDomain({.name = "window-manager"});
+  const DomainId fonts = kernel.CreateDomain({.name = "font-server"});
+  const ThreadId thread = kernel.CreateThread(app);
+
+  // --- Font server: Rasterize(glyph) -> (pixels). ---
+  Interface* font_iface = runtime.CreateInterface(fonts, "svc.Fonts");
+  {
+    ProcedureDef def;
+    def.name = "Rasterize";
+    def.params.push_back(
+        {.name = "glyph", .direction = ParamDirection::kIn, .size = 1});
+    def.params.push_back({.name = "pixels",
+                          .direction = ParamDirection::kOut,
+                          .size = kGlyphWidth * kGlyphHeight});
+    def.handler = [](ServerFrame& frame) -> Status {
+      Result<std::uint8_t> glyph = frame.Arg<std::uint8_t>(0);
+      if (!glyph.ok()) {
+        return glyph.status();
+      }
+      std::uint8_t pixels[kGlyphWidth * kGlyphHeight];
+      Rasterize(static_cast<char>(*glyph), pixels);
+      return frame.WriteResult(1, pixels, sizeof(pixels));
+    };
+    font_iface->AddProcedure(std::move(def));
+  }
+  if (!runtime.Export(font_iface).ok()) {
+    return 1;
+  }
+
+  // The window manager imports the font server (server-as-client).
+  Result<ClientBinding*> wm_to_fonts = runtime.Import(cpu, wm, "svc.Fonts");
+  if (!wm_to_fonts.ok()) {
+    return 1;
+  }
+
+  // --- Window manager: DrawText(x, y, text) -> (glyphs_drawn). ---
+  std::vector<std::uint8_t> framebuffer(kScreenWidth * kScreenHeight, '.');
+  Interface* wm_iface = runtime.CreateInterface(wm, "svc.Windows");
+  {
+    ProcedureDef def;
+    def.name = "DrawText";
+    def.params.push_back(
+        {.name = "x", .direction = ParamDirection::kIn, .size = 4});
+    def.params.push_back(
+        {.name = "y", .direction = ParamDirection::kIn, .size = 4});
+    def.params.push_back({.name = "text",
+                          .direction = ParamDirection::kIn,
+                          .size = 0,
+                          .max_size = 128,
+                          .flags = {.no_verify = true}});
+    def.params.push_back(
+        {.name = "drawn", .direction = ParamDirection::kOut, .size = 4});
+    LrpcRuntime* rt = &runtime;
+    ClientBinding* fonts_binding = *wm_to_fonts;
+    auto* fb = &framebuffer;
+    def.handler = [rt, fonts_binding, fb](ServerFrame& frame) -> Status {
+      Result<std::int32_t> x = frame.Arg<std::int32_t>(0);
+      Result<std::int32_t> y = frame.Arg<std::int32_t>(1);
+      Result<const std::uint8_t*> text = frame.ArgView(2);
+      Result<std::size_t> text_len = frame.ArgSize(2);
+      if (!x.ok() || !y.ok() || !text.ok() || !text_len.ok()) {
+        return Status(ErrorCode::kInvalidArgument);
+      }
+      std::int32_t drawn = 0;
+      for (std::size_t i = 0; i < *text_len; ++i) {
+        const char c = static_cast<char>((*text)[i]);
+        if (c == '\0') {
+          break;
+        }
+        // Nested LRPC into the font server, on the caller's own thread.
+        std::uint8_t pixels[kGlyphWidth * kGlyphHeight];
+        const CallArg args[] = {CallArg(&c, 1)};
+        const CallRet rets[] = {CallRet(pixels, sizeof(pixels))};
+        Status nested = rt->Call(frame.cpu(), frame.thread(), *fonts_binding,
+                                 0, args, rets);
+        if (!nested.ok()) {
+          return nested;
+        }
+        // Composite the glyph's first row into the 1-bit-deep demo screen.
+        const int col = *x + static_cast<int>(i);
+        if (col >= 0 && col < kScreenWidth && *y >= 0 && *y < kScreenHeight) {
+          (*fb)[static_cast<std::size_t>(*y) * kScreenWidth +
+                static_cast<std::size_t>(col)] = pixels[0];
+        }
+        ++drawn;
+      }
+      return frame.Result_<std::int32_t>(3, drawn);
+    };
+    wm_iface->AddProcedure(std::move(def));
+  }
+  if (!runtime.Export(wm_iface).ok()) {
+    return 1;
+  }
+
+  cpu.LoadContext(kernel.domain(app).vm_context());
+  Result<ClientBinding*> app_to_wm = runtime.Import(cpu, app, "svc.Windows");
+  if (!app_to_wm.ok()) {
+    return 1;
+  }
+
+  std::printf("== Decomposed window system (nested LRPC) ==\n\n");
+
+  auto draw = [&](std::int32_t x, std::int32_t y, const char* text) {
+    std::int32_t drawn = 0;
+    const CallArg args[] = {CallArg::Of(x), CallArg::Of(y),
+                            CallArg(text, std::strlen(text))};
+    const CallRet rets[] = {CallRet::Of(&drawn)};
+    const SimTime start = cpu.clock();
+    const Status status =
+        runtime.Call(cpu, thread, **app_to_wm, 0, args, rets);
+    std::printf("  DrawText(%2d,%2d, \"%s\"): %s, %d glyphs, %.1f us "
+                "(%d nested calls)\n",
+                x, y, text, std::string(ErrorCodeName(status.code())).c_str(),
+                drawn, ToMicros(cpu.clock() - start), drawn);
+    return status;
+  };
+
+  (void)draw(2, 2, "lightweight");
+  (void)draw(2, 4, "remote");
+  (void)draw(2, 6, "procedure call");
+
+  std::printf("\nFramebuffer:\n");
+  for (int row = 0; row < kScreenHeight; ++row) {
+    std::printf("  %.*s\n", kScreenWidth,
+                reinterpret_cast<const char*>(framebuffer.data()) +
+                    row * kScreenWidth);
+  }
+
+  // The uncommon case: the window manager dies mid-session (Section 5.3).
+  std::printf("\nTerminating the window-manager domain (CTRL-C)...\n");
+  if (!runtime.TerminateDomain(wm).ok()) {
+    return 1;
+  }
+  std::int32_t drawn = 0;
+  const std::int32_t two = 2, eight = 8;
+  const CallArg args[] = {CallArg::Of(two), CallArg::Of(eight),
+                          CallArg("after", 5)};
+  const CallRet rets[] = {CallRet::Of(&drawn)};
+  const Status after = runtime.Call(cpu, thread, **app_to_wm, 0, args, rets);
+  std::printf("  DrawText after termination: %s (binding revoked, no crash;\n"
+              "  outstanding calls would have returned call-failed)\n",
+              std::string(ErrorCodeName(after.code())).c_str());
+  return 0;
+}

@@ -1,0 +1,44 @@
+// LRPC_CHECK family: invariant assertions that abort with a location message.
+// These guard kernel invariants (linkage stack discipline, A-stack ownership,
+// mapping rights) whose violation would indicate a bug in the reproduction
+// itself rather than a recoverable runtime condition.
+
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lrpc {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "LRPC_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace lrpc
+
+#define LRPC_CHECK(expr)                                 \
+  do {                                                   \
+    if (!(expr)) {                                       \
+      ::lrpc::CheckFailed(__FILE__, __LINE__, #expr);    \
+    }                                                    \
+  } while (false)
+
+#define LRPC_CHECK_OK(expr)                                            \
+  do {                                                                 \
+    ::lrpc::Status lrpc_check_status_ = (expr);                        \
+    if (!lrpc_check_status_.ok()) {                                    \
+      ::lrpc::CheckFailed(__FILE__, __LINE__, #expr " returned error"); \
+    }                                                                  \
+  } while (false)
+
+#ifdef NDEBUG
+#define LRPC_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define LRPC_DCHECK(expr) LRPC_CHECK(expr)
+#endif
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,126 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace lrpc {
+
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t bucket_count) {
+  LRPC_CHECK(bucket_width > 0);
+  LRPC_CHECK(bucket_count > 0);
+  edges_.reserve(bucket_count);
+  for (std::size_t i = 1; i <= bucket_count; ++i) {
+    edges_.push_back(bucket_width * i);
+  }
+  counts_.assign(bucket_count, 0);
+}
+
+Histogram::Histogram(std::vector<std::uint64_t> upper_edges)
+    : edges_(std::move(upper_edges)) {
+  LRPC_CHECK(!edges_.empty());
+  for (std::size_t i = 1; i < edges_.size(); ++i) {
+    LRPC_CHECK(edges_[i] > edges_[i - 1]);
+  }
+  counts_.assign(edges_.size(), 0);
+}
+
+std::size_t Histogram::BucketIndex(std::uint64_t value) const {
+  // First edge strictly greater than value.
+  auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  return static_cast<std::size_t>(it - edges_.begin());
+}
+
+void Histogram::Add(std::uint64_t value) { AddN(value, 1); }
+
+void Histogram::AddN(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  const std::size_t index = BucketIndex(value);
+  if (index >= counts_.size()) {
+    overflow_ += count;
+  } else {
+    counts_[index] += count;
+  }
+  total_count_ += count;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+double Histogram::mean() const {
+  return total_count_ == 0 ? 0.0 : sum_ / static_cast<double>(total_count_);
+}
+
+double Histogram::FractionBelow(std::uint64_t value) const {
+  if (total_count_ == 0) {
+    return 0.0;
+  }
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (edges_[i] <= value) {
+      below += counts_[i];
+    } else {
+      break;
+    }
+  }
+  return static_cast<double>(below) / static_cast<double>(total_count_);
+}
+
+std::uint64_t Histogram::Percentile(double fraction) const {
+  if (total_count_ == 0) {
+    return 0;
+  }
+  const auto target = static_cast<std::uint64_t>(
+      fraction * static_cast<double>(total_count_));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) {
+      return edges_[i];
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToTable(std::size_t bar_width) const {
+  std::string out;
+  char line[256];
+  std::uint64_t peak = overflow_;
+  for (std::uint64_t c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::uint64_t cumulative = 0;
+  std::uint64_t lower = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    const double cum_pct =
+        total_count_ == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(cumulative) / static_cast<double>(total_count_);
+    std::snprintf(line, sizeof(line), "  [%6llu, %6llu) %10llu  %6.2f%%  ",
+                  static_cast<unsigned long long>(lower),
+                  static_cast<unsigned long long>(edges_[i]),
+                  static_cast<unsigned long long>(counts_[i]), cum_pct);
+    out += line;
+    if (bar_width > 0 && peak > 0) {
+      const auto bar = static_cast<std::size_t>(
+          static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+          static_cast<double>(bar_width));
+      out.append(bar, '#');
+    }
+    out += '\n';
+    lower = edges_[i];
+  }
+  if (overflow_ > 0) {
+    std::snprintf(line, sizeof(line), "  [%6llu,    inf) %10llu  100.00%%\n",
+                  static_cast<unsigned long long>(lower),
+                  static_cast<unsigned long long>(overflow_));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace lrpc

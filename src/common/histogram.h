@@ -1,0 +1,68 @@
+// Bucketed histogram with cumulative-distribution reporting.
+//
+// Figure 1 of the paper is a histogram plus cumulative distribution of
+// "total argument/result bytes transferred" per cross-domain call; this class
+// produces exactly that kind of table and is also used by the throughput and
+// ablation benches for latency distributions.
+
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lrpc {
+
+class Histogram {
+ public:
+  // Fixed-width buckets covering [0, bucket_width * bucket_count); values at
+  // or beyond the last edge land in the overflow bucket.
+  Histogram(std::uint64_t bucket_width, std::size_t bucket_count);
+
+  // Explicit bucket upper edges (ascending). Bucket i holds values in
+  // [edges[i-1], edges[i]); bucket 0 holds [0, edges[0]).
+  explicit Histogram(std::vector<std::uint64_t> upper_edges);
+
+  void Add(std::uint64_t value);
+  void AddN(std::uint64_t value, std::uint64_t count);
+
+  std::uint64_t total_count() const { return total_count_; }
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket_value(std::size_t i) const { return counts_[i]; }
+  std::uint64_t overflow_count() const { return overflow_; }
+
+  // Upper edge of bucket i (exclusive).
+  std::uint64_t bucket_upper_edge(std::size_t i) const { return edges_[i]; }
+
+  std::uint64_t min() const { return total_count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const;
+
+  // Fraction of samples strictly below `value` (uses exact per-sample sums,
+  // not bucket interpolation, for edges that coincide with bucket edges).
+  double FractionBelow(std::uint64_t value) const;
+
+  // Smallest recorded value v such that at least `fraction` of samples
+  // are <= v, estimated from bucket edges.
+  std::uint64_t Percentile(double fraction) const;
+
+  // Render as an aligned text table: bucket range, count, cumulative %.
+  // `scale_to` scales the ASCII bar column (0 disables bars).
+  std::string ToTable(std::size_t bar_width = 40) const;
+
+ private:
+  std::size_t BucketIndex(std::uint64_t value) const;
+
+  std::vector<std::uint64_t> edges_;   // Exclusive upper edges, ascending.
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_count_ = 0;
+  std::uint64_t min_ = ~0ULL;
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

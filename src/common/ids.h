@@ -1,0 +1,34 @@
+// Identifier types shared across the kernel, shared-memory and RPC layers.
+// Kept in common so the low-level shm library does not depend on the kernel.
+
+#ifndef SRC_COMMON_IDS_H_
+#define SRC_COMMON_IDS_H_
+
+#include <cstdint>
+
+namespace lrpc {
+
+// A protection domain (an address space plus its resources).
+using DomainId = std::int32_t;
+constexpr DomainId kNoDomain = -1;
+
+// A concrete thread (the paper's "concrete thread"; an abstract thread is a
+// chain of linkage records across domains).
+using ThreadId = std::int32_t;
+constexpr ThreadId kNoThread = -1;
+
+// A Binding Object handle as seen by a client domain.
+using BindingId = std::int64_t;
+constexpr BindingId kNoBinding = -1;
+
+// An exported interface instance registered with the name server.
+using InterfaceId = std::int32_t;
+constexpr InterfaceId kNoInterface = -1;
+
+// A node (machine) in the simulated network, for the cross-machine path.
+using NodeId = std::int32_t;
+constexpr NodeId kLocalNode = 0;
+
+}  // namespace lrpc
+
+#endif  // SRC_COMMON_IDS_H_

@@ -1,0 +1,40 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+
+namespace lrpc {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarning;
+
+const char* LevelPrefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarning:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (level < g_level) {
+    return;
+  }
+  std::fprintf(stderr, "[lrpc %s] %s\n", LevelPrefix(level), message.c_str());
+}
+
+}  // namespace lrpc

@@ -1,0 +1,55 @@
+// Minimal leveled logging. Off by default (kWarning threshold) so benches and
+// tests stay quiet; examples raise the level to narrate what the kernel does.
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace lrpc {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+};
+
+// Global threshold; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// Emits `message` to stderr with a level prefix. Not synchronized: the
+// simulation is single-threaded by design, and host-thread benches do not log.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace log_internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+}  // namespace lrpc
+
+#define LRPC_LOG(level)                                      \
+  if (::lrpc::LogLevel::level < ::lrpc::GetLogLevel()) {     \
+  } else                                                     \
+    ::lrpc::log_internal::LogLine(::lrpc::LogLevel::level)
+
+#endif  // SRC_COMMON_LOGGING_H_

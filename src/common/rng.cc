@@ -1,0 +1,45 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace lrpc {
+
+double Rng::NextExponential(double mean) {
+  // Inverse-CDF; avoid log(0) by shifting the uniform sample away from zero.
+  double u = NextDouble();
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log(1.0 - u);
+}
+
+double Rng::NextNormal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Polar (Marsaglia) method: generates two normals per accepted pair.
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+std::uint64_t Rng::NextGeometric(double p) {
+  if (p >= 1.0) {
+    return 0;
+  }
+  double u = NextDouble();
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return static_cast<std::uint64_t>(std::log(1.0 - u) / std::log(1.0 - p));
+}
+
+}  // namespace lrpc

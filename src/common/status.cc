@@ -1,0 +1,77 @@
+#include "src/common/status.h"
+
+namespace lrpc {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "kOk";
+    case ErrorCode::kNoSuchInterface:
+      return "kNoSuchInterface";
+    case ErrorCode::kBindingRefused:
+      return "kBindingRefused";
+    case ErrorCode::kForgedBinding:
+      return "kForgedBinding";
+    case ErrorCode::kRevokedBinding:
+      return "kRevokedBinding";
+    case ErrorCode::kNoSuchProcedure:
+      return "kNoSuchProcedure";
+    case ErrorCode::kInvalidAStack:
+      return "kInvalidAStack";
+    case ErrorCode::kAStackInUse:
+      return "kAStackInUse";
+    case ErrorCode::kAStacksExhausted:
+      return "kAStacksExhausted";
+    case ErrorCode::kEStackExhausted:
+      return "kEStackExhausted";
+    case ErrorCode::kArgumentTooLarge:
+      return "kArgumentTooLarge";
+    case ErrorCode::kTypeCheckFailed:
+      return "kTypeCheckFailed";
+    case ErrorCode::kCallFailed:
+      return "kCallFailed";
+    case ErrorCode::kCallAborted:
+      return "kCallAborted";
+    case ErrorCode::kDomainTerminated:
+      return "kDomainTerminated";
+    case ErrorCode::kThreadCaptured:
+      return "kThreadCaptured";
+    case ErrorCode::kNotRemote:
+      return "kNotRemote";
+    case ErrorCode::kRemoteUnreachable:
+      return "kRemoteUnreachable";
+    case ErrorCode::kNoSuchDomain:
+      return "kNoSuchDomain";
+    case ErrorCode::kNoSuchThread:
+      return "kNoSuchThread";
+    case ErrorCode::kPermissionDenied:
+      return "kPermissionDenied";
+    case ErrorCode::kOutOfMemory:
+      return "kOutOfMemory";
+    case ErrorCode::kMessageTooLarge:
+      return "kMessageTooLarge";
+    case ErrorCode::kPortClosed:
+      return "kPortClosed";
+    case ErrorCode::kQueueFull:
+      return "kQueueFull";
+    case ErrorCode::kInvalidArgument:
+      return "kInvalidArgument";
+    case ErrorCode::kAlreadyExists:
+      return "kAlreadyExists";
+    case ErrorCode::kNotFound:
+      return "kNotFound";
+    case ErrorCode::kUnimplemented:
+      return "kUnimplemented";
+  }
+  return "kUnknown";
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  os << ErrorCodeName(status.code());
+  if (!status.detail().empty()) {
+    os << ": " << status.detail();
+  }
+  return os;
+}
+
+}  // namespace lrpc

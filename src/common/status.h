@@ -1,0 +1,153 @@
+// Status and Result<T>: error handling primitives used throughout the LRPC
+// reproduction. The fast call path is exception-free; every fallible
+// operation returns a Status (or a Result<T> carrying a value on success).
+//
+// The error codes mirror the failure modes the paper describes: forged or
+// revoked Binding Objects, invalid A-stacks, linkage records invalidated by
+// domain termination, call-failed / call-aborted exceptions, and resource
+// exhaustion (A-stacks, E-stacks, message buffers).
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace lrpc {
+
+// Error codes for the whole system. Keep stable: tests assert on them.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  // Binding failures (Section 3.1).
+  kNoSuchInterface,       // Import of an interface no clerk has exported.
+  kBindingRefused,        // Server clerk refused to authorize the client.
+  kForgedBinding,         // Binding Object failed the kernel nonce check.
+  kRevokedBinding,        // Binding Object revoked (domain terminated).
+  kNoSuchProcedure,       // Procedure index outside the interface's PDL.
+  // Call-time failures (Section 3.2).
+  kInvalidAStack,         // A-stack failed the range/ownership check.
+  kAStackInUse,           // Another thread currently owns that A-stack/linkage.
+  kAStacksExhausted,      // No free A-stack and caller chose not to wait.
+  kEStackExhausted,       // Server domain ran out of execution-stack memory.
+  kArgumentTooLarge,      // Argument exceeds A-stack capacity and no
+                          // out-of-band segment was permitted.
+  kTypeCheckFailed,       // Type-checked copy found a non-conformant value.
+  // Uncommon cases (Section 5).
+  kCallFailed,            // Server domain terminated during the call.
+  kCallAborted,           // Client abandoned a captured thread.
+  kDomainTerminated,      // Operation on a dead domain.
+  kThreadCaptured,        // Thread held by a server past abandonment.
+  kNotRemote,             // Cross-machine path invoked on a local binding.
+  kRemoteUnreachable,     // Simulated network failure.
+  // Substrate failures.
+  kNoSuchDomain,
+  kNoSuchThread,
+  kPermissionDenied,      // Shared-segment access without mapping rights.
+  kOutOfMemory,
+  kMessageTooLarge,
+  kPortClosed,
+  kQueueFull,             // Message-queue flow control rejected a send.
+  kInvalidArgument,
+  kAlreadyExists,
+  kNotFound,
+  kUnimplemented,
+};
+
+// Human-readable name of an error code ("kOk", "kForgedBinding", ...).
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A cheap, trivially-copyable status word. Carries a code plus an optional
+// static detail string (no allocation: details must be string literals or
+// otherwise outlive the Status).
+class Status {
+ public:
+  constexpr Status() : code_(ErrorCode::kOk), detail_("") {}
+  constexpr explicit Status(ErrorCode code, std::string_view detail = "")
+      : code_(code), detail_(detail) {}
+
+  static constexpr Status Ok() { return Status(); }
+
+  constexpr bool ok() const { return code_ == ErrorCode::kOk; }
+  constexpr ErrorCode code() const { return code_; }
+  constexpr std::string_view detail() const { return detail_; }
+
+  friend constexpr bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+  friend constexpr bool operator!=(const Status& a, const Status& b) {
+    return !(a == b);
+  }
+
+ private:
+  ErrorCode code_;
+  std::string_view detail_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Result<T>: either a value or a non-ok Status.
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions keep call sites terse: `return value;` or
+  // `return Status(ErrorCode::kNotFound);`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(status) {}      // NOLINT(runtime/explicit)
+  Result(ErrorCode code) : repr_(Status(code)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOkStatus = Status::Ok();
+    if (ok()) {
+      return kOkStatus;
+    }
+    return std::get<Status>(repr_);
+  }
+
+  ErrorCode code() const { return ok() ? ErrorCode::kOk : status().code(); }
+
+  T& value() & { return std::get<T>(repr_); }
+  const T& value() const& { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+// Propagate an error Status out of the enclosing function.
+#define LRPC_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    ::lrpc::Status lrpc_status_ = (expr); \
+    if (!lrpc_status_.ok()) {             \
+      return lrpc_status_;                \
+    }                                     \
+  } while (false)
+
+// Unwrap a Result into `lhs`, propagating the error Status on failure.
+#define LRPC_CONCAT_INNER_(a, b) a##b
+#define LRPC_CONCAT_(a, b) LRPC_CONCAT_INNER_(a, b)
+#define LRPC_ASSIGN_OR_RETURN(lhs, expr) \
+  LRPC_ASSIGN_OR_RETURN_IMPL_(LRPC_CONCAT_(lrpc_result_, __LINE__), lhs, expr)
+#define LRPC_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                \
+  if (!result.ok()) {                                  \
+    return result.status();                            \
+  }                                                    \
+  lhs = std::move(result).value()
+
+}  // namespace lrpc
+
+#endif  // SRC_COMMON_STATUS_H_

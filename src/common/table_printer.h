@@ -1,0 +1,34 @@
+// Aligned text-table rendering. Every bench regenerates one of the paper's
+// tables or figures and prints it through this class so the output matches
+// the paper's row/column structure.
+
+#ifndef SRC_COMMON_TABLE_PRINTER_H_
+#define SRC_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace lrpc {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Adds a row; the row may have fewer cells than there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double value, int precision = 1);
+  static std::string Int(long long value);
+
+  // Renders the table with a separator line under the headers.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,115 @@
+// Abstract syntax of the LRPC IDL.
+//
+// Grammar (recursive descent in parser.cc):
+//
+//   file       := (struct_decl | interface)+
+//   struct_decl:= 'struct' IDENT '{' (IDENT ':' type ';')+ '}' ';'?
+//   interface  := 'interface' IDENT '{' item* '}' attrs? ';'?
+//   item       := const_decl | proc_decl
+//   const_decl := 'const' IDENT '=' INTEGER ';'
+//   proc_decl  := 'proc' IDENT '(' params? ')' ret? attrs? ';'
+//   params     := param (',' param)*
+//   param      := IDENT ':' type flag*
+//   ret        := '->' '(' params ')'
+//   type       := 'int32' | 'int64' | 'bool' | 'byte' | 'cardinal'
+//              | 'bytes' '<' size '>' | 'buffer' '<' size '>'
+//              | IDENT                                  (a declared struct)
+//   size       := INTEGER | IDENT            (IDENT resolves to a const)
+//   flag       := 'noverify' | 'immutable' | 'checked' | 'byref' | 'inout'
+//   attrs      := 'with' IDENT '=' INTEGER (',' IDENT '=' INTEGER)*
+
+#ifndef SRC_IDL_AST_H_
+#define SRC_IDL_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lrpc {
+
+enum class IdlTypeKind : std::uint8_t {
+  kInt32,
+  kInt64,
+  kBool,
+  kByte,
+  kCardinal,   // Non-negative int32; gets a folded conformance check.
+  kBytes,      // Fixed byte array of the given size.
+  kBuffer,     // Variable-size, with a maximum.
+  kStruct,     // A declared record type (fixed layout).
+};
+
+struct IdlSizeExpr {
+  bool is_constant_ref = false;
+  std::int64_t literal = 0;
+  std::string constant_name;  // When is_constant_ref.
+};
+
+struct IdlType {
+  IdlTypeKind kind = IdlTypeKind::kInt32;
+  IdlSizeExpr size;         // For kBytes / kBuffer.
+  std::string struct_name;  // For kStruct.
+};
+
+struct IdlParamFlags {
+  bool no_verify = false;
+  bool immutable = false;
+  bool checked = false;
+  bool by_ref = false;
+  bool inout = false;  // The parameter is both passed in and returned.
+};
+
+struct IdlParam {
+  std::string name;
+  IdlType type;
+  IdlParamFlags flags;
+  int line = 0;
+};
+
+struct IdlAttr {
+  std::string name;
+  std::int64_t value = 0;
+  int line = 0;
+};
+
+struct IdlProc {
+  std::string name;
+  std::vector<IdlParam> params;   // In-parameters.
+  std::vector<IdlParam> results;  // Out-parameters.
+  std::vector<IdlAttr> attrs;     // e.g. astacks = 8.
+  int line = 0;
+};
+
+struct IdlConst {
+  std::string name;
+  std::int64_t value = 0;
+  int line = 0;
+};
+
+struct IdlStructField {
+  std::string name;
+  IdlType type;  // Scalars, bytes<N>, or nested structs (no buffers).
+  int line = 0;
+};
+
+struct IdlStruct {
+  std::string name;
+  std::vector<IdlStructField> fields;
+  int line = 0;
+};
+
+struct IdlInterface {
+  std::string name;
+  std::vector<IdlConst> consts;
+  std::vector<IdlProc> procs;
+  std::vector<IdlAttr> attrs;
+  int line = 0;
+};
+
+struct IdlFile {
+  std::vector<IdlStruct> structs;
+  std::vector<IdlInterface> interfaces;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_IDL_AST_H_

@@ -1,0 +1,529 @@
+#include "src/idl/codegen.h"
+
+#include "src/common/check.h"
+
+namespace lrpc {
+
+namespace {
+
+bool IsBuffer(const CompiledParam& p) { return p.kind == IdlTypeKind::kBuffer; }
+bool IsBytes(const CompiledParam& p) { return p.kind == IdlTypeKind::kBytes; }
+bool IsStruct(const CompiledParam& p) { return p.kind == IdlTypeKind::kStruct; }
+bool IsIn(const CompiledParam& p) {
+  return p.direction == ParamDirection::kIn;
+}
+bool IsOut(const CompiledParam& p) {
+  return p.direction == ParamDirection::kOut;
+}
+bool IsInOut(const CompiledParam& p) {
+  return p.direction == ParamDirection::kInOut;
+}
+
+// The parameters of the generated server method, in order.
+std::string ServerParams(const CompiledProc& proc) {
+  std::string out = "lrpc::ServerFrame& frame";
+  for (const CompiledParam& p : proc.params) {
+    if (IsInOut(p)) {
+      // In-out parameters arrive pre-filled and are written back after the
+      // implementation returns.
+      if (IsBytes(p)) {
+        out += ", std::uint8_t* " + p.name;
+      } else if (IsStruct(p)) {
+        out += ", " + p.struct_name + "* " + p.name;
+      } else {
+        out += ", " + p.CppType() + "* " + p.name;
+      }
+    } else if (IsIn(p)) {
+      if (IsBuffer(p)) {
+        out += ", const std::uint8_t* " + p.name + ", std::size_t " + p.name +
+               "_len";
+      } else if (IsBytes(p)) {
+        out += ", const std::uint8_t* " + p.name;
+      } else if (IsStruct(p)) {
+        out += ", const " + p.struct_name + "& " + p.name;
+      } else {
+        out += ", " + p.CppType() + " " + p.name;
+      }
+    } else {
+      if (IsBuffer(p)) {
+        // Variable-sized results are written through the frame directly.
+        continue;
+      }
+      if (IsBytes(p)) {
+        out += ", std::uint8_t* " + p.name;
+      } else if (IsStruct(p)) {
+        out += ", " + p.struct_name + "* " + p.name;
+      } else {
+        out += ", " + p.CppType() + "* " + p.name;
+      }
+    }
+  }
+  return out;
+}
+
+std::string ClientParams(const CompiledProc& proc) {
+  std::string out = "lrpc::Processor& cpu, lrpc::ThreadId thread";
+  for (const CompiledParam& p : proc.params) {
+    if (IsInOut(p)) {
+      if (IsBytes(p)) {
+        out += ", std::uint8_t* " + p.name;
+      } else if (IsStruct(p)) {
+        out += ", " + p.struct_name + "* " + p.name;
+      } else {
+        out += ", " + p.CppType() + "* " + p.name;
+      }
+    } else if (IsIn(p)) {
+      if (IsBuffer(p)) {
+        out += ", const void* " + p.name + ", std::size_t " + p.name + "_len";
+      } else if (IsBytes(p)) {
+        out += ", const std::uint8_t* " + p.name;
+      } else if (IsStruct(p)) {
+        out += ", const " + p.struct_name + "& " + p.name;
+      } else {
+        out += ", " + p.CppType() + " " + p.name;
+      }
+    } else {
+      if (IsBuffer(p)) {
+        out += ", void* " + p.name + ", std::size_t " + p.name + "_cap";
+      } else if (IsBytes(p)) {
+        out += ", std::uint8_t* " + p.name;
+      } else if (IsStruct(p)) {
+        out += ", " + p.struct_name + "* " + p.name;
+      } else {
+        out += ", " + p.CppType() + "* " + p.name;
+      }
+    }
+  }
+  out += ", lrpc::CallStats* stats = nullptr";
+  return out;
+}
+
+std::string IdlTypeSpelling(const CompiledParam& p) {
+  switch (p.kind) {
+    case IdlTypeKind::kInt32:
+      return "int32";
+    case IdlTypeKind::kInt64:
+      return "int64";
+    case IdlTypeKind::kBool:
+      return "bool";
+    case IdlTypeKind::kByte:
+      return "byte";
+    case IdlTypeKind::kCardinal:
+      return "cardinal";
+    case IdlTypeKind::kBytes:
+      return "bytes<" + std::to_string(p.fixed_size) + ">";
+    case IdlTypeKind::kBuffer:
+      return "buffer<" + std::to_string(p.max_size) + ">";
+    case IdlTypeKind::kStruct:
+      return p.struct_name;
+  }
+  return "?";
+}
+
+// A human-readable one-line echo of the declaration, for the generated
+// header's comments.
+std::string ProcComment(const CompiledProc& proc) {
+  std::string ins, outs;
+  for (const CompiledParam& p : proc.params) {
+    std::string entry = p.name + ": " + IdlTypeSpelling(p);
+    if (p.flags.no_verify) {
+      entry += " noverify";
+    }
+    if (p.flags.immutable) {
+      entry += " immutable";
+    }
+    if (p.flags.type_checked && p.kind != IdlTypeKind::kCardinal) {
+      entry += " checked";
+    }
+    if (p.flags.by_ref) {
+      entry += " byref";
+    }
+    if (IsInOut(p)) {
+      entry += " inout";
+    }
+    auto& target = IsOut(p) ? outs : ins;
+    if (!target.empty()) {
+      target += ", ";
+    }
+    target += entry;
+  }
+  std::string line = "proc " + proc.name + "(" + ins + ")";
+  if (!outs.empty()) {
+    line += " -> (" + outs + ")";
+  }
+  line += ";";
+  return line;
+}
+
+std::string FieldCppType(const CompiledField& field) {
+  switch (field.kind) {
+    case IdlTypeKind::kInt32:
+    case IdlTypeKind::kCardinal:
+      return "std::int32_t";
+    case IdlTypeKind::kInt64:
+      return "std::int64_t";
+    case IdlTypeKind::kBool:
+      return "bool";
+    case IdlTypeKind::kByte:
+      return "std::uint8_t";
+    case IdlTypeKind::kStruct:
+      return field.struct_name;
+    case IdlTypeKind::kBytes:
+    case IdlTypeKind::kBuffer:
+      return "std::uint8_t";  // Array; declarator adds the extent.
+  }
+  return "void";
+}
+
+}  // namespace
+
+std::string CodeGenerator::ServerMethodSignature(const CompiledProc& proc,
+                                                 bool pure) {
+  return "virtual lrpc::Status " + proc.name + "(" + ServerParams(proc) +
+         ")" + (pure ? " = 0;" : ";");
+}
+
+std::string CodeGenerator::ClientMethodSignature(const CompiledProc& proc) {
+  return "lrpc::Status " + proc.name + "(" + ClientParams(proc) + ")";
+}
+
+void CodeGenerator::EmitStructs(const std::vector<CompiledStruct>& structs,
+                                std::string* out) const {
+  if (structs.empty()) {
+    return;
+  }
+  *out += "// ---- record types ----\n";
+  *out += "// Field offsets follow standard C++ layout; the static_asserts\n";
+  *out += "// pin the generated structs to the wire layout the stub\n";
+  *out += "// generator computed.\n\n";
+  for (const CompiledStruct& st : structs) {
+    *out += "struct " + st.name + " {\n";
+    for (const CompiledField& field : st.fields) {
+      *out += "  " + FieldCppType(field) + " " + field.name;
+      if (field.array_len > 0) {
+        *out += "[" + std::to_string(field.array_len) + "]";
+      }
+      *out += "{};\n";
+    }
+    *out += "};\n";
+    *out += "static_assert(sizeof(" + st.name + ") == " +
+            std::to_string(st.size) + ", \"wire layout mismatch\");\n";
+    for (const CompiledField& field : st.fields) {
+      *out += "static_assert(offsetof(" + st.name + ", " + field.name +
+              ") == " + std::to_string(field.offset) + ");\n";
+    }
+    *out += "\n";
+  }
+}
+
+void CodeGenerator::EmitServerClass(const CompiledInterface& iface,
+                                    std::string* out) const {
+  const std::string cls = iface.name + "Server";
+  *out += "// Server skeleton: derive from this class and implement each\n";
+  *out += "// procedure; Export() registers the interface, building one\n";
+  *out += "// entry stub per procedure that branches straight into your\n";
+  *out += "// implementation.\n";
+  *out += "class " + cls + " {\n public:\n";
+  *out += "  virtual ~" + cls + "() = default;\n\n";
+  for (const CompiledProc& proc : iface.procs) {
+    *out += "  // " + ProcComment(proc) + "\n";
+    *out += "  " + ServerMethodSignature(proc, /*pure=*/true) + "\n\n";
+  }
+  *out += "  // Exports the interface from `server_domain` through its clerk.\n";
+  *out +=
+      "  lrpc::Result<lrpc::Interface*> Export(lrpc::LrpcRuntime& runtime,\n"
+      "                                        lrpc::DomainId server_domain) {\n";
+  *out += "    lrpc::Interface* iface =\n"
+          "        runtime.CreateInterface(server_domain, \"" +
+          iface.name + "\");\n";
+  for (std::size_t pi = 0; pi < iface.procs.size(); ++pi) {
+    const CompiledProc& proc = iface.procs[pi];
+    *out += "    {\n";
+    *out += "      lrpc::ProcedureDef def = lrpcgen_detail::" + iface.name +
+            "_MakeDef_" + proc.name + "();\n";
+    *out += "      def.handler = [this](lrpc::ServerFrame& frame) "
+            "-> lrpc::Status {\n";
+    int index = 0;
+    std::string call_args = "frame";
+    std::string post_calls;
+    std::string pre_out_decls;
+    for (const CompiledParam& p : proc.params) {
+      const std::string idx = std::to_string(index);
+      if (IsInOut(p)) {
+        // Decode the input into a local, pass a pointer, write it back.
+        if (IsBytes(p)) {
+          pre_out_decls += "        std::vector<std::uint8_t> " + p.name +
+                           "_io(" + std::to_string(p.fixed_size) + ");\n";
+          *out += "        {\n          auto read = frame.ReadArg(" + idx +
+                  ", " + p.name + "_io.data(), " + p.name + "_io.size());\n";
+          *out += "          if (!read.ok()) { return read.status(); }\n"
+                  "        }\n";
+          call_args += ", " + p.name + "_io.data()";
+          post_calls += "        LRPC_RETURN_IF_ERROR(frame.WriteResult(" +
+                        idx + ", " + p.name + "_io.data(), " +
+                        std::to_string(p.fixed_size) + "));\n";
+        } else {
+          const std::string type =
+              IsStruct(p) ? p.struct_name : p.CppType();
+          *out += "        " + type + " " + p.name + "_io{};\n";
+          *out += "        {\n          auto read = frame.ReadArg(" + idx +
+                  ", &" + p.name + "_io, sizeof(" + p.name + "_io));\n";
+          *out += "          if (!read.ok()) { return read.status(); }\n"
+                  "        }\n";
+          call_args += ", &" + p.name + "_io";
+          post_calls += "        LRPC_RETURN_IF_ERROR(frame.WriteResult(" +
+                        idx + ", &" + p.name + "_io, sizeof(" + p.name +
+                        "_io)));\n";
+        }
+      } else if (IsIn(p)) {
+        if (IsBuffer(p)) {
+          *out += "        auto " + p.name +
+                  "_view = frame.ArgView(" + idx + ");\n";
+          *out += "        auto " + p.name + "_size = frame.ArgSize(" + idx +
+                  ");\n";
+          *out += "        if (!" + p.name + "_view.ok()) { return " + p.name +
+                  "_view.status(); }\n";
+          *out += "        if (!" + p.name + "_size.ok()) { return " + p.name +
+                  "_size.status(); }\n";
+          call_args += ", *" + p.name + "_view, *" + p.name + "_size";
+        } else if (IsBytes(p)) {
+          *out += "        auto " + p.name + "_view = frame.ArgView(" + idx +
+                  ");\n";
+          *out += "        if (!" + p.name + "_view.ok()) { return " + p.name +
+                  "_view.status(); }\n";
+          call_args += ", *" + p.name + "_view";
+        } else if (IsStruct(p)) {
+          *out += "        " + p.struct_name + " " + p.name + "_in{};\n";
+          *out += "        {\n          auto read = frame.ReadArg(" + idx +
+                  ", &" + p.name + "_in, sizeof(" + p.name + "_in));\n";
+          *out += "          if (!read.ok()) { return read.status(); }\n"
+                  "        }\n";
+          call_args += ", " + p.name + "_in";
+        } else {
+          *out += "        auto " + p.name + "_in = frame.Arg<" + p.CppType() +
+                  ">(" + idx + ");\n";
+          *out += "        if (!" + p.name + "_in.ok()) { return " + p.name +
+                  "_in.status(); }\n";
+          call_args += ", *" + p.name + "_in";
+        }
+      } else {
+        if (IsBuffer(p)) {
+          // Written by the implementation through the frame.
+        } else if (IsBytes(p)) {
+          pre_out_decls += "        std::vector<std::uint8_t> " + p.name +
+                           "_out(" + std::to_string(p.fixed_size) + ");\n";
+          call_args += ", " + p.name + "_out.data()";
+          post_calls += "        LRPC_RETURN_IF_ERROR(frame.WriteResult(" +
+                        idx + ", " + p.name + "_out.data(), " +
+                        std::to_string(p.fixed_size) + "));\n";
+        } else {
+          const std::string type =
+              IsStruct(p) ? p.struct_name : p.CppType();
+          pre_out_decls += "        " + type + " " + p.name + "_out{};\n";
+          call_args += ", &" + p.name + "_out";
+          post_calls += "        LRPC_RETURN_IF_ERROR(frame.WriteResult(" +
+                        idx + ", &" + p.name + "_out, sizeof(" + p.name +
+                        "_out)));\n";
+        }
+      }
+      ++index;
+    }
+    *out += pre_out_decls;
+    *out += "        lrpc::Status impl_status = this->" + proc.name + "(" +
+            call_args + ");\n";
+    *out += "        if (!impl_status.ok()) { return impl_status; }\n";
+    *out += post_calls;
+    *out += "        return lrpc::Status::Ok();\n";
+    *out += "      };\n";
+    *out += "      iface->AddProcedure(std::move(def));\n";
+    *out += "    }\n";
+  }
+  *out += "    LRPC_RETURN_IF_ERROR(runtime.Export(iface));\n";
+  *out += "    return iface;\n";
+  *out += "  }\n";
+  *out += "};\n\n";
+}
+
+void CodeGenerator::EmitClientClass(const CompiledInterface& iface,
+                                    std::string* out) const {
+  const std::string cls = iface.name + "Client";
+  *out += "// Client stub: Import() binds, then each method pushes its\n";
+  *out += "// arguments and performs the LRPC (Section 3.2's fast path).\n";
+  *out += "class " + cls + " {\n public:\n";
+  *out += "  static lrpc::Result<" + cls +
+          "> Import(lrpc::LrpcRuntime& runtime,\n"
+          "      lrpc::Processor& cpu, lrpc::DomainId client_domain) {\n";
+  *out += "    lrpc::Result<lrpc::ClientBinding*> binding =\n"
+          "        runtime.Import(cpu, client_domain, \"" +
+          iface.name + "\");\n";
+  *out += "    if (!binding.ok()) { return binding.status(); }\n";
+  *out += "    return " + cls + "(&runtime, *binding);\n";
+  *out += "  }\n\n";
+  *out += "  lrpc::ClientBinding& binding() { return *binding_; }\n\n";
+
+  for (std::size_t pi = 0; pi < iface.procs.size(); ++pi) {
+    const CompiledProc& proc = iface.procs[pi];
+    *out += "  // " + ProcComment(proc) + "\n";
+    *out += "  " + ClientMethodSignature(proc) + " {\n";
+    std::string args_init, rets_init;
+    int n_args = 0, n_rets = 0;
+    for (const CompiledParam& p : proc.params) {
+      const std::string size_expr =
+          IsStruct(p) ? "sizeof(" + p.struct_name + ")"
+                      : std::to_string(p.fixed_size);
+      if (IsInOut(p)) {
+        if (!args_init.empty()) {
+          args_init += ", ";
+        }
+        if (!rets_init.empty()) {
+          rets_init += ", ";
+        }
+        args_init += "lrpc::CallArg(" + p.name + ", " + size_expr + ")";
+        rets_init += "lrpc::CallRet(" + p.name + ", " + size_expr + ")";
+        ++n_args;
+        ++n_rets;
+      } else if (IsIn(p)) {
+        if (!args_init.empty()) {
+          args_init += ", ";
+        }
+        if (IsBuffer(p)) {
+          args_init += "lrpc::CallArg(" + p.name + ", " + p.name + "_len)";
+        } else if (IsBytes(p)) {
+          args_init += "lrpc::CallArg(" + p.name + ", " + size_expr + ")";
+        } else if (IsStruct(p)) {
+          args_init += "lrpc::CallArg(&" + p.name + ", " + size_expr + ")";
+        } else {
+          args_init += "lrpc::CallArg::Of(" + p.name + ")";
+        }
+        ++n_args;
+      } else {
+        if (!rets_init.empty()) {
+          rets_init += ", ";
+        }
+        if (IsBuffer(p)) {
+          rets_init += "lrpc::CallRet(" + p.name + ", " + p.name + "_cap)";
+        } else if (IsBytes(p) || IsStruct(p)) {
+          rets_init += "lrpc::CallRet(" + p.name + ", " + size_expr + ")";
+        } else {
+          rets_init += "lrpc::CallRet::Of(" + p.name + ")";
+        }
+        ++n_rets;
+      }
+    }
+    if (n_args > 0) {
+      *out += "    const lrpc::CallArg args[] = {" + args_init + "};\n";
+    }
+    if (n_rets > 0) {
+      *out += "    const lrpc::CallRet rets[] = {" + rets_init + "};\n";
+    }
+    *out += "    return runtime_->Call(cpu, thread, *binding_, " +
+            std::to_string(pi) + ",\n        ";
+    *out += n_args > 0 ? "args, " : "{}, ";
+    *out += n_rets > 0 ? "rets, " : "{}, ";
+    *out += "stats);\n";
+    *out += "  }\n\n";
+  }
+
+  *out += " private:\n";
+  *out += "  " + cls +
+          "(lrpc::LrpcRuntime* runtime, lrpc::ClientBinding* binding)\n"
+          "      : runtime_(runtime), binding_(binding) {}\n\n";
+  *out += "  lrpc::LrpcRuntime* runtime_;\n";
+  *out += "  lrpc::ClientBinding* binding_;\n";
+  *out += "};\n\n";
+}
+
+void CodeGenerator::EmitInterface(const CompiledInterface& iface,
+                                  std::string* out) const {
+  *out += "// ---- interface " + iface.name + " ----\n\n";
+  for (const auto& [name, value] : iface.consts) {
+    *out += "constexpr std::int64_t k" + iface.name + "_" + name + " = " +
+            std::to_string(value) + ";\n";
+  }
+  if (!iface.consts.empty()) {
+    *out += "\n";
+  }
+
+  // Parameter metadata builders, shared by client and server sides (the
+  // analogue of the PDL the stub generator computes at compile time).
+  *out += "namespace lrpcgen_detail {\n\n";
+  for (const CompiledProc& proc : iface.procs) {
+    *out += "inline lrpc::ProcedureDef " + iface.name + "_MakeDef_" +
+            proc.name + "() {\n";
+    *out += "  lrpc::ProcedureDef def;\n";
+    *out += "  def.name = \"" + proc.name + "\";\n";
+    if (proc.simultaneous_calls != 5) {
+      *out += "  def.simultaneous_calls = " +
+              std::to_string(proc.simultaneous_calls) + ";\n";
+    }
+    for (const CompiledParam& p : proc.params) {
+      *out += "  {\n    lrpc::ParamDesc param;\n";
+      *out += "    param.name = \"" + p.name + "\";\n";
+      const char* direction =
+          IsInOut(p) ? "kInOut" : (IsIn(p) ? "kIn" : "kOut");
+      *out += "    param.direction = lrpc::ParamDirection::" +
+              std::string(direction) + ";\n";
+      if (IsStruct(p)) {
+        *out += "    param.size = sizeof(" + p.struct_name + ");\n";
+      } else {
+        *out += "    param.size = " + std::to_string(p.fixed_size) + ";\n";
+      }
+      if (p.max_size > 0) {
+        *out += "    param.max_size = " + std::to_string(p.max_size) + ";\n";
+      }
+      if (p.flags.no_verify) {
+        *out += "    param.flags.no_verify = true;\n";
+      }
+      if (p.flags.immutable) {
+        *out += "    param.flags.immutable = true;\n";
+      }
+      if (p.flags.type_checked) {
+        *out += "    param.flags.type_checked = true;\n";
+      }
+      if (p.flags.by_ref) {
+        *out += "    param.flags.by_ref = true;\n";
+      }
+      if (p.kind == IdlTypeKind::kCardinal) {
+        *out += "    param.conformance = [](const void* data, std::size_t len) {\n";
+        *out += "      if (len != 4) { return false; }\n";
+        *out += "      std::int32_t v;\n";
+        *out += "      std::memcpy(&v, data, 4);\n";
+        *out += "      return v >= 0;\n";
+        *out += "    };\n";
+      }
+      *out += "    def.params.push_back(std::move(param));\n  }\n";
+    }
+    *out += "  return def;\n}\n\n";
+  }
+  *out += "}  // namespace lrpcgen_detail\n\n";
+
+  EmitServerClass(iface, out);
+  EmitClientClass(iface, out);
+}
+
+std::string CodeGenerator::GenerateHeader(
+    const std::vector<CompiledStruct>& structs,
+    const std::vector<CompiledInterface>& interfaces,
+    const std::string& guard_token) const {
+  LRPC_CHECK(!interfaces.empty());
+  std::string out;
+  out += "// Generated by lrpc_stubgen from " + source_name_ + ".\n";
+  out += "// Do not edit: regenerate with\n";
+  out += "//   lrpc_stubgen " + source_name_ + " -o <this file>\n\n";
+  const std::string guard = "LRPC_GEN_" + guard_token + "_H_";
+  out += "#ifndef " + guard + "\n#define " + guard + "\n\n";
+  out += "#include <cstddef>\n#include <cstdint>\n#include <cstring>\n"
+         "#include <vector>\n\n";
+  out += "#include \"src/lrpc/runtime.h\"\n";
+  out += "#include \"src/lrpc/server_frame.h\"\n\n";
+  out += "namespace lrpcgen {\n\n";
+  EmitStructs(structs, &out);
+  for (const CompiledInterface& iface : interfaces) {
+    EmitInterface(iface, &out);
+  }
+  out += "}  // namespace lrpcgen\n\n";
+  out += "#endif  // " + guard + "\n";
+  return out;
+}
+
+}  // namespace lrpc

@@ -1,0 +1,49 @@
+// C++ stub generation from compiled interfaces.
+//
+// The paper's stub generator emits assembly directly from Modula2+
+// definition files because LRPC stubs are simple and stylized — "mainly
+// move and trap instructions" (Section 3.3). The analogue here is thin C++:
+// the generated client stub marshals arguments into CallArg descriptors and
+// performs the call (one formal procedure call deep); the generated entry
+// stub decodes the frame and branches straight into the user's
+// implementation method. Complex paths (binding, exceptions, out-of-band)
+// stay in the runtime library, exactly as the paper keeps them in Modula2+.
+
+#ifndef SRC_IDL_CODEGEN_H_
+#define SRC_IDL_CODEGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/idl/sema.h"
+
+namespace lrpc {
+
+class CodeGenerator {
+ public:
+  // `source_name` appears in the generated banner (e.g. "file_server.idl").
+  explicit CodeGenerator(std::string source_name)
+      : source_name_(std::move(source_name)) {}
+
+  // Generates one self-contained header for the file's record types and
+  // interfaces.
+  std::string GenerateHeader(const std::vector<CompiledStruct>& structs,
+                             const std::vector<CompiledInterface>& interfaces,
+                             const std::string& guard_token) const;
+
+ private:
+  void EmitStructs(const std::vector<CompiledStruct>& structs,
+                   std::string* out) const;
+  void EmitInterface(const CompiledInterface& iface, std::string* out) const;
+  void EmitServerClass(const CompiledInterface& iface, std::string* out) const;
+  void EmitClientClass(const CompiledInterface& iface, std::string* out) const;
+  static std::string ServerMethodSignature(const CompiledProc& proc,
+                                           bool pure);
+  static std::string ClientMethodSignature(const CompiledProc& proc);
+
+  std::string source_name_;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_IDL_CODEGEN_H_

@@ -1,0 +1,52 @@
+#include "src/idl/compile.h"
+
+#include "src/idl/lexer.h"
+#include "src/idl/parser.h"
+
+namespace lrpc {
+
+CompileOutput CompileIdl(std::string_view source) {
+  CompileOutput output;
+
+  Lexer lexer(source);
+  Parser parser(lexer.Tokenize());
+  Result<IdlFile> file = parser.ParseFile();
+  if (!file.ok()) {
+    for (const ParseError& e : parser.errors()) {
+      output.errors.push_back(e.ToString());
+    }
+    if (output.errors.empty()) {
+      output.errors.push_back("parse failed");
+    }
+    return output;
+  }
+
+  SemaAnalyzer sema;
+  Result<std::vector<CompiledStruct>> structs =
+      sema.AnalyzeStructs(file->structs);
+  if (!structs.ok()) {
+    for (const SemaError& e : sema.errors()) {
+      output.errors.push_back(e.ToString());
+    }
+    return output;
+  }
+  output.structs = std::move(*structs);
+
+  for (const IdlInterface& iface : file->interfaces) {
+    // Each interface gets a fresh analyzer sharing the compiled structs, so
+    // one interface's errors do not leak into another's.
+    SemaAnalyzer iface_sema;
+    (void)iface_sema.AnalyzeStructs(file->structs);
+    Result<CompiledInterface> compiled = iface_sema.Analyze(iface);
+    if (!compiled.ok()) {
+      for (const SemaError& e : iface_sema.errors()) {
+        output.errors.push_back(iface.name + ": " + e.ToString());
+      }
+      continue;
+    }
+    output.interfaces.push_back(std::move(*compiled));
+  }
+  return output;
+}
+
+}  // namespace lrpc

@@ -1,0 +1,28 @@
+// One-call front end: IDL source text -> compiled interfaces.
+
+#ifndef SRC_IDL_COMPILE_H_
+#define SRC_IDL_COMPILE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/idl/sema.h"
+
+namespace lrpc {
+
+struct CompileOutput {
+  std::vector<CompiledStruct> structs;
+  std::vector<CompiledInterface> interfaces;
+  std::vector<std::string> errors;  // Human-readable, with line numbers.
+
+  bool ok() const { return errors.empty(); }
+};
+
+// Lexes, parses and analyzes `source`. Always returns; check `ok()`.
+CompileOutput CompileIdl(std::string_view source);
+
+}  // namespace lrpc
+
+#endif  // SRC_IDL_COMPILE_H_

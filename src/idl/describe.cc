@@ -1,0 +1,104 @@
+#include "src/idl/describe.h"
+
+#include "src/common/table_printer.h"
+#include "src/lrpc/interface.h"
+
+namespace lrpc {
+
+namespace {
+
+std::string FlagString(const CompiledParam& p) {
+  std::string flags;
+  auto add = [&flags](const char* f) {
+    if (!flags.empty()) {
+      flags += ",";
+    }
+    flags += f;
+  };
+  if (p.flags.no_verify) {
+    add("noverify");
+  }
+  if (p.flags.immutable) {
+    add("immutable");
+  }
+  if (p.flags.type_checked) {
+    add("checked");
+  }
+  if (p.flags.by_ref) {
+    add("byref");
+  }
+  if (p.direction == ParamDirection::kInOut) {
+    add("inout");
+  }
+  return flags.empty() ? "-" : flags;
+}
+
+std::string DirectionString(ParamDirection d) {
+  switch (d) {
+    case ParamDirection::kIn:
+      return "in";
+    case ParamDirection::kOut:
+      return "out";
+    case ParamDirection::kInOut:
+      return "inout";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string DescribeCompiledFile(const CompileOutput& compiled) {
+  std::string out;
+
+  if (!compiled.structs.empty()) {
+    out += "Record types:\n";
+    TablePrinter structs({"struct", "size", "align", "fields"});
+    for (const CompiledStruct& st : compiled.structs) {
+      std::string fields;
+      for (const CompiledField& f : st.fields) {
+        if (!fields.empty()) {
+          fields += ", ";
+        }
+        fields += f.name + "@" + std::to_string(f.offset);
+      }
+      structs.AddRow({st.name, TablePrinter::Int(static_cast<long long>(st.size)),
+                      TablePrinter::Int(static_cast<long long>(st.alignment)),
+                      fields});
+    }
+    out += structs.ToString() + "\n";
+  }
+
+  for (const CompiledInterface& iface : compiled.interfaces) {
+    out += "interface " + iface.name + " — procedure descriptor list:\n";
+    TablePrinter table({"procedure", "A-stack bytes", "simultaneous calls",
+                        "parameters"});
+    for (const CompiledProc& proc : iface.procs) {
+      // The runtime's own computation, so the report matches what binding
+      // will actually allocate.
+      const ProcedureDef def =
+          BuildProcedureDef(proc, /*handler=*/nullptr);
+      const std::size_t astack = Interface::ComputeAStackSize(def);
+      std::string params;
+      for (const CompiledParam& p : proc.params) {
+        if (!params.empty()) {
+          params += "; ";
+        }
+        params += p.name + ":" + DirectionString(p.direction) + ":" +
+                  (p.fixed_size > 0 ? std::to_string(p.fixed_size) + "B"
+                                    : "<=" + std::to_string(p.max_size) + "B");
+        const std::string flags = FlagString(p);
+        if (flags != "-") {
+          params += "[" + flags + "]";
+        }
+      }
+      table.AddRow({proc.name,
+                    TablePrinter::Int(static_cast<long long>(astack)),
+                    TablePrinter::Int(proc.simultaneous_calls),
+                    params.empty() ? "-" : params});
+    }
+    out += table.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace lrpc

@@ -1,0 +1,20 @@
+// Human-readable description of compiled interfaces: the procedure
+// descriptor list view — per-procedure A-stack sizes, sharing groups and
+// simultaneous-call counts — that the stub generator computes at interface
+// compilation time (Section 5.2).
+
+#ifndef SRC_IDL_DESCRIBE_H_
+#define SRC_IDL_DESCRIBE_H_
+
+#include <string>
+
+#include "src/idl/compile.h"
+
+namespace lrpc {
+
+// Renders the record types and PDLs of a compiled file as text tables.
+std::string DescribeCompiledFile(const CompileOutput& compiled);
+
+}  // namespace lrpc
+
+#endif  // SRC_IDL_DESCRIBE_H_

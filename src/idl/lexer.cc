@@ -1,0 +1,260 @@
+#include "src/idl/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace lrpc {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd:
+      return "end of input";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kInteger:
+      return "integer";
+    case TokenKind::kInterface:
+      return "'interface'";
+    case TokenKind::kProc:
+      return "'proc'";
+    case TokenKind::kConst:
+      return "'const'";
+    case TokenKind::kWith:
+      return "'with'";
+    case TokenKind::kStruct:
+      return "'struct'";
+    case TokenKind::kInt32:
+      return "'int32'";
+    case TokenKind::kInt64:
+      return "'int64'";
+    case TokenKind::kBool:
+      return "'bool'";
+    case TokenKind::kByte:
+      return "'byte'";
+    case TokenKind::kCardinal:
+      return "'cardinal'";
+    case TokenKind::kBytes:
+      return "'bytes'";
+    case TokenKind::kBuffer:
+      return "'buffer'";
+    case TokenKind::kNoVerify:
+      return "'noverify'";
+    case TokenKind::kImmutable:
+      return "'immutable'";
+    case TokenKind::kChecked:
+      return "'checked'";
+    case TokenKind::kByRef:
+      return "'byref'";
+    case TokenKind::kInOut:
+      return "'inout'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLAngle:
+      return "'<'";
+    case TokenKind::kRAngle:
+      return "'>'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kEquals:
+      return "'='";
+    case TokenKind::kArrow:
+      return "'->'";
+    case TokenKind::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& Keywords() {
+  static const auto* kKeywords =
+      new std::unordered_map<std::string_view, TokenKind>{
+          {"interface", TokenKind::kInterface},
+          {"proc", TokenKind::kProc},
+          {"const", TokenKind::kConst},
+          {"with", TokenKind::kWith},
+          {"struct", TokenKind::kStruct},
+          {"int32", TokenKind::kInt32},
+          {"int64", TokenKind::kInt64},
+          {"bool", TokenKind::kBool},
+          {"byte", TokenKind::kByte},
+          {"cardinal", TokenKind::kCardinal},
+          {"bytes", TokenKind::kBytes},
+          {"buffer", TokenKind::kBuffer},
+          {"noverify", TokenKind::kNoVerify},
+          {"immutable", TokenKind::kImmutable},
+          {"checked", TokenKind::kChecked},
+          {"byref", TokenKind::kByRef},
+          {"inout", TokenKind::kInOut},
+      };
+  return *kKeywords;
+}
+
+}  // namespace
+
+Lexer::Lexer(std::string_view source) : source_(source) {}
+
+char Lexer::Peek(int ahead) const {
+  const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+  return i < source_.size() ? source_[i] : '\0';
+}
+
+char Lexer::Advance() {
+  const char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+void Lexer::SkipWhitespaceAndComments(bool* error, std::string* message) {
+  *error = false;
+  while (!AtEnd()) {
+    const char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if (c == '/' && Peek(1) == '/') {
+      while (!AtEnd() && Peek() != '\n') {
+        Advance();
+      }
+    } else if (c == '(' && Peek(1) == '*') {
+      const int start_line = line_;
+      Advance();
+      Advance();
+      while (!AtEnd() && !(Peek() == '*' && Peek(1) == ')')) {
+        Advance();
+      }
+      if (AtEnd()) {
+        *error = true;
+        *message = "unterminated (* comment opened at line " +
+                   std::to_string(start_line);
+        return;
+      }
+      Advance();
+      Advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::Make(TokenKind kind, std::string text) const {
+  Token t;
+  t.kind = kind;
+  t.text = std::move(text);
+  t.line = token_line_;
+  t.column = token_column_;
+  return t;
+}
+
+Token Lexer::ErrorToken(std::string message) const {
+  Token t = Make(TokenKind::kError, std::move(message));
+  return t;
+}
+
+Token Lexer::Next() {
+  bool comment_error = false;
+  std::string comment_message;
+  SkipWhitespaceAndComments(&comment_error, &comment_message);
+  token_line_ = line_;
+  token_column_ = column_;
+  if (comment_error) {
+    return ErrorToken(std::move(comment_message));
+  }
+  if (AtEnd()) {
+    return Make(TokenKind::kEnd, "");
+  }
+
+  const char c = Advance();
+  switch (c) {
+    case '{':
+      return Make(TokenKind::kLBrace, "{");
+    case '}':
+      return Make(TokenKind::kRBrace, "}");
+    case '(':
+      return Make(TokenKind::kLParen, "(");
+    case ')':
+      return Make(TokenKind::kRParen, ")");
+    case '<':
+      return Make(TokenKind::kLAngle, "<");
+    case '>':
+      return Make(TokenKind::kRAngle, ">");
+    case ':':
+      return Make(TokenKind::kColon, ":");
+    case ';':
+      return Make(TokenKind::kSemicolon, ";");
+    case ',':
+      return Make(TokenKind::kComma, ",");
+    case '=':
+      return Make(TokenKind::kEquals, "=");
+    case '-':
+      if (Peek() == '>') {
+        Advance();
+        return Make(TokenKind::kArrow, "->");
+      }
+      return ErrorToken("stray '-' (did you mean '->'?)");
+    default:
+      break;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    std::string digits(1, c);
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      digits.push_back(Advance());
+    }
+    // Accumulate with an explicit overflow check: a pathological literal
+    // must produce a diagnostic, not undefined behaviour or a throw.
+    std::int64_t value = 0;
+    for (char digit : digits) {
+      if (value > (INT64_MAX - (digit - '0')) / 10) {
+        return ErrorToken("integer literal '" + digits + "' overflows");
+      }
+      value = value * 10 + (digit - '0');
+    }
+    Token t = Make(TokenKind::kInteger, digits);
+    t.value = value;
+    return t;
+  }
+
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    std::string word(1, c);
+    while (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_') {
+      word.push_back(Advance());
+    }
+    auto it = Keywords().find(word);
+    if (it != Keywords().end()) {
+      return Make(it->second, std::move(word));
+    }
+    return Make(TokenKind::kIdentifier, std::move(word));
+  }
+
+  return ErrorToken(std::string("unexpected character '") + c + "'");
+}
+
+std::vector<Token> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    Token t = Next();
+    const TokenKind kind = t.kind;
+    tokens.push_back(std::move(t));
+    if (kind == TokenKind::kEnd || kind == TokenKind::kError) {
+      return tokens;
+    }
+  }
+}
+
+}  // namespace lrpc

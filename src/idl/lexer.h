@@ -1,0 +1,47 @@
+// Hand-written lexer for the LRPC IDL.
+//
+// Supports '//' line comments and '(* ... *)' block comments (the Modula2+
+// heritage), identifiers, decimal integers, and the punctuation of the
+// grammar in parser.h.
+
+#ifndef SRC_IDL_LEXER_H_
+#define SRC_IDL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/idl/token.h"
+
+namespace lrpc {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source);
+
+  // Lexes the whole input. The last token is kEnd; a malformed input yields
+  // a kError token carrying a message, and lexing stops there.
+  std::vector<Token> Tokenize();
+
+ private:
+  Token Next();
+  Token Make(TokenKind kind, std::string text) const;
+  Token ErrorToken(std::string message) const;
+
+  char Peek(int ahead = 0) const;
+  char Advance();
+  bool AtEnd() const { return pos_ >= source_.size(); }
+  void SkipWhitespaceAndComments(bool* error, std::string* message);
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  int token_line_ = 1;
+  int token_column_ = 1;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_IDL_LEXER_H_

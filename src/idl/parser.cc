@@ -1,0 +1,330 @@
+#include "src/idl/parser.h"
+
+namespace lrpc {
+
+void Parser::Error(std::string message) {
+  ParseError e;
+  e.message = std::move(message);
+  e.line = Peek().line;
+  e.column = Peek().column;
+  errors_.push_back(std::move(e));
+}
+
+bool Parser::Expect(TokenKind kind, const char* context) {
+  if (Match(kind)) {
+    return true;
+  }
+  Error(std::string("expected ") + std::string(TokenKindName(kind)) + " " +
+        context + ", found " + std::string(TokenKindName(Peek().kind)) +
+        (Peek().text.empty() ? "" : " '" + Peek().text + "'"));
+  return false;
+}
+
+Result<IdlFile> Parser::ParseFile() {
+  IdlFile file;
+  if (!tokens_.empty() && tokens_.back().kind == TokenKind::kError) {
+    // The lexer stopped on a malformed token.
+    ParseError e;
+    e.message = tokens_.back().text;
+    e.line = tokens_.back().line;
+    e.column = tokens_.back().column;
+    errors_.push_back(e);
+    return Status(ErrorCode::kInvalidArgument, "lex error");
+  }
+  while (!Check(TokenKind::kEnd)) {
+    if (Check(TokenKind::kStruct)) {
+      IdlStruct decl;
+      if (!ParseStruct(&decl)) {
+        return Status(ErrorCode::kInvalidArgument, "parse error");
+      }
+      file.structs.push_back(std::move(decl));
+      continue;
+    }
+    IdlInterface iface;
+    if (!ParseInterface(&iface)) {
+      return Status(ErrorCode::kInvalidArgument, "parse error");
+    }
+    file.interfaces.push_back(std::move(iface));
+  }
+  if (file.interfaces.empty()) {
+    Error("input defines no interfaces");
+    return Status(ErrorCode::kInvalidArgument, "empty input");
+  }
+  return file;
+}
+
+bool Parser::ParseStruct(IdlStruct* out) {
+  out->line = Peek().line;
+  Expect(TokenKind::kStruct, "");
+  if (!Check(TokenKind::kIdentifier)) {
+    Error("expected struct name after 'struct'");
+    return false;
+  }
+  out->name = Take().text;
+  if (!Expect(TokenKind::kLBrace, "after struct name")) {
+    return false;
+  }
+  while (!Check(TokenKind::kRBrace) && !Check(TokenKind::kEnd)) {
+    IdlStructField field;
+    field.line = Peek().line;
+    if (!Check(TokenKind::kIdentifier)) {
+      Error("expected field name inside struct body");
+      return false;
+    }
+    field.name = Take().text;
+    if (!Expect(TokenKind::kColon, "after field name")) {
+      return false;
+    }
+    if (!ParseType(&field.type)) {
+      return false;
+    }
+    if (!Expect(TokenKind::kSemicolon, "after struct field")) {
+      return false;
+    }
+    out->fields.push_back(std::move(field));
+  }
+  if (!Expect(TokenKind::kRBrace, "to close the struct body")) {
+    return false;
+  }
+  Match(TokenKind::kSemicolon);  // Optional trailing ';'.
+  if (out->fields.empty()) {
+    Error("struct '" + out->name + "' has no fields");
+    return false;
+  }
+  return true;
+}
+
+bool Parser::ParseInterface(IdlInterface* out) {
+  out->line = Peek().line;
+  if (!Expect(TokenKind::kInterface, "at top level")) {
+    return false;
+  }
+  if (!Check(TokenKind::kIdentifier)) {
+    Error("expected interface name");
+    return false;
+  }
+  out->name = Take().text;
+  if (!Expect(TokenKind::kLBrace, "after interface name")) {
+    return false;
+  }
+  while (!Check(TokenKind::kRBrace) && !Check(TokenKind::kEnd)) {
+    if (Check(TokenKind::kConst)) {
+      IdlConst c;
+      if (!ParseConst(&c)) {
+        return false;
+      }
+      out->consts.push_back(std::move(c));
+    } else if (Check(TokenKind::kProc)) {
+      IdlProc p;
+      if (!ParseProc(&p)) {
+        return false;
+      }
+      out->procs.push_back(std::move(p));
+    } else {
+      Error("expected 'proc' or 'const' inside interface body");
+      return false;
+    }
+  }
+  if (!Expect(TokenKind::kRBrace, "to close the interface body")) {
+    return false;
+  }
+  if (Check(TokenKind::kWith)) {
+    if (!ParseAttrs(&out->attrs)) {
+      return false;
+    }
+  }
+  Match(TokenKind::kSemicolon);  // Optional trailing ';'.
+  return true;
+}
+
+bool Parser::ParseConst(IdlConst* out) {
+  out->line = Peek().line;
+  Expect(TokenKind::kConst, "");
+  if (!Check(TokenKind::kIdentifier)) {
+    Error("expected constant name after 'const'");
+    return false;
+  }
+  out->name = Take().text;
+  if (!Expect(TokenKind::kEquals, "after constant name")) {
+    return false;
+  }
+  if (!Check(TokenKind::kInteger)) {
+    Error("expected integer value for constant");
+    return false;
+  }
+  out->value = Take().value;
+  return Expect(TokenKind::kSemicolon, "after constant declaration");
+}
+
+bool Parser::ParseProc(IdlProc* out) {
+  out->line = Peek().line;
+  Expect(TokenKind::kProc, "");
+  if (!Check(TokenKind::kIdentifier)) {
+    Error("expected procedure name after 'proc'");
+    return false;
+  }
+  out->name = Take().text;
+  if (!Expect(TokenKind::kLParen, "after procedure name")) {
+    return false;
+  }
+  if (!Check(TokenKind::kRParen)) {
+    if (!ParseParamList(&out->params, /*results=*/false)) {
+      return false;
+    }
+  }
+  if (!Expect(TokenKind::kRParen, "to close the parameter list")) {
+    return false;
+  }
+  if (Match(TokenKind::kArrow)) {
+    if (!Expect(TokenKind::kLParen, "after '->'")) {
+      return false;
+    }
+    if (!Check(TokenKind::kRParen)) {
+      if (!ParseParamList(&out->results, /*results=*/true)) {
+        return false;
+      }
+    }
+    if (!Expect(TokenKind::kRParen, "to close the result list")) {
+      return false;
+    }
+  }
+  if (Check(TokenKind::kWith)) {
+    if (!ParseAttrs(&out->attrs)) {
+      return false;
+    }
+  }
+  return Expect(TokenKind::kSemicolon, "after procedure declaration");
+}
+
+bool Parser::ParseParamList(std::vector<IdlParam>* out, bool results) {
+  do {
+    IdlParam p;
+    if (!ParseParam(&p, results)) {
+      return false;
+    }
+    out->push_back(std::move(p));
+  } while (Match(TokenKind::kComma));
+  return true;
+}
+
+bool Parser::ParseParam(IdlParam* out, bool result) {
+  out->line = Peek().line;
+  if (!Check(TokenKind::kIdentifier)) {
+    Error(result ? "expected result name" : "expected parameter name");
+    return false;
+  }
+  out->name = Take().text;
+  if (!Expect(TokenKind::kColon, "after parameter name")) {
+    return false;
+  }
+  if (!ParseType(&out->type)) {
+    return false;
+  }
+  while (true) {
+    if (Match(TokenKind::kNoVerify)) {
+      out->flags.no_verify = true;
+    } else if (Match(TokenKind::kImmutable)) {
+      out->flags.immutable = true;
+    } else if (Match(TokenKind::kChecked)) {
+      out->flags.checked = true;
+    } else if (Match(TokenKind::kByRef)) {
+      out->flags.by_ref = true;
+    } else if (Match(TokenKind::kInOut)) {
+      if (result) {
+        Error("'inout' applies to parameters, not results");
+        return false;
+      }
+      out->flags.inout = true;
+    } else {
+      break;
+    }
+  }
+  return true;
+}
+
+bool Parser::ParseType(IdlType* out) {
+  switch (Peek().kind) {
+    case TokenKind::kInt32:
+      out->kind = IdlTypeKind::kInt32;
+      Take();
+      return true;
+    case TokenKind::kInt64:
+      out->kind = IdlTypeKind::kInt64;
+      Take();
+      return true;
+    case TokenKind::kBool:
+      out->kind = IdlTypeKind::kBool;
+      Take();
+      return true;
+    case TokenKind::kByte:
+      out->kind = IdlTypeKind::kByte;
+      Take();
+      return true;
+    case TokenKind::kCardinal:
+      out->kind = IdlTypeKind::kCardinal;
+      Take();
+      return true;
+    case TokenKind::kBytes:
+    case TokenKind::kBuffer: {
+      out->kind = Peek().kind == TokenKind::kBytes ? IdlTypeKind::kBytes
+                                                   : IdlTypeKind::kBuffer;
+      Take();
+      if (!Expect(TokenKind::kLAngle, "after 'bytes'/'buffer'")) {
+        return false;
+      }
+      if (!ParseSizeExpr(&out->size)) {
+        return false;
+      }
+      return Expect(TokenKind::kRAngle, "to close the size");
+    }
+    case TokenKind::kIdentifier:
+      // A declared struct type; sema resolves (or rejects) the name.
+      out->kind = IdlTypeKind::kStruct;
+      out->struct_name = Take().text;
+      return true;
+    default:
+      Error("expected a type (int32, int64, bool, byte, cardinal, bytes<N>, "
+            "buffer<N>, or a struct name)");
+      return false;
+  }
+}
+
+bool Parser::ParseSizeExpr(IdlSizeExpr* out) {
+  if (Check(TokenKind::kInteger)) {
+    out->is_constant_ref = false;
+    out->literal = Take().value;
+    return true;
+  }
+  if (Check(TokenKind::kIdentifier)) {
+    out->is_constant_ref = true;
+    out->constant_name = Take().text;
+    return true;
+  }
+  Error("expected integer or constant name as size");
+  return false;
+}
+
+bool Parser::ParseAttrs(std::vector<IdlAttr>* out) {
+  Expect(TokenKind::kWith, "");
+  do {
+    IdlAttr attr;
+    attr.line = Peek().line;
+    if (!Check(TokenKind::kIdentifier)) {
+      Error("expected attribute name after 'with'");
+      return false;
+    }
+    attr.name = Take().text;
+    if (!Expect(TokenKind::kEquals, "after attribute name")) {
+      return false;
+    }
+    if (!Check(TokenKind::kInteger)) {
+      Error("expected integer attribute value");
+      return false;
+    }
+    attr.value = Take().value;
+    out->push_back(std::move(attr));
+  } while (Match(TokenKind::kComma));
+  return true;
+}
+
+}  // namespace lrpc

@@ -1,0 +1,70 @@
+// Recursive-descent parser for the LRPC IDL (grammar in ast.h).
+
+#ifndef SRC_IDL_PARSER_H_
+#define SRC_IDL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/idl/ast.h"
+#include "src/idl/token.h"
+
+namespace lrpc {
+
+struct ParseError {
+  std::string message;
+  int line = 0;
+  int column = 0;
+
+  std::string ToString() const {
+    return "line " + std::to_string(line) + ":" + std::to_string(column) +
+           ": " + message;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  // Parses the whole file; on failure the error describes the first problem.
+  Result<IdlFile> ParseFile();
+
+  const std::vector<ParseError>& errors() const { return errors_; }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekAhead(std::size_t n) const {
+    const std::size_t i = pos_ + n;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  Token Take() { return tokens_[pos_++]; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool Match(TokenKind kind) {
+    if (Check(kind)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Expect(TokenKind kind, const char* context);
+  void Error(std::string message);
+
+  bool ParseInterface(IdlInterface* out);
+  bool ParseStruct(IdlStruct* out);
+  bool ParseConst(IdlConst* out);
+  bool ParseProc(IdlProc* out);
+  bool ParseParamList(std::vector<IdlParam>* out, bool results);
+  bool ParseParam(IdlParam* out, bool result);
+  bool ParseType(IdlType* out);
+  bool ParseSizeExpr(IdlSizeExpr* out);
+  bool ParseAttrs(std::vector<IdlAttr>* out);
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::vector<ParseError> errors_;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_IDL_PARSER_H_

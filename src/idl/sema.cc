@@ -1,0 +1,374 @@
+#include "src/idl/sema.h"
+
+#include <cstring>
+#include <set>
+
+namespace lrpc {
+
+namespace {
+
+std::size_t ScalarSize(IdlTypeKind kind) {
+  switch (kind) {
+    case IdlTypeKind::kInt32:
+    case IdlTypeKind::kCardinal:
+      return 4;
+    case IdlTypeKind::kInt64:
+      return 8;
+    case IdlTypeKind::kBool:
+    case IdlTypeKind::kByte:
+      return 1;
+    case IdlTypeKind::kBytes:
+    case IdlTypeKind::kBuffer:
+    case IdlTypeKind::kStruct:
+      return 0;
+  }
+  return 0;
+}
+
+std::size_t ScalarAlignment(IdlTypeKind kind) {
+  const std::size_t size = ScalarSize(kind);
+  return size == 0 ? 1 : size;
+}
+
+std::size_t AlignUp(std::size_t value, std::size_t alignment) {
+  return (value + alignment - 1) / alignment * alignment;
+}
+
+constexpr std::size_t kMaxDeclaredSize = 1 << 20;  // 1 MiB sanity bound.
+
+}  // namespace
+
+std::string CompiledParam::CppType() const {
+  switch (kind) {
+    case IdlTypeKind::kInt32:
+      return "std::int32_t";
+    case IdlTypeKind::kInt64:
+      return "std::int64_t";
+    case IdlTypeKind::kBool:
+      return "bool";
+    case IdlTypeKind::kByte:
+      return "std::uint8_t";
+    case IdlTypeKind::kCardinal:
+      return "std::int32_t";  // Checked non-negative at the stub boundary.
+    case IdlTypeKind::kBytes:
+    case IdlTypeKind::kBuffer:
+      return "std::uint8_t*";
+    case IdlTypeKind::kStruct:
+      return struct_name;
+  }
+  return "void";
+}
+
+void SemaAnalyzer::Error(int line, std::string message) {
+  errors_.push_back(SemaError{std::move(message), line});
+}
+
+Result<std::size_t> SemaAnalyzer::ResolveSize(
+    const IdlSizeExpr& expr, int line,
+    const std::map<std::string, std::int64_t>& consts) {
+  std::int64_t value = expr.literal;
+  if (expr.is_constant_ref) {
+    auto it = consts.find(expr.constant_name);
+    if (it == consts.end()) {
+      Error(line, "unknown constant '" + expr.constant_name + "' used as size");
+      return Status(ErrorCode::kInvalidArgument);
+    }
+    value = it->second;
+  }
+  if (value <= 0 || static_cast<std::size_t>(value) > kMaxDeclaredSize) {
+    Error(line, "size must be between 1 and " + std::to_string(kMaxDeclaredSize));
+    return Status(ErrorCode::kInvalidArgument);
+  }
+  return static_cast<std::size_t>(value);
+}
+
+const CompiledStruct* SemaAnalyzer::FindStruct(const std::string& name) const {
+  for (const CompiledStruct& st : structs_) {
+    if (st.name == name) {
+      return &st;
+    }
+  }
+  return nullptr;
+}
+
+Result<std::vector<CompiledStruct>> SemaAnalyzer::AnalyzeStructs(
+    const std::vector<IdlStruct>& structs) {
+  structs_.clear();
+  // Resolve in declaration order: a struct may reference only structs
+  // declared before it, which also rules out cycles.
+  for (const IdlStruct& decl : structs) {
+    if (FindStruct(decl.name) != nullptr) {
+      Error(decl.line, "duplicate struct '" + decl.name + "'");
+      continue;
+    }
+    CompiledStruct compiled;
+    compiled.name = decl.name;
+    std::size_t offset = 0;
+    std::set<std::string> field_names;
+    bool ok = true;
+    for (const IdlStructField& field : decl.fields) {
+      if (!field_names.insert(field.name).second) {
+        Error(field.line, "duplicate field '" + field.name + "' in struct '" +
+                              decl.name + "'");
+        ok = false;
+        continue;
+      }
+      CompiledField cf;
+      cf.name = field.name;
+      cf.kind = field.type.kind;
+      std::size_t alignment = 1;
+      switch (field.type.kind) {
+        case IdlTypeKind::kBuffer:
+          Error(field.line, "struct fields cannot be variable-sized buffers");
+          ok = false;
+          continue;
+        case IdlTypeKind::kBytes: {
+          // Size expressions in struct fields must be literals (structs are
+          // declared at file scope, outside any interface's constants).
+          if (field.type.size.is_constant_ref) {
+            Error(field.line,
+                  "struct field sizes must be integer literals (interface "
+                  "constants are not visible at file scope)");
+            ok = false;
+            continue;
+          }
+          const std::int64_t n = field.type.size.literal;
+          if (n <= 0 || n > (1 << 20)) {
+            Error(field.line, "invalid bytes<> size in struct field");
+            ok = false;
+            continue;
+          }
+          cf.size = static_cast<std::size_t>(n);
+          cf.array_len = cf.size;
+          alignment = 1;
+          break;
+        }
+        case IdlTypeKind::kStruct: {
+          const CompiledStruct* nested = FindStruct(field.type.struct_name);
+          if (nested == nullptr) {
+            Error(field.line, "unknown struct '" + field.type.struct_name +
+                                  "' (structs must be declared before use; "
+                                  "recursive types are not marshalable)");
+            ok = false;
+            continue;
+          }
+          cf.size = nested->size;
+          cf.struct_name = nested->name;
+          alignment = nested->alignment;
+          break;
+        }
+        default:
+          cf.size = ScalarSize(field.type.kind);
+          alignment = ScalarAlignment(field.type.kind);
+          break;
+      }
+      offset = AlignUp(offset, alignment);
+      cf.offset = offset;
+      offset += cf.size;
+      compiled.alignment = std::max(compiled.alignment, alignment);
+      compiled.fields.push_back(std::move(cf));
+    }
+    compiled.size = AlignUp(offset, compiled.alignment);
+    if (ok) {
+      structs_.push_back(std::move(compiled));
+    }
+  }
+  if (!errors_.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "struct errors");
+  }
+  return structs_;
+}
+
+Result<CompiledInterface> SemaAnalyzer::Analyze(const IdlInterface& iface) {
+  CompiledInterface out;
+  out.name = iface.name;
+
+  for (const IdlConst& c : iface.consts) {
+    if (!out.consts.emplace(c.name, c.value).second) {
+      Error(c.line, "duplicate constant '" + c.name + "'");
+    }
+  }
+
+  std::set<std::string> proc_names;
+  int interface_astacks = -1;
+  for (const IdlAttr& attr : iface.attrs) {
+    if (attr.name == "astacks") {
+      if (attr.value < 1 || attr.value > 64) {
+        Error(attr.line, "astacks must be between 1 and 64");
+      } else {
+        interface_astacks = static_cast<int>(attr.value);
+      }
+    } else {
+      Error(attr.line, "unknown interface attribute '" + attr.name + "'");
+    }
+  }
+
+  if (iface.procs.empty()) {
+    Error(iface.line, "interface '" + iface.name + "' declares no procedures");
+  }
+
+  for (const IdlProc& proc : iface.procs) {
+    if (!proc_names.insert(proc.name).second) {
+      Error(proc.line, "duplicate procedure '" + proc.name + "'");
+      continue;
+    }
+    CompiledProc compiled;
+    compiled.name = proc.name;
+    // "The number defaults to five, but can be overridden by the interface
+    // writer" (Section 5.2).
+    compiled.simultaneous_calls = interface_astacks > 0 ? interface_astacks : 5;
+    for (const IdlAttr& attr : proc.attrs) {
+      if (attr.name == "astacks") {
+        if (attr.value < 1 || attr.value > 64) {
+          Error(attr.line, "astacks must be between 1 and 64");
+        } else {
+          compiled.simultaneous_calls = static_cast<int>(attr.value);
+        }
+      } else {
+        Error(attr.line, "unknown procedure attribute '" + attr.name + "'");
+      }
+    }
+
+    std::set<std::string> param_names;
+    auto lower_param = [&](const IdlParam& p, bool is_result) -> bool {
+      if (!param_names.insert(p.name).second) {
+        Error(p.line, "duplicate parameter '" + p.name + "' in '" +
+                          proc.name + "'");
+        return false;
+      }
+      CompiledParam cp;
+      cp.name = p.name;
+      cp.kind = p.type.kind;
+      cp.direction = is_result ? ParamDirection::kOut
+                     : p.flags.inout ? ParamDirection::kInOut
+                                     : ParamDirection::kIn;
+      cp.fixed_size = ScalarSize(p.type.kind);
+      if (p.type.kind == IdlTypeKind::kStruct) {
+        const CompiledStruct* st = FindStruct(p.type.struct_name);
+        if (st == nullptr) {
+          Error(p.line, "unknown struct type '" + p.type.struct_name + "'");
+          return false;
+        }
+        cp.fixed_size = st->size;
+        cp.struct_name = st->name;
+      } else if (p.type.kind == IdlTypeKind::kBytes) {
+        Result<std::size_t> size = ResolveSize(p.type.size, p.line, out.consts);
+        if (!size.ok()) {
+          return false;
+        }
+        cp.fixed_size = *size;
+      } else if (p.type.kind == IdlTypeKind::kBuffer) {
+        Result<std::size_t> size = ResolveSize(p.type.size, p.line, out.consts);
+        if (!size.ok()) {
+          return false;
+        }
+        cp.fixed_size = 0;
+        cp.max_size = *size;
+      }
+
+      // Marshaling attributes (Section 3.5).
+      cp.flags.no_verify = p.flags.no_verify;
+      cp.flags.immutable = p.flags.immutable;
+      cp.flags.type_checked = p.flags.checked;
+      cp.flags.by_ref = p.flags.by_ref;
+      if (p.type.kind == IdlTypeKind::kCardinal) {
+        cp.flags.type_checked = true;  // CARDINAL is inherently checked.
+      }
+
+      if (is_result) {
+        if (p.flags.no_verify || p.flags.immutable || p.flags.checked ||
+            p.flags.by_ref) {
+          Error(p.line, "result '" + p.name + "' cannot carry marshaling flags");
+          return false;
+        }
+      } else {
+        if (cp.flags.no_verify && cp.flags.immutable) {
+          Error(p.line, "'" + p.name + "': noverify and immutable conflict");
+          return false;
+        }
+        if (p.flags.inout && p.type.kind == IdlTypeKind::kBuffer) {
+          Error(p.line, "'" + p.name + "': buffers cannot be inout");
+          return false;
+        }
+        if (p.flags.inout && cp.flags.immutable) {
+          Error(p.line, "'" + p.name + "': inout and immutable conflict");
+          return false;
+        }
+        if (cp.flags.by_ref && cp.is_scalar()) {
+          Error(p.line, "'" + p.name + "': byref applies to bytes/buffer only");
+          return false;
+        }
+      }
+      compiled.params.push_back(std::move(cp));
+      return true;
+    };
+
+    bool ok = true;
+    for (const IdlParam& p : proc.params) {
+      ok = lower_param(p, /*is_result=*/false) && ok;
+    }
+    for (const IdlParam& p : proc.results) {
+      ok = lower_param(p, /*is_result=*/true) && ok;
+    }
+    if (ok) {
+      out.procs.push_back(std::move(compiled));
+    }
+  }
+
+  if (!errors_.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "semantic errors");
+  }
+  return out;
+}
+
+ProcedureDef BuildProcedureDef(const CompiledProc& proc, ServerProc handler) {
+  ProcedureDef def;
+  def.name = proc.name;
+  def.simultaneous_calls = proc.simultaneous_calls;
+  def.handler = std::move(handler);
+  for (const CompiledParam& cp : proc.params) {
+    ParamDesc p;
+    p.name = cp.name;
+    p.direction = cp.direction;
+    p.size = cp.fixed_size;
+    p.max_size = cp.max_size;
+    p.flags = cp.flags;
+    if (cp.kind == IdlTypeKind::kCardinal) {
+      // The folded conformance check: CARDINAL is restricted to the set of
+      // non-negative integers; "a client could crash a server by passing it
+      // an unwanted negative value" (Section 3.5).
+      p.conformance = [](const void* data, std::size_t len) {
+        if (len != 4) {
+          return false;
+        }
+        std::int32_t v;
+        std::memcpy(&v, data, 4);
+        return v >= 0;
+      };
+    }
+    def.params.push_back(std::move(p));
+  }
+  return def;
+}
+
+Result<Interface*> RegisterCompiledInterface(
+    LrpcRuntime& runtime, DomainId server, const CompiledInterface& compiled,
+    const std::map<std::string, ServerProc>& handlers) {
+  Interface* iface = runtime.CreateInterface(server, compiled.name);
+  for (const CompiledProc& proc : compiled.procs) {
+    ServerProc handler;
+    auto it = handlers.find(proc.name);
+    if (it != handlers.end()) {
+      handler = it->second;
+    } else {
+      handler = [name = proc.name](ServerFrame&) {
+        return Status(ErrorCode::kUnimplemented);
+      };
+    }
+    iface->AddProcedure(BuildProcedureDef(proc, std::move(handler)));
+  }
+  LRPC_RETURN_IF_ERROR(runtime.Export(iface));
+  return iface;
+}
+
+}  // namespace lrpc

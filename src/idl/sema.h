@@ -1,0 +1,118 @@
+// Semantic analysis for the LRPC IDL: constant resolution, validity checks,
+// and lowering to the runtime's interface model.
+//
+// This is where the stub generator computes what Section 5.2 describes:
+// "Procedure Descriptor Lists are defined during the compilation of an
+// interface. The stub generator reads each interface and determines the
+// number and size of the A-stacks for each procedure."
+
+#ifndef SRC_IDL_SEMA_H_
+#define SRC_IDL_SEMA_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/idl/ast.h"
+#include "src/lrpc/interface.h"
+#include "src/lrpc/runtime.h"
+
+namespace lrpc {
+
+struct SemaError {
+  std::string message;
+  int line = 0;
+
+  std::string ToString() const {
+    return "line " + std::to_string(line) + ": " + message;
+  }
+};
+
+// One field of a compiled struct, laid out with standard C++ alignment so
+// the generated C++ struct matches the wire layout byte for byte.
+struct CompiledField {
+  std::string name;
+  IdlTypeKind kind = IdlTypeKind::kInt32;
+  std::size_t offset = 0;
+  std::size_t size = 0;        // Field size (array/nested size included).
+  std::size_t array_len = 0;   // For bytes<N> fields.
+  std::string struct_name;     // For nested struct fields.
+};
+
+struct CompiledStruct {
+  std::string name;
+  std::vector<CompiledField> fields;
+  std::size_t size = 0;       // sizeof, padding included.
+  std::size_t alignment = 1;  // alignof.
+};
+
+struct CompiledParam {
+  std::string name;
+  IdlTypeKind kind = IdlTypeKind::kInt32;
+  ParamDirection direction = ParamDirection::kIn;
+  std::size_t fixed_size = 0;  // 0 for variable (buffer).
+  std::size_t max_size = 0;    // For buffer<N>.
+  std::string struct_name;     // For kStruct params.
+  ParamFlags flags;            // Runtime flags (checked -> type_checked).
+
+  bool is_scalar() const {
+    return kind != IdlTypeKind::kBytes && kind != IdlTypeKind::kBuffer &&
+           kind != IdlTypeKind::kStruct;
+  }
+  // The C++ type generated stubs use for this parameter.
+  std::string CppType() const;
+};
+
+struct CompiledProc {
+  std::string name;
+  std::vector<CompiledParam> params;  // Declared order: ins, then outs.
+  int simultaneous_calls = 5;         // 'with astacks = N' override.
+  std::size_t astack_size = 0;        // Computed at Seal time by the runtime;
+                                      // recorded here for documentation.
+};
+
+struct CompiledInterface {
+  std::string name;
+  std::map<std::string, std::int64_t> consts;
+  std::vector<CompiledProc> procs;
+};
+
+class SemaAnalyzer {
+ public:
+  // Resolves the file's struct declarations (layout + cycle detection).
+  // Must run before Analyze; the result is shared by every interface.
+  Result<std::vector<CompiledStruct>> AnalyzeStructs(
+      const std::vector<IdlStruct>& structs);
+
+  // Analyzes one parsed interface against the already-compiled structs.
+  // On failure, errors() lists the problems.
+  Result<CompiledInterface> Analyze(const IdlInterface& iface);
+
+  const std::vector<SemaError>& errors() const { return errors_; }
+
+ private:
+  void Error(int line, std::string message);
+  Result<std::size_t> ResolveSize(const IdlSizeExpr& expr, int line,
+                                  const std::map<std::string, std::int64_t>& consts);
+  const CompiledStruct* FindStruct(const std::string& name) const;
+
+  std::vector<CompiledStruct> structs_;
+  std::vector<SemaError> errors_;
+};
+
+// Lowers a compiled procedure into the runtime's ProcedureDef (parameters,
+// flags, the folded cardinal conformance check) with the given handler.
+ProcedureDef BuildProcedureDef(const CompiledProc& proc, ServerProc handler);
+
+// Registers a whole compiled interface with the runtime, wiring each
+// procedure to the handler registered under its name. Procedures without a
+// handler get a default that fails with kUnimplemented.
+Result<Interface*> RegisterCompiledInterface(
+    LrpcRuntime& runtime, DomainId server, const CompiledInterface& compiled,
+    const std::map<std::string, ServerProc>& handlers);
+
+}  // namespace lrpc
+
+#endif  // SRC_IDL_SEMA_H_

@@ -1,0 +1,134 @@
+// lrpc_stubgen: the LRPC stub generator CLI.
+//
+// Usage:
+//   lrpc_stubgen <input.idl> [-o <output.h>] [--check <existing.h>]
+//                [--describe]
+//
+// Reads an interface definition file, compiles it, and writes a C++ stub
+// header (client stubs + server skeletons). With --check, regenerates and
+// compares against an existing header instead (exit 1 on drift) — used to
+// keep checked-in generated code honest. With --describe, prints each
+// interface's procedure descriptor list (the A-stack sizes and sharing
+// groups the stub generator computes at compile time; Section 5.2).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/idl/codegen.h"
+#include "src/idl/compile.h"
+#include "src/idl/describe.h"
+
+namespace {
+
+std::string BaseName(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string GuardToken(const std::string& path) {
+  std::string token = BaseName(path);
+  for (char& c : token) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      c = '_';
+    }
+  }
+  return token;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: lrpc_stubgen <input.idl> [-o <output.h>] "
+               "[--check <existing.h>]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input_path, output_path, check_path;
+  bool describe = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      output_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      check_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--describe") == 0) {
+      describe = true;
+    } else if (argv[i][0] == '-') {
+      return Usage();
+    } else if (input_path.empty()) {
+      input_path = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (input_path.empty()) {
+    return Usage();
+  }
+
+  std::ifstream in(input_path);
+  if (!in) {
+    std::fprintf(stderr, "lrpc_stubgen: cannot open %s\n", input_path.c_str());
+    return 1;
+  }
+  std::ostringstream source;
+  source << in.rdbuf();
+
+  const lrpc::CompileOutput compiled = lrpc::CompileIdl(source.str());
+  if (!compiled.ok()) {
+    for (const std::string& error : compiled.errors) {
+      std::fprintf(stderr, "%s: %s\n", input_path.c_str(), error.c_str());
+    }
+    return 1;
+  }
+
+  if (describe) {
+    std::fputs(lrpc::DescribeCompiledFile(compiled).c_str(), stdout);
+    return 0;
+  }
+
+  lrpc::CodeGenerator generator(BaseName(input_path));
+  const std::string header = generator.GenerateHeader(
+      compiled.structs, compiled.interfaces, GuardToken(input_path));
+
+  if (!check_path.empty()) {
+    std::ifstream existing(check_path);
+    if (!existing) {
+      std::fprintf(stderr, "lrpc_stubgen: cannot open %s\n",
+                   check_path.c_str());
+      return 1;
+    }
+    std::ostringstream existing_text;
+    existing_text << existing.rdbuf();
+    if (existing_text.str() != header) {
+      std::fprintf(stderr,
+                   "lrpc_stubgen: %s is out of date with %s "
+                   "(regenerate with -o)\n",
+                   check_path.c_str(), input_path.c_str());
+      return 1;
+    }
+    std::printf("lrpc_stubgen: %s is up to date\n", check_path.c_str());
+    return 0;
+  }
+
+  if (output_path.empty()) {
+    std::fputs(header.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(output_path);
+  if (!out) {
+    std::fprintf(stderr, "lrpc_stubgen: cannot write %s\n",
+                 output_path.c_str());
+    return 1;
+  }
+  out << header;
+  std::printf("lrpc_stubgen: wrote %s (%d interface%s)\n", output_path.c_str(),
+              static_cast<int>(compiled.interfaces.size()),
+              compiled.interfaces.size() == 1 ? "" : "s");
+  return 0;
+}

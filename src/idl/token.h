@@ -1,0 +1,68 @@
+// Tokens of the LRPC interface definition language.
+//
+// The language is a Modula2+-flavoured IDL: interfaces export procedures
+// whose parameters carry the marshaling attributes of Section 3.5
+// (noverify, immutable, checked, byref), and interface writers can override
+// the A-stack defaults of Section 5.2 (with astacks = N).
+
+#ifndef SRC_IDL_TOKEN_H_
+#define SRC_IDL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lrpc {
+
+enum class TokenKind : std::uint8_t {
+  kEnd,
+  kIdentifier,
+  kInteger,
+  // Keywords.
+  kInterface,
+  kProc,
+  kConst,
+  kWith,
+  kStruct,
+  // Type keywords.
+  kInt32,
+  kInt64,
+  kBool,
+  kByte,
+  kCardinal,
+  kBytes,    // Fixed-size byte array: bytes<N>.
+  kBuffer,   // Variable-size byte buffer: buffer<N> (max N).
+  // Attribute keywords.
+  kNoVerify,
+  kImmutable,
+  kChecked,
+  kByRef,
+  kInOut,
+  // Punctuation.
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kLAngle,
+  kRAngle,
+  kColon,
+  kSemicolon,
+  kComma,
+  kEquals,
+  kArrow,    // ->
+  kError,
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  std::int64_t value = 0;  // For kInteger.
+  int line = 0;
+  int column = 0;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_IDL_TOKEN_H_

@@ -1,0 +1,72 @@
+#include "src/kern/binding_table.h"
+
+namespace lrpc {
+
+BindingRecord& BindingTable::Create(DomainId client, DomainId server,
+                                    InterfaceId interface_id, const void* pdl,
+                                    bool remote) {
+  auto record = std::make_unique<BindingRecord>();
+  record->id = static_cast<BindingId>(records_.size());
+  // A zero nonce would make a zero-initialized forgery valid; draw again.
+  do {
+    record->nonce = rng_.Next();
+  } while (record->nonce == 0);
+  record->client = client;
+  record->server = server;
+  record->interface_id = interface_id;
+  record->pdl = pdl;
+  record->remote = remote;
+  records_.push_back(std::move(record));
+  return *records_.back();
+}
+
+Result<BindingRecord*> BindingTable::Validate(const BindingObject& object,
+                                              DomainId caller) {
+  if (object.id < 0 || static_cast<std::size_t>(object.id) >= records_.size()) {
+    return Status(ErrorCode::kForgedBinding, "binding id out of range");
+  }
+  BindingRecord* record = records_[static_cast<std::size_t>(object.id)].get();
+  if (record->nonce != object.nonce) {
+    return Status(ErrorCode::kForgedBinding, "nonce mismatch");
+  }
+  if (record->client != caller) {
+    return Status(ErrorCode::kForgedBinding, "binding held by another domain");
+  }
+  if (record->revoked) {
+    return Status(ErrorCode::kRevokedBinding);
+  }
+  return record;
+}
+
+BindingRecord* BindingTable::Find(BindingId id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= records_.size()) {
+    return nullptr;
+  }
+  return records_[static_cast<std::size_t>(id)].get();
+}
+
+std::vector<BindingRecord*> BindingTable::RevokeForDomain(DomainId domain) {
+  std::vector<BindingRecord*> affected;
+  for (auto& record : records_) {
+    if (record->revoked) {
+      continue;
+    }
+    if (record->client == domain || record->server == domain) {
+      record->revoked = true;
+      affected.push_back(record.get());
+    }
+  }
+  return affected;
+}
+
+std::vector<BindingRecord*> BindingTable::ClientBindingsOf(DomainId domain) {
+  std::vector<BindingRecord*> result;
+  for (auto& record : records_) {
+    if (!record->revoked && record->client == domain) {
+      result.push_back(record.get());
+    }
+  }
+  return result;
+}
+
+}  // namespace lrpc

@@ -1,0 +1,83 @@
+// The kernel's Binding Object table.
+//
+// A Binding Object is the client's key for a server interface; it is
+// presented to the kernel on every call and the kernel can detect a forged
+// one (Section 3.1). Here a binding is a table index plus a random nonce;
+// validation checks index, nonce, holder domain and the revoked bit. When a
+// domain terminates, every Binding Object associated with it — as client or
+// server — is revoked, stopping both out-calls and in-calls (Section 5.3).
+//
+// A binding whose server lives on another node carries the remote bit; the
+// first instruction of the client stub tests it and branches to the
+// conventional network-RPC path (Section 5.1).
+
+#ifndef SRC_KERN_BINDING_TABLE_H_
+#define SRC_KERN_BINDING_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/shm/astack.h"
+
+namespace lrpc {
+
+struct BindingRecord {
+  BindingId id = kNoBinding;
+  std::uint64_t nonce = 0;
+  DomainId client = kNoDomain;
+  DomainId server = kNoDomain;
+  InterfaceId interface_id = kNoInterface;
+  bool revoked = false;
+  bool remote = false;
+  // Opaque pointer to the interface/PDL this binding grants access to; owned
+  // by the LRPC runtime layer.
+  const void* pdl = nullptr;
+  // A-stack regions allocated for this binding (owned here so the
+  // termination collector can invalidate their linkages).
+  std::vector<std::unique_ptr<AStackRegion>> regions;
+};
+
+// The client-visible capability: the id plus the nonce. The kernel rejects
+// a presented object whose nonce does not match the table's.
+struct BindingObject {
+  BindingId id = kNoBinding;
+  std::uint64_t nonce = 0;
+  bool remote = false;
+
+  bool valid() const { return id != kNoBinding; }
+};
+
+class BindingTable {
+ public:
+  explicit BindingTable(std::uint64_t seed) : rng_(seed) {}
+
+  BindingRecord& Create(DomainId client, DomainId server,
+                        InterfaceId interface_id, const void* pdl, bool remote);
+
+  // Call-time validation: detects forged, revoked, and stolen bindings.
+  Result<BindingRecord*> Validate(const BindingObject& object, DomainId caller);
+
+  // Lookup without the capability check (kernel-internal).
+  BindingRecord* Find(BindingId id);
+
+  // Revokes every binding in which `domain` participates; returns the
+  // affected records so the collector can invalidate their linkages.
+  std::vector<BindingRecord*> RevokeForDomain(DomainId domain);
+
+  // All live (non-revoked) bindings where `domain` is the client.
+  std::vector<BindingRecord*> ClientBindingsOf(DomainId domain);
+
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  Rng rng_;
+  std::vector<std::unique_ptr<BindingRecord>> records_;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_KERN_BINDING_TABLE_H_

@@ -1,0 +1,61 @@
+#include "src/kern/estack.h"
+
+namespace lrpc {
+
+int EStackPool::associated_count() const {
+  int count = 0;
+  for (const auto& s : stacks_) {
+    if (s.associated) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+EStack* EStackPool::FindUnassociated() {
+  for (auto& s : stacks_) {
+    if (!s.associated) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+Result<int> EStackPool::Allocate() {
+  if (allocated() >= capacity_) {
+    return Status(ErrorCode::kEStackExhausted, "E-stack budget exhausted");
+  }
+  EStack s;
+  s.id = allocated();
+  s.size = estack_size_;
+  stacks_.push_back(s);
+  return s.id;
+}
+
+bool EStackPool::RunningLow(int threshold) const {
+  const int headroom = (capacity_ - allocated()) +
+                       (allocated() - associated_count());
+  return headroom < threshold;
+}
+
+void EStackPool::MarkAssociated(int id, SimTime now) {
+  auto& s = stacks_[static_cast<std::size_t>(id)];
+  s.associated = true;
+  s.last_used = now;
+}
+
+void EStackPool::MarkUnassociated(int id) {
+  stacks_[static_cast<std::size_t>(id)].associated = false;
+}
+
+EStack* EStackPool::OldestAssociated() {
+  EStack* oldest = nullptr;
+  for (auto& s : stacks_) {
+    if (s.associated && (oldest == nullptr || s.last_used < oldest->last_used)) {
+      oldest = &s;
+    }
+  }
+  return oldest;
+}
+
+}  // namespace lrpc

@@ -1,0 +1,165 @@
+// The simulated small kernel.
+//
+// Owns domains, threads and the Binding Object table; provides the
+// primitives the LRPC facility (src/lrpc) and the message-RPC baseline
+// (src/rpc) are built from: traps, cross-domain context transfer with the
+// idle-processor domain-caching optimization (Section 3.4), lazy
+// A-stack/E-stack association (Section 3.2), and the domain-termination
+// collector (Section 5.3).
+
+#ifndef SRC_KERN_KERNEL_H_
+#define SRC_KERN_KERNEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/kern/binding_table.h"
+#include "src/kern/domain.h"
+#include "src/kern/scheduler.h"
+#include "src/kern/thread.h"
+#include "src/sim/machine.h"
+
+namespace lrpc {
+
+class Kernel {
+ public:
+  // `seed` drives binding nonces (and nothing else): runs are deterministic.
+  Kernel(Machine& machine, std::uint64_t seed = 0x5eed);
+
+  Machine& machine() { return machine_; }
+  const MachineModel& model() const { return machine_.model(); }
+  BindingTable& bindings() { return bindings_; }
+  Scheduler& scheduler() { return scheduler_; }
+
+  // --- Domains and threads. ---
+  DomainId CreateDomain(DomainConfig config);
+  Domain& domain(DomainId id) { return *domains_[static_cast<std::size_t>(id)]; }
+  const Domain& domain(DomainId id) const {
+    return *domains_[static_cast<std::size_t>(id)];
+  }
+  Domain* FindDomain(DomainId id);
+  std::size_t domain_count() const { return domains_.size(); }
+
+  ThreadId CreateThread(DomainId domain);
+  Thread& thread(ThreadId id) { return *threads_[static_cast<std::size_t>(id)]; }
+  Thread* FindThread(ThreadId id);
+  void DestroyThread(Thread& t);
+
+  // --- Trap and page-touch accounting. ---
+  void ChargeTrap(Processor& cpu) {
+    cpu.Charge(CostCategory::kKernelTrap, model().kernel_trap);
+  }
+  // References `count` pages starting at `base_vpn` through the processor's
+  // TLB (informational miss accounting; see src/sim/tlb.h).
+  void TouchPages(Processor& cpu, std::uint64_t base_vpn, int count) {
+    cpu.tlb().TouchRange(base_vpn, count);
+  }
+  // Kernel pages live at a fixed range, mapped in every context.
+  std::uint64_t kernel_page_base() const { return 0; }
+
+  // --- Cross-domain transfer. ---
+  struct TransferResult {
+    bool exchanged = false;  // Idle-processor exchange instead of a switch.
+  };
+  // Moves execution of `t` (on `cpu`) into `target`'s VM context. When
+  // domain caching is enabled and `allow_exchange` is set, a processor
+  // idling in the target context is exchanged for the caller's processor
+  // (charging the cheap exchange instead of the TLB-invalidating switch).
+  TransferResult EnterDomain(Processor& cpu, Thread& t, Domain& target,
+                             bool allow_exchange);
+
+  // Domain caching knobs (Section 3.4).
+  void set_domain_caching(bool enabled) { domain_caching_ = enabled; }
+  bool domain_caching() const { return domain_caching_; }
+  // Parks `cpu` idling in `domain`'s context so calls into that domain can
+  // use the exchange path.
+  void ParkIdleProcessor(Processor& cpu, DomainId domain);
+  // Re-points idle processors at the domains showing the most LRPC activity
+  // (the per-domain idle-miss counters the kernel keeps).
+  void ProdIdleProcessors();
+  // Automatic prodding: after every `threshold` idle misses the kernel
+  // prods one idle processor toward the busiest missed context. 0 disables
+  // (the default; benches and examples prod explicitly).
+  void set_auto_prod_threshold(int threshold) {
+    auto_prod_threshold_ = threshold;
+  }
+
+  // --- E-stack management (Section 3.2). ---
+  // Ensures `ref` has an associated E-stack in `server`, lazily associating
+  // or allocating one, and reclaiming stale associations when the supply
+  // runs low. Returns the E-stack id.
+  Result<int> EnsureEStack(Domain& server, const AStackRef& ref, SimTime now);
+  // Breaks the E-stack association of A-stacks not used since `cutoff`.
+  int ReclaimEStacks(Domain& server, SimTime cutoff);
+
+  // --- A-stack allocation (bind time; Section 3.1). ---
+  // Allocates a contiguous region of `count` A-stacks of `size` bytes,
+  // pair-wise shared between the binding's client and server. `secondary`
+  // marks post-bind-time growth (slower validation; Section 5.2).
+  AStackRegion* AllocateAStacks(BindingRecord& binding, std::size_t size,
+                                int count, bool secondary);
+
+  // Registers a region with the kernel so the termination collector can
+  // find it even though it is owned elsewhere. (AllocateAStacks does this
+  // automatically.)
+
+  // --- Address-space accounting. ---
+  // What a domain's LRPC machinery costs it in memory: E-stacks are the
+  // large item (tens of KB each — the reason for lazy association), A-stack
+  // regions are pair-wise mapped so both parties count them.
+  struct DomainMemory {
+    std::size_t estack_bytes = 0;
+    std::size_t astack_bytes = 0;
+    int astack_regions = 0;
+    int linkage_records = 0;
+  };
+  DomainMemory DomainMemoryUsage(DomainId id) const;
+
+  // --- Domain termination (Section 5.3). ---
+  // Revokes the domain's bindings, invalidates linkages, restarts visiting
+  // threads in their callers with call-failed, and reclaims resources.
+  Status TerminateDomain(DomainId id);
+
+  // Unwinds `t`'s linkage stack to the first linkage whose caller domain is
+  // still alive, delivering `exc` there; destroys the thread if none is.
+  // Returns true if the thread survived.
+  bool UnwindWithException(Thread& t, ThreadException exc);
+
+  // Sends an advisory alert to `id` (the Taos alert mechanism, Section
+  // 5.3). The notified thread may choose to ignore it.
+  Status AlertThread(ThreadId id) {
+    Thread* t = FindThread(id);
+    if (t == nullptr || t->state() == ThreadState::kDead) {
+      return Status(ErrorCode::kNoSuchThread);
+    }
+    t->Alert();
+    return Status::Ok();
+  }
+
+  // The client side of the captured-thread escape (Section 5.3): abandons
+  // `captured`'s outstanding call and returns a fresh thread in the client
+  // domain whose state is "just returned with call-aborted". The captured
+  // thread keeps executing in the server and dies in the kernel on release.
+  Result<ThreadId> AbandonCapturedCall(Thread& captured);
+
+ private:
+  Machine& machine_;
+  BindingTable bindings_;
+  Scheduler scheduler_;
+  std::vector<std::unique_ptr<Domain>> domains_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  bool domain_caching_ = true;
+  int auto_prod_threshold_ = 0;
+  int misses_since_prod_ = 0;
+  VmContextId next_vm_context_ = 1;  // 0 is reserved for the kernel.
+  // Non-owning index of every A-stack region (owned by binding records);
+  // lets E-stack reclamation and the collector scan by server domain.
+  std::vector<AStackRegion*> regions_;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_KERN_KERNEL_H_

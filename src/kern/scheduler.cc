@@ -1,0 +1,45 @@
+#include "src/kern/scheduler.h"
+
+#include "src/kern/thread.h"
+
+namespace lrpc {
+
+void Scheduler::Block(Processor& cpu, Thread& thread) {
+  cpu.Charge(CostCategory::kMsgScheduling, machine_.model().thread_block);
+  thread.set_state(ThreadState::kBlocked);
+  ++blocks_;
+}
+
+void Scheduler::Wakeup(Processor& cpu, Thread& thread) {
+  cpu.Charge(CostCategory::kMsgScheduling, machine_.model().thread_wakeup);
+  {
+    SimLockGuard guard(run_queue_lock_, cpu);
+    ready_.push_back(&thread);
+  }
+  thread.set_state(ThreadState::kReady);
+  ++wakeups_;
+}
+
+void Scheduler::Handoff(Processor& cpu, Thread& from, Thread& to) {
+  // Handoff still manipulates both TCBs but skips the queue and the
+  // general selection path; the cost is the block+wakeup pair without the
+  // queue traffic. Charged as scheduling time.
+  cpu.Charge(CostCategory::kMsgScheduling,
+             machine_.model().thread_block + machine_.model().thread_wakeup);
+  from.set_state(ThreadState::kBlocked);
+  to.set_state(ThreadState::kRunning);
+  ++handoffs_;
+}
+
+Thread* Scheduler::PickNext(Processor& cpu) {
+  SimLockGuard guard(run_queue_lock_, cpu);
+  if (ready_.empty()) {
+    return nullptr;
+  }
+  Thread* next = ready_.front();
+  ready_.pop_front();
+  next->set_state(ThreadState::kRunning);
+  return next;
+}
+
+}  // namespace lrpc

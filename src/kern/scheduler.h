@@ -1,0 +1,67 @@
+// A small thread scheduler for the message-passing substrate.
+//
+// Conventional RPC bridges abstract and concrete threads: the client's
+// concrete thread blocks at a rendezvous and one of the server's concrete
+// threads is selected to run (Section 2.3, "Scheduling"). This scheduler
+// provides that machinery — a ready queue, blocking, wakeup, and the
+// handoff-scheduling shortcut Taos and Mach use when the two concrete
+// threads are identifiable at transfer time. LRPC itself never touches it:
+// that is the point of the paper.
+
+#ifndef SRC_KERN_SCHEDULER_H_
+#define SRC_KERN_SCHEDULER_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/sim/machine.h"
+#include "src/sim/sim_lock.h"
+
+namespace lrpc {
+
+class Thread;
+
+class Scheduler {
+ public:
+  explicit Scheduler(Machine& machine)
+      : machine_(machine), run_queue_lock_("scheduler.run_queue") {}
+
+  // Blocks `thread` (charging the block cost) and records it as waiting.
+  void Block(Processor& cpu, Thread& thread);
+
+  // Wakes `thread` (charging the wakeup cost) and appends it to the ready
+  // queue.
+  void Wakeup(Processor& cpu, Thread& thread);
+
+  // Handoff scheduling: the general path through the ready queue is
+  // bypassed and control transfers directly from `from` to `to`. Charges
+  // the (cheaper) handoff cost. Both threads must be identifiable at
+  // transfer time; otherwise callers must use Block/Wakeup/PickNext.
+  void Handoff(Processor& cpu, Thread& from, Thread& to);
+
+  // Pops the next ready thread, if any.
+  Thread* PickNext(Processor& cpu);
+
+  std::size_t ready_count() const { return ready_.size(); }
+
+  // Cumulative scheduling statistics.
+  std::uint64_t blocks() const { return blocks_; }
+  std::uint64_t wakeups() const { return wakeups_; }
+  std::uint64_t handoffs() const { return handoffs_; }
+
+ private:
+  Machine& machine_;
+  // The ready queue is global, shared scheduler state: touching it takes a
+  // lock (one of the costs LRPC's direct dispatch avoids).
+  SimLock run_queue_lock_;
+  std::deque<Thread*> ready_;
+  std::uint64_t blocks_ = 0;
+  std::uint64_t wakeups_ = 0;
+  std::uint64_t handoffs_ = 0;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_KERN_SCHEDULER_H_

@@ -1,0 +1,108 @@
+// Threads and thread control blocks.
+//
+// LRPC deals in *concrete* threads: the client's own thread is dispatched
+// into the server's domain, so one concrete thread can be deep in several
+// domains at once. The TCB therefore carries a stack of linkage references
+// (Section 3.2, footnote 3) — one per outstanding cross-domain call — that
+// the return path pops, and that the termination collector (Section 5.3)
+// walks to deliver call-failed exceptions.
+
+#ifndef SRC_KERN_THREAD_H_
+#define SRC_KERN_THREAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/shm/astack.h"
+
+namespace lrpc {
+
+enum class ThreadState : std::uint8_t {
+  kReady,
+  kRunning,
+  kBlocked,    // Waiting on a message rendezvous (baseline RPC only).
+  kStopped,    // Frozen by the termination collector.
+  kDead,
+};
+
+// Exceptions raised into a caller by the uncommon-case machinery.
+enum class ThreadException : std::uint8_t {
+  kNone,
+  kCallFailed,   // Server domain terminated while the call was outstanding.
+  kCallAborted,  // The client abandoned this (captured) thread's call.
+};
+
+class Thread {
+ public:
+  Thread(ThreadId id, DomainId home) : id_(id), home_(home), current_(home) {}
+
+  ThreadId id() const { return id_; }
+  DomainId home_domain() const { return home_; }
+
+  // The domain the thread is currently executing in.
+  DomainId current_domain() const { return current_; }
+  void set_current_domain(DomainId d) { current_ = d; }
+
+  ThreadState state() const { return state_; }
+  void set_state(ThreadState s) { state_ = s; }
+
+  ThreadException pending_exception() const { return pending_exception_; }
+  void set_pending_exception(ThreadException e) { pending_exception_ = e; }
+  // Returns and clears the pending exception.
+  ThreadException TakeException() {
+    const ThreadException e = pending_exception_;
+    pending_exception_ = ThreadException::kNone;
+    return e;
+  }
+
+  // --- Linkage stack (kernel-only). ---
+  // The stack of outstanding cross-domain calls this thread is involved in;
+  // the top entry is the call currently executing.
+  void PushLinkage(AStackRef ref) { linkage_stack_.push_back(ref); }
+  AStackRef PopLinkage() {
+    const AStackRef top = linkage_stack_.back();
+    linkage_stack_.pop_back();
+    return top;
+  }
+  bool HasLinkages() const { return !linkage_stack_.empty(); }
+  const std::vector<AStackRef>& linkage_stack() const { return linkage_stack_; }
+  std::vector<AStackRef>& linkage_stack() { return linkage_stack_; }
+
+  // Simulated user stack pointer; repointed at the server's E-stack during
+  // a call and restored from the linkage on return.
+  std::uint64_t user_sp() const { return user_sp_; }
+  void set_user_sp(std::uint64_t sp) { user_sp_ = sp; }
+
+  // A thread is "captured" when its client domain abandoned it while a
+  // server held it (Section 5.3); it is destroyed in the kernel on release.
+  bool captured() const { return captured_; }
+  void set_captured(bool c) { captured_ = c; }
+
+  // The Taos alert mechanism (Section 5.3): "one thread [may] signal
+  // another, but the notified thread may choose to ignore the alert."
+  // Alerts are advisory: nothing in the kernel acts on them; a server
+  // procedure may poll and return early — or not.
+  void Alert() { alerted_ = true; }
+  bool alerted() const { return alerted_; }
+  bool TakeAlert() {
+    const bool was = alerted_;
+    alerted_ = false;
+    return was;
+  }
+
+ private:
+  ThreadId id_;
+  DomainId home_;
+  DomainId current_;
+  ThreadState state_ = ThreadState::kReady;
+  ThreadException pending_exception_ = ThreadException::kNone;
+  std::vector<AStackRef> linkage_stack_;
+  std::uint64_t user_sp_ = 0;
+  bool captured_ = false;
+  bool alerted_ = false;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_KERN_THREAD_H_

@@ -1,0 +1,456 @@
+// The LRPC call/return fast path (Section 3.2) and the cross-machine branch
+// (Section 5.1).
+
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+#include "src/lrpc/runtime.h"
+#include "src/lrpc/server_frame.h"
+#include "src/lrpc/wire.h"
+
+namespace lrpc {
+
+namespace {
+
+// Virtual-page touch trace of one call, for the TLB model (counts only; the
+// latency consequence of misses is folded into the calibrated constants).
+// The layout reproduces the paper's estimate of 43 TLB misses per Null call
+// in steady state on a single processor (Section 4).
+constexpr int kClientStubPages = 5;    // Stub code, caller stack, queue.
+constexpr std::uint64_t kClientBindingPageOffset = 8;
+constexpr int kClientBindingPages = 2; // Binding Object, A-stack list.
+constexpr std::uint64_t kClientAStackPageOffset = 6;
+constexpr int kKernelCallPages = 14;   // Call-leg kernel code + tables.
+constexpr std::uint64_t kKernelReturnPageOffset = 16;
+constexpr int kKernelReturnPages = 11; // Return-leg kernel code + tables.
+constexpr int kServerPages = 10;       // Entry stub, procedure, E-stack, PD.
+
+}  // namespace
+
+Status LrpcRuntime::CallByName(Processor& cpu, ThreadId thread,
+                               ClientBinding& binding, std::string_view procedure,
+                               std::span<const CallArg> args,
+                               std::span<const CallRet> rets, CallStats* stats) {
+  Result<int> index = binding.interface_spec()->FindProcedure(procedure);
+  if (!index.ok()) {
+    return index.status();
+  }
+  return Call(cpu, thread, binding, *index, args, rets, stats);
+}
+
+// The public entry point: runs the call and folds its per-call stats into
+// the runtime-wide counters.
+Status LrpcRuntime::Call(Processor& cpu, ThreadId thread_id,
+                         ClientBinding& binding, int procedure,
+                         std::span<const CallArg> args,
+                         std::span<const CallRet> rets, CallStats* stats) {
+  CallStats local_stats;
+  CallStats& cs = stats != nullptr ? *stats : local_stats;
+  cs = CallStats{};
+  const SimTime trace_start = cpu.clock();
+  const Status status =
+      CallLocal(cpu, thread_id, binding, procedure, args, rets, cs);
+
+  if (tracer_ != nullptr) {
+    TraceEvent event;
+    event.kind = binding.object().remote ? TraceEventKind::kRemoteCall
+                                         : TraceEventKind::kCall;
+    event.start = trace_start;
+    event.end = cpu.clock();
+    event.client = binding.client();
+    event.server = binding.record() != nullptr ? binding.record()->server
+                                               : kNoDomain;
+    event.procedure = procedure;
+    event.bytes = static_cast<std::uint32_t>(cs.astack_bytes);
+    event.result = status.code();
+    event.exchanged = cs.exchanged_on_call || cs.exchanged_on_return;
+    tracer_->Record(event);
+  }
+
+  ++stats_.calls;
+  if (binding.object().remote) {
+    ++stats_.remote_calls;
+  }
+  if (!status.ok()) {
+    ++stats_.failed_calls;
+  }
+  if (cs.exchanged_on_call || cs.exchanged_on_return) {
+    ++stats_.exchange_calls;
+  }
+  if (cs.used_secondary_astack) {
+    ++stats_.secondary_astack_calls;
+  }
+  if (cs.used_out_of_band) {
+    ++stats_.out_of_band_transfers;
+  }
+  stats_.copies += cs.copies;
+  stats_.astack_bytes += cs.astack_bytes;
+  return status;
+}
+
+Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
+                              ClientBinding& binding, int procedure,
+                              std::span<const CallArg> args,
+                              std::span<const CallRet> rets, CallStats& cs) {
+  const MachineModel& model = machine().model();
+  Thread* t = kernel_.FindThread(thread_id);
+  if (t == nullptr || t->state() == ThreadState::kDead) {
+    return Status(ErrorCode::kNoSuchThread);
+  }
+  if (t->current_domain() != binding.client()) {
+    return Status(ErrorCode::kPermissionDenied,
+                  "thread is not executing in the binding's client domain");
+  }
+
+  // A simple LRPC needs only one formal procedure call — into the client
+  // stub (Section 3.3).
+  cpu.Charge(CostCategory::kProcedureCall, model.procedure_call);
+
+  // "Deciding whether a call is cross-domain or cross-machine is made at
+  // the earliest possible moment — the first instruction of the stub"
+  // (Section 5.1).
+  if (binding.object().remote) {
+    return RemoteCall(cpu, thread_id, binding, procedure, args, rets, cs);
+  }
+
+  const Interface* iface = binding.interface_spec();
+  if (procedure < 0 || procedure >= iface->procedure_count()) {
+    return Status(ErrorCode::kNoSuchProcedure);
+  }
+  const ProcedureDescriptor& pd = iface->pd(procedure);
+  const ProcedureDef& def = *pd.def;
+  Domain* client = kernel_.FindDomain(binding.client());
+  LRPC_CHECK(client != nullptr);
+
+  // --- Client stub (call half). ---
+  // The stub cost outside the two queue critical sections; the queue ops
+  // themselves are charged while the per-queue lock is held.
+  const SimDuration stub_outside_locks =
+      model.lrpc_client_stub - 2 * model.astack_queue_lock_hold;
+  cpu.Charge(CostCategory::kClientStub, stub_outside_locks);
+  kernel_.TouchPages(cpu, client->page_base(), kClientStubPages);
+  kernel_.TouchPages(cpu, client->page_base() + kClientBindingPageOffset,
+                     kClientBindingPages);
+  kernel_.TouchPages(cpu, client->page_base() + kClientAStackPageOffset, 1);
+
+  // Take an A-stack off the procedure's LIFO queue.
+  AStackQueue& queue = binding.queue(pd.astack_group);
+  Result<AStackRef> astack_result =
+      queue.Pop(cpu, model.astack_queue_lock_hold);
+  if (!astack_result.ok()) {
+    if (binding.exhaustion_policy() != AStackExhaustionPolicy::kAllocateMore) {
+      return astack_result.status();
+    }
+    LRPC_RETURN_IF_ERROR(GrowAStacks(cpu, binding, pd.astack_group));
+    astack_result = queue.Pop(cpu, model.astack_queue_lock_hold);
+    if (!astack_result.ok()) {
+      return astack_result.status();
+    }
+  }
+  const AStackRef astack = *astack_result;
+  if (astack.region->secondary()) {
+    cs.used_secondary_astack = true;
+  }
+
+  // Push the arguments onto the A-stack (copy A; Modula2+ conventions with
+  // a separate argument pointer make this directly usable by the server).
+  std::vector<std::uint64_t> oob_used;
+  Status marshal =
+      MarshalArguments(cpu, client->id(), def, astack, args, &cs, &oob_used);
+  if (!marshal.ok()) {
+    for (std::uint64_t index : oob_used) {
+      ReleaseOobSegment(index);
+    }
+    queue.Push(cpu, astack, model.astack_queue_lock_hold);
+    return marshal;
+  }
+
+  // Put the A-stack address, Binding Object and procedure identifier in
+  // registers and trap to the kernel.
+  kernel_.ChargeTrap(cpu);
+
+  // --- Kernel, call leg: executed in the context of the client's thread. ---
+  cpu.Charge(CostCategory::kKernelPath, model.lrpc_kernel_call);
+  kernel_.TouchPages(cpu, kernel_.kernel_page_base(), kKernelCallPages);
+
+  auto fail_in_kernel = [&](Status status) {
+    // The kernel rejects the call and returns to the stub.
+    kernel_.ChargeTrap(cpu);
+    queue.Push(cpu, astack, model.astack_queue_lock_hold);
+    return status;
+  };
+
+  // Verify the Binding and procedure identifier.
+  Result<BindingRecord*> record_result =
+      kernel_.bindings().Validate(binding.object(), binding.client());
+  if (!record_result.ok()) {
+    return fail_in_kernel(record_result.status());
+  }
+  BindingRecord* record = *record_result;
+  const auto* kernel_iface = static_cast<const Interface*>(record->pdl);
+  if (procedure >= kernel_iface->procedure_count()) {
+    return fail_in_kernel(Status(ErrorCode::kNoSuchProcedure));
+  }
+
+  // Verify the A-stack and locate the corresponding linkage. The primary
+  // region validates with a simple range check; secondary regions (later
+  // allocations) take slightly more time (Section 5.2).
+  bool region_of_binding = false;
+  for (const auto& region : record->regions) {
+    if (region.get() == astack.region) {
+      region_of_binding = true;
+      break;
+    }
+  }
+  if (!region_of_binding) {
+    return fail_in_kernel(
+        Status(ErrorCode::kInvalidAStack, "A-stack not of this binding"));
+  }
+  if (astack.region->secondary()) {
+    cpu.Charge(CostCategory::kKernelPath, model.lrpc_secondary_astack_check);
+  }
+  Result<int> validated_index =
+      astack.region->ValidateOffset(astack.offset());
+  if (!validated_index.ok() || *validated_index != astack.index) {
+    return fail_in_kernel(Status(ErrorCode::kInvalidAStack));
+  }
+
+  // Ensure no other thread is currently using this A-stack/linkage pair,
+  // then record the caller's return state and push the linkage.
+  LinkageRecord& linkage = astack.linkage();
+  if (linkage.in_use) {
+    return fail_in_kernel(Status(ErrorCode::kAStackInUse));
+  }
+  linkage.valid = true;
+  linkage.in_use = true;
+  linkage.caller_thread = thread_id;
+  linkage.caller_domain = client->id();
+  linkage.binding = record->id;
+  linkage.procedure = static_cast<std::uint32_t>(procedure);
+  linkage.return_address = 0x4000 + static_cast<std::uint64_t>(procedure);
+  linkage.saved_stack_pointer = t->user_sp();
+  t->PushLinkage(astack);
+
+  // Find an execution stack in the server's domain (lazy A-stack/E-stack
+  // association) and run the thread off it.
+  Domain& server = kernel_.domain(record->server);
+  Result<int> estack = kernel_.EnsureEStack(server, astack, cpu.clock());
+  if (!estack.ok()) {
+    t->PopLinkage();
+    linkage.in_use = false;
+    return fail_in_kernel(estack.status());
+  }
+  t->set_user_sp(0x80000000ULL + static_cast<std::uint64_t>(*estack) * 0x10000ULL);
+
+  // Reload the virtual memory registers with the server domain's — or, on
+  // a multiprocessor, exchange processors with one idling in the server's
+  // context (Section 3.4).
+  const Kernel::TransferResult call_transfer =
+      kernel_.EnterDomain(cpu, *t, server, /*allow_exchange=*/true);
+  cs.exchanged_on_call = call_transfer.exchanged;
+
+  // --- Server side: the kernel upcalls directly into the entry stub at the
+  // address in the PD; the E-stack is primed so the stub can branch to the
+  // procedure's first instruction (Section 3.3). ---
+  cpu.Charge(CostCategory::kServerStub, model.lrpc_server_stub);
+  kernel_.TouchPages(cpu, server.page_base(), kServerPages);
+
+  ServerFrame frame(this, cpu, def, astack, server.id(), client->id(),
+                    thread_id, &cs.copies);
+  Status server_status = frame.PrepareArguments();
+  if (server_status.ok() && def.handler) {
+    server_status = def.handler(frame);
+  }
+  cs.server_status = server_status;
+
+  // --- Return: back through the server stub's trap. Binding Object,
+  // procedure identifier and A-stack were verified at call time; the
+  // linkage at the top of the thread's stack makes them implicit now. ---
+  kernel_.ChargeTrap(cpu);
+  cpu.Charge(CostCategory::kKernelPath, model.lrpc_kernel_return);
+  kernel_.TouchPages(cpu, kernel_.kernel_page_base() + kKernelReturnPageOffset,
+                     kKernelReturnPages);
+
+  if (t->captured()) {
+    // The client abandoned this call (Section 5.3): the captured thread is
+    // destroyed in the kernel when released. Its A-stack returns to the
+    // free queue; the replacement thread already carries call-aborted.
+    if (t->HasLinkages() && t->linkage_stack().back() == astack) {
+      t->PopLinkage();
+    }
+    linkage.in_use = false;
+    queue.Push(cpu, astack, model.astack_queue_lock_hold);
+    kernel_.DestroyThread(*t);
+    return Status(ErrorCode::kCallAborted, "thread was abandoned by its client");
+  }
+
+  if (!t->HasLinkages() || !(t->linkage_stack().back() == astack)) {
+    // The termination collector unwound this thread while the procedure ran
+    // (e.g. the server domain terminated itself): the thread is already
+    // back in a caller domain carrying an exception. Restore the processor
+    // context to wherever the thread now is.
+    Domain* resumed_in = kernel_.FindDomain(t->current_domain());
+    if (resumed_in != nullptr) {
+      kernel_.EnterDomain(cpu, *t, *resumed_in, /*allow_exchange=*/true);
+    }
+    const ThreadException exc = t->TakeException();
+    return exc == ThreadException::kCallAborted
+               ? Status(ErrorCode::kCallAborted)
+               : Status(ErrorCode::kCallFailed, "server domain terminated");
+  }
+
+  t->PopLinkage();
+  const bool linkage_was_valid = linkage.valid;
+  linkage.in_use = false;
+  t->set_user_sp(linkage.saved_stack_pointer);
+  astack.region->set_last_used(astack.index, cpu.clock());
+
+  if (!linkage_was_valid) {
+    // A party to the binding terminated while the call was outstanding:
+    // returning control would enter a dead domain. Deliver call-failed to
+    // the first valid linkage down the stack (Section 5.3).
+    if (kernel_.UnwindWithException(*t, ThreadException::kCallFailed)) {
+      Domain* resumed_in = kernel_.FindDomain(t->current_domain());
+      if (resumed_in != nullptr) {
+        kernel_.EnterDomain(cpu, *t, *resumed_in, /*allow_exchange=*/true);
+      }
+      t->TakeException();
+    }
+    return Status(ErrorCode::kCallFailed, "binding revoked during call");
+  }
+
+  // Switch (or exchange) back into the client; likely exchangeable for
+  // calls that return quickly (Section 3.4).
+  const Kernel::TransferResult return_transfer =
+      kernel_.EnterDomain(cpu, *t, *client, /*allow_exchange=*/true);
+  cs.exchanged_on_return = return_transfer.exchanged;
+
+  // --- Client stub (return half): copy the A-stack's return values into
+  // their final destinations (copy F) and requeue the A-stack. ---
+  kernel_.TouchPages(cpu, client->page_base(), kClientStubPages);
+  kernel_.TouchPages(cpu, client->page_base() + kClientAStackPageOffset, 1);
+
+  Status unmarshal = Status::Ok();
+  if (server_status.ok()) {
+    unmarshal = UnmarshalResults(cpu, client->id(), def, astack, rets, &cs);
+  }
+  // Out-of-band transfer segments are per-call; return them for reuse.
+  for (std::uint64_t index : oob_used) {
+    ReleaseOobSegment(index);
+  }
+  queue.Push(cpu, astack, model.astack_queue_lock_hold);
+
+  // After a processor exchange the calling thread runs on a processor whose
+  // cache is cold for the A-stack and client pages; the penalty scales with
+  // the bytes moved through the A-stack (see MachineModel calibration).
+  if ((cs.exchanged_on_call || cs.exchanged_on_return) && cs.astack_bytes > 0) {
+    cpu.Charge(CostCategory::kProcessorExchange,
+               Micros(model.exchange_cold_per_byte_us *
+                      static_cast<double>(cs.astack_bytes)));
+  }
+
+  if (!server_status.ok()) {
+    return server_status;
+  }
+  return unmarshal;
+}
+
+Status LrpcRuntime::RemoteCall(Processor& cpu, ThreadId thread_id,
+                               ClientBinding& binding, int procedure,
+                               std::span<const CallArg> args,
+                               std::span<const CallRet> rets, CallStats& cs) {
+  const MachineModel& model = machine().model();
+  const Interface* iface = binding.interface_spec();
+  if (procedure < 0 || procedure >= iface->procedure_count()) {
+    return Status(ErrorCode::kNoSuchProcedure);
+  }
+  const ProcedureDescriptor& pd = iface->pd(procedure);
+  const ProcedureDef& def = *pd.def;
+
+  Result<BindingRecord*> record_result =
+      kernel_.bindings().Validate(binding.object(), binding.client());
+  if (!record_result.ok()) {
+    return record_result.status();
+  }
+  BindingRecord* record = *record_result;
+  Domain* server_domain = kernel_.FindDomain(record->server);
+  Domain* client_domain = kernel_.FindDomain(binding.client());
+  if (server_domain == nullptr || !server_domain->alive()) {
+    return Status(ErrorCode::kRemoteUnreachable, "remote server domain gone");
+  }
+
+  // The conventional network-RPC stub path: heavyweight stubs, message
+  // buffers, protocol work, the wire, and a full unmarshal on the far side.
+  cpu.Charge(CostCategory::kMsgStub, model.msg_stub);
+  cpu.Charge(CostCategory::kMsgBufferMgmt, model.msg_buffer_mgmt);
+  kernel_.ChargeTrap(cpu);
+
+  std::uint64_t bytes_out = 0;
+  for (const CallArg& a : args) {
+    bytes_out += a.len;
+  }
+  // Client-side copies: stub stack -> message (A), client -> kernel (B).
+  for (const CallArg& a : args) {
+    cpu.Charge(CostCategory::kArgumentCopy,
+               2 * (model.msg_copy_setup +
+                    Micros(model.msg_copy_per_byte_us * static_cast<double>(a.len))));
+    cs.copies.Count(CopyOp::kA, a.len);
+    cs.copies.Count(CopyOp::kB, a.len);
+  }
+  // The wire: the request's packets go out (multi-packet calls pay the
+  // stop-and-wait continuation penalty; Section 5.2).
+  model.network.ChargeOneWay(cpu, bytes_out);
+
+  // Server side: kernel -> server (C), message -> server stack (E); the
+  // procedure executes against a scratch argument region standing in for
+  // the unmarshaled message.
+  AStackRegion scratch(binding.client(), record->server,
+                       pd.astack_size, 1, /*secondary=*/false);
+  const AStackRef scratch_ref{&scratch, 0};
+  LRPC_RETURN_IF_ERROR(MarshalArguments(cpu, binding.client(), def,
+                                        scratch_ref, args, nullptr));
+  for (const CallArg& a : args) {
+    cpu.Charge(CostCategory::kArgumentCopy,
+               2 * (model.msg_copy_setup +
+                    Micros(model.msg_copy_per_byte_us * static_cast<double>(a.len))));
+    cs.copies.Count(CopyOp::kC, a.len);
+    cs.copies.Count(CopyOp::kE, a.len);
+  }
+  cpu.Charge(CostCategory::kMsgDispatch, model.msg_dispatch);
+
+  ServerFrame frame(this, cpu, def, scratch_ref, record->server,
+                    binding.client(), thread_id, &cs.copies);
+  Status server_status = frame.PrepareArguments();
+  if (server_status.ok() && def.handler) {
+    server_status = def.handler(frame);
+  }
+  cs.server_status = server_status;
+
+  // Reply: results ride a message back (B', C'), then into the caller's
+  // destinations (F, inside UnmarshalResults).
+  std::uint64_t bytes_back = 0;
+  if (server_status.ok()) {
+    Status unmarshal = UnmarshalResults(cpu, binding.client(), def,
+                                        scratch_ref, rets, &cs);
+    if (!unmarshal.ok()) {
+      return unmarshal;
+    }
+    for (const CallRet& r : rets) {
+      bytes_back += r.len;
+      cpu.Charge(CostCategory::kArgumentCopy,
+                 2 * (model.msg_copy_setup +
+                      Micros(model.msg_copy_per_byte_us *
+                             static_cast<double>(r.len))));
+      cs.copies.Count(CopyOp::kB, r.len);
+      cs.copies.Count(CopyOp::kC, r.len);
+    }
+  }
+  model.network.ChargeOneWay(cpu, bytes_back);  // The reply's packets.
+  kernel_.ChargeTrap(cpu);
+
+  (void)client_domain;
+  return server_status;
+}
+
+}  // namespace lrpc

@@ -1,0 +1,86 @@
+#include "src/lrpc/call_tracer.h"
+
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace lrpc {
+
+CallTracer::CallTracer(std::size_t capacity) {
+  LRPC_CHECK(capacity > 0);
+  ring_.resize(capacity);
+}
+
+void CallTracer::Record(const TraceEvent& event) {
+  ring_[next_] = event;
+  next_ = (next_ + 1) % ring_.size();
+  ++total_recorded_;
+}
+
+std::vector<TraceEvent> CallTracer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  const std::size_t retained =
+      total_recorded_ < ring_.size() ? static_cast<std::size_t>(total_recorded_)
+                                     : ring_.size();
+  out.reserve(retained);
+  // Oldest first: when full, the oldest entry sits at next_.
+  const std::size_t start =
+      total_recorded_ < ring_.size() ? 0 : next_;
+  for (std::size_t i = 0; i < retained; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void CallTracer::Clear() {
+  next_ = 0;
+  total_recorded_ = 0;
+}
+
+CallTracer::Summary CallTracer::Summarize() const {
+  Summary s;
+  double latency_sum = 0, bytes_sum = 0;
+  for (const TraceEvent& e : Snapshot()) {
+    if (e.kind != TraceEventKind::kCall &&
+        e.kind != TraceEventKind::kRemoteCall) {
+      continue;
+    }
+    ++s.calls;
+    if (e.kind == TraceEventKind::kRemoteCall) {
+      ++s.remote_calls;
+    }
+    if (e.result != ErrorCode::kOk) {
+      ++s.failed_calls;
+    }
+    if (e.exchanged) {
+      ++s.exchanged_calls;
+    }
+    latency_sum += ToMicros(e.latency());
+    bytes_sum += e.bytes;
+  }
+  if (s.calls > 0) {
+    s.mean_latency_us = latency_sum / static_cast<double>(s.calls);
+    s.mean_bytes = bytes_sum / static_cast<double>(s.calls);
+    s.remote_percent =
+        100.0 * static_cast<double>(s.remote_calls) / static_cast<double>(s.calls);
+  }
+  return s;
+}
+
+std::string CallTracer::Report() const {
+  const Summary s = Summarize();
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "calls: %llu (%.1f%% cross-machine, %llu failed, %llu via "
+                "processor exchange)\n"
+                "mean latency: %.1f us   mean A-stack bytes: %.1f\n"
+                "events retained: %zu of %llu recorded",
+                static_cast<unsigned long long>(s.calls), s.remote_percent,
+                static_cast<unsigned long long>(s.failed_calls),
+                static_cast<unsigned long long>(s.exchanged_calls),
+                s.mean_latency_us, s.mean_bytes, Snapshot().size(),
+                static_cast<unsigned long long>(total_recorded_));
+  return buffer;
+}
+
+}  // namespace lrpc

@@ -1,0 +1,20 @@
+#include "src/lrpc/clerk.h"
+
+namespace lrpc {
+
+Result<const Interface*> Clerk::HandleImport(DomainId client, InterfaceId id) {
+  for (const Interface* iface : exports_) {
+    if (iface->id() != id) {
+      continue;
+    }
+    if (authorize_ && !authorize_(client, *iface)) {
+      ++imports_refused_;
+      return Status(ErrorCode::kBindingRefused);
+    }
+    ++imports_handled_;
+    return iface;
+  }
+  return Status(ErrorCode::kNoSuchInterface, "not exported through this clerk");
+}
+
+}  // namespace lrpc

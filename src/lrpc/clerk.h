@@ -1,0 +1,53 @@
+// The clerk: the piece of the LRPC run-time library, included in every
+// domain, through which a server module exports its interfaces. The clerk
+// registers the interface with the name server and answers import requests
+// by replying to the kernel with the interface's PDL; by allowing a binding
+// to occur, the server authorizes the client (Section 3.1).
+
+#ifndef SRC_LRPC_CLERK_H_
+#define SRC_LRPC_CLERK_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/lrpc/interface.h"
+
+namespace lrpc {
+
+class Clerk {
+ public:
+  // Decides whether `client` may bind to `iface`. Default: allow all.
+  using AuthorizePolicy =
+      std::function<bool(DomainId client, const Interface& iface)>;
+
+  explicit Clerk(DomainId domain) : domain_(domain) {}
+
+  DomainId domain() const { return domain_; }
+
+  void set_authorize(AuthorizePolicy policy) { authorize_ = std::move(policy); }
+
+  // Records an interface as exported through this clerk.
+  void AddExport(const Interface* iface) { exports_.push_back(iface); }
+
+  // The import handshake: the kernel notifies the waiting clerk; the clerk
+  // enables the binding by replying with the PDL — or refuses it.
+  Result<const Interface*> HandleImport(DomainId client, InterfaceId id);
+
+  std::uint64_t imports_handled() const { return imports_handled_; }
+  std::uint64_t imports_refused() const { return imports_refused_; }
+  const std::vector<const Interface*>& exports() const { return exports_; }
+
+ private:
+  DomainId domain_;
+  AuthorizePolicy authorize_;
+  std::vector<const Interface*> exports_;
+  std::uint64_t imports_handled_ = 0;
+  std::uint64_t imports_refused_ = 0;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_LRPC_CLERK_H_

@@ -1,0 +1,68 @@
+// ClientBinding: the client-domain side of one binding.
+//
+// After a successful import the client holds the Binding Object (presented
+// to the kernel on every call) and, for each procedure's A-stack group, a
+// list of the A-stacks allocated at bind time, managed as a LIFO queue
+// guarded by its own lock (Sections 3.1-3.2).
+
+#ifndef SRC_LRPC_CLIENT_BINDING_H_
+#define SRC_LRPC_CLIENT_BINDING_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/kern/binding_table.h"
+#include "src/lrpc/interface.h"
+#include "src/shm/astack.h"
+
+namespace lrpc {
+
+// What to do when a call finds the procedure's A-stack queue empty
+// (Section 5.2: "the client can either wait for one to become available...
+// or allocate more").
+enum class AStackExhaustionPolicy : std::uint8_t {
+  kFail,          // Return kAStacksExhausted to the caller.
+  kAllocateMore,  // Grow with a secondary (slower-to-validate) region.
+};
+
+class ClientBinding {
+ public:
+  ClientBinding(DomainId client, BindingObject object, const Interface* iface,
+                BindingRecord* record)
+      : client_(client), object_(object), iface_(iface), record_(record) {}
+
+  DomainId client() const { return client_; }
+  const BindingObject& object() const { return object_; }
+  const Interface* interface_spec() const { return iface_; }
+  BindingRecord* record() { return record_; }
+
+  AStackExhaustionPolicy exhaustion_policy() const { return policy_; }
+  void set_exhaustion_policy(AStackExhaustionPolicy p) { policy_ = p; }
+
+  // One free queue per A-stack sharing group.
+  void AddQueue(std::unique_ptr<AStackQueue> queue) {
+    queues_.push_back(std::move(queue));
+  }
+  AStackQueue& queue(int group) {
+    return *queues_[static_cast<std::size_t>(group)];
+  }
+  int queue_count() const { return static_cast<int>(queues_.size()); }
+
+  // Total A-stacks ever allocated to this binding (primary + secondary).
+  int allocated_astacks() const { return allocated_astacks_; }
+  void add_allocated(int n) { allocated_astacks_ += n; }
+
+ private:
+  DomainId client_;
+  BindingObject object_;
+  const Interface* iface_;
+  BindingRecord* record_;
+  AStackExhaustionPolicy policy_ = AStackExhaustionPolicy::kAllocateMore;
+  std::vector<std::unique_ptr<AStackQueue>> queues_;
+  int allocated_astacks_ = 0;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_LRPC_CLIENT_BINDING_H_

@@ -1,0 +1,74 @@
+// Copy-operation accounting (Table 3).
+//
+// The paper labels the copy operations a parameter can undergo:
+//   A  copy from the client's stack to the message (or A-stack)
+//   B  copy from the sender domain to the kernel domain
+//   C  copy from the kernel domain to the receiver domain
+//   D  copy from sender/kernel space to receiver/kernel domain
+//      (the restricted-message-passing fusion of B and C)
+//   E  copy from the message (or A-stack) into the server's stack
+//   F  copy from the message (or A-stack) into the client's results
+//
+// LRPC performs A (always), E (only when immutability or type checking
+// demands it), and F (returns); message passing performs ABCE/BCF;
+// restricted message passing ADE/BF.
+
+#ifndef SRC_LRPC_COPY_STATS_H_
+#define SRC_LRPC_COPY_STATS_H_
+
+#include <cstdint>
+
+namespace lrpc {
+
+enum class CopyOp : std::uint8_t { kA, kB, kC, kD, kE, kF };
+
+struct CopyStats {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t c = 0;
+  std::uint32_t d = 0;
+  std::uint32_t e = 0;
+  std::uint32_t f = 0;
+  std::uint64_t bytes_copied = 0;
+
+  void Count(CopyOp op, std::uint64_t bytes) {
+    switch (op) {
+      case CopyOp::kA:
+        ++a;
+        break;
+      case CopyOp::kB:
+        ++b;
+        break;
+      case CopyOp::kC:
+        ++c;
+        break;
+      case CopyOp::kD:
+        ++d;
+        break;
+      case CopyOp::kE:
+        ++e;
+        break;
+      case CopyOp::kF:
+        ++f;
+        break;
+    }
+    bytes_copied += bytes;
+  }
+
+  std::uint32_t total_ops() const { return a + b + c + d + e + f; }
+
+  CopyStats& operator+=(const CopyStats& o) {
+    a += o.a;
+    b += o.b;
+    c += o.c;
+    d += o.d;
+    e += o.e;
+    f += o.f;
+    bytes_copied += o.bytes_copied;
+    return *this;
+  }
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_LRPC_COPY_STATS_H_

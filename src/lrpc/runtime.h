@@ -1,0 +1,204 @@
+// LrpcRuntime: the public facade of the LRPC facility.
+//
+// Ties together the kernel, the name server, the per-domain clerks and the
+// client bindings, and implements the call/return fast path of Section 3.2:
+//
+//   client stub: pop A-stack, push arguments, trap
+//   kernel:      verify Binding Object + procedure + A-stack, locate and
+//                claim the linkage, push it on the thread's linkage stack,
+//                find an E-stack, switch (or exchange) into the server
+//   server stub: prime the frame, branch into the procedure
+//   return:      trap; the linkage stack makes verification implicit;
+//                switch back; client stub copies results out
+//
+// plus the uncommon cases of Section 5 (cross-machine bit, A-stack
+// exhaustion, out-of-band arguments, domain termination, captured threads).
+
+#ifndef SRC_LRPC_RUNTIME_H_
+#define SRC_LRPC_RUNTIME_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/kern/kernel.h"
+#include "src/lrpc/call_tracer.h"
+#include "src/lrpc/clerk.h"
+#include "src/lrpc/client_binding.h"
+#include "src/lrpc/copy_stats.h"
+#include "src/lrpc/interface.h"
+#include "src/nameserver/name_server.h"
+
+namespace lrpc {
+
+// One input argument as passed by the caller (client stack bytes).
+struct CallArg {
+  const void* data = nullptr;
+  std::size_t len = 0;
+
+  CallArg() = default;
+  CallArg(const void* d, std::size_t n) : data(d), len(n) {}
+  template <typename T>
+  static CallArg Of(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return CallArg(&value, sizeof(T));
+  }
+  // A CallArg only borrows the caller's bytes; binding one to a temporary
+  // would dangle before the call is made.
+  template <typename T>
+  static CallArg Of(const T&& value) = delete;
+};
+
+// One output destination (where the client stub copies results; the final
+// destination is specified by the caller, Section 3.5).
+struct CallRet {
+  void* data = nullptr;
+  std::size_t len = 0;
+
+  CallRet() = default;
+  CallRet(void* d, std::size_t n) : data(d), len(n) {}
+  template <typename T>
+  static CallRet Of(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return CallRet(value, sizeof(T));
+  }
+};
+
+// Optional per-call observability.
+struct CallStats {
+  CopyStats copies;
+  bool exchanged_on_call = false;
+  bool exchanged_on_return = false;
+  bool used_secondary_astack = false;
+  bool used_out_of_band = false;
+  std::size_t astack_bytes = 0;   // Bytes moved through the A-stack.
+  Status server_status;           // The handler's own return status.
+};
+
+class LrpcRuntime {
+ public:
+  explicit LrpcRuntime(Kernel& kernel) : kernel_(kernel) {}
+
+  Kernel& kernel() { return kernel_; }
+  Machine& machine() { return kernel_.machine(); }
+  NameServer& names() { return names_; }
+
+  // --- Server side. ---
+  // Creates an (unsealed) interface owned by the runtime.
+  Interface* CreateInterface(DomainId server, std::string name);
+  // Seals the interface if needed and exports it through the server's clerk.
+  Status Export(Interface* iface);
+  Clerk& clerk(DomainId domain);
+
+  // --- Client side (binding; Section 3.1). ---
+  // Imports `name`, running the kernel-mediated handshake with the server's
+  // clerk; allocates the bind-time A-stacks pair-wise shared between the
+  // two domains. Returns a runtime-owned binding.
+  Result<ClientBinding*> Import(Processor& cpu, DomainId client,
+                                std::string_view name);
+
+  // --- Calling (Section 3.2). ---
+  Status Call(Processor& cpu, ThreadId thread, ClientBinding& binding,
+              int procedure, std::span<const CallArg> args,
+              std::span<const CallRet> rets, CallStats* stats = nullptr);
+
+  // Runtime-wide counters, accumulated across every call.
+  struct RuntimeStats {
+    std::uint64_t calls = 0;
+    std::uint64_t remote_calls = 0;
+    std::uint64_t failed_calls = 0;            // Any non-ok status.
+    std::uint64_t exchange_calls = 0;          // Used the idle-processor path.
+    std::uint64_t secondary_astack_calls = 0;  // Section 5.2 growth region.
+    std::uint64_t out_of_band_transfers = 0;
+    CopyStats copies;
+    std::uint64_t astack_bytes = 0;
+  };
+  const RuntimeStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = RuntimeStats{}; }
+
+  // Optional instrumentation: when set, every call, bind and termination is
+  // recorded (the measurement facility behind the paper's Section 2 study).
+  void set_tracer(CallTracer* tracer) { tracer_ = tracer; }
+  CallTracer* tracer() { return tracer_; }
+
+  // Convenience: look the procedure up by name first.
+  Status CallByName(Processor& cpu, ThreadId thread, ClientBinding& binding,
+                    std::string_view procedure, std::span<const CallArg> args,
+                    std::span<const CallRet> rets, CallStats* stats = nullptr);
+
+  // --- Out-of-band segments (Section 5.2). ---
+  SharedSegment* OobSegment(std::uint64_t index);
+  // Number of currently-live (unreleased) out-of-band segments.
+  std::size_t LiveOobSegments() const;
+
+  // --- Domain termination (Section 5.3). ---
+  // Withdraws the domain's exports and runs the kernel collector.
+  Status TerminateDomain(DomainId domain);
+
+  // The captured-thread escape: abandon `captured`'s outstanding call,
+  // get a fresh client thread carrying the call-aborted exception.
+  Result<ThreadId> AbandonCapturedCall(ThreadId captured) {
+    Thread* t = kernel_.FindThread(captured);
+    if (t == nullptr) {
+      return Status(ErrorCode::kNoSuchThread);
+    }
+    return kernel_.AbandonCapturedCall(*t);
+  }
+
+  const std::vector<std::unique_ptr<ClientBinding>>& bindings() const {
+    return bindings_;
+  }
+
+ private:
+  friend class ServerFrame;
+
+  // Grows a binding's A-stack supply with a secondary region (Section 5.2).
+  Status GrowAStacks(Processor& cpu, ClientBinding& binding, int group);
+
+  // The local fast path (Section 3.2); Call() wraps it for accounting.
+  Status CallLocal(Processor& cpu, ThreadId thread, ClientBinding& binding,
+                   int procedure, std::span<const CallArg> args,
+                   std::span<const CallRet> rets, CallStats& stats);
+
+  // The cross-machine branch taken by the first stub instruction when the
+  // Binding Object carries the remote bit (Section 5.1).
+  Status RemoteCall(Processor& cpu, ThreadId thread, ClientBinding& binding,
+                    int procedure, std::span<const CallArg> args,
+                    std::span<const CallRet> rets, CallStats& stats);
+
+  // Marshals `args` into the A-stack slots (copy A), spilling oversized
+  // variable arguments to out-of-band segments. Segment indices used by
+  // this call are appended to `oob_used` (released when the call returns).
+  Status MarshalArguments(Processor& cpu, DomainId client,
+                          const ProcedureDef& def, AStackRef astack,
+                          std::span<const CallArg> args, CallStats* stats,
+                          std::vector<std::uint64_t>* oob_used = nullptr);
+
+  // Copies results from the A-stack into the caller's destinations (copy F).
+  Status UnmarshalResults(Processor& cpu, DomainId client,
+                          const ProcedureDef& def, AStackRef astack,
+                          std::span<const CallRet> rets, CallStats* stats);
+
+  Result<std::uint64_t> AllocateOobSegment(std::size_t size, DomainId client,
+                                           DomainId server);
+  // Returns a per-call segment to the free list for reuse.
+  void ReleaseOobSegment(std::uint64_t index);
+
+  Kernel& kernel_;
+  NameServer names_;
+  std::vector<std::unique_ptr<Interface>> interfaces_;
+  std::vector<std::unique_ptr<Clerk>> clerks_;       // Indexed by DomainId.
+  std::vector<std::unique_ptr<ClientBinding>> bindings_;
+  std::vector<std::unique_ptr<SharedSegment>> oob_segments_;
+  std::vector<std::uint64_t> oob_free_list_;
+  RuntimeStats stats_;
+  CallTracer* tracer_ = nullptr;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_LRPC_RUNTIME_H_

@@ -1,0 +1,239 @@
+#include "src/lrpc/server_frame.h"
+
+#include <cstring>
+
+#include "src/lrpc/runtime.h"
+#include "src/lrpc/wire.h"
+
+namespace lrpc {
+
+ServerFrame::ServerFrame(LrpcRuntime* runtime, Processor& cpu,
+                         const ProcedureDef& def, AStackRef astack,
+                         DomainId server, DomainId client, ThreadId thread,
+                         CopyStats* copies)
+    : runtime_(runtime),
+      cpu_(cpu),
+      def_(def),
+      astack_(astack),
+      server_(server),
+      client_(client),
+      thread_(thread),
+      copies_(copies) {
+  slots_.resize(def_.params.size());
+}
+
+bool ServerFrame::Alerted() const {
+  if (runtime_ == nullptr) {
+    return false;
+  }
+  Thread* t = runtime_->kernel().FindThread(thread_);
+  return t != nullptr && t->alerted();
+}
+
+Status ServerFrame::DecodeSlot(int index, SlotInfo* info) const {
+  const auto i = static_cast<std::size_t>(index);
+  const ParamDesc& p = def_.params[i];
+  const std::size_t base = astack_.offset() + ParamOffset(def_, i);
+  SharedSegment& segment = astack_.region->segment();
+
+  info->offset = base;
+  if (p.size > 0) {
+    info->data_offset = base;
+    info->length = p.size;
+    info->out_of_band = false;
+    return Status::Ok();
+  }
+  // Variable-sized: length prefix (or out-of-band descriptor).
+  std::uint32_t prefix = 0;
+  LRPC_RETURN_IF_ERROR(segment.ReadValue(server_, base, &prefix));
+  if (prefix == kOobMarker) {
+    OobDescriptor descriptor{};
+    LRPC_RETURN_IF_ERROR(segment.Read(server_, base, &descriptor,
+                                      sizeof(descriptor)));
+    info->out_of_band = true;
+    info->oob_index = descriptor.segment_index;
+    info->length = descriptor.length;
+    info->data_offset = 0;
+    return Status::Ok();
+  }
+  if (prefix > p.ASlotSize() - sizeof(std::uint32_t)) {
+    return Status(ErrorCode::kInvalidArgument, "corrupt length prefix");
+  }
+  info->out_of_band = false;
+  info->length = prefix;
+  info->data_offset = base + sizeof(std::uint32_t);
+  return Status::Ok();
+}
+
+Status ServerFrame::PrepareArguments(bool already_private) {
+  const MachineModel& model = cpu_.machine()->model();
+  for (std::size_t i = 0; i < def_.params.size(); ++i) {
+    const ParamDesc& p = def_.params[i];
+    if (!p.is_in()) {
+      continue;
+    }
+    SlotInfo& slot = slots_[i];
+    LRPC_RETURN_IF_ERROR(DecodeSlot(static_cast<int>(i), &slot));
+
+    if (p.flags.by_ref) {
+      // Recreate the reference on the E-stack rather than trusting a
+      // client-supplied address; the data itself stays on the A-stack.
+      cpu_.Charge(CostCategory::kServerStub, model.lrpc_byref_recreate);
+    }
+
+    const bool need_private_copy =
+        (p.flags.immutable || p.flags.type_checked) && !already_private;
+    if (!need_private_copy) {
+      if (p.flags.type_checked && already_private) {
+        // The transport privatized the bytes already; only the folded
+        // conformance check remains.
+        cpu_.Charge(CostCategory::kTypeCheck, model.lrpc_type_check_per_arg);
+        if (p.conformance) {
+          std::vector<std::uint8_t> checked(slot.length);
+          Result<std::size_t> n =
+              ReadArg(static_cast<int>(i), checked.data(), checked.size());
+          if (!n.ok()) {
+            return n.status();
+          }
+          if (!p.conformance(checked.data(), checked.size())) {
+            return Status(ErrorCode::kTypeCheckFailed,
+                          "conformance check failed");
+          }
+        }
+      }
+      continue;
+    }
+    // Copy E: off the shared A-stack into server-private memory, so the
+    // client cannot change the value mid-call. The conformance check is
+    // folded into this copy.
+    slot.private_bytes_.resize(slot.length);
+    if (slot.out_of_band) {
+      SharedSegment* oob =
+          runtime_ != nullptr ? runtime_->OobSegment(slot.oob_index) : nullptr;
+      if (oob == nullptr) {
+        return Status(ErrorCode::kInvalidArgument, "bad out-of-band index");
+      }
+      LRPC_RETURN_IF_ERROR(
+          oob->Read(server_, 0, slot.private_bytes_.data(), slot.length));
+    } else {
+      LRPC_RETURN_IF_ERROR(
+          astack_.region->segment().Read(server_, slot.data_offset,
+                                         slot.private_bytes_.data(), slot.length));
+    }
+    slot.private_copy = true;
+    cpu_.Charge(
+        CostCategory::kArgumentCopy,
+        model.lrpc_copy_per_arg +
+            Micros(model.lrpc_copy_per_byte_us * static_cast<double>(slot.length)));
+    if (copies_ != nullptr) {
+      copies_->Count(CopyOp::kE, slot.length);
+    }
+    if (p.flags.type_checked) {
+      cpu_.Charge(CostCategory::kTypeCheck, model.lrpc_type_check_per_arg);
+      if (p.conformance &&
+          !p.conformance(slot.private_bytes_.data(), slot.length)) {
+        return Status(ErrorCode::kTypeCheckFailed, "conformance check failed");
+      }
+    }
+  }
+  prepared_ = true;
+  return Status::Ok();
+}
+
+Result<std::size_t> ServerFrame::ArgSize(int index) const {
+  if (index < 0 || static_cast<std::size_t>(index) >= def_.params.size()) {
+    return Status(ErrorCode::kInvalidArgument, "no such parameter");
+  }
+  const ParamDesc& p = def_.params[static_cast<std::size_t>(index)];
+  if (!p.is_in()) {
+    return Status(ErrorCode::kInvalidArgument, "not an in-parameter");
+  }
+  SlotInfo info;
+  if (prepared_) {
+    return slots_[static_cast<std::size_t>(index)].length;
+  }
+  LRPC_RETURN_IF_ERROR(DecodeSlot(index, &info));
+  return info.length;
+}
+
+Result<std::size_t> ServerFrame::ReadArg(int index, void* out,
+                                         std::size_t len) const {
+  if (index < 0 || static_cast<std::size_t>(index) >= def_.params.size()) {
+    return Status(ErrorCode::kInvalidArgument, "no such parameter");
+  }
+  const ParamDesc& p = def_.params[static_cast<std::size_t>(index)];
+  if (!p.is_in()) {
+    return Status(ErrorCode::kInvalidArgument, "not an in-parameter");
+  }
+  const SlotInfo& slot = slots_[static_cast<std::size_t>(index)];
+  const std::size_t n = len < slot.length ? len : slot.length;
+  if (slot.private_copy) {
+    std::memcpy(out, slot.private_bytes_.data(), n);
+    return n;
+  }
+  if (slot.out_of_band) {
+    SharedSegment* oob =
+        runtime_ != nullptr ? runtime_->OobSegment(slot.oob_index) : nullptr;
+    if (oob == nullptr) {
+      return Status(ErrorCode::kInvalidArgument, "bad out-of-band index");
+    }
+    LRPC_RETURN_IF_ERROR(oob->Read(server_, 0, out, n));
+    return n;
+  }
+  LRPC_RETURN_IF_ERROR(
+      astack_.region->segment().Read(server_, slot.data_offset, out, n));
+  return n;
+}
+
+Result<const std::uint8_t*> ServerFrame::ArgView(int index) const {
+  if (index < 0 || static_cast<std::size_t>(index) >= def_.params.size()) {
+    return Status(ErrorCode::kInvalidArgument, "no such parameter");
+  }
+  const SlotInfo& slot = slots_[static_cast<std::size_t>(index)];
+  if (slot.private_copy) {
+    return static_cast<const std::uint8_t*>(slot.private_bytes_.data());
+  }
+  if (slot.out_of_band) {
+    SharedSegment* oob =
+        runtime_ != nullptr ? runtime_->OobSegment(slot.oob_index) : nullptr;
+    if (oob == nullptr) {
+      return Status(ErrorCode::kInvalidArgument, "bad out-of-band index");
+    }
+    if (!oob->CanRead(server_)) {
+      return Status(ErrorCode::kPermissionDenied);
+    }
+    return oob->DataUnchecked();
+  }
+  SharedSegment& segment = astack_.region->segment();
+  if (!segment.CanRead(server_)) {
+    return Status(ErrorCode::kPermissionDenied);
+  }
+  return segment.DataUnchecked() + slot.data_offset;
+}
+
+Status ServerFrame::WriteResult(int index, const void* data, std::size_t len) {
+  if (index < 0 || static_cast<std::size_t>(index) >= def_.params.size()) {
+    return Status(ErrorCode::kInvalidArgument, "no such parameter");
+  }
+  const ParamDesc& p = def_.params[static_cast<std::size_t>(index)];
+  if (!p.is_out()) {
+    return Status(ErrorCode::kInvalidArgument, "not an out-parameter");
+  }
+  const std::size_t base =
+      astack_.offset() + ParamOffset(def_, static_cast<std::size_t>(index));
+  SharedSegment& segment = astack_.region->segment();
+  if (p.size > 0) {
+    if (len != p.size) {
+      return Status(ErrorCode::kInvalidArgument, "result size mismatch");
+    }
+    return segment.Write(server_, base, data, len);
+  }
+  if (len > p.ASlotSize() - sizeof(std::uint32_t)) {
+    return Status(ErrorCode::kArgumentTooLarge, "result exceeds slot");
+  }
+  const auto prefix = static_cast<std::uint32_t>(len);
+  LRPC_RETURN_IF_ERROR(segment.WriteValue(server_, base, prefix));
+  return segment.Write(server_, base + sizeof(std::uint32_t), data, len);
+}
+
+}  // namespace lrpc

@@ -1,0 +1,32 @@
+// On-A-stack encoding of parameters.
+//
+// Fixed-size parameters occupy their slot directly (raw bytes, the
+// Modula2+ calling convention's layout). Variable-sized parameters carry a
+// 32-bit length prefix; arguments too large for the A-stack are moved
+// through an out-of-band segment and the slot holds a descriptor instead
+// (Section 5.2).
+
+#ifndef SRC_LRPC_WIRE_H_
+#define SRC_LRPC_WIRE_H_
+
+#include <cstdint>
+
+namespace lrpc {
+
+// Length-prefix value marking an out-of-band descriptor.
+constexpr std::uint32_t kOobMarker = 0xffffffffu;
+
+// Slot layout for an out-of-band variable parameter:
+//   [0..3]   kOobMarker
+//   [4..7]   actual payload length
+//   [8..15]  out-of-band segment index (runtime-level table)
+struct OobDescriptor {
+  std::uint32_t marker;
+  std::uint32_t length;
+  std::uint64_t segment_index;
+};
+static_assert(sizeof(OobDescriptor) == 16);
+
+}  // namespace lrpc
+
+#endif  // SRC_LRPC_WIRE_H_

@@ -1,0 +1,46 @@
+#include "src/nameserver/name_server.h"
+
+#include <algorithm>
+
+namespace lrpc {
+
+Status NameServer::Register(ExportEntry entry) {
+  for (const auto& existing : entries_) {
+    if (existing.name == entry.name) {
+      return Status(ErrorCode::kAlreadyExists, "interface name already exported");
+    }
+  }
+  entries_.push_back(std::move(entry));
+  return Status::Ok();
+}
+
+Status NameServer::Withdraw(std::string_view name) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const ExportEntry& e) { return e.name == name; });
+  if (it == entries_.end()) {
+    return Status(ErrorCode::kNotFound);
+  }
+  entries_.erase(it);
+  return Status::Ok();
+}
+
+int NameServer::WithdrawAllFrom(DomainId domain) {
+  const auto before = entries_.size();
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const ExportEntry& e) {
+                                  return e.server == domain;
+                                }),
+                 entries_.end());
+  return static_cast<int>(before - entries_.size());
+}
+
+Result<ExportEntry> NameServer::Lookup(std::string_view name) const {
+  for (const auto& entry : entries_) {
+    if (entry.name == name) {
+      return entry;
+    }
+  }
+  return Status(ErrorCode::kNoSuchInterface);
+}
+
+}  // namespace lrpc

@@ -1,0 +1,55 @@
+// The name server.
+//
+// A server module exports an interface through a clerk; the clerk registers
+// the interface with the name server and awaits import requests from
+// clients (Section 3.1). The name server itself only maps service names to
+// the exporting clerk — the binding handshake (PDL reply, A-stack
+// allocation, Binding Object creation) runs through the kernel and the
+// clerk, in src/lrpc.
+
+#ifndef SRC_NAMESERVER_NAME_SERVER_H_
+#define SRC_NAMESERVER_NAME_SERVER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+
+namespace lrpc {
+
+class Clerk;
+
+struct ExportEntry {
+  std::string name;
+  InterfaceId interface_id = kNoInterface;
+  DomainId server = kNoDomain;
+  NodeId node = kLocalNode;
+  Clerk* clerk = nullptr;
+};
+
+class NameServer {
+ public:
+  // Registers an exported interface under `name`. Fails with kAlreadyExists
+  // if the name is taken by a live export.
+  Status Register(ExportEntry entry);
+
+  // Removes an export (domain termination or explicit withdrawal).
+  Status Withdraw(std::string_view name);
+  // Removes every export owned by `domain`.
+  int WithdrawAllFrom(DomainId domain);
+
+  // Looks up a live export.
+  Result<ExportEntry> Lookup(std::string_view name) const;
+
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<ExportEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<ExportEntry> entries_;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_NAMESERVER_NAME_SERVER_H_

@@ -1,0 +1,26 @@
+#include "src/rpc/message.h"
+
+namespace lrpc {
+
+Result<std::unique_ptr<Message>> MessagePool::Acquire() {
+  if (!free_list_.empty()) {
+    std::unique_ptr<Message> m = std::move(free_list_.back());
+    free_list_.pop_back();
+    ++in_use_;
+    m->header = MessageHeader{};
+    m->payload.clear();
+    return m;
+  }
+  if (in_use_ >= capacity_) {
+    return Status(ErrorCode::kQueueFull, "message pool exhausted");
+  }
+  ++in_use_;
+  return std::make_unique<Message>();
+}
+
+void MessagePool::Release(std::unique_ptr<Message> message) {
+  --in_use_;
+  free_list_.push_back(std::move(message));
+}
+
+}  // namespace lrpc

@@ -1,0 +1,58 @@
+// Messages and message buffers for the conventional RPC baseline.
+//
+// Conventional cross-domain RPC moves arguments in messages: allocated from
+// a pool, enqueued on the server's port, dequeued by a receiver thread
+// (Section 2.3). The pool models the buffer-management cost LRPC avoids;
+// in SRC-RPC mode the pool is globally shared across domains and guarded by
+// the single lock that caps Figure 2's throughput.
+
+#ifndef SRC_RPC_MESSAGE_H_
+#define SRC_RPC_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+
+namespace lrpc {
+
+struct MessageHeader {
+  DomainId sender = kNoDomain;
+  DomainId receiver = kNoDomain;
+  ThreadId sender_thread = kNoThread;
+  std::uint32_t procedure = 0;
+  bool is_reply = false;
+};
+
+struct Message {
+  MessageHeader header;
+  std::vector<std::uint8_t> payload;
+
+  std::size_t size() const { return payload.size(); }
+};
+
+// A bounded pool of reusable message buffers.
+class MessagePool {
+ public:
+  explicit MessagePool(int capacity) : capacity_(capacity) {}
+
+  // Takes a buffer from the pool (or materializes one within capacity).
+  Result<std::unique_ptr<Message>> Acquire();
+
+  // Returns a buffer to the pool.
+  void Release(std::unique_ptr<Message> message);
+
+  int in_use() const { return in_use_; }
+  int capacity() const { return capacity_; }
+
+ private:
+  int capacity_;
+  int in_use_ = 0;
+  std::vector<std::unique_ptr<Message>> free_list_;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_RPC_MESSAGE_H_

@@ -1,0 +1,133 @@
+// The conventional message-passing RPC baseline (Section 2.3).
+//
+// Cross-domain calls are implemented with the facilities cross-machine ones
+// require: heavyweight stubs, message buffers, enqueue/dequeue on ports,
+// concrete server threads woken at a rendezvous, multi-level dispatch, and
+// (in the traditional mode) kernel access validation on call and return.
+//
+// Three variants are modeled, matching the systems the paper compares:
+//
+//   kTraditional    Messages copied through the kernel (copies A B C E on
+//                   call, B C F on return — Table 3), access validation on
+//                   both legs, general scheduling through the ready queue.
+//
+//   kSrcFirefly     SRC RPC, the Firefly's native system (the paper's
+//                   "Taos" baseline): message buffers globally shared so
+//                   the kernel copies disappear (A E on call), access
+//                   validation skipped, handoff scheduling — but one global
+//                   lock guards buffer acquisition and the transfer path,
+//                   which caps multiprocessor throughput (Figure 2).
+//
+//   kRestrictedDash DASH-style restricted message passing: buffers live in
+//                   a region mapped into kernel and user domains, so one
+//                   sender/kernel->receiver copy replaces the two kernel
+//                   copies (A D E on call, B F on return — Table 3).
+
+#ifndef SRC_RPC_MSG_RPC_H_
+#define SRC_RPC_MSG_RPC_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/kern/kernel.h"
+#include "src/lrpc/interface.h"
+#include "src/lrpc/runtime.h"
+#include "src/rpc/message.h"
+#include "src/rpc/port.h"
+#include "src/sim/segment_sim.h"
+
+namespace lrpc {
+
+enum class MsgRpcMode : std::uint8_t {
+  kTraditional,
+  kSrcFirefly,
+  kRestrictedDash,
+};
+
+std::string_view MsgRpcModeName(MsgRpcMode mode);
+
+// A server registered with the message system: a port, a pool of concrete
+// worker threads, and the interface whose handlers execute the calls.
+class MsgServer {
+ public:
+  MsgServer(Kernel& kernel, DomainId domain, const Interface* iface,
+            int worker_threads, int port_depth);
+
+  DomainId domain() const { return domain_; }
+  const Interface* interface_spec() const { return iface_; }
+  Port& port() { return *port_; }
+
+  // An idle worker ready to take a request, or null (caller serialization).
+  Thread* ClaimWorker(Kernel& kernel);
+  void ReleaseWorker(Thread* worker);
+
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  DomainId domain_;
+  const Interface* iface_;
+  std::unique_ptr<Port> port_;
+  std::vector<ThreadId> workers_;
+  std::vector<bool> busy_;
+  Kernel& kernel_;
+};
+
+// The client's handle on a message-RPC server.
+struct MsgBinding {
+  DomainId client = kNoDomain;
+  MsgServer* server = nullptr;
+};
+
+class MsgRpcSystem {
+ public:
+  MsgRpcSystem(Kernel& kernel, MsgRpcMode mode);
+
+  MsgRpcMode mode() const { return mode_; }
+  Kernel& kernel() { return kernel_; }
+
+  // Registers `iface`'s procedures as a message-RPC service.
+  MsgServer* RegisterServer(DomainId domain, const Interface* iface,
+                            int worker_threads = 2, int port_depth = 16);
+
+  // Client-side bind (name-free: the baseline's binding machinery is not
+  // under study; Table 2-4 measure the transfer path).
+  MsgBinding Bind(DomainId client, MsgServer* server) {
+    return MsgBinding{client, server};
+  }
+
+  // The full message-path call: marshal into a message, move it to the
+  // server (mode-dependent copies), wake a concrete server thread, execute,
+  // and ship the reply back.
+  Status Call(Processor& cpu, ThreadId thread, MsgBinding& binding,
+              int procedure, std::span<const CallArg> args,
+              std::span<const CallRet> rets, CallStats* stats = nullptr);
+
+  // The single lock SRC RPC holds across buffer acquisition and the
+  // transfer path.
+  SimLock& global_lock() { return global_lock_; }
+  MessagePool& pool() { return pool_; }
+
+  // The Null call's path as a segment list for segment-level throughput
+  // simulation (src/sim/segment_sim.h). Mirrors Call()'s structure exactly;
+  // tests assert that the totals and the global-lock hold time match the
+  // functional path.
+  static std::vector<CallSegment> SrcNullCallSegments(const MachineModel& model);
+
+ private:
+  // One copy operation over `bytes`: setup + per-byte.
+  void ChargeCopy(Processor& cpu, std::size_t bytes);
+
+  Kernel& kernel_;
+  MsgRpcMode mode_;
+  SimLock global_lock_;
+  MessagePool pool_;
+  std::vector<std::unique_ptr<MsgServer>> servers_;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_RPC_MSG_RPC_H_

@@ -1,0 +1,143 @@
+#include "src/rpc/peer_systems.h"
+
+namespace lrpc {
+
+SimDuration PeerSystem::RunNull(Processor& cpu) const {
+  const SimTime start = cpu.clock();
+  // The theoretical minimum: one procedure call, a trap and a context
+  // switch on call, and a trap and a context switch on return.
+  cpu.Charge(CostCategory::kProcedureCall, machine.procedure_call);
+  cpu.Charge(CostCategory::kKernelTrap, machine.kernel_trap);
+  cpu.Charge(CostCategory::kContextSwitch, machine.context_switch);
+  // The system's overhead, split evenly across call and return legs.
+  for (int leg = 0; leg < 2; ++leg) {
+    cpu.Charge(CostCategory::kMsgStub, Micros(stub_overhead_us / 2));
+    cpu.Charge(CostCategory::kMsgBufferMgmt, Micros(buffer_overhead_us / 2));
+    cpu.Charge(CostCategory::kMsgValidation, Micros(validation_overhead_us / 2));
+    cpu.Charge(CostCategory::kMsgQueueOps, Micros(transfer_overhead_us / 2));
+    cpu.Charge(CostCategory::kMsgScheduling, Micros(scheduling_overhead_us / 2));
+    cpu.Charge(CostCategory::kMsgDispatch, Micros(dispatch_overhead_us / 2));
+    cpu.Charge(CostCategory::kMsgRuntime, Micros(runtime_overhead_us / 2));
+  }
+  cpu.Charge(CostCategory::kKernelTrap, machine.kernel_trap);
+  cpu.Charge(CostCategory::kContextSwitch, machine.context_switch);
+  return cpu.clock() - start;
+}
+
+std::vector<PeerSystem> Table2Systems() {
+  std::vector<PeerSystem> systems;
+
+  {
+    // Accent on the PERQ [Fitzgerald 86]: microcoded machine, VM-integrated
+    // IPC; by far the heaviest stubs and buffer machinery of the group.
+    PeerSystem s;
+    s.name = "Accent";
+    s.processor = "PERQ";
+    s.machine = MachineModel::Perq();
+    s.stub_overhead_us = 450;
+    s.buffer_overhead_us = 420;
+    s.validation_overhead_us = 250;
+    s.transfer_overhead_us = 190;
+    s.scheduling_overhead_us = 300;
+    s.dispatch_overhead_us = 146;
+    s.runtime_overhead_us = 100;
+    s.published_minimum_us = 444;
+    s.published_actual_us = 2300;
+    systems.push_back(s);
+  }
+  {
+    // Taos / SRC RPC on the C-VAX Firefly (the authors' measurement).
+    PeerSystem s;
+    s.name = "Taos";
+    s.processor = "Firefly C-VAX";
+    s.machine = MachineModel::CVaxFirefly();
+    s.stub_overhead_us = 70;
+    s.buffer_overhead_us = 60;
+    s.validation_overhead_us = 0;  // SRC RPC skips access validation.
+    s.transfer_overhead_us = 45;
+    s.scheduling_overhead_us = 90;
+    s.dispatch_overhead_us = 50;
+    s.runtime_overhead_us = 40;
+    s.published_minimum_us = 109;
+    s.published_actual_us = 464;
+    systems.push_back(s);
+  }
+  {
+    // Mach on the C-VAX: port rights checked on both legs, typed messages.
+    // Mach's trap and switch paths are leaner than Taos' (minimum 90 us).
+    PeerSystem s;
+    s.name = "Mach";
+    s.processor = "C-VAX";
+    s.machine = MachineModel::CVaxFirefly();
+    s.machine.name = "C-VAX (Mach)";
+    s.machine.procedure_call = Micros(6);
+    s.machine.kernel_trap = Micros(15);
+    s.machine.context_switch = Micros(27);
+    s.stub_overhead_us = 140;
+    s.buffer_overhead_us = 120;
+    s.validation_overhead_us = 80;
+    s.transfer_overhead_us = 90;
+    s.scheduling_overhead_us = 120;
+    s.dispatch_overhead_us = 64;
+    s.runtime_overhead_us = 50;
+    s.published_minimum_us = 90;
+    s.published_actual_us = 754;
+    systems.push_back(s);
+  }
+  {
+    // The V system on the 68020: kernel message primitives optimized for
+    // 32-byte fixed messages.
+    PeerSystem s;
+    s.name = "V";
+    s.processor = "68020";
+    s.machine = MachineModel::M68020();
+    s.stub_overhead_us = 100;
+    s.buffer_overhead_us = 90;
+    s.validation_overhead_us = 60;
+    s.transfer_overhead_us = 75;
+    s.scheduling_overhead_us = 110;
+    s.dispatch_overhead_us = 75;
+    s.runtime_overhead_us = 50;
+    s.published_minimum_us = 170;
+    s.published_actual_us = 730;
+    systems.push_back(s);
+  }
+  {
+    // Amoeba on the 68020 [van Renesse et al. 88].
+    PeerSystem s;
+    s.name = "Amoeba";
+    s.processor = "68020";
+    s.machine = MachineModel::M68020();
+    s.stub_overhead_us = 110;
+    s.buffer_overhead_us = 100;
+    s.validation_overhead_us = 70;
+    s.transfer_overhead_us = 85;
+    s.scheduling_overhead_us = 125;
+    s.dispatch_overhead_us = 85;
+    s.runtime_overhead_us = 55;
+    s.published_minimum_us = 170;
+    s.published_actual_us = 800;
+    systems.push_back(s);
+  }
+  {
+    // DASH on the 68020 [Tzou & Anderson 88]: restricted message passing
+    // saves buffer copies but the full path is long.
+    PeerSystem s;
+    s.name = "DASH";
+    s.processor = "68020";
+    s.machine = MachineModel::M68020();
+    s.stub_overhead_us = 280;
+    s.buffer_overhead_us = 150;
+    s.validation_overhead_us = 130;
+    s.transfer_overhead_us = 230;
+    s.scheduling_overhead_us = 340;
+    s.dispatch_overhead_us = 180;
+    s.runtime_overhead_us = 110;
+    s.published_minimum_us = 170;
+    s.published_actual_us = 1590;
+    systems.push_back(s);
+  }
+  return systems;
+}
+
+}  // namespace lrpc

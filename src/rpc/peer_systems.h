@@ -1,0 +1,58 @@
+// The six systems of Table 2, as cost-model descriptions.
+//
+// Table 2 compares, for each system, the theoretically minimum cross-domain
+// Null time (one procedure call, two traps, two context switches on that
+// system's hardware) against the measured Null time; the difference is the
+// RPC system's overhead. The published totals are facts from the paper
+// ([Fitzgerald 86], [Tzou & Anderson 88], [van Renesse et al. 88] and the
+// authors' measurements); the decomposition of each overhead into the
+// conventional-RPC cost categories of Section 2.3 is a modeled estimate,
+// constrained to sum to the published number (verified by tests).
+
+#ifndef SRC_RPC_PEER_SYSTEMS_H_
+#define SRC_RPC_PEER_SYSTEMS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/machine.h"
+#include "src/sim/machine_model.h"
+
+namespace lrpc {
+
+struct PeerSystem {
+  std::string name;
+  std::string processor;
+  MachineModel machine;
+
+  // Overhead decomposition (Section 2.3's cost sources), microseconds.
+  double stub_overhead_us = 0;
+  double buffer_overhead_us = 0;
+  double validation_overhead_us = 0;
+  double transfer_overhead_us = 0;   // Queueing / flow control.
+  double scheduling_overhead_us = 0;
+  double dispatch_overhead_us = 0;
+  double runtime_overhead_us = 0;    // Run-time indirection & misc.
+
+  // Published values (for cross-checking the model).
+  double published_minimum_us = 0;
+  double published_actual_us = 0;
+
+  double OverheadTotal() const {
+    return stub_overhead_us + buffer_overhead_us + validation_overhead_us +
+           transfer_overhead_us + scheduling_overhead_us +
+           dispatch_overhead_us + runtime_overhead_us;
+  }
+
+  // Executes the system's Null call against its machine model on `cpu`,
+  // charging the minimum components and the overhead decomposition, and
+  // returns the simulated total.
+  SimDuration RunNull(Processor& cpu) const;
+};
+
+// The rows of Table 2 (plus LRPC itself for the comparison benches).
+std::vector<PeerSystem> Table2Systems();
+
+}  // namespace lrpc
+
+#endif  // SRC_RPC_PEER_SYSTEMS_H_

@@ -1,0 +1,27 @@
+#include "src/rpc/port.h"
+
+namespace lrpc {
+
+Status Port::Enqueue(Processor& cpu, std::unique_ptr<Message> message) {
+  if (closed_) {
+    return Status(ErrorCode::kPortClosed);
+  }
+  SimLockGuard guard(lock_, cpu);
+  if (static_cast<int>(queue_.size()) >= depth_limit_) {
+    return Status(ErrorCode::kQueueFull, "port flow control");
+  }
+  queue_.push_back(std::move(message));
+  return Status::Ok();
+}
+
+std::unique_ptr<Message> Port::Dequeue(Processor& cpu) {
+  SimLockGuard guard(lock_, cpu);
+  if (queue_.empty()) {
+    return nullptr;
+  }
+  std::unique_ptr<Message> m = std::move(queue_.front());
+  queue_.pop_front();
+  return m;
+}
+
+}  // namespace lrpc

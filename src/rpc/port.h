@@ -1,0 +1,54 @@
+// Ports: per-server message queues with flow control.
+//
+// "The sender must enqueue the message, which must later be dequeued by the
+// receiver. Flow-control of these queues is often necessary" (Section 2.3).
+
+#ifndef SRC_RPC_PORT_H_
+#define SRC_RPC_PORT_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/rpc/message.h"
+#include "src/sim/sim_lock.h"
+
+namespace lrpc {
+
+class Port {
+ public:
+  Port(DomainId owner, std::string name, int depth_limit)
+      : owner_(owner),
+        name_(std::move(name)),
+        depth_limit_(depth_limit),
+        lock_("port." + name_) {}
+
+  DomainId owner() const { return owner_; }
+  const std::string& name() const { return name_; }
+
+  bool closed() const { return closed_; }
+  void Close() { closed_ = true; }
+
+  // Enqueues under the port lock; rejects when flow control trips.
+  Status Enqueue(Processor& cpu, std::unique_ptr<Message> message);
+
+  // Dequeues the oldest message, or null when empty.
+  std::unique_ptr<Message> Dequeue(Processor& cpu);
+
+  std::size_t depth() const { return queue_.size(); }
+  SimLock& lock() { return lock_; }
+
+ private:
+  DomainId owner_;
+  std::string name_;
+  int depth_limit_;
+  bool closed_ = false;
+  SimLock lock_;
+  std::deque<std::unique_ptr<Message>> queue_;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_RPC_PORT_H_

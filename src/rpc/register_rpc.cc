@@ -1,0 +1,67 @@
+#include "src/rpc/register_rpc.h"
+
+#include "src/common/rng.h"
+
+namespace lrpc {
+
+SimDuration RegisterRpcModel::CallCost(const MachineModel& machine,
+                                       std::size_t total_bytes) const {
+  if (total_bytes <= register_capacity) {
+    // Arguments travel in registers across the trap: no marshaling, no
+    // buffer, no copy — the discontinuity's good side.
+    return machine.TheoreticalMinimumNull() + register_path_overhead;
+  }
+  // Overflow: back to the general message path. Null fixed cost plus two
+  // message copies (in and out of the message) per byte.
+  const SimDuration msg_null =
+      machine.TheoreticalMinimumNull() + machine.msg_stub +
+      machine.msg_buffer_mgmt + machine.msg_queue_ops +
+      machine.msg_scheduling + 2 * (machine.thread_block + machine.thread_wakeup) +
+      machine.msg_dispatch + machine.msg_runtime;
+  return msg_null + 2 * (machine.msg_copy_setup +
+                         Micros(machine.msg_copy_per_byte_us *
+                                static_cast<double>(total_bytes)));
+}
+
+RegisterRpcModel::ExpectedCost RegisterRpcModel::ExpectedUnderFigure1(
+    const MachineModel& machine, const CallSizeModel& sizes,
+    std::uint64_t seed, int samples) const {
+  Rng rng(seed);
+  ExpectedCost result;
+  double total_us = 0;
+  int overflowed = 0;
+  for (int i = 0; i < samples; ++i) {
+    const std::uint32_t bytes = sizes.Sample(rng);
+    total_us += ToMicros(CallCost(machine, bytes));
+    if (bytes > register_capacity) {
+      ++overflowed;
+    }
+  }
+  result.mean_us = total_us / samples;
+  result.overflow_fraction = static_cast<double>(overflowed) / samples;
+  return result;
+}
+
+SimDuration VMessageModel::CallCost(const MachineModel& machine,
+                                    std::size_t total_bytes) const {
+  if (total_bytes <= fixed_message_bytes) {
+    return machine.TheoreticalMinimumNull() + fixed_path_overhead;
+  }
+  return machine.TheoreticalMinimumNull() + fixed_path_overhead +
+         segment_setup +
+         Micros(segment_per_byte_us * static_cast<double>(total_bytes));
+}
+
+SimDuration LrpcCallCostForBytes(const MachineModel& machine,
+                                 std::size_t total_bytes) {
+  SimDuration cost = machine.TheoreticalMinimumNull() +
+                     machine.LrpcOverheadNull();
+  if (total_bytes > 0) {
+    cost += machine.lrpc_copy_per_arg +
+            Micros(machine.lrpc_copy_per_byte_us *
+                   static_cast<double>(total_bytes));
+  }
+  return cost;
+}
+
+}  // namespace lrpc

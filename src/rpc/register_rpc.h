@@ -1,0 +1,77 @@
+// Register-passing cross-domain call optimization (Karger, ASPLOS 1989),
+// as discussed in Section 2.2 of the LRPC paper:
+//
+//   "Karger describes compiler-driven techniques for passing parameters in
+//    registers during cross-domain calls. These optimizations, although
+//    sometimes effective, only partially address the performance problems
+//    of cross-domain communication. ... Optimizations based on passing
+//    arguments in registers exhibit a performance discontinuity once the
+//    parameters overflow the registers. The data in Figure 1 indicates
+//    that this can be a frequent problem."
+//
+// The model: a call whose total argument/result bytes fit the register file
+// pays only the hardware minimum plus a thin stub; one byte more and it
+// falls off the cliff onto the full message path. Combined with the
+// Figure 1 size distribution this quantifies "a frequent problem".
+
+#ifndef SRC_RPC_REGISTER_RPC_H_
+#define SRC_RPC_REGISTER_RPC_H_
+
+#include <cstddef>
+
+#include "src/sim/machine_model.h"
+#include "src/trace/size_model.h"
+
+namespace lrpc {
+
+struct RegisterRpcModel {
+  // Bytes that fit in the argument registers (Karger's technique targets
+  // a handful of machine registers; 32 bytes ~ 8 32-bit registers).
+  std::size_t register_capacity = 32;
+  // Thin-stub overhead for the register path (no marshaling, no buffers).
+  SimDuration register_path_overhead = Micros(40);
+
+  // Cost of one call carrying `total_bytes` of arguments+results on the
+  // given machine. Fits-in-registers: minimum + thin stub. Overflow: the
+  // full SRC-RPC message path (464 us on the C-VAX) plus its copy costs.
+  SimDuration CallCost(const MachineModel& machine,
+                       std::size_t total_bytes) const;
+
+  // Expected per-call cost under the Figure 1 size distribution, and the
+  // fraction of calls that overflow the registers, estimated over `samples`
+  // draws. Deterministic for a fixed seed.
+  struct ExpectedCost {
+    double mean_us = 0;
+    double overflow_fraction = 0;
+  };
+  ExpectedCost ExpectedUnderFigure1(const MachineModel& machine,
+                                    const CallSizeModel& sizes,
+                                    std::uint64_t seed,
+                                    int samples = 200000) const;
+};
+
+// The V system's optimization (Section 2.2): "V, for example, uses a
+// message protocol that has been optimized for fixed-sized messages of 32
+// bytes." Calls fitting the fixed message ride the fast kernel path; larger
+// payloads fall back to a segment-transfer mechanism with per-byte cost.
+struct VMessageModel {
+  std::size_t fixed_message_bytes = 32;
+  // The optimized kernel path for one fixed message exchange (V's Null is
+  // 730 us on the 68020; scaled to the C-VAX comparison this sits between
+  // LRPC and the general message path).
+  SimDuration fixed_path_overhead = Micros(180);
+  // The fallback: segment transfer setup plus per-byte movement.
+  SimDuration segment_setup = Micros(320);
+  double segment_per_byte_us = 0.35;
+
+  SimDuration CallCost(const MachineModel& machine,
+                       std::size_t total_bytes) const;
+};
+
+// LRPC's cost for the same payload, for comparison (157 us + one copy).
+SimDuration LrpcCallCostForBytes(const MachineModel& machine,
+                                 std::size_t total_bytes);
+
+}  // namespace lrpc
+
+#endif  // SRC_RPC_REGISTER_RPC_H_

@@ -1,0 +1,144 @@
+// A-stacks (argument stacks) and their linkage records.
+//
+// At bind time the kernel allocates, for each procedure descriptor (or each
+// group of procedures sharing similarly-sized A-stacks), a number of
+// argument stacks mapped read-write into both the client and server domains
+// (Section 3.1). Arguments and results travel on the A-stack; the kernel
+// keeps one linkage record per A-stack — accessible only to the kernel — in
+// which the caller's return address and stack pointer are recorded at call
+// time. A-stacks are laid out contiguously so that
+//   (a) call-time validation is a simple range check, and
+//   (b) the linkage record is quickly located from any A-stack address.
+// Later (non-contiguous) allocations are supported but validate more slowly
+// (Section 5.2).
+
+#ifndef SRC_SHM_ASTACK_H_
+#define SRC_SHM_ASTACK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/shm/segment.h"
+#include "src/sim/sim_lock.h"
+#include "src/sim/time.h"
+
+namespace lrpc {
+
+// Kernel-private call linkage. One per A-stack.
+struct LinkageRecord {
+  bool valid = true;         // Invalidated when a party domain terminates.
+  bool in_use = false;       // An outstanding call owns this A-stack/linkage.
+  ThreadId caller_thread = kNoThread;
+  DomainId caller_domain = kNoDomain;
+  BindingId binding = kNoBinding;
+  std::uint32_t procedure = 0;
+  std::uint64_t return_address = 0;      // Simulated client PC.
+  std::uint64_t saved_stack_pointer = 0; // Simulated client SP.
+};
+
+// One contiguous run of equally-sized A-stacks shared pair-wise between a
+// client and a server domain, with their co-located linkage records.
+class AStackRegion {
+ public:
+  AStackRegion(DomainId client, DomainId server, std::size_t astack_size,
+               int count, bool secondary);
+
+  DomainId client() const { return client_; }
+  DomainId server() const { return server_; }
+  std::size_t astack_size() const { return astack_size_; }
+  int count() const { return count_; }
+  // True when allocated after bind time, outside the primary contiguous
+  // range: validation takes the slower path (Section 5.2).
+  bool secondary() const { return secondary_; }
+
+  SharedSegment& segment() { return segment_; }
+  const SharedSegment& segment() const { return segment_; }
+
+  std::size_t OffsetOf(int index) const {
+    return static_cast<std::size_t>(index) * astack_size_;
+  }
+
+  // The fast call-time check: is `offset` the base of an A-stack in this
+  // region? Returns the A-stack index.
+  Result<int> ValidateOffset(std::size_t offset) const;
+
+  LinkageRecord& linkage(int index) { return linkages_[static_cast<std::size_t>(index)]; }
+  const LinkageRecord& linkage(int index) const {
+    return linkages_[static_cast<std::size_t>(index)];
+  }
+
+  // Lazy A-stack/E-stack association (Section 3.2): the id of the E-stack
+  // currently associated with A-stack `index`, or -1.
+  int estack_of(int index) const { return estacks_[static_cast<std::size_t>(index)]; }
+  void set_estack(int index, int estack) {
+    estacks_[static_cast<std::size_t>(index)] = estack;
+  }
+
+  // Timestamp of the most recent call on each A-stack; the kernel reclaims
+  // E-stacks from A-stacks not recently used.
+  SimTime last_used(int index) const { return last_used_[static_cast<std::size_t>(index)]; }
+  void set_last_used(int index, SimTime t) {
+    last_used_[static_cast<std::size_t>(index)] = t;
+  }
+
+  // Invalidate every linkage in this region (domain termination, §5.3).
+  void InvalidateAllLinkages();
+
+ private:
+  DomainId client_;
+  DomainId server_;
+  std::size_t astack_size_;
+  int count_;
+  bool secondary_;
+  SharedSegment segment_;
+  std::vector<LinkageRecord> linkages_;
+  std::vector<int> estacks_;
+  std::vector<SimTime> last_used_;
+};
+
+// A reference to one A-stack: the region plus the index within it.
+struct AStackRef {
+  AStackRegion* region = nullptr;
+  int index = -1;
+
+  bool valid() const { return region != nullptr && index >= 0; }
+  std::size_t offset() const { return region->OffsetOf(index); }
+  LinkageRecord& linkage() const { return region->linkage(index); }
+
+  friend bool operator==(const AStackRef& a, const AStackRef& b) {
+    return a.region == b.region && a.index == b.index;
+  }
+};
+
+// The client-side free list for one procedure (or A-stack-sharing group):
+// a LIFO guarded by its own lock, so that queueing operations on different
+// interfaces never contend (Section 3.4).
+class AStackQueue {
+ public:
+  explicit AStackQueue(std::string name) : lock_(std::move(name)) {}
+
+  // Pushes a free A-stack (bind time, or call return). `charge_while_held`
+  // is the queueing work performed inside the critical section (part of the
+  // stub cost; it determines the lock's hold time and therefore contention,
+  // Section 3.4).
+  void Push(Processor& cpu, AStackRef ref, SimDuration charge_while_held = 0);
+
+  // Pops the most recently used A-stack. Returns kAStacksExhausted when the
+  // queue is empty: the caller then decides to wait or allocate more
+  // (Section 5.2).
+  Result<AStackRef> Pop(Processor& cpu, SimDuration charge_while_held = 0);
+
+  std::size_t size() const { return stacks_.size(); }
+  SimLock& lock() { return lock_; }
+
+ private:
+  SimLock lock_;
+  std::vector<AStackRef> stacks_;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_SHM_ASTACK_H_

@@ -1,0 +1,84 @@
+// SharedSegment: a region of memory with explicit per-domain mapping rights.
+//
+// LRPC's data-transfer story rests on pair-wise shared argument stacks:
+// the kernel maps each A-stack read-write into exactly the client and server
+// domains of one binding, giving a private channel that third parties cannot
+// touch (Section 3.5). Hardware enforces this on the Firefly; here a real
+// byte buffer plus an access-rights check on every domain-mediated access
+// reproduces the same guarantees observably: tests assert that a third
+// domain's access fails with kPermissionDenied.
+//
+// The kernel itself accesses segments without rights checks (it maps
+// everything), via the *Unchecked accessors.
+
+#ifndef SRC_SHM_SEGMENT_H_
+#define SRC_SHM_SEGMENT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+
+namespace lrpc {
+
+enum class MapRights : std::uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kReadWrite = 3,
+};
+
+class SharedSegment {
+ public:
+  explicit SharedSegment(std::size_t size) : bytes_(size, 0) {}
+
+  std::size_t size() const { return bytes_.size(); }
+
+  // --- Mapping management (kernel-only operations). ---
+  void GrantMapping(DomainId domain, MapRights rights);
+  void RevokeMapping(DomainId domain);
+  MapRights RightsFor(DomainId domain) const;
+  bool CanRead(DomainId domain) const;
+  bool CanWrite(DomainId domain) const;
+
+  // --- Domain-mediated access (rights-checked). ---
+  Status Write(DomainId domain, std::size_t offset, const void* data,
+               std::size_t len);
+  Status Read(DomainId domain, std::size_t offset, void* out,
+              std::size_t len) const;
+
+  // Typed helpers for small scalar values.
+  template <typename T>
+  Status WriteValue(DomainId domain, std::size_t offset, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return Write(domain, offset, &value, sizeof(T));
+  }
+  template <typename T>
+  Status ReadValue(DomainId domain, std::size_t offset, T* out) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return Read(domain, offset, out, sizeof(T));
+  }
+
+  // --- Kernel access (no rights check; bounds still enforced). ---
+  std::uint8_t* DataUnchecked() { return bytes_.data(); }
+  const std::uint8_t* DataUnchecked() const { return bytes_.data(); }
+
+ private:
+  struct Mapping {
+    DomainId domain;
+    MapRights rights;
+  };
+
+  bool InBounds(std::size_t offset, std::size_t len) const {
+    return offset <= bytes_.size() && len <= bytes_.size() - offset;
+  }
+
+  std::vector<std::uint8_t> bytes_;
+  // Small linear map: a segment is mapped into at most a handful of domains.
+  std::vector<Mapping> mappings_;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_SHM_SEGMENT_H_

@@ -1,0 +1,51 @@
+#include "src/sim/cost_ledger.h"
+
+namespace lrpc {
+
+std::string_view CostCategoryName(CostCategory category) {
+  switch (category) {
+    case CostCategory::kProcedureCall:
+      return "procedure call";
+    case CostCategory::kKernelTrap:
+      return "kernel trap";
+    case CostCategory::kContextSwitch:
+      return "context switch";
+    case CostCategory::kProcessorExchange:
+      return "processor exchange";
+    case CostCategory::kClientStub:
+      return "client stub";
+    case CostCategory::kServerStub:
+      return "server stub";
+    case CostCategory::kKernelPath:
+      return "kernel transfer path";
+    case CostCategory::kArgumentCopy:
+      return "argument copy";
+    case CostCategory::kTypeCheck:
+      return "type check";
+    case CostCategory::kLockWait:
+      return "lock wait";
+    case CostCategory::kMsgStub:
+      return "message stubs";
+    case CostCategory::kMsgBufferMgmt:
+      return "message buffer mgmt";
+    case CostCategory::kMsgQueueOps:
+      return "message queue ops";
+    case CostCategory::kMsgScheduling:
+      return "scheduling";
+    case CostCategory::kMsgDispatch:
+      return "dispatch";
+    case CostCategory::kMsgRuntime:
+      return "runtime indirection";
+    case CostCategory::kMsgValidation:
+      return "access validation";
+    case CostCategory::kNetwork:
+      return "network";
+    case CostCategory::kOther:
+      return "other";
+    case CostCategory::kCategoryCount:
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace lrpc

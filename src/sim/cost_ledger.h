@@ -1,0 +1,100 @@
+// CostLedger: phase-attributed simulated-time accounting.
+//
+// Table 5 of the paper breaks a Null LRPC's 157 us into hardware-minimum
+// components (procedure call, traps, context switches) and LRPC-overhead
+// components (stubs, kernel path). Every charge made against a processor's
+// clock carries a CostCategory so benches can regenerate that breakdown,
+// and so the copy-count table (Table 3) can be cross-checked against time.
+
+#ifndef SRC_SIM_COST_LEDGER_H_
+#define SRC_SIM_COST_LEDGER_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "src/sim/time.h"
+
+namespace lrpc {
+
+enum class CostCategory : std::uint8_t {
+  // Hardware-minimum components.
+  kProcedureCall = 0,   // The formal call into the client stub.
+  kKernelTrap,          // Trap into / out of the kernel.
+  kContextSwitch,       // VM register reload + TLB invalidation effects.
+  kProcessorExchange,   // MP domain caching: swap processors instead.
+  // LRPC overhead components.
+  kClientStub,
+  kServerStub,
+  kKernelPath,          // Binding validation, linkage management, E-stacks.
+  kArgumentCopy,        // Byte copying between stacks/messages.
+  kTypeCheck,           // Conformance checks folded into copies.
+  kLockWait,            // Time spent waiting for a contended lock.
+  // Message-RPC baseline components.
+  kMsgStub,
+  kMsgBufferMgmt,
+  kMsgQueueOps,
+  kMsgScheduling,
+  kMsgDispatch,
+  kMsgRuntime,
+  kMsgValidation,
+  // Cross-machine path.
+  kNetwork,
+  // Anything else (examples, tests).
+  kOther,
+  kCategoryCount,
+};
+
+std::string_view CostCategoryName(CostCategory category);
+
+class CostLedger {
+ public:
+  void Charge(CostCategory category, SimDuration amount) {
+    totals_[static_cast<std::size_t>(category)] += amount;
+  }
+
+  SimDuration total(CostCategory category) const {
+    return totals_[static_cast<std::size_t>(category)];
+  }
+
+  SimDuration GrandTotal() const {
+    SimDuration sum = 0;
+    for (SimDuration t : totals_) {
+      sum += t;
+    }
+    return sum;
+  }
+
+  // Sum of the hardware-minimum categories (Table 5 left column).
+  SimDuration MinimumTotal() const {
+    return total(CostCategory::kProcedureCall) +
+           total(CostCategory::kKernelTrap) +
+           total(CostCategory::kContextSwitch) +
+           total(CostCategory::kProcessorExchange);
+  }
+
+  // Sum of the LRPC-overhead categories (Table 5 right column).
+  SimDuration LrpcOverheadTotal() const {
+    return total(CostCategory::kClientStub) +
+           total(CostCategory::kServerStub) +
+           total(CostCategory::kKernelPath);
+  }
+
+  void Reset() { totals_.fill(0); }
+
+  CostLedger Diff(const CostLedger& earlier) const {
+    CostLedger d;
+    for (std::size_t i = 0; i < totals_.size(); ++i) {
+      d.totals_[i] = totals_[i] - earlier.totals_[i];
+    }
+    return d;
+  }
+
+ private:
+  std::array<SimDuration, static_cast<std::size_t>(CostCategory::kCategoryCount)>
+      totals_ = {};
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_SIM_COST_LEDGER_H_

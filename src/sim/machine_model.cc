@@ -1,0 +1,56 @@
+#include "src/sim/machine_model.h"
+
+namespace lrpc {
+
+MachineModel MachineModel::CVaxFirefly() {
+  MachineModel m;
+  m.name = "C-VAX Firefly";
+  // All defaults are the C-VAX calibration (Table 5 and DESIGN.md Sec. 6).
+  return m;
+}
+
+MachineModel MachineModel::MicroVaxIIFirefly() {
+  // The MicroVAX-II is roughly 1.4x slower than the C-VAX on this path;
+  // the Firefly built from them has five callable processors and slightly
+  // lower relative bus contention (speedup 4.3 with 5 processors).
+  MachineModel m = CVaxFirefly();
+  m.name = "MicroVAX-II Firefly";
+  const double kSlowdown = 1.4;
+  m.procedure_call = Micros(7 * kSlowdown);
+  m.kernel_trap = Micros(18 * kSlowdown);
+  m.context_switch = Micros(33 * kSlowdown);
+  m.processor_exchange = Micros(17 * kSlowdown);
+  m.lrpc_client_stub = Micros(18 * kSlowdown);
+  m.lrpc_server_stub = Micros(3 * kSlowdown);
+  m.lrpc_kernel_call = Micros(20 * kSlowdown);
+  m.lrpc_kernel_return = Micros(7 * kSlowdown);
+  m.tlb_miss_us = 0.9 * kSlowdown;
+  // 5 / (1 + 4*beta) = 4.3  =>  beta ~= 0.0407.
+  m.bus_contention_per_extra_processor = 0.0407;
+  return m;
+}
+
+MachineModel MachineModel::M68020() {
+  // Table 2 gives a 170 us theoretical-minimum Null for the 68020 systems
+  // (V, Amoeba, DASH). Decompose proportionally to the C-VAX shape:
+  // 170 = 11 (call) + 2*28 (traps) + 2*51.5 (switches).
+  MachineModel m = CVaxFirefly();
+  m.name = "68020";
+  m.procedure_call = Micros(11);
+  m.kernel_trap = Micros(28);
+  m.context_switch = Micros(51.5);
+  return m;
+}
+
+MachineModel MachineModel::Perq() {
+  // Accent's PERQ: microcoded, far slower; Table 2 gives a 444 us minimum.
+  // Decompose: 444 = 30 (call) + 2*72 (traps) + 2*135 (switches).
+  MachineModel m = CVaxFirefly();
+  m.name = "PERQ";
+  m.procedure_call = Micros(30);
+  m.kernel_trap = Micros(72);
+  m.context_switch = Micros(135);
+  return m;
+}
+
+}  // namespace lrpc

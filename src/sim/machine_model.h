@@ -1,0 +1,150 @@
+// MachineModel: the calibrated hardware/software cost model.
+//
+// The paper's results are reported on the DEC SRC Firefly with C-VAX
+// processors; Table 5 publishes the hardware constants (7 us procedure call,
+// 18 us kernel trap, 33 us context switch, 0.9 us TLB miss) and the LRPC
+// implementation path costs (18 us client stub, 3 us server stub, 27 us
+// kernel binding/linkage path). This struct captures those constants plus
+// the derived copy-cost coefficients (see DESIGN.md Section 6 for the
+// derivations from Table 4) and the message-RPC baseline coefficients.
+//
+// Other machines the paper mentions (MicroVAX-II Firefly, the 68020 systems
+// of Table 2, the PERQ) are expressed as alternative presets.
+
+#ifndef SRC_SIM_MACHINE_MODEL_H_
+#define SRC_SIM_MACHINE_MODEL_H_
+
+#include <string>
+
+#include "src/sim/network_model.h"
+#include "src/sim/time.h"
+
+namespace lrpc {
+
+struct MachineModel {
+  std::string name;
+
+  // --- Hardware minimum components (Table 5 "Minimum" column). ---
+  SimDuration procedure_call = Micros(7);    // One formal procedure call.
+  SimDuration kernel_trap = Micros(18);      // Each of the two traps.
+  SimDuration context_switch = Micros(33);   // Each of the two VM context
+                                             // switches, including the TLB
+                                             // refill cost it induces.
+
+  // --- TLB model (informational accounting; the latency consequence of
+  // invalidation is already folded into context_switch). ---
+  double tlb_miss_us = 0.9;                  // Cost per miss, microseconds.
+  int tlb_entries = 256;                     // Direct-mapped entries. Large
+                                             // enough that the working sets
+                                             // of a client/server pair do
+                                             // not alias; misses then come
+                                             // from invalidations, as on
+                                             // the real machine.
+
+  // --- LRPC implementation path (Table 5 "LRPC Overhead" column). ---
+  SimDuration lrpc_client_stub = Micros(18); // A-stack queue ops + reg setup.
+  SimDuration lrpc_server_stub = Micros(3);  // Frame prime + branch.
+  SimDuration lrpc_kernel_call = Micros(20); // Binding validation, A-stack
+                                             // check, linkage push, E-stack.
+  SimDuration lrpc_kernel_return = Micros(7);// Return path is simpler.
+
+  // --- LRPC argument copy model (derived from Table 4; DESIGN.md Sec. 6):
+  // each argument copy operation costs copy_per_arg + bytes*copy_per_byte.
+  SimDuration lrpc_copy_per_arg = Micros(5.0 / 3.0);
+  double lrpc_copy_per_byte_us = 1.0 / 6.0;
+
+  // Extra A-stack validation cost when the A-stack lives in the secondary
+  // (non-contiguous) region and the fast range check fails (Section 5.2).
+  SimDuration lrpc_secondary_astack_check = Micros(6);
+
+  // Out-of-band segment transfer setup for oversized arguments (Section 5.2:
+  // "complicated and relatively expensive, but infrequent").
+  SimDuration lrpc_out_of_band_setup = Micros(120);
+
+  // Type-checked copy surcharge per checked argument (the conformance check
+  // folded into the copy; Section 3.5).
+  SimDuration lrpc_type_check_per_arg = Micros(0.4);
+
+  // Recreating a reference on the server's E-stack for a by-reference
+  // parameter (the caller's address is never trusted; Section 3.2).
+  SimDuration lrpc_byref_recreate = Micros(0.5);
+
+  // --- Multiprocessor path (Section 3.4). ---
+  // Exchanging the calling thread onto a processor idling in the server's
+  // context, in place of one context switch. Calibrated so a Null LRPC/MP
+  // is 125 us: 157 - 2*33 + 2*17 = 125.
+  SimDuration processor_exchange = Micros(17);
+  // After an exchange the A-stack and client pages are cold in the new
+  // processor's cache; calibrated from Table 4's BigIn/BigInOut MP rows.
+  double exchange_cold_per_byte_us = 0.06;
+
+  // A-stack free-queue lock: two short critical sections per call, < 2% of
+  // total call time (Section 3.4). These nanoseconds are accounted *inside*
+  // lrpc_client_stub; the lock object only serializes concurrent callers.
+  SimDuration astack_queue_lock_hold = Micros(1.5);
+
+  // Memory-bus contention: each concurrently-calling processor slows every
+  // other by this fraction. Calibrated from Figure 2 (speedup 3.7 at 4
+  // C-VAX processors) and the 5-processor MicroVAX-II run (speedup 4.3).
+  double bus_contention_per_extra_processor = 0.036;
+
+  // --- Message-passing RPC baseline (SRC RPC / Taos; Section 2.3). ---
+  // Fixed path costs per Null call; each is split evenly across the call
+  // and return legs. Overhead sums to 464 - 109 = 355 us:
+  //   stub 70 + buffers 60 + queueing 45 + scheduling (30 lump + 2 handoffs
+  //   of thread_block+thread_wakeup = 60) + dispatch 50 + runtime 40.
+  SimDuration msg_stub = Micros(70);          // "about 70 microseconds".
+  SimDuration msg_buffer_mgmt = Micros(60);   // Dynamic buffer management.
+  SimDuration msg_queue_ops = Micros(45);     // Enqueue + dequeue + flow ctl.
+  SimDuration msg_scheduling = Micros(30);    // Scheduler-state lump on top
+                                              // of the block/wakeup pairs.
+  SimDuration msg_dispatch = Micros(50);      // Multi-level dispatch.
+  SimDuration msg_runtime = Micros(40);       // Run-time indirection.
+  SimDuration msg_validation = Micros(25);    // Access validation per leg;
+                                              // SRC RPC mode skips this.
+  // Each message copy operation costs the same as any other memcpy on this
+  // machine: setup + per-byte. Slightly above the A-stack coefficients
+  // because the marshaling code is more general (calibrated from Table 4's
+  // Taos column: BigIn +75 us, BigInOut +172 us).
+  SimDuration msg_copy_setup = Micros(5.0 / 3.0);
+  double msg_copy_per_byte_us = 0.175;
+  SimDuration msg_per_arg = Micros(1.0);      // Per-argument stub handling.
+  // Results wider than the register-passing limit force a reply buffer.
+  SimDuration msg_reply_buffer_penalty = Micros(20);
+  int msg_register_result_bytes = 4;
+  // The SRC RPC global lock's hold time is emergent: the buffer and
+  // transfer critical sections sum to 245 us per Null call, which caps
+  // throughput near 4000 calls/s (Figure 2's plateau).
+
+  // --- Cross-machine (network) path (Section 5.1/5.2). ---
+  // Packetizing Ethernet model; see src/sim/network_model.h.
+  NetworkModel network;
+
+  // --- Scheduler / thread costs for the message baseline substrate. ---
+  SimDuration thread_block = Micros(15);
+  SimDuration thread_wakeup = Micros(15);
+
+  // ---- Presets ----
+  // The machine the paper's main results use: 4 C-VAX processor Firefly
+  // (plus a MicroVAX-II I/O processor, which takes no calls).
+  static MachineModel CVaxFirefly();
+  // The five-processor MicroVAX-II Firefly (Section 4: speedup 4.3).
+  static MachineModel MicroVaxIIFirefly();
+  // Generic 68020 machine used by V, Amoeba and DASH in Table 2.
+  static MachineModel M68020();
+  // The PERQ that Accent ran on (Table 2).
+  static MachineModel Perq();
+
+  // Derived values for reporting.
+  SimDuration TheoreticalMinimumNull() const {
+    return procedure_call + 2 * kernel_trap + 2 * context_switch;
+  }
+  SimDuration LrpcOverheadNull() const {
+    return lrpc_client_stub + lrpc_server_stub + lrpc_kernel_call +
+           lrpc_kernel_return;
+  }
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_SIM_MACHINE_MODEL_H_

@@ -1,0 +1,29 @@
+#include "src/sim/network_model.h"
+
+namespace lrpc {
+
+int NetworkModel::PacketsFor(std::uint64_t bytes) const {
+  if (bytes == 0) {
+    return 1;  // The request/reply packet itself.
+  }
+  return static_cast<int>((bytes + max_packet_payload - 1) /
+                          max_packet_payload);
+}
+
+SimDuration NetworkModel::ChargeOneWay(Processor& cpu,
+                                       std::uint64_t bytes) const {
+  const int packets = PacketsFor(bytes);
+  SimDuration total = 0;
+  total += packets * per_packet_overhead;
+  total += per_packet_turnaround;  // The exchange's base turnaround.
+  total += Micros(per_byte_us * static_cast<double>(bytes));
+  if (packets > 1) {
+    // Stop-and-wait continuation for every packet after the first: the
+    // "performance problems" of multi-packet calls (Section 5.2).
+    total += (packets - 1) * per_extra_packet_ack;
+  }
+  cpu.Charge(CostCategory::kNetwork, total);
+  return total;
+}
+
+}  // namespace lrpc

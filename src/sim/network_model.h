@@ -1,0 +1,47 @@
+// The simulated network: Ethernet-style packetization for the
+// cross-machine path (Section 5.1/5.2).
+//
+// RPC protocols of the era were built on simple packet-exchange protocols;
+// a call whose arguments fit one packet is cheap, and "multi-packet calls
+// have performance problems" — which is why interface writers kept payloads
+// under the packet size (the Figure 1 spike at 1448 bytes) and why the
+// A-stack default is the Ethernet packet size. This model charges per
+// packet (protocol work + wire serialization + per-packet acknowledgment
+// turnaround), making the multi-packet penalty emergent.
+
+#ifndef SRC_SIM_NETWORK_MODEL_H_
+#define SRC_SIM_NETWORK_MODEL_H_
+
+#include <cstdint>
+
+#include "src/sim/processor.h"
+#include "src/sim/time.h"
+
+namespace lrpc {
+
+struct NetworkModel {
+  // 10 Mbit/s Ethernet: ~0.8 us/byte on the wire; controller and
+  // checksumming land near 1 us/byte end to end.
+  double per_byte_us = 1.0;
+  // Per-packet protocol work: header build/parse, interrupt, buffer.
+  SimDuration per_packet_overhead = Micros(300);
+  // Media access + propagation + receiver turnaround per packet exchange.
+  SimDuration per_packet_turnaround = Micros(800);
+  // Maximum payload bytes per packet (Ethernet MTU minus headers).
+  std::uint32_t max_packet_payload = 1448;
+  // Multi-packet transfers need a stop-and-wait acknowledgment per extra
+  // packet (the simple packet-exchange protocols the paper refers to).
+  SimDuration per_extra_packet_ack = Micros(600);
+
+  // Number of packets a payload of `bytes` needs (at least one: even a
+  // Null call sends a request packet).
+  int PacketsFor(std::uint64_t bytes) const;
+
+  // Charges `cpu` for moving `bytes` one way and returns the simulated
+  // duration charged (category kNetwork).
+  SimDuration ChargeOneWay(Processor& cpu, std::uint64_t bytes) const;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_SIM_NETWORK_MODEL_H_

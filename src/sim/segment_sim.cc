@@ -1,0 +1,78 @@
+#include "src/sim/segment_sim.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace lrpc {
+
+SegmentLoopResult RunSegmentLoop(Machine& machine,
+                                 const std::vector<CallSegment>& segments,
+                                 int processors, int calls_per_processor) {
+  LRPC_CHECK(processors >= 1);
+  LRPC_CHECK(processors <= machine.processor_count());
+  SegmentLoopResult result;
+  for (const CallSegment& s : segments) {
+    result.total_per_call += s.duration;
+    if (s.locked) {
+      result.lock_hold_per_call += s.duration;
+    }
+  }
+
+  machine.set_active_processors(processors);
+  const double factor = machine.ContentionFactor();
+
+  struct ProcState {
+    SimTime clock = 0;
+    std::size_t next_segment = 0;
+    int calls_done = 0;
+  };
+  std::vector<ProcState> procs(static_cast<std::size_t>(processors));
+  SimTime lock_free_at = 0;
+  SimTime end = 0;
+
+  int remaining = processors;
+  while (remaining > 0) {
+    // Advance the globally-earliest processor by one segment (exact FIFO
+    // handover for the shared lock).
+    int best = -1;
+    for (int p = 0; p < processors; ++p) {
+      const auto& st = procs[static_cast<std::size_t>(p)];
+      if (st.calls_done >= calls_per_processor) {
+        continue;
+      }
+      if (best < 0 ||
+          st.clock < procs[static_cast<std::size_t>(best)].clock) {
+        best = p;
+      }
+    }
+    ProcState& st = procs[static_cast<std::size_t>(best)];
+    const CallSegment& segment = st.next_segment < segments.size()
+                                     ? segments[st.next_segment]
+                                     : segments.back();
+    if (segment.locked) {
+      // Spin until the lock is free, then hold it for the (unscaled)
+      // segment duration: the holder runs effectively alone.
+      st.clock = std::max(st.clock, lock_free_at);
+      st.clock += segment.duration;
+      lock_free_at = st.clock;
+    } else {
+      st.clock += static_cast<SimDuration>(
+          static_cast<double>(segment.duration) * factor + 0.5);
+    }
+    if (++st.next_segment == segments.size()) {
+      st.next_segment = 0;
+      if (++st.calls_done == calls_per_processor) {
+        --remaining;
+        end = std::max(end, st.clock);
+      }
+    }
+  }
+
+  const double total_calls =
+      static_cast<double>(processors) * calls_per_processor;
+  result.calls_per_second = total_calls / ToSeconds(end);
+  return result;
+}
+
+}  // namespace lrpc

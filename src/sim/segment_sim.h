@@ -1,0 +1,47 @@
+// Segment-level throughput simulation for lock-dominated call paths.
+//
+// The functional call paths execute one whole call at a time per processor,
+// which is exact for uncontended and per-binding locks (LRPC) but
+// over-serializes a lock that is acquired and released several times within
+// one call (SRC RPC's global lock): a waiter must really only wait for the
+// *current* critical section to end, not for the previous call to finish.
+// This simulator replays a call as a list of segments — each either outside
+// or inside the lock — interleaving processors at segment granularity, so
+// the sustained rate converges to 1 / (lock hold per call), the plateau
+// mechanism of Figure 2.
+//
+// Bus-contention scaling applies to unlocked segments only: while one
+// processor holds the lock the others are spinning on it, not fighting for
+// the memory bus.
+
+#ifndef SRC_SIM_SEGMENT_SIM_H_
+#define SRC_SIM_SEGMENT_SIM_H_
+
+#include <vector>
+
+#include "src/sim/machine.h"
+#include "src/sim/time.h"
+
+namespace lrpc {
+
+struct CallSegment {
+  SimDuration duration = 0;
+  bool locked = false;  // Held under the (single) contended lock.
+};
+
+struct SegmentLoopResult {
+  double calls_per_second = 0;
+  SimDuration lock_hold_per_call = 0;   // From the segment list.
+  SimDuration total_per_call = 0;       // Uncontended single-processor time.
+};
+
+// Runs `calls_per_processor` iterations of the segment list on each of
+// `processors` processors of `machine`, serializing locked segments through
+// one shared lock, and returns the aggregate throughput.
+SegmentLoopResult RunSegmentLoop(Machine& machine,
+                                 const std::vector<CallSegment>& segments,
+                                 int processors, int calls_per_processor);
+
+}  // namespace lrpc
+
+#endif  // SRC_SIM_SEGMENT_SIM_H_

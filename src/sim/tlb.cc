@@ -1,0 +1,40 @@
+#include "src/sim/tlb.h"
+
+#include "src/common/check.h"
+
+namespace lrpc {
+
+Tlb::Tlb(int entries) {
+  LRPC_CHECK(entries > 0);
+  slots_.assign(static_cast<std::size_t>(entries), kInvalid);
+}
+
+void Tlb::Invalidate() {
+  for (auto& slot : slots_) {
+    slot = kInvalid;
+  }
+  ++invalidation_count_;
+}
+
+bool Tlb::Touch(std::uint64_t vpn) {
+  auto& slot = slots_[vpn % slots_.size()];
+  if (slot == vpn) {
+    ++hit_count_;
+    return false;
+  }
+  slot = vpn;
+  ++miss_count_;
+  return true;
+}
+
+int Tlb::TouchRange(std::uint64_t vpn, int count) {
+  int misses = 0;
+  for (int i = 0; i < count; ++i) {
+    if (Touch(vpn + static_cast<std::uint64_t>(i))) {
+      ++misses;
+    }
+  }
+  return misses;
+}
+
+}  // namespace lrpc

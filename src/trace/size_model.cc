@@ -1,0 +1,144 @@
+#include "src/trace/size_model.h"
+
+#include "src/common/check.h"
+
+namespace lrpc {
+
+CallSizeModel::CallSizeModel() {
+  // A mixture reproducing Figure 1's shape: a dominant mass of tiny calls
+  // (handles, booleans, integers behind abstract interfaces), a shoulder of
+  // small structures, a thinning middle, a spike at the single-packet
+  // ceiling programmers design toward, and a rare multi-packet tail.
+  bands_ = {
+      {0.44, 1, 49, false},                          // "fewer than 50 bytes"
+      {0.31, 50, 199, false},                        // majority < 200
+      {0.10, 200, 499, false},
+      {0.05, 500, 749, false},
+      {0.03, 750, 999, false},
+      {0.03, 1000, kMaxSinglePacket - 1, false},
+      {0.03, kMaxSinglePacket, kMaxSinglePacket, true},  // The packet-size spike.
+      {0.01, kMaxSinglePacket + 1, kTailMax, false},     // Multi-packet tail.
+  };
+  for (const Band& b : bands_) {
+    total_weight_ += b.weight;
+  }
+}
+
+std::uint32_t CallSizeModel::Sample(Rng& rng) const {
+  double pick = rng.NextDouble() * total_weight_;
+  for (const Band& b : bands_) {
+    if (pick < b.weight) {
+      if (b.spike || b.lo == b.hi) {
+        return b.lo;
+      }
+      return static_cast<std::uint32_t>(
+          rng.NextInRange(static_cast<std::int64_t>(b.lo),
+                          static_cast<std::int64_t>(b.hi)));
+    }
+    pick -= b.weight;
+  }
+  return bands_.back().hi;
+}
+
+std::vector<std::uint64_t> CallSizeModel::Figure1BucketEdges() {
+  // The x-axis ticks of Figure 1.
+  return {50, 200, 500, 750, 1000, 1450, 1800};
+}
+
+ProcedurePopularity::ProcedurePopularity(int procedure_count) {
+  LRPC_CHECK(procedure_count >= 10);
+  weights_.reserve(static_cast<std::size_t>(procedure_count));
+  // "95% of the calls were to ten procedures, and 75% were to just three."
+  weights_.push_back(0.40);
+  weights_.push_back(0.20);
+  weights_.push_back(0.15);
+  for (int i = 3; i < 10; ++i) {
+    weights_.push_back(0.20 / 7.0);
+  }
+  const double tail_each = 0.05 / (procedure_count - 10);
+  for (int i = 10; i < procedure_count; ++i) {
+    weights_.push_back(tail_each);
+  }
+  for (double w : weights_) {
+    total_weight_ += w;
+  }
+}
+
+int ProcedurePopularity::Sample(Rng& rng) const {
+  double pick = rng.NextDouble() * total_weight_;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    if (pick < weights_[i]) {
+      return static_cast<int>(i);
+    }
+    pick -= weights_[i];
+  }
+  return static_cast<int>(weights_.size()) - 1;
+}
+
+double ProcedurePopularity::TopShare(int n) const {
+  double share = 0;
+  for (int i = 0; i < n && i < procedure_count(); ++i) {
+    share += weights_[static_cast<std::size_t>(i)];
+  }
+  return share / total_weight_;
+}
+
+std::vector<SyntheticProcedure> GenerateStaticPopulation(Rng& rng,
+                                                         int procedure_count) {
+  std::vector<SyntheticProcedure> procedures;
+  procedures.reserve(static_cast<std::size_t>(procedure_count));
+  for (int i = 0; i < procedure_count; ++i) {
+    SyntheticProcedure proc;
+    // Parameter count: the measured system has ~2.7 parameters per
+    // procedure (366 procedures, over 1000 parameters).
+    const double u = rng.NextDouble();
+    int param_count;
+    if (u < 0.20) {
+      param_count = 1;
+    } else if (u < 0.48) {
+      param_count = 2;
+    } else if (u < 0.70) {
+      param_count = 3;
+    } else if (u < 0.87) {
+      param_count = 4;
+    } else if (u < 0.96) {
+      param_count = 5;
+    } else {
+      param_count = 6;
+    }
+
+    // "Two-thirds of all procedures passed only parameters of fixed size."
+    const bool all_fixed = rng.NextBool(2.0 / 3.0);
+    int variable_count = 0;
+    if (!all_fixed) {
+      const double v = rng.NextDouble();
+      variable_count = v < 0.35 ? 1 : (v < 0.90 ? 2 : 3);
+    }
+
+    for (int p = 0; p < param_count; ++p) {
+      SyntheticParam param;
+      const bool make_variable = p < variable_count;
+      if (make_variable) {
+        param.fixed_size = false;
+        // Variable parameters sized against the Ethernet-packet default.
+        param.bytes =
+            static_cast<std::uint32_t>(rng.NextInRange(64, 1448));
+      } else {
+        param.fixed_size = true;
+        // "Sixty-five percent [of all parameters] were four bytes or
+        // fewer": among fixed parameters that is ~81%.
+        if (rng.NextBool(0.81)) {
+          param.bytes = rng.NextBool(0.7) ? 4 : 2;
+        } else {
+          const std::uint32_t choices[] = {8, 12, 16, 24, 32, 64};
+          param.bytes = choices[rng.NextBelow(6)];
+        }
+      }
+      proc.params.push_back(param);
+    }
+    procedures.push_back(std::move(proc));
+  }
+  return procedures;
+}
+
+}  // namespace lrpc

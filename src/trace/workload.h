@@ -1,0 +1,67 @@
+// Workload models for the paper's measurement study (Section 2).
+//
+// The paper instruments three systems — V, Taos, and Sun UNIX+NFS — and
+// reports the fraction of operations that cross machine (rather than just
+// protection) boundaries (Table 1). Those live systems are not available;
+// these models reproduce the *mechanisms* the paper credits for the
+// observed marginals: kernel-resident servers and decomposed local services
+// (V), local disks that absorb file traffic (Taos), and cheap system calls
+// plus client-side file caching (UNIX+NFS). A trace is a stream of
+// operations routed to service classes; remote-capable classes are absorbed
+// by their cache with the modeled hit rate, and only misses cross the wire.
+
+#ifndef SRC_TRACE_WORKLOAD_H_
+#define SRC_TRACE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace lrpc {
+
+// One destination class for operations in a workload.
+struct ServiceClass {
+  std::string name;
+  double weight = 0;          // Relative share of operations.
+  bool crosses_machine = false;  // Served by a remote node on a cache miss.
+  double cache_hit_rate = 0;  // Fraction of would-be-remote ops absorbed
+                              // locally (file caches, local disks).
+};
+
+struct SystemWorkloadModel {
+  std::string system_name;
+  std::string mechanism_note;  // Why this system's remote share is low.
+  std::vector<ServiceClass> services;
+  // The paper's measured value (Table 1), for reporting alongside ours.
+  double published_remote_percent = 0;
+};
+
+// The three instrumented systems.
+SystemWorkloadModel VSystemModel();
+SystemWorkloadModel TaosModel();
+SystemWorkloadModel UnixNfsModel();
+std::vector<SystemWorkloadModel> Table1Systems();
+
+struct TraceStats {
+  std::uint64_t total_ops = 0;
+  std::uint64_t cross_domain_ops = 0;   // Local, crossing protection only.
+  std::uint64_t cross_machine_ops = 0;  // Went over the wire.
+  std::uint64_t cache_absorbed_ops = 0; // Would-be-remote, served locally.
+
+  double remote_percent() const {
+    return total_ops == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(cross_machine_ops) /
+                     static_cast<double>(total_ops);
+  }
+};
+
+// Generates `operations` operations from the model and tallies them.
+TraceStats RunWorkload(const SystemWorkloadModel& model, Rng& rng,
+                       std::uint64_t operations);
+
+}  // namespace lrpc
+
+#endif  // SRC_TRACE_WORKLOAD_H_

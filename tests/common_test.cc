@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/table_printer.h"
+
+namespace lrpc {
+namespace {
+
+// --- Status / Result ---
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndDetail) {
+  Status s(ErrorCode::kForgedBinding, "nonce mismatch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kForgedBinding);
+  EXPECT_EQ(s.detail(), "nonce mismatch");
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status(ErrorCode::kNotFound, "a"), Status(ErrorCode::kNotFound, "b"));
+  EXPECT_NE(Status(ErrorCode::kNotFound), Status(ErrorCode::kOk));
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kUnimplemented); ++c) {
+    EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(c)), "kUnknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status(ErrorCode::kNotFound);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "hello");
+}
+
+Status FailingHelper() { return Status(ErrorCode::kQueueFull); }
+
+Status UsesReturnIfError() {
+  LRPC_RETURN_IF_ERROR(FailingHelper());
+  return Status::Ok();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), ErrorCode::kQueueFull);
+}
+
+// --- Rng ---
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowStaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.NextBelow(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanRoughlyRight) {
+  Rng rng(9);
+  double sum = 0;
+  const int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.NextExponential(50.0);
+  }
+  EXPECT_NEAR(sum / kN, 50.0, 1.0);
+}
+
+TEST(RngTest, NormalMeanAndSpread) {
+  Rng rng(13);
+  double sum = 0, sumsq = 0;
+  const int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.NextNormal(10.0, 2.0);
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sumsq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    hits += rng.NextBool(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.25, 0.01);
+}
+
+// --- Histogram ---
+
+TEST(HistogramTest, FixedWidthBuckets) {
+  Histogram h(50, 4);  // [0,50) [50,100) [100,150) [150,200)
+  h.Add(0);
+  h.Add(49);
+  h.Add(50);
+  h.Add(199);
+  h.Add(200);  // overflow
+  EXPECT_EQ(h.total_count(), 5u);
+  EXPECT_EQ(h.bucket_value(0), 2u);
+  EXPECT_EQ(h.bucket_value(1), 1u);
+  EXPECT_EQ(h.bucket_value(3), 1u);
+  EXPECT_EQ(h.overflow_count(), 1u);
+}
+
+TEST(HistogramTest, ExplicitEdges) {
+  Histogram h({10, 100, 1000});
+  h.Add(5);
+  h.Add(99);
+  h.Add(999);
+  h.Add(1000);
+  EXPECT_EQ(h.bucket_value(0), 1u);
+  EXPECT_EQ(h.bucket_value(1), 1u);
+  EXPECT_EQ(h.bucket_value(2), 1u);
+  EXPECT_EQ(h.overflow_count(), 1u);
+}
+
+TEST(HistogramTest, MinMaxMean) {
+  Histogram h(10, 10);
+  h.Add(2);
+  h.Add(4);
+  h.Add(9);
+  EXPECT_EQ(h.min(), 2u);
+  EXPECT_EQ(h.max(), 9u);
+  EXPECT_NEAR(h.mean(), 5.0, 1e-9);
+}
+
+TEST(HistogramTest, FractionBelow) {
+  Histogram h(50, 10);
+  for (int i = 0; i < 80; ++i) {
+    h.Add(10);  // bucket [0,50)
+  }
+  for (int i = 0; i < 20; ++i) {
+    h.Add(120);  // bucket [100,150)
+  }
+  EXPECT_DOUBLE_EQ(h.FractionBelow(50), 0.8);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(150), 1.0);
+}
+
+TEST(HistogramTest, Percentile) {
+  Histogram h(10, 100);
+  for (std::uint64_t v = 0; v < 1000; ++v) {
+    h.Add(v % 100);
+  }
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), 50.0, 10.0);
+}
+
+TEST(HistogramTest, AddNWeights) {
+  Histogram h(10, 4);
+  h.AddN(5, 100);
+  EXPECT_EQ(h.total_count(), 100u);
+  EXPECT_EQ(h.bucket_value(0), 100u);
+}
+
+TEST(HistogramTest, TableRendering) {
+  Histogram h(50, 2);
+  h.Add(10);
+  h.Add(60);
+  const std::string table = h.ToTable();
+  EXPECT_NE(table.find("50"), std::string::npos);
+  EXPECT_NE(table.find("100.00%"), std::string::npos);
+}
+
+// --- TablePrinter ---
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"System", "Null"});
+  t.AddRow({"Taos", "464"});
+  t.AddRow({"LRPC", "157"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("System"), std::string::npos);
+  EXPECT_NE(out.find("464"), std::string::npos);
+  EXPECT_NE(out.find("157"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::Num(157.04, 1), "157.0");
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Int(23000), "23000");
+}
+
+}  // namespace
+}  // namespace lrpc

@@ -1,0 +1,269 @@
+// Property tests of the IDL toolchain: randomly generated valid interfaces
+// must compile, lower, register and serve calls; random mutations of valid
+// sources must produce diagnostics, never crashes; and the generated C++
+// metadata must agree with the semantic analysis it came from.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/idl/codegen.h"
+#include "src/idl/compile.h"
+#include "src/lrpc/server_frame.h"
+#include "src/lrpc/testbed.h"
+
+namespace lrpc {
+namespace {
+
+// Generates a random valid interface definition and a description of it.
+struct GeneratedIdl {
+  std::string source;
+  std::string interface_name;
+  int proc_count = 0;
+};
+
+GeneratedIdl GenerateInterface(Rng& rng, int tag) {
+  GeneratedIdl result;
+  result.interface_name = "Gen" + std::to_string(tag);
+  std::string s;
+  // Sometimes declare a record type and use it as a parameter.
+  const bool with_struct = rng.NextBool(0.4);
+  const std::string struct_name = "Rec" + std::to_string(tag);
+  if (with_struct) {
+    s += "struct " + struct_name + " {\n";
+    const int fields = static_cast<int>(rng.NextInRange(1, 4));
+    for (int f = 0; f < fields; ++f) {
+      static const char* kFieldTypes[] = {"int32", "int64", "byte",
+                                          "bytes<12>"};
+      s += "  f" + std::to_string(f) + ": " +
+           kFieldTypes[rng.NextBelow(4)] + ";\n";
+    }
+    s += "}\n";
+  }
+  s += "interface " + result.interface_name + " {\n";
+  const bool with_const = rng.NextBool(0.5);
+  if (with_const) {
+    s += "  const CAP = " + std::to_string(rng.NextInRange(8, 512)) + ";\n";
+  }
+  result.proc_count = static_cast<int>(rng.NextInRange(1, 6));
+  static const char* kScalarTypes[] = {"int32", "int64", "bool", "byte",
+                                       "cardinal"};
+  for (int p = 0; p < result.proc_count; ++p) {
+    s += "  proc P" + std::to_string(p) + "(";
+    const int params = static_cast<int>(rng.NextInRange(0, 4));
+    for (int a = 0; a < params; ++a) {
+      if (a > 0) {
+        s += ", ";
+      }
+      s += "a" + std::to_string(a) + ": ";
+      const int kind =
+          static_cast<int>(rng.NextInRange(0, with_struct ? 7 : 6));
+      if (kind < 5) {
+        s += kScalarTypes[kind];
+      } else if (kind == 5) {
+        s += with_const && rng.NextBool(0.5)
+                 ? "bytes<CAP>"
+                 : "bytes<" + std::to_string(rng.NextInRange(1, 128)) + ">";
+      } else if (kind == 6) {
+        s += "buffer<" + std::to_string(rng.NextInRange(16, 256)) + ">";
+        if (rng.NextBool(0.4)) {
+          s += " noverify";
+        }
+      } else {
+        s += struct_name;
+      }
+      if (kind < 5 && rng.NextBool(0.2)) {
+        s += rng.NextBool(0.5) ? " immutable" : " inout";
+      } else if (kind == 7 && rng.NextBool(0.3)) {
+        s += " inout";
+      }
+    }
+    s += ")";
+    if (rng.NextBool(0.6)) {
+      s += " -> (r: int32)";
+    }
+    if (rng.NextBool(0.2)) {
+      s += " with astacks = " + std::to_string(rng.NextInRange(1, 16));
+    }
+    s += ";\n";
+  }
+  s += "}";
+  if (rng.NextBool(0.3)) {
+    s += " with astacks = " + std::to_string(rng.NextInRange(1, 16));
+  }
+  s += ";\n";
+  result.source = s;
+  return result;
+}
+
+class IdlGenerativeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IdlGenerativeTest, GeneratedInterfacesCompileRegisterAndServe) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 11);
+  Testbed bed;
+
+  for (int round = 0; round < 6; ++round) {
+    const GeneratedIdl idl =
+        GenerateInterface(rng, GetParam() * 100 + round);
+    const CompileOutput out = CompileIdl(idl.source);
+    ASSERT_TRUE(out.ok()) << idl.source << "\nerror: " << out.errors.front();
+    ASSERT_EQ(out.interfaces.size(), 1u);
+    EXPECT_EQ(static_cast<int>(out.interfaces[0].procs.size()),
+              idl.proc_count);
+
+    // Codegen must produce both classes and be deterministic.
+    CodeGenerator generator("gen.idl");
+    const std::string header = generator.GenerateHeader(out.structs, out.interfaces, "G");
+    EXPECT_NE(header.find("class " + idl.interface_name + "Server"),
+              std::string::npos);
+    EXPECT_NE(header.find("class " + idl.interface_name + "Client"),
+              std::string::npos);
+    EXPECT_EQ(header, generator.GenerateHeader(out.structs, out.interfaces, "G"));
+
+    // Register with handlers that echo 7 into any int32 result; then call
+    // every procedure with all-zero arguments of the declared sizes.
+    std::map<std::string, ServerProc> handlers;
+    for (const CompiledProc& proc : out.interfaces[0].procs) {
+      handlers[proc.name] = [&proc](ServerFrame& frame) -> Status {
+        for (std::size_t i = 0; i < proc.params.size(); ++i) {
+          if (proc.params[i].direction == ParamDirection::kOut) {
+            const std::int32_t seven = 7;
+            LRPC_RETURN_IF_ERROR(
+                frame.WriteResult(static_cast<int>(i), &seven, 4));
+          } else if (proc.params[i].direction == ParamDirection::kInOut) {
+            // Echo the inout slot back unchanged.
+            std::vector<std::uint8_t> echo(proc.params[i].fixed_size);
+            Result<std::size_t> n =
+                frame.ReadArg(static_cast<int>(i), echo.data(), echo.size());
+            if (!n.ok()) {
+              return n.status();
+            }
+            LRPC_RETURN_IF_ERROR(frame.WriteResult(static_cast<int>(i),
+                                                   echo.data(), echo.size()));
+          }
+        }
+        return Status::Ok();
+      };
+    }
+    Result<Interface*> registered = RegisterCompiledInterface(
+        bed.runtime(), bed.server_domain(), out.interfaces[0], handlers);
+    ASSERT_TRUE(registered.ok());
+    Result<ClientBinding*> binding = bed.runtime().Import(
+        bed.cpu(0), bed.client_domain(), idl.interface_name);
+    ASSERT_TRUE(binding.ok());
+
+    for (std::size_t p = 0; p < out.interfaces[0].procs.size(); ++p) {
+      const CompiledProc& proc = out.interfaces[0].procs[p];
+      std::vector<std::vector<std::uint8_t>> storage;
+      std::vector<CallArg> args;
+      std::vector<CallRet> rets;
+      std::vector<std::int32_t> ret_values;
+      ret_values.reserve(8);
+      std::vector<std::vector<std::uint8_t>> inout_storage;
+      inout_storage.reserve(proc.params.size());
+      for (const CompiledParam& param : proc.params) {
+        if (param.direction == ParamDirection::kInOut) {
+          inout_storage.emplace_back(param.fixed_size, 0);
+          args.push_back(
+              CallArg(inout_storage.back().data(), inout_storage.back().size()));
+          rets.push_back(
+              CallRet(inout_storage.back().data(), inout_storage.back().size()));
+        } else if (param.direction == ParamDirection::kIn) {
+          storage.emplace_back(
+              param.fixed_size > 0 ? param.fixed_size
+                                   : param.max_size / 2 + 1,
+              0);
+          args.push_back(CallArg(storage.back().data(), storage.back().size()));
+        } else {
+          ret_values.push_back(0);
+          rets.push_back(CallRet::Of(&ret_values.back()));
+        }
+      }
+      const Status status =
+          bed.runtime().Call(bed.cpu(0), bed.client_thread(), **binding,
+                             static_cast<int>(p), args, rets);
+      ASSERT_TRUE(status.ok())
+          << idl.source << "\nproc " << proc.name << ": " << status;
+      for (std::int32_t v : ret_values) {
+        EXPECT_EQ(v, 7);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IdlGenerativeTest, ::testing::Range(0, 10));
+
+// --- Mutation fuzz: corrupted sources must error cleanly, never crash ---
+
+class IdlMutationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IdlMutationTest, CorruptedSourcesErrorCleanly) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 99);
+  const GeneratedIdl idl = GenerateInterface(rng, GetParam());
+
+  for (int round = 0; round < 40; ++round) {
+    std::string mutated = idl.source;
+    const int mutation = static_cast<int>(rng.NextInRange(0, 3));
+    const std::size_t pos = rng.NextBelow(mutated.size());
+    switch (mutation) {
+      case 0:  // Delete a character.
+        mutated.erase(pos, 1);
+        break;
+      case 1:  // Replace with random punctuation.
+        mutated[pos] = "{}()<>;:,=@#"[rng.NextBelow(12)];
+        break;
+      case 2:  // Truncate.
+        mutated.resize(pos);
+        break;
+      default:  // Duplicate a span.
+        mutated.insert(pos, mutated.substr(pos / 2, 7));
+        break;
+    }
+    // Must terminate and either succeed (benign mutation) or produce at
+    // least one diagnostic — never crash or hang.
+    const CompileOutput out = CompileIdl(mutated);
+    if (!out.ok()) {
+      EXPECT_FALSE(out.errors.empty());
+      for (const std::string& error : out.errors) {
+        EXPECT_FALSE(error.empty());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IdlMutationTest, ::testing::Range(0, 10));
+
+// --- Metadata consistency: BuildProcedureDef mirrors the compiled form ---
+
+TEST(IdlConsistency, LoweredDefsMatchCompiledProcs) {
+  Rng rng(31415);
+  for (int round = 0; round < 30; ++round) {
+    const GeneratedIdl idl = GenerateInterface(rng, round);
+    const CompileOutput out = CompileIdl(idl.source);
+    ASSERT_TRUE(out.ok());
+    for (const CompiledProc& proc : out.interfaces[0].procs) {
+      const ProcedureDef def =
+          BuildProcedureDef(proc, [](ServerFrame&) { return Status::Ok(); });
+      ASSERT_EQ(def.params.size(), proc.params.size());
+      EXPECT_EQ(def.simultaneous_calls, proc.simultaneous_calls);
+      for (std::size_t i = 0; i < def.params.size(); ++i) {
+        EXPECT_EQ(def.params[i].name, proc.params[i].name);
+        EXPECT_EQ(def.params[i].size, proc.params[i].fixed_size);
+        EXPECT_EQ(def.params[i].max_size, proc.params[i].max_size);
+        EXPECT_EQ(def.params[i].direction, proc.params[i].direction);
+        EXPECT_EQ(def.params[i].flags.no_verify,
+                  proc.params[i].flags.no_verify);
+        EXPECT_EQ(def.params[i].flags.type_checked,
+                  proc.params[i].flags.type_checked);
+        // Cardinal parameters must carry a conformance predicate.
+        if (proc.params[i].kind == IdlTypeKind::kCardinal) {
+          EXPECT_TRUE(static_cast<bool>(def.params[i].conformance));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lrpc

@@ -1,0 +1,316 @@
+// Tests of IDL record types (struct declarations) and inout parameters:
+// layout computation, error diagnostics, codegen structure, and end-to-end
+// calls passing structs and inout values through the runtime.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/idl/codegen.h"
+#include "src/idl/compile.h"
+#include "src/lrpc/server_frame.h"
+#include "src/lrpc/testbed.h"
+
+namespace lrpc {
+namespace {
+
+constexpr const char* kGeometryIdl = R"idl(
+struct Point {
+  x: int32;
+  y: int32;
+}
+
+struct Rect {
+  origin: Point;
+  width: int32;
+  height: int32;
+  label: bytes<8>;
+}
+
+interface Geometry {
+  proc Area(r: Rect) -> (area: int64);
+  proc Translate(p: Point inout, dx: int32, dy: int32);
+  proc Bounds(a: Point, b: Point) -> (box: Rect);
+}
+)idl";
+
+// --- Struct layout ---
+
+TEST(IdlStructs, ComputesStandardLayout) {
+  const CompileOutput out = CompileIdl(kGeometryIdl);
+  ASSERT_TRUE(out.ok()) << out.errors.front();
+  ASSERT_EQ(out.structs.size(), 2u);
+
+  const CompiledStruct& point = out.structs[0];
+  EXPECT_EQ(point.name, "Point");
+  EXPECT_EQ(point.size, 8u);
+  EXPECT_EQ(point.alignment, 4u);
+  EXPECT_EQ(point.fields[0].offset, 0u);
+  EXPECT_EQ(point.fields[1].offset, 4u);
+
+  const CompiledStruct& rect = out.structs[1];
+  EXPECT_EQ(rect.name, "Rect");
+  // origin(8) + width(4) + height(4) + label[8] = 24, alignment 4.
+  EXPECT_EQ(rect.size, 24u);
+  EXPECT_EQ(rect.fields[0].offset, 0u);   // origin.
+  EXPECT_EQ(rect.fields[1].offset, 8u);   // width.
+  EXPECT_EQ(rect.fields[2].offset, 12u);  // height.
+  EXPECT_EQ(rect.fields[3].offset, 16u);  // label.
+  EXPECT_EQ(rect.fields[3].array_len, 8u);
+}
+
+TEST(IdlStructs, PaddingFollowsCppRules) {
+  const CompileOutput out = CompileIdl(R"idl(
+    struct Mixed { flag: bool; big: int64; tail: byte; }
+    interface I { proc P(m: Mixed); }
+  )idl");
+  ASSERT_TRUE(out.ok()) << out.errors.front();
+  const CompiledStruct& mixed = out.structs[0];
+  EXPECT_EQ(mixed.fields[0].offset, 0u);   // bool.
+  EXPECT_EQ(mixed.fields[1].offset, 8u);   // int64 aligned to 8.
+  EXPECT_EQ(mixed.fields[2].offset, 16u);  // byte.
+  EXPECT_EQ(mixed.size, 24u);              // Rounded up to alignment 8.
+  EXPECT_EQ(mixed.alignment, 8u);
+}
+
+TEST(IdlStructs, ParamSizeIsStructSize) {
+  const CompileOutput out = CompileIdl(kGeometryIdl);
+  ASSERT_TRUE(out.ok());
+  const CompiledProc& area = out.interfaces[0].procs[0];
+  EXPECT_EQ(area.params[0].kind, IdlTypeKind::kStruct);
+  EXPECT_EQ(area.params[0].fixed_size, 24u);
+  EXPECT_EQ(area.params[0].struct_name, "Rect");
+}
+
+// --- Diagnostics ---
+
+TEST(IdlStructs, RejectsForwardAndRecursiveReferences) {
+  // Use-before-declaration (and therefore recursion) is rejected: "No data
+  // types were recursively defined so as to require recursive marshaling."
+  EXPECT_FALSE(CompileIdl(R"idl(
+    struct A { b: B; }
+    struct B { x: int32; }
+    interface I { proc P(a: A); }
+  )idl").ok());
+  EXPECT_FALSE(CompileIdl(R"idl(
+    struct Node { next: Node; }
+    interface I { proc P(n: Node); }
+  )idl").ok());
+}
+
+TEST(IdlStructs, RejectsBufferFields) {
+  EXPECT_FALSE(CompileIdl(R"idl(
+    struct Bad { data: buffer<64>; }
+    interface I { proc P(b: Bad); }
+  )idl").ok());
+}
+
+TEST(IdlStructs, RejectsDuplicateFieldsAndStructs) {
+  EXPECT_FALSE(CompileIdl(R"idl(
+    struct S { x: int32; x: int32; }
+    interface I { proc P(s: S); }
+  )idl").ok());
+  EXPECT_FALSE(CompileIdl(R"idl(
+    struct S { x: int32; }
+    struct S { y: int32; }
+    interface I { proc P(s: S); }
+  )idl").ok());
+}
+
+TEST(IdlStructs, RejectsEmptyStructAndUnknownType) {
+  EXPECT_FALSE(CompileIdl(R"idl(
+    struct Empty { }
+    interface I { proc P(); }
+  )idl").ok());
+  EXPECT_FALSE(
+      CompileIdl("interface I { proc P(x: NoSuchType); }").ok());
+}
+
+// --- inout ---
+
+TEST(IdlInOut, ParsedAndLowered) {
+  const CompileOutput out = CompileIdl(kGeometryIdl);
+  ASSERT_TRUE(out.ok());
+  const CompiledProc& translate = out.interfaces[0].procs[1];
+  EXPECT_EQ(translate.params[0].direction, ParamDirection::kInOut);
+}
+
+TEST(IdlInOut, RejectedOnResultsAndBuffers) {
+  EXPECT_FALSE(
+      CompileIdl("interface I { proc P() -> (r: int32 inout); }").ok());
+  EXPECT_FALSE(
+      CompileIdl("interface I { proc P(b: buffer<64> inout); }").ok());
+  EXPECT_FALSE(
+      CompileIdl("interface I { proc P(v: int32 inout immutable); }").ok());
+}
+
+// --- Codegen structure ---
+
+TEST(IdlStructs, CodegenEmitsStructsWithAsserts) {
+  const CompileOutput out = CompileIdl(kGeometryIdl);
+  ASSERT_TRUE(out.ok());
+  CodeGenerator generator("geometry.idl");
+  const std::string header =
+      generator.GenerateHeader(out.structs, out.interfaces, "GEO");
+  EXPECT_NE(header.find("struct Point {"), std::string::npos);
+  EXPECT_NE(header.find("struct Rect {"), std::string::npos);
+  EXPECT_NE(header.find("static_assert(sizeof(Rect) == 24"),
+            std::string::npos);
+  EXPECT_NE(header.find("offsetof(Rect, height) == 12"), std::string::npos);
+  // inout surfaces as a pointer in both stubs.
+  EXPECT_NE(header.find("Translate(lrpc::ServerFrame& frame, Point* p"),
+            std::string::npos);
+  // Struct arguments pass by const reference on the client.
+  EXPECT_NE(header.find("Area(lrpc::Processor& cpu, lrpc::ThreadId thread, "
+                        "const Rect& r"),
+            std::string::npos);
+}
+
+// --- End to end through the runtime ---
+
+struct WirePoint {
+  std::int32_t x;
+  std::int32_t y;
+};
+
+struct WireRect {
+  WirePoint origin;
+  std::int32_t width;
+  std::int32_t height;
+  std::uint8_t label[8];
+};
+static_assert(sizeof(WireRect) == 24);
+
+TEST(IdlStructs, StructsAndInOutRoundTripThroughCalls) {
+  Testbed bed;
+  const CompileOutput out = CompileIdl(kGeometryIdl);
+  ASSERT_TRUE(out.ok());
+
+  std::map<std::string, ServerProc> handlers;
+  handlers["Area"] = [](ServerFrame& frame) -> Status {
+    WireRect rect{};
+    Result<std::size_t> n = frame.ReadArg(0, &rect, sizeof(rect));
+    if (!n.ok()) {
+      return n.status();
+    }
+    return frame.Result_<std::int64_t>(
+        1, static_cast<std::int64_t>(rect.width) * rect.height);
+  };
+  handlers["Translate"] = [](ServerFrame& frame) -> Status {
+    WirePoint p{};
+    Result<std::size_t> n = frame.ReadArg(0, &p, sizeof(p));
+    Result<std::int32_t> dx = frame.Arg<std::int32_t>(1);
+    Result<std::int32_t> dy = frame.Arg<std::int32_t>(2);
+    if (!n.ok() || !dx.ok() || !dy.ok()) {
+      return Status(ErrorCode::kInvalidArgument);
+    }
+    p.x += *dx;
+    p.y += *dy;
+    return frame.WriteResult(0, &p, sizeof(p));  // Back into the inout slot.
+  };
+  handlers["Bounds"] = [](ServerFrame& frame) -> Status {
+    WirePoint a{}, b{};
+    if (!frame.ReadArg(0, &a, sizeof(a)).ok() ||
+        !frame.ReadArg(1, &b, sizeof(b)).ok()) {
+      return Status(ErrorCode::kInvalidArgument);
+    }
+    WireRect box{};
+    box.origin = {std::min(a.x, b.x), std::min(a.y, b.y)};
+    box.width = std::abs(a.x - b.x);
+    box.height = std::abs(a.y - b.y);
+    std::memcpy(box.label, "bounds", 7);
+    return frame.WriteResult(2, &box, sizeof(box));
+  };
+
+  Result<Interface*> iface = RegisterCompiledInterface(
+      bed.runtime(), bed.server_domain(), out.interfaces[0], handlers);
+  ASSERT_TRUE(iface.ok());
+  Result<ClientBinding*> binding =
+      bed.runtime().Import(bed.cpu(0), bed.client_domain(), "Geometry");
+  ASSERT_TRUE(binding.ok());
+
+  // Area(Rect) -> int64.
+  WireRect rect{{3, 4}, 20, 10, {}};
+  std::memcpy(rect.label, "r1", 3);
+  std::int64_t area = 0;
+  {
+    const CallArg args[] = {CallArg(&rect, sizeof(rect))};
+    const CallRet rets[] = {CallRet::Of(&area)};
+    ASSERT_TRUE(bed.runtime()
+                    .Call(bed.cpu(0), bed.client_thread(), **binding, 0, args,
+                          rets)
+                    .ok());
+  }
+  EXPECT_EQ(area, 200);
+
+  // Translate(Point inout, dx, dy): one argument slot serves both ways.
+  WirePoint p{10, 20};
+  {
+    const std::int32_t dx = 5, dy = -3;
+    const CallArg args[] = {CallArg(&p, sizeof(p)), CallArg::Of(dx),
+                            CallArg::Of(dy)};
+    const CallRet rets[] = {CallRet(&p, sizeof(p))};
+    ASSERT_TRUE(bed.runtime()
+                    .Call(bed.cpu(0), bed.client_thread(), **binding, 1, args,
+                          rets)
+                    .ok());
+  }
+  EXPECT_EQ(p.x, 15);
+  EXPECT_EQ(p.y, 17);
+
+  // Bounds(Point, Point) -> Rect.
+  WirePoint a{1, 9}, b{7, 2};
+  WireRect box{};
+  {
+    const CallArg args[] = {CallArg(&a, sizeof(a)), CallArg(&b, sizeof(b))};
+    const CallRet rets[] = {CallRet(&box, sizeof(box))};
+    ASSERT_TRUE(bed.runtime()
+                    .Call(bed.cpu(0), bed.client_thread(), **binding, 2, args,
+                          rets)
+                    .ok());
+  }
+  EXPECT_EQ(box.origin.x, 1);
+  EXPECT_EQ(box.origin.y, 2);
+  EXPECT_EQ(box.width, 6);
+  EXPECT_EQ(box.height, 7);
+  EXPECT_STREQ(reinterpret_cast<const char*>(box.label), "bounds");
+}
+
+TEST(IdlInOut, ScalarInOutThroughRawRuntime) {
+  // The runtime-level kInOut path without the IDL: one slot, read+write.
+  Testbed bed;
+  Interface* iface =
+      bed.runtime().CreateInterface(bed.server_domain(), "inout.Raw");
+  ProcedureDef def;
+  def.name = "Increment";
+  def.params.push_back(
+      {.name = "v", .direction = ParamDirection::kInOut, .size = 8});
+  def.handler = [](ServerFrame& frame) -> Status {
+    Result<std::int64_t> v = frame.Arg<std::int64_t>(0);
+    if (!v.ok()) {
+      return v.status();
+    }
+    return frame.Result_<std::int64_t>(0, *v + 1);
+  };
+  iface->AddProcedure(std::move(def));
+  ASSERT_TRUE(bed.runtime().Export(iface).ok());
+  auto binding =
+      bed.runtime().Import(bed.cpu(0), bed.client_domain(), "inout.Raw");
+  ASSERT_TRUE(binding.ok());
+
+  std::int64_t value = 41;
+  const CallArg args[] = {CallArg(&value, sizeof(value))};
+  const CallRet rets[] = {CallRet(&value, sizeof(value))};
+  CallStats stats;
+  ASSERT_TRUE(bed.runtime()
+                  .Call(bed.cpu(0), bed.client_thread(), **binding, 0, args,
+                        rets, &stats)
+                  .ok());
+  EXPECT_EQ(value, 42);
+  // An inout param costs one A and one F — not two slots.
+  EXPECT_EQ(stats.copies.a, 1u);
+  EXPECT_EQ(stats.copies.f, 1u);
+}
+
+}  // namespace
+}  // namespace lrpc

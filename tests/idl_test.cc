@@ -1,0 +1,350 @@
+// Tests of the IDL front end (lexer, parser, sema), the code generator's
+// output structure, and end-to-end registration of a compiled interface
+// with the LRPC runtime.
+
+#include <gtest/gtest.h>
+
+#include "src/idl/codegen.h"
+#include "src/idl/compile.h"
+#include "src/idl/lexer.h"
+#include "src/idl/parser.h"
+#include "src/lrpc/server_frame.h"
+#include "src/lrpc/testbed.h"
+
+namespace lrpc {
+namespace {
+
+constexpr const char* kFileServerIdl = R"idl(
+// A file server in the style the paper's Write example suggests.
+interface FileServer {
+  const MAX_PATH = 256;
+  const BLOCK = 4096;
+
+  proc Null();
+  proc Open(path: bytes<MAX_PATH>, mode: int32) -> (handle: int32);
+  (* The array of bytes is not interpreted by the server: no copy needed. *)
+  proc Write(handle: int32, data: buffer<BLOCK> noverify) -> (written: int32);
+  proc Chown(handle: int32, owner: cardinal);
+} with astacks = 8;
+)idl";
+
+// --- Lexer ---
+
+TEST(IdlLexer, TokenizesKeywordsAndPunctuation) {
+  Lexer lexer("interface X { proc P(a: int32) -> (b: bool); }");
+  const auto tokens = lexer.Tokenize();
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInterface);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "X");
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+}
+
+TEST(IdlLexer, TracksLinesAndColumns) {
+  Lexer lexer("interface\n  Foo");
+  const auto tokens = lexer.Tokenize();
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(IdlLexer, SkipsBothCommentStyles) {
+  Lexer lexer("// line\n(* block\nspanning *) proc");
+  const auto tokens = lexer.Tokenize();
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kProc);
+}
+
+TEST(IdlLexer, ReportsUnterminatedBlockComment) {
+  Lexer lexer("(* never closed");
+  const auto tokens = lexer.Tokenize();
+  EXPECT_EQ(tokens.back().kind, TokenKind::kError);
+}
+
+TEST(IdlLexer, ReportsStrayCharacters) {
+  Lexer lexer("proc @");
+  const auto tokens = lexer.Tokenize();
+  EXPECT_EQ(tokens.back().kind, TokenKind::kError);
+}
+
+TEST(IdlLexer, LexesArrowAndIntegers) {
+  Lexer lexer("-> 1448");
+  const auto tokens = lexer.Tokenize();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kArrow);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[1].value, 1448);
+}
+
+// --- Parser ---
+
+IdlFile MustParse(std::string_view source) {
+  Lexer lexer(source);
+  Parser parser(lexer.Tokenize());
+  Result<IdlFile> file = parser.ParseFile();
+  EXPECT_TRUE(file.ok()) << (parser.errors().empty()
+                                 ? "?"
+                                 : parser.errors().front().ToString());
+  return file.ok() ? std::move(*file) : IdlFile{};
+}
+
+TEST(IdlParser, ParsesFullInterface) {
+  const IdlFile file = MustParse(kFileServerIdl);
+  ASSERT_EQ(file.interfaces.size(), 1u);
+  const IdlInterface& iface = file.interfaces[0];
+  EXPECT_EQ(iface.name, "FileServer");
+  EXPECT_EQ(iface.consts.size(), 2u);
+  ASSERT_EQ(iface.procs.size(), 4u);
+  EXPECT_EQ(iface.procs[0].name, "Null");
+  EXPECT_TRUE(iface.procs[0].params.empty());
+  EXPECT_EQ(iface.procs[1].results.size(), 1u);
+  ASSERT_EQ(iface.attrs.size(), 1u);
+  EXPECT_EQ(iface.attrs[0].name, "astacks");
+  EXPECT_EQ(iface.attrs[0].value, 8);
+}
+
+TEST(IdlParser, ParsesParamFlags) {
+  const IdlFile file = MustParse(
+      "interface I { proc P(a: buffer<64> noverify, b: int32 immutable, "
+      "c: bytes<8> byref, d: int32 checked); }");
+  const IdlProc& proc = file.interfaces[0].procs[0];
+  EXPECT_TRUE(proc.params[0].flags.no_verify);
+  EXPECT_TRUE(proc.params[1].flags.immutable);
+  EXPECT_TRUE(proc.params[2].flags.by_ref);
+  EXPECT_TRUE(proc.params[3].flags.checked);
+}
+
+TEST(IdlParser, ParsesMultipleInterfaces) {
+  const IdlFile file =
+      MustParse("interface A { proc X(); } interface B { proc Y(); }");
+  EXPECT_EQ(file.interfaces.size(), 2u);
+}
+
+TEST(IdlParser, RejectsMissingSemicolon) {
+  Lexer lexer("interface I { proc P() }");
+  Parser parser(lexer.Tokenize());
+  EXPECT_FALSE(parser.ParseFile().ok());
+  ASSERT_FALSE(parser.errors().empty());
+  EXPECT_NE(parser.errors()[0].ToString().find("';'"), std::string::npos);
+}
+
+TEST(IdlParser, RejectsGarbageInBody) {
+  Lexer lexer("interface I { banana }");
+  Parser parser(lexer.Tokenize());
+  EXPECT_FALSE(parser.ParseFile().ok());
+}
+
+TEST(IdlParser, RejectsEmptyInput) {
+  Lexer lexer("   // nothing\n");
+  Parser parser(lexer.Tokenize());
+  EXPECT_FALSE(parser.ParseFile().ok());
+}
+
+TEST(IdlParser, ErrorsCarryLineNumbers) {
+  Lexer lexer("interface I {\n  proc P(\n");
+  Parser parser(lexer.Tokenize());
+  EXPECT_FALSE(parser.ParseFile().ok());
+  ASSERT_FALSE(parser.errors().empty());
+  EXPECT_GE(parser.errors()[0].line, 2);
+}
+
+// --- Sema ---
+
+TEST(IdlSema, ResolvesConstantsToSizes) {
+  const CompileOutput out = CompileIdl(kFileServerIdl);
+  ASSERT_TRUE(out.ok()) << out.errors.front();
+  const CompiledInterface& iface = out.interfaces[0];
+  const CompiledProc& open = iface.procs[1];
+  EXPECT_EQ(open.params[0].fixed_size, 256u);  // bytes<MAX_PATH>.
+  const CompiledProc& write = iface.procs[2];
+  EXPECT_EQ(write.params[1].max_size, 4096u);  // buffer<BLOCK>.
+  EXPECT_EQ(write.params[1].fixed_size, 0u);
+}
+
+TEST(IdlSema, CardinalGetsFoldedCheck) {
+  const CompileOutput out = CompileIdl(kFileServerIdl);
+  ASSERT_TRUE(out.ok());
+  const CompiledProc& chown = out.interfaces[0].procs[3];
+  EXPECT_TRUE(chown.params[1].flags.type_checked);
+}
+
+TEST(IdlSema, InterfaceAstacksAttributeAppliesToProcs) {
+  const CompileOutput out = CompileIdl(kFileServerIdl);
+  ASSERT_TRUE(out.ok());
+  for (const CompiledProc& proc : out.interfaces[0].procs) {
+    EXPECT_EQ(proc.simultaneous_calls, 8);
+  }
+}
+
+TEST(IdlSema, ProcAttributeOverridesInterface) {
+  const CompileOutput out = CompileIdl(
+      "interface I { proc P() with astacks = 3; proc Q(); } with astacks = 9;");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.interfaces[0].procs[0].simultaneous_calls, 3);
+  EXPECT_EQ(out.interfaces[0].procs[1].simultaneous_calls, 9);
+}
+
+TEST(IdlSema, RejectsUnknownConstant) {
+  const CompileOutput out =
+      CompileIdl("interface I { proc P(a: bytes<NOPE>); }");
+  EXPECT_FALSE(out.ok());
+  EXPECT_NE(out.errors[0].find("NOPE"), std::string::npos);
+}
+
+TEST(IdlSema, RejectsDuplicateProcedures) {
+  const CompileOutput out =
+      CompileIdl("interface I { proc P(); proc P(); }");
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(IdlSema, RejectsConflictingFlags) {
+  const CompileOutput out = CompileIdl(
+      "interface I { proc P(a: buffer<64> noverify immutable); }");
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(IdlSema, RejectsByRefScalars) {
+  const CompileOutput out =
+      CompileIdl("interface I { proc P(a: int32 byref); }");
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(IdlSema, RejectsFlagsOnResults) {
+  const CompileOutput out =
+      CompileIdl("interface I { proc P() -> (r: int32 immutable); }");
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(IdlSema, RejectsZeroSizes) {
+  const CompileOutput out = CompileIdl("interface I { proc P(a: bytes<0>); }");
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(IdlSema, RejectsUnknownAttributes) {
+  const CompileOutput out =
+      CompileIdl("interface I { proc P(); } with sparkles = 7;");
+  EXPECT_FALSE(out.ok());
+}
+
+// --- Codegen (structural assertions on the generated header) ---
+
+TEST(IdlCodegen, GeneratesClientAndServerClasses) {
+  const CompileOutput out = CompileIdl(kFileServerIdl);
+  ASSERT_TRUE(out.ok());
+  CodeGenerator generator("file_server.idl");
+  const std::string header = generator.GenerateHeader(out.structs, out.interfaces, "TEST");
+  EXPECT_NE(header.find("class FileServerServer"), std::string::npos);
+  EXPECT_NE(header.find("class FileServerClient"), std::string::npos);
+  EXPECT_NE(header.find("virtual lrpc::Status Open("), std::string::npos);
+  EXPECT_NE(header.find("constexpr std::int64_t kFileServer_MAX_PATH = 256;"),
+            std::string::npos);
+  EXPECT_NE(header.find("#ifndef LRPC_GEN_TEST_H_"), std::string::npos);
+  // Cardinal conformance folded into the generated metadata.
+  EXPECT_NE(header.find("param.conformance"), std::string::npos);
+  // No-verify flag carried through.
+  EXPECT_NE(header.find("param.flags.no_verify = true;"), std::string::npos);
+}
+
+TEST(IdlCodegen, DeterministicOutput) {
+  const CompileOutput out = CompileIdl(kFileServerIdl);
+  ASSERT_TRUE(out.ok());
+  CodeGenerator generator("file_server.idl");
+  EXPECT_EQ(generator.GenerateHeader(out.structs, out.interfaces, "T"),
+            generator.GenerateHeader(out.structs, out.interfaces, "T"));
+}
+
+// --- End to end: compile IDL, register with the runtime, call through it ---
+
+TEST(IdlEndToEnd, CompiledInterfaceServesCalls) {
+  Testbed bed;
+  const CompileOutput out = CompileIdl(R"idl(
+    interface Calc {
+      proc Square(v: int32) -> (r: int32);
+      proc Checked(n: cardinal) -> (ok: bool);
+    }
+  )idl");
+  ASSERT_TRUE(out.ok()) << out.errors.front();
+
+  std::map<std::string, ServerProc> handlers;
+  handlers["Square"] = [](ServerFrame& frame) -> Status {
+    Result<std::int32_t> v = frame.Arg<std::int32_t>(0);
+    if (!v.ok()) {
+      return v.status();
+    }
+    return frame.Result_<std::int32_t>(1, *v * *v);
+  };
+  handlers["Checked"] = [](ServerFrame& frame) -> Status {
+    return frame.Result_<bool>(1, true);
+  };
+
+  Result<Interface*> iface = RegisterCompiledInterface(
+      bed.runtime(), bed.server_domain(), out.interfaces[0], handlers);
+  ASSERT_TRUE(iface.ok());
+
+  Result<ClientBinding*> binding =
+      bed.runtime().Import(bed.cpu(0), bed.client_domain(), "Calc");
+  ASSERT_TRUE(binding.ok());
+
+  const std::int32_t seven = 7;
+  std::int32_t squared = 0;
+  const CallArg args[] = {CallArg::Of(seven)};
+  const CallRet rets[] = {CallRet::Of(&squared)};
+  ASSERT_TRUE(bed.runtime()
+                  .Call(bed.cpu(0), bed.client_thread(), **binding, 0, args,
+                        rets)
+                  .ok());
+  EXPECT_EQ(squared, 49);
+
+  // The compiled cardinal check rejects negative values at the stub.
+  const std::int32_t negative = -1;
+  bool ok_flag = false;
+  const CallArg bad[] = {CallArg::Of(negative)};
+  const CallRet bad_rets[] = {CallRet::Of(&ok_flag)};
+  EXPECT_EQ(bed.runtime()
+                .Call(bed.cpu(0), bed.client_thread(), **binding, 1, bad,
+                      bad_rets)
+                .code(),
+            ErrorCode::kTypeCheckFailed);
+}
+
+TEST(IdlEndToEnd, UnhandledProcedureReturnsUnimplemented) {
+  Testbed bed;
+  const CompileOutput out =
+      CompileIdl("interface Ghost { proc Spooky(); }");
+  ASSERT_TRUE(out.ok());
+  Result<Interface*> iface = RegisterCompiledInterface(
+      bed.runtime(), bed.server_domain(), out.interfaces[0], {});
+  ASSERT_TRUE(iface.ok());
+  Result<ClientBinding*> binding =
+      bed.runtime().Import(bed.cpu(0), bed.client_domain(), "Ghost");
+  ASSERT_TRUE(binding.ok());
+  EXPECT_EQ(bed.runtime()
+                .Call(bed.cpu(0), bed.client_thread(), **binding, 0, {}, {})
+                .code(),
+            ErrorCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace lrpc
+
+namespace lrpc {
+namespace {
+
+TEST(IdlLexer, HugeIntegerLiteralDiagnosedNotCrashed) {
+  Lexer lexer("const X = 99999999999999999999999999;");
+  const auto tokens = lexer.Tokenize();
+  EXPECT_EQ(tokens.back().kind, TokenKind::kError);
+  // And through the full pipeline: an error, not a crash.
+  const CompileOutput out = CompileIdl(
+      "interface I { const N = 99999999999999999999; proc P(); }");
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(IdlLexer, MaxRepresentableLiteralStillLexes) {
+  Lexer lexer("9223372036854775807");
+  const auto tokens = lexer.Tokenize();
+  ASSERT_EQ(tokens[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[0].value, INT64_MAX);
+}
+
+}  // namespace
+}  // namespace lrpc

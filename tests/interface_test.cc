@@ -1,0 +1,142 @@
+// Unit tests of the interface/PDL model: A-stack size computation, slot
+// layout, sharing-group assignment (Section 3.1), and the builder's
+// invariants.
+
+#include <gtest/gtest.h>
+
+#include "src/lrpc/interface.h"
+#include "src/lrpc/server_frame.h"
+
+namespace lrpc {
+namespace {
+
+ProcedureDef ProcWithSizes(std::string name,
+                           std::initializer_list<std::size_t> in_sizes,
+                           std::initializer_list<std::size_t> out_sizes = {}) {
+  ProcedureDef def;
+  def.name = std::move(name);
+  int i = 0;
+  for (std::size_t size : in_sizes) {
+    def.params.push_back({.name = "a" + std::to_string(i++),
+                          .direction = ParamDirection::kIn,
+                          .size = size});
+  }
+  for (std::size_t size : out_sizes) {
+    def.params.push_back({.name = "r" + std::to_string(i++),
+                          .direction = ParamDirection::kOut,
+                          .size = size});
+  }
+  return def;
+}
+
+// --- ComputeAStackSize ---
+
+TEST(InterfaceModel, NullProcedureStillNeedsASlot) {
+  EXPECT_GT(Interface::ComputeAStackSize(ProcWithSizes("Null", {})), 0u);
+}
+
+TEST(InterfaceModel, FixedSizesSumWithAlignment) {
+  // 4 + 4 in, 4 out: three 8-byte-aligned slots.
+  EXPECT_EQ(Interface::ComputeAStackSize(ProcWithSizes("Add", {4, 4}, {4})),
+            24u);
+  // A 200-byte argument: one slot, aligned up.
+  EXPECT_EQ(Interface::ComputeAStackSize(ProcWithSizes("BigIn", {200})),
+            200u);
+}
+
+TEST(InterfaceModel, VariableParamsDefaultToEthernetPacketSize) {
+  ProcedureDef def;
+  def.name = "Var";
+  def.params.push_back({.name = "data",
+                        .direction = ParamDirection::kIn,
+                        .size = 0,
+                        .max_size = 64});
+  // "In the presence of variable sized arguments... a default size equal
+  // to the Ethernet packet size" (Section 5.2).
+  EXPECT_EQ(Interface::ComputeAStackSize(def), kDefaultVariableAStackSize);
+}
+
+TEST(InterfaceModel, OverrideWins) {
+  ProcedureDef def = ProcWithSizes("P", {4});
+  def.astack_size_override = 4096;
+  EXPECT_EQ(Interface::ComputeAStackSize(def), 4096u);
+}
+
+// --- ParamOffset ---
+
+TEST(InterfaceModel, SlotsAreEightByteAligned) {
+  const ProcedureDef def = ProcWithSizes("P", {1, 4, 16}, {8});
+  EXPECT_EQ(ParamOffset(def, 0), 0u);
+  EXPECT_EQ(ParamOffset(def, 1), 8u);   // 1-byte slot padded to 8.
+  EXPECT_EQ(ParamOffset(def, 2), 16u);
+  EXPECT_EQ(ParamOffset(def, 3), 32u);  // After the 16-byte slot.
+}
+
+// --- Seal: grouping and PDL ---
+
+TEST(InterfaceModel, SimilarSizesShareAGroup) {
+  Interface iface(0, "grouping", 1);
+  iface.AddProcedure(ProcWithSizes("A", {16}));
+  iface.AddProcedure(ProcWithSizes("B", {24}));   // Same 64-byte bucket.
+  iface.AddProcedure(ProcWithSizes("C", {200}));  // 256-byte bucket.
+  iface.Seal();
+  EXPECT_EQ(iface.astack_group_count(), 2);
+  EXPECT_EQ(iface.pd(0).astack_group, iface.pd(1).astack_group);
+  EXPECT_NE(iface.pd(0).astack_group, iface.pd(2).astack_group);
+}
+
+TEST(InterfaceModel, GroupCountIsMaxOfMembers) {
+  // "The number of simultaneous calls initially permitted to procedures
+  // that are sharing A-stacks is limited by the total number of A-stacks
+  // being shared" — the pool is sized by the largest member, not the sum.
+  Interface iface(0, "counts", 1);
+  ProcedureDef a = ProcWithSizes("A", {16});
+  a.simultaneous_calls = 3;
+  ProcedureDef b = ProcWithSizes("B", {16});
+  b.simultaneous_calls = 9;
+  iface.AddProcedure(std::move(a));
+  iface.AddProcedure(std::move(b));
+  iface.Seal();
+  ASSERT_EQ(iface.astack_group_count(), 1);
+  EXPECT_EQ(iface.group_astack_count(0), 9);
+}
+
+TEST(InterfaceModel, GroupSizeIsBucketCeiling) {
+  Interface iface(0, "bucket", 1);
+  iface.AddProcedure(ProcWithSizes("A", {100}));
+  iface.Seal();
+  EXPECT_EQ(iface.group_astack_size(0), 128u);  // Next power of two.
+  EXPECT_EQ(iface.pd(0).astack_size, 128u);
+}
+
+TEST(InterfaceModel, EntryAddressesAreDistinct) {
+  Interface iface(3, "entries", 1);
+  iface.AddProcedure(ProcWithSizes("A", {}));
+  iface.AddProcedure(ProcWithSizes("B", {}));
+  iface.Seal();
+  EXPECT_NE(iface.pd(0).entry_address, iface.pd(1).entry_address);
+  EXPECT_NE(iface.pd(0).entry_address, 0u);
+}
+
+TEST(InterfaceModel, FindProcedureByName) {
+  Interface iface(0, "lookup", 1);
+  iface.AddProcedure(ProcWithSizes("Alpha", {}));
+  iface.AddProcedure(ProcWithSizes("Beta", {}));
+  iface.Seal();
+  Result<int> beta = iface.FindProcedure("Beta");
+  ASSERT_TRUE(beta.ok());
+  EXPECT_EQ(*beta, 1);
+  EXPECT_EQ(iface.FindProcedure("Gamma").code(), ErrorCode::kNoSuchProcedure);
+}
+
+TEST(InterfaceModel, DefaultSimultaneousCallsIsFive) {
+  // "The number defaults to five" (Section 5.2).
+  Interface iface(0, "defaults", 1);
+  iface.AddProcedure(ProcWithSizes("P", {4}));
+  iface.Seal();
+  EXPECT_EQ(iface.pd(0).simultaneous_calls, 5);
+  EXPECT_EQ(iface.group_astack_count(0), 5);
+}
+
+}  // namespace
+}  // namespace lrpc

@@ -1,0 +1,225 @@
+// Property tests of kernel invariants under randomized call topologies and
+// domain terminations (the Section 5.3 machinery), and of the simulated
+// lock's mutual-exclusion guarantee under random interleavings.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/kern/kernel.h"
+#include "src/lrpc/server_frame.h"
+#include "src/lrpc/testbed.h"
+
+namespace lrpc {
+namespace {
+
+// --- Random nested-call chains + termination ---
+
+// Builds a chain of domains d0 -> d1 -> ... -> dN where each domain
+// imports a forwarding service from the next; calling depth k nests k
+// LRPCs on one thread. A random subset of domains then terminates, and the
+// invariants must hold: the thread lands in the deepest still-alive caller
+// below every dead domain (or dies), no linkage stays in_use, and every
+// binding touching a dead domain is revoked.
+class ChainPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainPropertyTest, TerminationInvariantsHold) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 5);
+
+  for (int round = 0; round < 8; ++round) {
+    const int depth = static_cast<int>(rng.NextInRange(2, 5));
+    Machine machine(MachineModel::CVaxFirefly(), 1);
+    Kernel kernel(machine);
+    LrpcRuntime runtime(kernel);
+    Processor& cpu = machine.processor(0);
+
+    std::vector<DomainId> domains;
+    for (int d = 0; d <= depth; ++d) {
+      domains.push_back(
+          kernel.CreateDomain({.name = "d" + std::to_string(d)}));
+    }
+    const ThreadId thread = kernel.CreateThread(domains[0]);
+
+    // Each domain d < depth exports "Fwd" which calls the next domain; the
+    // last domain's handler optionally terminates a random domain in the
+    // chain mid-call.
+    const int victim = static_cast<int>(
+        rng.NextInRange(1, static_cast<std::int64_t>(depth)));
+    std::vector<ClientBinding*> bindings(static_cast<std::size_t>(depth));
+
+    // Build interfaces from the deepest domain up so bindings exist before
+    // the handlers that use them are invoked.
+    Interface* deepest =
+        runtime.CreateInterface(domains[static_cast<std::size_t>(depth)],
+                                "chain.L" + std::to_string(depth));
+    {
+      ProcedureDef def;
+      def.name = "Fwd";
+      LrpcRuntime* rt = &runtime;
+      Kernel* k = &kernel;
+      DomainId victim_domain = domains[static_cast<std::size_t>(victim)];
+      def.handler = [rt, k, victim_domain](ServerFrame&) -> Status {
+        // The deepest handler pulls the rug: a domain somewhere in the
+        // chain terminates while every level has an outstanding call.
+        return rt->TerminateDomain(victim_domain).ok()
+                   ? Status::Ok()
+                   : Status(ErrorCode::kInvalidArgument);
+      };
+      deepest->AddProcedure(std::move(def));
+      ASSERT_TRUE(runtime.Export(deepest).ok());
+    }
+    for (int level = depth - 1; level >= 0; --level) {
+      Result<ClientBinding*> next_binding = runtime.Import(
+          cpu, domains[static_cast<std::size_t>(level)],
+          "chain.L" + std::to_string(level + 1));
+      ASSERT_TRUE(next_binding.ok());
+      bindings[static_cast<std::size_t>(level)] = *next_binding;
+      if (level == 0) {
+        break;
+      }
+      Interface* iface =
+          runtime.CreateInterface(domains[static_cast<std::size_t>(level)],
+                                  "chain.L" + std::to_string(level));
+      ProcedureDef def;
+      def.name = "Fwd";
+      LrpcRuntime* rt = &runtime;
+      ClientBinding* next = *next_binding;
+      def.handler = [rt, next](ServerFrame& frame) -> Status {
+        return rt->Call(frame.cpu(), frame.thread(), *next, 0, {}, {});
+      };
+      iface->AddProcedure(std::move(def));
+      ASSERT_TRUE(runtime.Export(iface).ok());
+    }
+
+    cpu.LoadContext(kernel.domain(domains[0]).vm_context());
+    const Status status =
+        runtime.Call(cpu, thread, *bindings[0], 0, {}, {});
+    // Some domain in the active chain died: the top-level call must report
+    // a failure, never success.
+    EXPECT_FALSE(status.ok()) << "depth " << depth << " victim " << victim;
+
+    // Invariants:
+    Thread& t = kernel.thread(thread);
+    if (t.state() != ThreadState::kDead) {
+      // The thread must be in a live domain with no outstanding linkages
+      // claiming to still be in use by it.
+      Domain* landed = kernel.FindDomain(t.current_domain());
+      ASSERT_NE(landed, nullptr);
+      EXPECT_TRUE(landed->alive());
+      EXPECT_FALSE(t.HasLinkages());
+    }
+    // d0 initiated the call and is never the victim, so the thread
+    // survives and lands in a domain at a level above the victim.
+    EXPECT_NE(t.state(), ThreadState::kDead);
+
+    // Every binding touching the victim is revoked; others still validate.
+    for (int level = 0; level < depth; ++level) {
+      BindingRecord* record =
+          bindings[static_cast<std::size_t>(level)]->record();
+      const bool touches_victim =
+          (level == victim) || (level + 1 == victim);
+      EXPECT_EQ(record->revoked, touches_victim)
+          << "level " << level << " victim " << victim;
+      // No linkage left in use anywhere.
+      for (const auto& region : record->regions) {
+        for (int i = 0; i < region->count(); ++i) {
+          EXPECT_FALSE(region->linkage(i).in_use);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainPropertyTest, ::testing::Range(0, 8));
+
+// --- SimLock mutual exclusion under random interleavings ---
+
+TEST(SimLockProperty, HoldIntervalsNeverOverlap) {
+  Rng rng(4242);
+  for (int round = 0; round < 20; ++round) {
+    const int processors = static_cast<int>(rng.NextInRange(2, 4));
+    Machine machine(MachineModel::CVaxFirefly(), processors);
+    machine.set_active_processors(processors);
+    SimLock lock("prop");
+
+    struct Interval {
+      SimTime start, end;
+    };
+    std::vector<Interval> intervals;
+    std::vector<int> remaining(static_cast<std::size_t>(processors));
+    for (auto& r : remaining) {
+      r = static_cast<int>(rng.NextInRange(5, 20));
+    }
+    int live = processors;
+    while (live > 0) {
+      // Pick the earliest processor with work left.
+      int best = -1;
+      for (int p = 0; p < processors; ++p) {
+        if (remaining[static_cast<std::size_t>(p)] == 0) {
+          continue;
+        }
+        if (best < 0 || machine.processor(p).clock() <
+                            machine.processor(best).clock()) {
+          best = p;
+        }
+      }
+      Processor& cpu = machine.processor(best);
+      // Random uncontended work, then a random critical section.
+      cpu.Charge(CostCategory::kOther, Micros(rng.NextInRange(1, 300)));
+      lock.Acquire(cpu);
+      const SimTime start = cpu.clock();
+      cpu.Charge(CostCategory::kOther, Micros(rng.NextInRange(1, 250)));
+      const SimTime end = cpu.clock();
+      lock.Release(cpu);
+      intervals.push_back({start, end});
+      if (--remaining[static_cast<std::size_t>(best)] == 0) {
+        --live;
+      }
+    }
+
+    // Mutual exclusion on the simulated timeline: no two hold intervals
+    // overlap.
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval& a, const Interval& b) {
+                return a.start < b.start;
+              });
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      EXPECT_GE(intervals[i].start, intervals[i - 1].end)
+          << "round " << round << " interval " << i;
+    }
+  }
+}
+
+// --- E-stack churn under many bindings ---
+
+TEST(EStackProperty, BudgetNeverExceededUnderChurn) {
+  Rng rng(777);
+  Testbed bed;
+  const int capacity =
+      bed.kernel().domain(bed.server_domain()).estacks().capacity();
+
+  // Twenty bindings to the same server, called in random order: the
+  // E-stack pool must never exceed its budget, reclaiming as needed.
+  std::vector<ClientBinding*> bindings;
+  for (int i = 0; i < 20; ++i) {
+    Result<ClientBinding*> b =
+        bed.runtime().Import(bed.cpu(0), bed.client_domain(), "paper.Measures");
+    ASSERT_TRUE(b.ok());
+    bindings.push_back(*b);
+  }
+  for (int call = 0; call < 300; ++call) {
+    ClientBinding* binding =
+        bindings[rng.NextBelow(bindings.size())];
+    ASSERT_TRUE(bed.runtime()
+                    .Call(bed.cpu(0), bed.client_thread(), *binding,
+                          bed.null_proc(), {}, {})
+                    .ok());
+    ASSERT_LE(bed.kernel().domain(bed.server_domain()).estacks().allocated(),
+              capacity);
+  }
+}
+
+}  // namespace
+}  // namespace lrpc

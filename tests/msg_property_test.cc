@@ -1,0 +1,227 @@
+// Property tests across the transports: randomly generated signatures and
+// payloads must round-trip identically through LRPC and through all three
+// message-RPC modes, and multiprocessor call storms must preserve
+// correctness and kernel hygiene.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/lrpc/server_frame.h"
+#include "src/lrpc/testbed.h"
+#include "src/rpc/msg_rpc.h"
+
+namespace lrpc {
+namespace {
+
+// A procedure that fingerprints its inputs: the handler XOR-folds every
+// in-byte and writes the digest, so any corruption or truncation anywhere
+// in a transport shows up as a digest mismatch.
+ProcedureDef MakeDigestProc(const std::vector<ParamDesc>& in_params) {
+  ProcedureDef def;
+  def.name = "Digest";
+  def.params = in_params;
+  def.params.push_back(
+      {.name = "digest", .direction = ParamDirection::kOut, .size = 8});
+  const std::size_t in_count = in_params.size();
+  def.handler = [in_count](ServerFrame& frame) -> Status {
+    std::uint64_t digest = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < in_count; ++i) {
+      Result<std::size_t> size = frame.ArgSize(static_cast<int>(i));
+      if (!size.ok()) {
+        return size.status();
+      }
+      std::vector<std::uint8_t> bytes(*size);
+      Result<std::size_t> n =
+          frame.ReadArg(static_cast<int>(i), bytes.data(), bytes.size());
+      if (!n.ok()) {
+        return n.status();
+      }
+      for (std::uint8_t b : bytes) {
+        digest = (digest ^ b) * 0x100000001b3ULL;
+      }
+      digest = (digest ^ *size) * 0x100000001b3ULL;
+    }
+    return frame.Result_<std::uint64_t>(static_cast<int>(in_count), digest);
+  };
+  return def;
+}
+
+std::uint64_t ExpectedDigest(
+    const std::vector<std::vector<std::uint8_t>>& payloads) {
+  std::uint64_t digest = 0xcbf29ce484222325ULL;
+  for (const auto& bytes : payloads) {
+    for (std::uint8_t b : bytes) {
+      digest = (digest ^ b) * 0x100000001b3ULL;
+    }
+    digest = (digest ^ bytes.size()) * 0x100000001b3ULL;
+  }
+  return digest;
+}
+
+class TransportEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransportEquivalenceTest, AllTransportsProduceTheSameDigest) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2801 + 17);
+
+  for (int round = 0; round < 6; ++round) {
+    // Random in-signature (fixed sizes only: the message payload mirrors
+    // the slot layout in every mode).
+    const int in_count = static_cast<int>(rng.NextInRange(0, 4));
+    std::vector<ParamDesc> in_params;
+    std::vector<std::vector<std::uint8_t>> payloads;
+    for (int i = 0; i < in_count; ++i) {
+      ParamDesc p;
+      p.name = "a" + std::to_string(i);
+      p.direction = ParamDirection::kIn;
+      p.size = static_cast<std::size_t>(rng.NextInRange(1, 96));
+      in_params.push_back(p);
+      std::vector<std::uint8_t> payload(p.size);
+      for (auto& b : payload) {
+        b = static_cast<std::uint8_t>(rng.Next());
+      }
+      payloads.push_back(std::move(payload));
+    }
+    const std::uint64_t expected = ExpectedDigest(payloads);
+
+    std::vector<CallArg> args;
+    for (const auto& payload : payloads) {
+      args.push_back(CallArg(payload.data(), payload.size()));
+    }
+
+    // --- Through LRPC. ---
+    {
+      Testbed bed;
+      Interface* iface = bed.runtime().CreateInterface(
+          bed.server_domain(), "eq.L" + std::to_string(round));
+      iface->AddProcedure(MakeDigestProc(in_params));
+      ASSERT_TRUE(bed.runtime().Export(iface).ok());
+      auto binding =
+          bed.runtime().Import(bed.cpu(0), bed.client_domain(), iface->name());
+      ASSERT_TRUE(binding.ok());
+      std::uint64_t digest = 0;
+      const CallRet rets[] = {CallRet::Of(&digest)};
+      ASSERT_TRUE(bed.runtime()
+                      .Call(bed.cpu(0), bed.client_thread(), **binding, 0,
+                            args, rets)
+                      .ok());
+      EXPECT_EQ(digest, expected) << "LRPC, round " << round;
+    }
+
+    // --- Through each message mode. ---
+    for (MsgRpcMode mode : {MsgRpcMode::kTraditional, MsgRpcMode::kSrcFirefly,
+                            MsgRpcMode::kRestrictedDash}) {
+      Machine machine(MachineModel::CVaxFirefly(), 1);
+      Kernel kernel(machine);
+      MsgRpcSystem system(kernel, mode);
+      const DomainId client = kernel.CreateDomain({.name = "c"});
+      const DomainId server = kernel.CreateDomain({.name = "s"});
+      const ThreadId thread = kernel.CreateThread(client);
+      Interface iface(0, "eq.M", server);
+      iface.AddProcedure(MakeDigestProc(in_params));
+      iface.Seal();
+      MsgServer* msg_server = system.RegisterServer(server, &iface);
+      MsgBinding binding = system.Bind(client, msg_server);
+      std::uint64_t digest = 0;
+      const CallRet rets[] = {CallRet::Of(&digest)};
+      ASSERT_TRUE(system
+                      .Call(machine.processor(0), thread, binding, 0, args,
+                            rets)
+                      .ok());
+      EXPECT_EQ(digest, expected)
+          << MsgRpcModeName(mode) << ", round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransportEquivalenceTest,
+                         ::testing::Range(0, 8));
+
+// --- Multiprocessor call storms ---
+
+class MpStormTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpStormTest, ConcurrentClientsComputeCorrectlyAndLeaveNoResidue) {
+  const int processors = 2 + (GetParam() % 3);  // 2..4 CPUs.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 1);
+
+  Machine machine(MachineModel::CVaxFirefly(), processors);
+  machine.set_active_processors(processors);
+  Kernel kernel(machine);
+  LrpcRuntime runtime(kernel);
+
+  const DomainId server = kernel.CreateDomain({.name = "server"});
+  Interface* iface = runtime.CreateInterface(server, "storm.Mul");
+  {
+    ProcedureDef def;
+    def.name = "Mul";
+    def.params.push_back(
+        {.name = "a", .direction = ParamDirection::kIn, .size = 8});
+    def.params.push_back(
+        {.name = "b", .direction = ParamDirection::kIn, .size = 8});
+    def.params.push_back(
+        {.name = "r", .direction = ParamDirection::kOut, .size = 8});
+    def.handler = [](ServerFrame& frame) -> Status {
+      Result<std::int64_t> a = frame.Arg<std::int64_t>(0);
+      Result<std::int64_t> b = frame.Arg<std::int64_t>(1);
+      if (!a.ok() || !b.ok()) {
+        return Status(ErrorCode::kInvalidArgument);
+      }
+      return frame.Result_<std::int64_t>(2, *a * *b);
+    };
+    iface->AddProcedure(std::move(def));
+  }
+  ASSERT_TRUE(runtime.Export(iface).ok());
+
+  struct Client {
+    DomainId domain;
+    ThreadId thread;
+    ClientBinding* binding;
+  };
+  std::vector<Client> clients;
+  for (int p = 0; p < processors; ++p) {
+    Client c;
+    c.domain = kernel.CreateDomain({.name = "c" + std::to_string(p)});
+    c.thread = kernel.CreateThread(c.domain);
+    c.binding = *runtime.Import(machine.processor(p), c.domain, "storm.Mul");
+    machine.processor(p).LoadContext(kernel.domain(c.domain).vm_context());
+    clients.push_back(c);
+  }
+
+  const int total_calls = 400;
+  for (int i = 0; i < total_calls; ++i) {
+    Processor& cpu = machine.NextProcessorToRun();
+    Client& c = clients[static_cast<std::size_t>(cpu.id())];
+    const std::int64_t a = rng.NextInRange(-1000, 1000);
+    const std::int64_t b = rng.NextInRange(-1000, 1000);
+    std::int64_t r = 0;
+    const CallArg args[] = {CallArg::Of(a), CallArg::Of(b)};
+    const CallRet rets[] = {CallRet::Of(&r)};
+    ASSERT_TRUE(runtime.Call(cpu, c.thread, *c.binding, 0, args, rets).ok());
+    ASSERT_EQ(r, a * b);
+  }
+
+  // Hygiene after the storm: every linkage free, every thread home, and the
+  // server's E-stack pool within budget.
+  for (const Client& c : clients) {
+    Thread& t = kernel.thread(c.thread);
+    EXPECT_FALSE(t.HasLinkages());
+    EXPECT_EQ(t.current_domain(), c.domain);
+    for (const auto& region : c.binding->record()->regions) {
+      for (int i = 0; i < region->count(); ++i) {
+        EXPECT_FALSE(region->linkage(i).in_use);
+      }
+    }
+  }
+  EXPECT_LE(kernel.domain(server).estacks().allocated(),
+            kernel.domain(server).estacks().capacity());
+  EXPECT_EQ(runtime.stats().calls, static_cast<std::uint64_t>(total_calls));
+  EXPECT_EQ(runtime.stats().failed_calls, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MpStormTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace lrpc

@@ -1,0 +1,128 @@
+// Tests of the packetizing network model and the cross-machine call path
+// built on it (Sections 5.1-5.2): single-packet calls are the design
+// point; multi-packet transfers pay a visible continuation penalty, which
+// is why interface writers keep payloads under the packet size (the
+// Figure 1 spike) and why the A-stack default is the Ethernet packet size.
+
+#include <gtest/gtest.h>
+
+#include "src/lrpc/server_frame.h"
+#include "src/lrpc/testbed.h"
+#include "src/sim/network_model.h"
+
+namespace lrpc {
+namespace {
+
+TEST(NetworkModel, PacketCounts) {
+  NetworkModel net;
+  EXPECT_EQ(net.PacketsFor(0), 1);       // A bare request packet.
+  EXPECT_EQ(net.PacketsFor(1), 1);
+  EXPECT_EQ(net.PacketsFor(1448), 1);    // Exactly one full packet.
+  EXPECT_EQ(net.PacketsFor(1449), 2);    // One byte over: two packets.
+  EXPECT_EQ(net.PacketsFor(2896), 2);
+  EXPECT_EQ(net.PacketsFor(2897), 3);
+}
+
+TEST(NetworkModel, ChargesLandInNetworkCategory) {
+  Machine machine(MachineModel::CVaxFirefly(), 1);
+  Processor& cpu = machine.processor(0);
+  const SimDuration charged =
+      machine.model().network.ChargeOneWay(cpu, 100);
+  EXPECT_EQ(cpu.ledger().total(CostCategory::kNetwork), charged);
+  EXPECT_GT(charged, 0);
+}
+
+TEST(NetworkModel, MultiPacketDiscontinuity) {
+  // "Most existing RPC protocols are built on simple packet exchange
+  // protocols, and multi-packet calls have performance problems."
+  Machine machine(MachineModel::CVaxFirefly(), 2);
+  const NetworkModel& net = machine.model().network;
+  Processor& p0 = machine.processor(0);
+  Processor& p1 = machine.processor(1);
+  const SimDuration one_packet = net.ChargeOneWay(p0, 1448);
+  const SimDuration two_packets = net.ChargeOneWay(p1, 1449);
+  // One extra byte costs a whole extra packet's overhead + ack turnaround.
+  EXPECT_GT(two_packets - one_packet,
+            net.per_packet_overhead + net.per_extra_packet_ack - Micros(5));
+}
+
+TEST(NetworkModel, CostScalesWithBytesWithinAPacket) {
+  Machine machine(MachineModel::CVaxFirefly(), 2);
+  const NetworkModel& net = machine.model().network;
+  const SimDuration small = net.ChargeOneWay(machine.processor(0), 10);
+  const SimDuration large = net.ChargeOneWay(machine.processor(1), 1000);
+  EXPECT_NEAR(ToMicros(large - small), 990.0 * net.per_byte_us, 1.0);
+}
+
+// --- The remote path end to end ---
+
+struct RemoteWorld {
+  RemoteWorld() : bed() {
+    far = bed.kernel().CreateDomain({.name = "far", .node = 1});
+    iface = bed.runtime().CreateInterface(far, "net.Blob");
+    ProcedureDef def;
+    def.name = "Take";
+    def.params.push_back({.name = "data",
+                          .direction = ParamDirection::kIn,
+                          .size = 0,
+                          .max_size = 8192});
+    def.params.push_back(
+        {.name = "n", .direction = ParamDirection::kOut, .size = 8});
+    def.handler = [](ServerFrame& frame) -> Status {
+      Result<std::size_t> n = frame.ArgSize(0);
+      if (!n.ok()) {
+        return n.status();
+      }
+      return frame.Result_<std::uint64_t>(1, *n);
+    };
+    iface->AddProcedure(std::move(def));
+    (void)bed.runtime().Export(iface);
+    binding = *bed.runtime().Import(bed.cpu(0), bed.client_domain(), "net.Blob");
+  }
+
+  SimDuration TimeCall(std::size_t bytes) {
+    std::vector<std::uint8_t> payload(bytes, 1);
+    std::uint64_t seen = 0;
+    const CallArg args[] = {CallArg(payload.data(), payload.size())};
+    const CallRet rets[] = {CallRet::Of(&seen)};
+    const SimTime start = bed.cpu(0).clock();
+    const Status status = bed.runtime().Call(bed.cpu(0), bed.client_thread(),
+                                             *binding, 0, args, rets);
+    EXPECT_TRUE(status.ok());
+    EXPECT_EQ(seen, bytes);
+    return bed.cpu(0).clock() - start;
+  }
+
+  Testbed bed;
+  DomainId far;
+  Interface* iface = nullptr;
+  ClientBinding* binding = nullptr;
+};
+
+TEST(RemotePath, SinglePacketCallsAreTheDesignPoint) {
+  RemoteWorld world;
+  const SimDuration at_limit = world.TimeCall(1448);
+  const SimDuration over_limit = world.TimeCall(1449);
+  const NetworkModel& net = world.bed.machine().model().network;
+  // Crossing the packet boundary costs an extra packet + continuation ack,
+  // on top of the one extra byte.
+  EXPECT_GT(over_limit - at_limit,
+            net.per_packet_overhead + net.per_extra_packet_ack - Micros(10));
+}
+
+TEST(RemotePath, RemoteCallsCountedInRuntimeStats) {
+  RemoteWorld world;
+  (void)world.TimeCall(64);
+  EXPECT_EQ(world.bed.runtime().stats().remote_calls, 1u);
+}
+
+TEST(RemotePath, CostDwarfsLocalCalls) {
+  RemoteWorld world;
+  const SimDuration remote = world.TimeCall(64);
+  // "A cross-machine RPC is slower than even a slow cross-domain RPC"
+  // (Section 2.1): an order of magnitude over the local 157 us.
+  EXPECT_GT(remote, 10 * Micros(157));
+}
+
+}  // namespace
+}  // namespace lrpc

@@ -1,0 +1,229 @@
+// Tests for runtime-wide statistics, clerk authorization policies, the
+// kernel's automatic idle-processor prodding, name-server lifecycle, and
+// the register-passing RPC model (the Section 2.2 discontinuity).
+
+#include <gtest/gtest.h>
+
+#include "src/lrpc/server_frame.h"
+#include "src/lrpc/testbed.h"
+#include "src/rpc/register_rpc.h"
+
+namespace lrpc {
+namespace {
+
+// --- RuntimeStats ---
+
+TEST(RuntimeStats, CountsCallsAndCopies) {
+  Testbed bed;
+  std::int32_t sum = 0;
+  ASSERT_TRUE(bed.CallAdd(1, 2, &sum).ok());
+  ASSERT_TRUE(bed.CallNull().ok());
+
+  const auto& stats = bed.runtime().stats();
+  EXPECT_EQ(stats.calls, 2u);
+  EXPECT_EQ(stats.failed_calls, 0u);
+  EXPECT_EQ(stats.remote_calls, 0u);
+  EXPECT_EQ(stats.copies.a, 2u);  // Add's two in-args.
+  EXPECT_EQ(stats.copies.f, 1u);  // Add's result.
+  EXPECT_EQ(stats.astack_bytes, 12u);
+}
+
+TEST(RuntimeStats, CountsFailures) {
+  Testbed bed;
+  ASSERT_TRUE(bed.runtime().TerminateDomain(bed.server_domain()).ok());
+  EXPECT_EQ(bed.CallNull().code(), ErrorCode::kRevokedBinding);
+  EXPECT_EQ(bed.runtime().stats().failed_calls, 1u);
+}
+
+TEST(RuntimeStats, CountsExchanges) {
+  Testbed bed({.processors = 2, .park_idle_in_server = true});
+  ASSERT_TRUE(bed.CallNull().ok());
+  ASSERT_TRUE(bed.CallNull().ok());
+  EXPECT_EQ(bed.runtime().stats().exchange_calls, 2u);
+}
+
+TEST(RuntimeStats, ResetClearsCounters) {
+  Testbed bed;
+  ASSERT_TRUE(bed.CallNull().ok());
+  bed.runtime().ResetStats();
+  EXPECT_EQ(bed.runtime().stats().calls, 0u);
+}
+
+// --- Clerk authorization (Section 3.1: "The server, by allowing the
+// binding to occur, authorizes the client") ---
+
+TEST(ClerkAuthorization, PolicyCanRefuseBindings) {
+  Testbed bed;
+  const DomainId stranger = bed.kernel().CreateDomain({.name = "stranger"});
+  Clerk& clerk = bed.runtime().clerk(bed.server_domain());
+  clerk.set_authorize([&](DomainId client, const Interface&) {
+    return client == bed.client_domain();  // Only the original client.
+  });
+
+  Interface* iface =
+      bed.runtime().CreateInterface(bed.server_domain(), "guarded.Svc");
+  ProcedureDef def;
+  def.name = "P";
+  def.handler = [](ServerFrame&) { return Status::Ok(); };
+  iface->AddProcedure(std::move(def));
+  ASSERT_TRUE(bed.runtime().Export(iface).ok());
+
+  // The stranger is refused...
+  EXPECT_EQ(bed.runtime().Import(bed.cpu(0), stranger, "guarded.Svc").code(),
+            ErrorCode::kBindingRefused);
+  EXPECT_EQ(clerk.imports_refused(), 1u);
+  // ...the authorized client binds fine.
+  EXPECT_TRUE(
+      bed.runtime().Import(bed.cpu(0), bed.client_domain(), "guarded.Svc").ok());
+  EXPECT_GE(clerk.imports_handled(), 1u);
+}
+
+TEST(ClerkAuthorization, RefusedClientCannotForgeItsWayIn) {
+  // Even with a refused binding, a made-up Binding Object fails the
+  // kernel's validation: binding is the only gate.
+  Testbed bed;
+  ClientBinding fake(bed.client_domain(), BindingObject{12345, 0x1234, false},
+                     bed.interface_spec(), bed.binding().record());
+  fake.AddQueue(std::make_unique<AStackQueue>("fake"));
+  auto real = bed.binding().queue(0).Pop(bed.cpu(0));
+  ASSERT_TRUE(real.ok());
+  fake.queue(0).Push(bed.cpu(0), *real);
+  EXPECT_EQ(bed.runtime()
+                .Call(bed.cpu(0), bed.client_thread(), fake, 0, {}, {})
+                .code(),
+            ErrorCode::kForgedBinding);
+}
+
+// --- Automatic idle-processor prodding (Section 3.4: "The kernel uses
+// these counters to prod idle processors to spin in domains showing the
+// most LRPC activity.") ---
+
+TEST(AutoProd, IdlerMigratesToBusyDomainAutomatically) {
+  Testbed bed({.processors = 2});
+  bed.kernel().set_auto_prod_threshold(3);
+  // Idle processor parked in an UNRELATED domain's context: neither the
+  // call leg nor the return leg can use it, so misses accumulate.
+  const DomainId elsewhere = bed.kernel().CreateDomain({.name = "elsewhere"});
+  bed.kernel().ParkIdleProcessor(bed.cpu(1), elsewhere);
+  const VmContextId elsewhere_ctx = bed.kernel().domain(elsewhere).vm_context();
+
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(bed.CallNull().ok());
+  }
+  // The prod moved the idler out of the dead-end context, and calls have
+  // started using the exchange path.
+  EXPECT_NE(bed.cpu(1).loaded_context(), elsewhere_ctx);
+  EXPECT_GT(bed.runtime().stats().exchange_calls, 0u);
+}
+
+TEST(AutoProd, DisabledByDefault) {
+  Testbed bed({.processors = 2});
+  const DomainId elsewhere = bed.kernel().CreateDomain({.name = "elsewhere"});
+  bed.kernel().ParkIdleProcessor(bed.cpu(1), elsewhere);
+  const VmContextId elsewhere_ctx = bed.kernel().domain(elsewhere).vm_context();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(bed.CallNull().ok());
+  }
+  // Without auto-prodding the idler never migrates on its own, and no call
+  // ever finds it.
+  EXPECT_EQ(bed.cpu(1).loaded_context(), elsewhere_ctx);
+  EXPECT_EQ(bed.runtime().stats().exchange_calls, 0u);
+}
+
+TEST(AutoProd, WronglyParkedIdlerSelfCorrectsViaReturnExchange) {
+  // An idler parked in the CLIENT's context is picked up by the first
+  // call's return leg; the exchange leaves it idling in the server's
+  // context, so subsequent calls exchange on the call leg too — domain
+  // caching is self-organizing even without prodding.
+  Testbed bed({.processors = 2});
+  bed.kernel().ParkIdleProcessor(bed.cpu(1), bed.client_domain());
+  CallStats first;
+  ASSERT_TRUE(bed.CallNull(&first).ok());
+  EXPECT_FALSE(first.exchanged_on_call);
+  EXPECT_TRUE(first.exchanged_on_return);
+  CallStats second;
+  ASSERT_TRUE(bed.CallNull(&second).ok());
+  EXPECT_TRUE(second.exchanged_on_call);
+}
+
+// --- Name-server lifecycle ---
+
+TEST(NameLifecycle, TerminationFreesTheName) {
+  Testbed bed;
+  ASSERT_TRUE(bed.runtime().TerminateDomain(bed.server_domain()).ok());
+  // The name is withdrawn; a new server domain can export under it.
+  const DomainId reborn = bed.kernel().CreateDomain({.name = "server2"});
+  Interface* iface = bed.runtime().CreateInterface(reborn, "paper.Measures");
+  ProcedureDef def;
+  def.name = "Null";
+  def.handler = [](ServerFrame&) { return Status::Ok(); };
+  iface->AddProcedure(std::move(def));
+  EXPECT_TRUE(bed.runtime().Export(iface).ok());
+  // And the client can bind to the new incarnation.
+  Result<ClientBinding*> binding =
+      bed.runtime().Import(bed.cpu(0), bed.client_domain(), "paper.Measures");
+  ASSERT_TRUE(binding.ok());
+  EXPECT_TRUE(bed.runtime()
+                  .Call(bed.cpu(0), bed.client_thread(), **binding, 0, {}, {})
+                  .ok());
+}
+
+TEST(NameLifecycle, DuplicateExportRejected) {
+  Testbed bed;
+  Interface* clash =
+      bed.runtime().CreateInterface(bed.server_domain(), "paper.Measures");
+  ProcedureDef def;
+  def.name = "P";
+  def.handler = [](ServerFrame&) { return Status::Ok(); };
+  clash->AddProcedure(std::move(def));
+  EXPECT_EQ(bed.runtime().Export(clash).code(), ErrorCode::kAlreadyExists);
+}
+
+// --- Register-passing RPC (Section 2.2's discontinuity) ---
+
+TEST(RegisterRpc, FitsInRegistersIsFast) {
+  const MachineModel cvax = MachineModel::CVaxFirefly();
+  RegisterRpcModel model;
+  const SimDuration fits = model.CallCost(cvax, 32);
+  EXPECT_EQ(fits, Micros(109) + model.register_path_overhead);
+  // Faster than LRPC for tiny payloads — registers beat even one copy.
+  EXPECT_LT(fits, LrpcCallCostForBytes(cvax, 32));
+}
+
+TEST(RegisterRpc, OneByteOverflowFallsOffTheCliff) {
+  const MachineModel cvax = MachineModel::CVaxFirefly();
+  RegisterRpcModel model;
+  const SimDuration fits = model.CallCost(cvax, model.register_capacity);
+  const SimDuration spills = model.CallCost(cvax, model.register_capacity + 1);
+  // "A performance discontinuity once the parameters overflow the
+  // registers": more than 3x in one byte.
+  EXPECT_GT(static_cast<double>(spills) / static_cast<double>(fits), 3.0);
+  // LRPC degrades smoothly across the same boundary.
+  const SimDuration lrpc_fits = LrpcCallCostForBytes(cvax, model.register_capacity);
+  const SimDuration lrpc_spills =
+      LrpcCallCostForBytes(cvax, model.register_capacity + 1);
+  EXPECT_LT(lrpc_spills - lrpc_fits, Micros(1));
+}
+
+TEST(RegisterRpc, Figure1MakesOverflowAFrequentProblem) {
+  const MachineModel cvax = MachineModel::CVaxFirefly();
+  RegisterRpcModel model;
+  CallSizeModel sizes;
+  const auto expected = model.ExpectedUnderFigure1(cvax, sizes, 1989);
+  // Most calls overflow a 32-byte register file under the Figure 1 mix.
+  EXPECT_GT(expected.overflow_fraction, 0.5);
+  // So the expected cost sits far above the register path's best case...
+  EXPECT_GT(expected.mean_us, 300.0);
+  // ...and above LRPC's expected cost under the same distribution.
+  Rng rng(1989);
+  double lrpc_mean = 0;
+  const int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    lrpc_mean += ToMicros(LrpcCallCostForBytes(cvax, sizes.Sample(rng)));
+  }
+  lrpc_mean /= kSamples;
+  EXPECT_GT(expected.mean_us, lrpc_mean);
+}
+
+}  // namespace
+}  // namespace lrpc

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/cost_ledger.h"
+#include "src/sim/machine.h"
+#include "src/sim/machine_model.h"
+#include "src/sim/sim_lock.h"
+#include "src/sim/time.h"
+#include "src/sim/tlb.h"
+
+namespace lrpc {
+namespace {
+
+// --- Time ---
+
+TEST(TimeTest, MicrosRoundTrips) {
+  EXPECT_EQ(Micros(1.0), 1000);
+  EXPECT_EQ(Micros(0.9), 900);
+  EXPECT_EQ(Micros(157), 157000);
+  EXPECT_DOUBLE_EQ(ToMicros(157000), 157.0);
+}
+
+TEST(TimeTest, MicrosRoundsToNearest) {
+  EXPECT_EQ(Micros(5.0 / 3.0), 1667);
+  EXPECT_EQ(Micros(1.0 / 6.0), 167);
+}
+
+// --- MachineModel calibration (the paper's published constants) ---
+
+TEST(MachineModelTest, CVaxTheoreticalMinimumIs109us) {
+  const MachineModel m = MachineModel::CVaxFirefly();
+  // Table 5: 7 (procedure call) + 2*18 (traps) + 2*33 (context switches).
+  EXPECT_EQ(m.TheoreticalMinimumNull(), Micros(109));
+}
+
+TEST(MachineModelTest, CVaxLrpcOverheadIs48us) {
+  const MachineModel m = MachineModel::CVaxFirefly();
+  // Table 5: 18 + 3 (stubs) + 20 + 7 (kernel path) = 48.
+  EXPECT_EQ(m.LrpcOverheadNull(), Micros(48));
+}
+
+TEST(MachineModelTest, NullLrpcTotalIs157us) {
+  const MachineModel m = MachineModel::CVaxFirefly();
+  EXPECT_EQ(m.TheoreticalMinimumNull() + m.LrpcOverheadNull(), Micros(157));
+}
+
+TEST(MachineModelTest, M68020MinimumIs170us) {
+  EXPECT_EQ(MachineModel::M68020().TheoreticalMinimumNull(), Micros(170));
+}
+
+TEST(MachineModelTest, PerqMinimumIs444us) {
+  EXPECT_EQ(MachineModel::Perq().TheoreticalMinimumNull(), Micros(444));
+}
+
+TEST(MachineModelTest, MicroVaxSlowerThanCVax) {
+  const MachineModel cvax = MachineModel::CVaxFirefly();
+  const MachineModel mvax = MachineModel::MicroVaxIIFirefly();
+  EXPECT_GT(mvax.TheoreticalMinimumNull(), cvax.TheoreticalMinimumNull());
+}
+
+// --- CostLedger ---
+
+TEST(CostLedgerTest, ChargesAccumulateByCategory) {
+  CostLedger ledger;
+  ledger.Charge(CostCategory::kKernelTrap, Micros(18));
+  ledger.Charge(CostCategory::kKernelTrap, Micros(18));
+  ledger.Charge(CostCategory::kClientStub, Micros(18));
+  EXPECT_EQ(ledger.total(CostCategory::kKernelTrap), Micros(36));
+  EXPECT_EQ(ledger.total(CostCategory::kClientStub), Micros(18));
+  EXPECT_EQ(ledger.GrandTotal(), Micros(54));
+}
+
+TEST(CostLedgerTest, MinimumVsOverheadSplit) {
+  CostLedger ledger;
+  ledger.Charge(CostCategory::kProcedureCall, Micros(7));
+  ledger.Charge(CostCategory::kKernelTrap, Micros(36));
+  ledger.Charge(CostCategory::kContextSwitch, Micros(66));
+  ledger.Charge(CostCategory::kClientStub, Micros(18));
+  ledger.Charge(CostCategory::kServerStub, Micros(3));
+  ledger.Charge(CostCategory::kKernelPath, Micros(27));
+  EXPECT_EQ(ledger.MinimumTotal(), Micros(109));
+  EXPECT_EQ(ledger.LrpcOverheadTotal(), Micros(48));
+}
+
+TEST(CostLedgerTest, DiffSubtracts) {
+  CostLedger a, b;
+  a.Charge(CostCategory::kNetwork, 100);
+  b.Charge(CostCategory::kNetwork, 250);
+  const CostLedger d = b.Diff(a);
+  EXPECT_EQ(d.total(CostCategory::kNetwork), 150);
+}
+
+TEST(CostLedgerTest, EveryCategoryHasAName) {
+  for (std::size_t c = 0;
+       c < static_cast<std::size_t>(CostCategory::kCategoryCount); ++c) {
+    EXPECT_NE(CostCategoryName(static_cast<CostCategory>(c)), "unknown");
+  }
+}
+
+// --- Tlb ---
+
+TEST(TlbTest, FirstTouchMissesThenHits) {
+  Tlb tlb(64);
+  EXPECT_TRUE(tlb.Touch(5));
+  EXPECT_FALSE(tlb.Touch(5));
+  EXPECT_EQ(tlb.miss_count(), 1u);
+  EXPECT_EQ(tlb.hit_count(), 1u);
+}
+
+TEST(TlbTest, InvalidateFlushesEverything) {
+  Tlb tlb(64);
+  tlb.Touch(1);
+  tlb.Touch(2);
+  tlb.Invalidate();
+  EXPECT_TRUE(tlb.Touch(1));
+  EXPECT_TRUE(tlb.Touch(2));
+  EXPECT_EQ(tlb.invalidation_count(), 1u);
+}
+
+TEST(TlbTest, DirectMappedConflicts) {
+  Tlb tlb(4);
+  EXPECT_TRUE(tlb.Touch(1));
+  EXPECT_TRUE(tlb.Touch(5));   // 5 % 4 == 1: evicts page 1.
+  EXPECT_TRUE(tlb.Touch(1));   // Conflict miss.
+}
+
+TEST(TlbTest, TouchRangeCountsMisses) {
+  Tlb tlb(64);
+  EXPECT_EQ(tlb.TouchRange(10, 5), 5);
+  EXPECT_EQ(tlb.TouchRange(10, 5), 0);
+}
+
+// --- Processor & Machine ---
+
+TEST(ProcessorTest, ChargeAdvancesClockAndLedger) {
+  Machine machine(MachineModel::CVaxFirefly(), 1);
+  Processor& cpu = machine.processor(0);
+  cpu.Charge(CostCategory::kKernelTrap, Micros(18));
+  EXPECT_EQ(cpu.clock(), Micros(18));
+  EXPECT_EQ(cpu.ledger().total(CostCategory::kKernelTrap), Micros(18));
+}
+
+TEST(ProcessorTest, BusContentionStretchesClockNotLedger) {
+  MachineModel model = MachineModel::CVaxFirefly();
+  model.bus_contention_per_extra_processor = 0.5;
+  Machine machine(model, 2);
+  machine.set_active_processors(2);
+  Processor& cpu = machine.processor(0);
+  cpu.Charge(CostCategory::kKernelTrap, Micros(100));
+  EXPECT_EQ(cpu.clock(), Micros(150));  // 100 * (1 + 0.5).
+  EXPECT_EQ(cpu.ledger().total(CostCategory::kKernelTrap), Micros(100));
+}
+
+TEST(ProcessorTest, LoadContextInvalidatesTlb) {
+  Machine machine(MachineModel::CVaxFirefly(), 1);
+  Processor& cpu = machine.processor(0);
+  cpu.LoadContext(1);
+  cpu.tlb().Touch(42);
+  cpu.LoadContext(2);
+  EXPECT_TRUE(cpu.tlb().Touch(42));  // Must miss again.
+  cpu.LoadContext(2);                // Same context: no invalidation.
+  EXPECT_FALSE(cpu.tlb().Touch(42));
+}
+
+TEST(MachineTest, FindIdleInContext) {
+  Machine machine(MachineModel::CVaxFirefly(), 2);
+  Processor& p1 = machine.processor(1);
+  p1.LoadContext(7);
+  machine.MarkIdle(p1);
+  EXPECT_EQ(machine.FindIdleInContext(7), &p1);
+  EXPECT_EQ(machine.FindIdleInContext(8), nullptr);
+  machine.MarkBusy(p1);
+  EXPECT_EQ(machine.FindIdleInContext(7), nullptr);
+}
+
+TEST(MachineTest, ExchangeContextsSwapsWarmth) {
+  Machine machine(MachineModel::CVaxFirefly(), 2);
+  Processor& caller = machine.processor(0);
+  Processor& idler = machine.processor(1);
+  caller.LoadContext(1);
+  idler.LoadContext(2);
+  idler.tlb().Touch(100);  // Warm page in the idler's (server) context.
+  machine.MarkIdle(idler);
+
+  machine.ExchangeContexts(caller, idler);
+  EXPECT_EQ(caller.loaded_context(), 2);
+  EXPECT_EQ(idler.loaded_context(), 1);
+  // The caller inherited the warm TLB: page 100 hits.
+  EXPECT_FALSE(caller.tlb().Touch(100));
+  // Exchange cost charged, no context-switch cost.
+  EXPECT_EQ(caller.ledger().total(CostCategory::kProcessorExchange),
+            machine.model().processor_exchange);
+  EXPECT_EQ(caller.ledger().total(CostCategory::kContextSwitch), 0);
+}
+
+TEST(MachineTest, IdleMissCountersDrivesProdding) {
+  Machine machine(MachineModel::CVaxFirefly(), 2);
+  machine.RecordIdleMiss(3);
+  machine.RecordIdleMiss(3);
+  machine.RecordIdleMiss(5);
+  EXPECT_EQ(machine.idle_misses(3), 2u);
+  EXPECT_EQ(machine.BusiestMissedContext(), 3);
+}
+
+TEST(MachineTest, NextProcessorToRunPicksEarliest) {
+  Machine machine(MachineModel::CVaxFirefly(), 3);
+  machine.set_active_processors(3);
+  machine.processor(0).set_clock(100);
+  machine.processor(1).set_clock(50);
+  machine.processor(2).set_clock(75);
+  EXPECT_EQ(machine.NextProcessorToRun().id(), 1);
+}
+
+TEST(MachineTest, AggregateLedgerSumsProcessors) {
+  Machine machine(MachineModel::CVaxFirefly(), 2);
+  machine.processor(0).ledger().Charge(CostCategory::kNetwork, 10);
+  machine.processor(1).ledger().Charge(CostCategory::kNetwork, 15);
+  EXPECT_EQ(machine.AggregateLedger().total(CostCategory::kNetwork), 25);
+}
+
+// --- SimLock ---
+
+TEST(SimLockTest, UncontendedAcquireIsFree) {
+  Machine machine(MachineModel::CVaxFirefly(), 1);
+  Processor& cpu = machine.processor(0);
+  SimLock lock("l");
+  lock.Acquire(cpu);
+  EXPECT_EQ(cpu.clock(), 0);
+  cpu.Charge(CostCategory::kOther, Micros(10));
+  lock.Release(cpu);
+  EXPECT_EQ(lock.total_hold(), Micros(10));
+  EXPECT_EQ(lock.contended_acquisitions(), 0u);
+}
+
+TEST(SimLockTest, ContendedAcquireWaitsUntilRelease) {
+  Machine machine(MachineModel::CVaxFirefly(), 2);
+  Processor& p0 = machine.processor(0);
+  Processor& p1 = machine.processor(1);
+  SimLock lock("l");
+
+  lock.Acquire(p0);
+  p0.Charge(CostCategory::kOther, Micros(250));
+  lock.Release(p0);  // Free at t=250us.
+
+  p1.set_clock(Micros(100));
+  lock.Acquire(p1);
+  EXPECT_EQ(p1.clock(), Micros(250));  // Waited 150us.
+  EXPECT_EQ(lock.total_wait(), Micros(150));
+  EXPECT_EQ(lock.contended_acquisitions(), 1u);
+  lock.Release(p1);
+}
+
+TEST(SimLockTest, SerializedThroughputMatchesHoldTime) {
+  // Two processors each making "calls" that hold the lock 250us out of a
+  // 464us path saturate at ~4000 calls/s — the Figure 2 plateau mechanism.
+  Machine machine(MachineModel::CVaxFirefly(), 2);
+  machine.set_active_processors(2);
+  SimLock lock("global");
+  const int kCallsPerCpu = 1000;
+  MachineModel model = machine.model();
+  model.bus_contention_per_extra_processor = 0;  // Isolate lock effects.
+  Machine quiet(model, 2);
+  quiet.set_active_processors(2);
+
+  for (int c = 0; c < 2 * kCallsPerCpu; ++c) {
+    Processor& cpu = quiet.NextProcessorToRun();
+    cpu.Charge(CostCategory::kOther, Micros(107));  // Outside the lock.
+    lock.Acquire(cpu);
+    cpu.Charge(CostCategory::kOther, Micros(250));  // Critical section.
+    lock.Release(cpu);
+    cpu.Charge(CostCategory::kOther, Micros(107));
+  }
+  const SimTime end =
+      std::max(quiet.processor(0).clock(), quiet.processor(1).clock());
+  const double calls_per_second = 2.0 * kCallsPerCpu / ToSeconds(end);
+  EXPECT_NEAR(calls_per_second, 4000.0, 80.0);
+}
+
+}  // namespace
+}  // namespace lrpc

@@ -1,0 +1,183 @@
+// Tests of the workload and size models against the paper's measured
+// marginals (Section 2, Table 1, Figure 1).
+
+#include <gtest/gtest.h>
+
+#include "src/common/histogram.h"
+#include "src/trace/size_model.h"
+#include "src/trace/workload.h"
+
+namespace lrpc {
+namespace {
+
+constexpr std::uint64_t kOps = 500000;
+
+TEST(WorkloadTest, VSystemRemoteShareNearThreePercent) {
+  Rng rng(42);
+  const TraceStats stats = RunWorkload(VSystemModel(), rng, kOps);
+  EXPECT_NEAR(stats.remote_percent(), 3.0, 0.3);
+}
+
+TEST(WorkloadTest, TaosRemoteShareNearFivePointThree) {
+  Rng rng(42);
+  const TraceStats stats = RunWorkload(TaosModel(), rng, kOps);
+  EXPECT_NEAR(stats.remote_percent(), 5.3, 0.4);
+}
+
+TEST(WorkloadTest, UnixNfsRemoteShareNearPointSix) {
+  Rng rng(42);
+  const TraceStats stats = RunWorkload(UnixNfsModel(), rng, kOps);
+  EXPECT_NEAR(stats.remote_percent(), 0.6, 0.1);
+}
+
+TEST(WorkloadTest, EveryOperationAccountedFor) {
+  Rng rng(7);
+  for (const auto& model : Table1Systems()) {
+    const TraceStats stats = RunWorkload(model, rng, 10000);
+    EXPECT_EQ(stats.cross_domain_ops + stats.cross_machine_ops,
+              stats.total_ops)
+        << model.system_name;
+  }
+}
+
+TEST(WorkloadTest, CachesAbsorbRemoteTraffic) {
+  // The mechanism claim: with caching disabled, NFS's remote share explodes
+  // — the cache is what makes cross-machine activity rare.
+  SystemWorkloadModel no_cache = UnixNfsModel();
+  for (auto& service : no_cache.services) {
+    service.cache_hit_rate = 0;
+  }
+  Rng rng(42);
+  const double with_cache =
+      RunWorkload(UnixNfsModel(), rng, kOps).remote_percent();
+  const double without_cache =
+      RunWorkload(no_cache, rng, kOps).remote_percent();
+  EXPECT_GT(without_cache, 25.0);
+  EXPECT_LT(with_cache, 1.0);
+}
+
+TEST(WorkloadTest, Deterministic) {
+  Rng a(99), b(99);
+  const TraceStats s1 = RunWorkload(TaosModel(), a, 10000);
+  const TraceStats s2 = RunWorkload(TaosModel(), b, 10000);
+  EXPECT_EQ(s1.cross_machine_ops, s2.cross_machine_ops);
+}
+
+// --- Figure 1 dynamics ---
+
+TEST(SizeModelTest, MostFrequentCallsUnderFiftyBytes) {
+  CallSizeModel model;
+  Rng rng(1);
+  Histogram h(CallSizeModel::Figure1BucketEdges());
+  for (int i = 0; i < 200000; ++i) {
+    h.Add(model.Sample(rng));
+  }
+  // The first bucket ([0,50)) is the mode.
+  std::uint64_t first = h.bucket_value(0);
+  for (std::size_t b = 1; b < h.bucket_count(); ++b) {
+    EXPECT_GT(first, h.bucket_value(b));
+  }
+}
+
+TEST(SizeModelTest, MajorityUnderTwoHundredBytes) {
+  CallSizeModel model;
+  Rng rng(2);
+  Histogram h(CallSizeModel::Figure1BucketEdges());
+  for (int i = 0; i < 200000; ++i) {
+    h.Add(model.Sample(rng));
+  }
+  EXPECT_GT(h.FractionBelow(200), 0.5);
+  EXPECT_NEAR(h.FractionBelow(200), 0.75, 0.02);
+}
+
+TEST(SizeModelTest, SpikeAtSinglePacketCeiling) {
+  CallSizeModel model;
+  Rng rng(3);
+  std::uint64_t at_ceiling = 0, near_ceiling = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint32_t s = model.Sample(rng);
+    if (s == CallSizeModel::kMaxSinglePacket) {
+      ++at_ceiling;
+    } else if (s >= 1300 && s < CallSizeModel::kMaxSinglePacket) {
+      ++near_ceiling;
+    }
+  }
+  // The ceiling value alone outweighs the whole band just below it.
+  EXPECT_GT(at_ceiling, near_ceiling);
+}
+
+TEST(SizeModelTest, NothingBeyondTail) {
+  CallSizeModel model;
+  Rng rng(4);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LE(model.Sample(rng), CallSizeModel::kTailMax);
+  }
+}
+
+// --- Procedure popularity ---
+
+TEST(PopularityTest, TopThreeDrawSeventyFivePercent) {
+  ProcedurePopularity pop(112);
+  EXPECT_NEAR(pop.TopShare(3), 0.75, 0.001);
+}
+
+TEST(PopularityTest, TopTenDrawNinetyFivePercent) {
+  ProcedurePopularity pop(112);
+  EXPECT_NEAR(pop.TopShare(10), 0.95, 0.001);
+}
+
+TEST(PopularityTest, SamplingMatchesWeights) {
+  ProcedurePopularity pop(112);
+  Rng rng(5);
+  std::vector<int> counts(112, 0);
+  const int kN = 300000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[static_cast<std::size_t>(pop.Sample(rng))];
+  }
+  const double top3 =
+      static_cast<double>(counts[0] + counts[1] + counts[2]) / kN;
+  EXPECT_NEAR(top3, 0.75, 0.01);
+}
+
+// --- Static population (Section 2.2's static study) ---
+
+TEST(StaticPopulationTest, MatchesMeasuredMarginals) {
+  Rng rng(6);
+  const auto procedures = GenerateStaticPopulation(rng, 3660);  // 10x for CI.
+
+  std::uint64_t params = 0, fixed = 0, four_or_less = 0;
+  std::uint64_t all_fixed_procs = 0, small_procs = 0;
+  for (const auto& proc : procedures) {
+    if (proc.AllFixed()) {
+      ++all_fixed_procs;
+      if (proc.TotalFixedBytes() <= 32) {
+        ++small_procs;
+      }
+    }
+    for (const auto& p : proc.params) {
+      ++params;
+      if (p.fixed_size) {
+        ++fixed;
+        if (p.bytes <= 4) {
+          ++four_or_less;
+        }
+      }
+    }
+  }
+  const double n = static_cast<double>(procedures.size());
+  // "Over 1000 parameters" for 366 procedures: ~2.7 per procedure.
+  EXPECT_GT(static_cast<double>(params) / n, 1000.0 / 366.0);
+  // "Four out of five parameters were of fixed size."
+  EXPECT_NEAR(static_cast<double>(fixed) / static_cast<double>(params), 0.80,
+              0.03);
+  // "Sixty-five percent were four bytes or fewer."
+  EXPECT_NEAR(static_cast<double>(four_or_less) / static_cast<double>(params),
+              0.65, 0.03);
+  // "Two-thirds of all procedures passed only parameters of fixed size."
+  EXPECT_NEAR(static_cast<double>(all_fixed_procs) / n, 2.0 / 3.0, 0.03);
+  // "Sixty percent transferred 32 or fewer bytes" (of the fixed ones).
+  EXPECT_GT(static_cast<double>(small_procs) / n, 0.45);
+}
+
+}  // namespace
+}  // namespace lrpc
