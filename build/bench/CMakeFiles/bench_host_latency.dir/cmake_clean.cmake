@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_host_latency.dir/bench_host_latency.cc.o"
+  "CMakeFiles/bench_host_latency.dir/bench_host_latency.cc.o.d"
+  "bench_host_latency"
+  "bench_host_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_host_processes.dir/bench_host_processes.cc.o"
+  "CMakeFiles/bench_host_processes.dir/bench_host_processes.cc.o.d"
+  "bench_host_processes"
+  "bench_host_processes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_processes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

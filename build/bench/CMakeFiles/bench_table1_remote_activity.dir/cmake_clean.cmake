@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_remote_activity.dir/bench_table1_remote_activity.cc.o"
+  "CMakeFiles/bench_table1_remote_activity.dir/bench_table1_remote_activity.cc.o.d"
+  "bench_table1_remote_activity"
+  "bench_table1_remote_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_remote_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

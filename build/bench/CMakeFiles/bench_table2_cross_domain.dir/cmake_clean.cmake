@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cross_domain.dir/bench_table2_cross_domain.cc.o"
+  "CMakeFiles/bench_table2_cross_domain.dir/bench_table2_cross_domain.cc.o.d"
+  "bench_table2_cross_domain"
+  "bench_table2_cross_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cross_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_copies.dir/bench_table3_copies.cc.o"
+  "CMakeFiles/bench_table3_copies.dir/bench_table3_copies.cc.o.d"
+  "bench_table3_copies"
+  "bench_table3_copies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_copies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workload_replay.dir/bench_workload_replay.cc.o"
+  "CMakeFiles/bench_workload_replay.dir/bench_workload_replay.cc.o.d"
+  "bench_workload_replay"
+  "bench_workload_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workload_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

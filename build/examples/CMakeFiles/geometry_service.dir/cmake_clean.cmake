@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometry_service.dir/geometry_service.cpp.o"
+  "CMakeFiles/geometry_service.dir/geometry_service.cpp.o.d"
+  "geometry_service"
+  "geometry_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometry_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_domain_caching.dir/mp_domain_caching.cpp.o"
+  "CMakeFiles/mp_domain_caching.dir/mp_domain_caching.cpp.o.d"
+  "mp_domain_caching"
+  "mp_domain_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_domain_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(stubgen_golden_check "/root/repo/build/src/idl/lrpc_stubgen" "/root/repo/examples/file_server.idl" "--check" "/root/repo/examples/generated/file_server_stubs.h")
+set_tests_properties(stubgen_golden_check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(stubgen_geometry_golden_check "/root/repo/build/src/idl/lrpc_stubgen" "/root/repo/examples/geometry.idl" "--check" "/root/repo/examples/generated/geometry_stubs.h")
+set_tests_properties(stubgen_geometry_golden_check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(stubgen_rejects_bad_input "/root/repo/build/src/idl/lrpc_stubgen" "/root/repo/examples/CMakeLists.txt")
+set_tests_properties(stubgen_rejects_bad_input PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_file_server "/root/repo/build/examples/file_server")
+set_tests_properties(example_file_server PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_window_system "/root/repo/build/examples/window_system")
+set_tests_properties(example_window_system PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mp_domain_caching "/root/repo/build/examples/mp_domain_caching")
+set_tests_properties(example_mp_domain_caching PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_geometry_service "/root/repo/build/examples/geometry_service")
+set_tests_properties(example_geometry_service PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(stubgen_describe "/root/repo/build/src/idl/lrpc_stubgen" "/root/repo/examples/geometry.idl" "--describe")
+set_tests_properties(stubgen_describe PROPERTIES  PASS_REGULAR_EXPRESSION "procedure descriptor list" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpc_common.dir/histogram.cc.o"
+  "CMakeFiles/lrpc_common.dir/histogram.cc.o.d"
+  "CMakeFiles/lrpc_common.dir/logging.cc.o"
+  "CMakeFiles/lrpc_common.dir/logging.cc.o.d"
+  "CMakeFiles/lrpc_common.dir/rng.cc.o"
+  "CMakeFiles/lrpc_common.dir/rng.cc.o.d"
+  "CMakeFiles/lrpc_common.dir/status.cc.o"
+  "CMakeFiles/lrpc_common.dir/status.cc.o.d"
+  "CMakeFiles/lrpc_common.dir/table_printer.cc.o"
+  "CMakeFiles/lrpc_common.dir/table_printer.cc.o.d"
+  "liblrpc_common.a"
+  "liblrpc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

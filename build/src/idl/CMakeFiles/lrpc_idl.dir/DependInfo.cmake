@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/idl/codegen.cc" "src/idl/CMakeFiles/lrpc_idl.dir/codegen.cc.o" "gcc" "src/idl/CMakeFiles/lrpc_idl.dir/codegen.cc.o.d"
+  "/root/repo/src/idl/compile.cc" "src/idl/CMakeFiles/lrpc_idl.dir/compile.cc.o" "gcc" "src/idl/CMakeFiles/lrpc_idl.dir/compile.cc.o.d"
+  "/root/repo/src/idl/describe.cc" "src/idl/CMakeFiles/lrpc_idl.dir/describe.cc.o" "gcc" "src/idl/CMakeFiles/lrpc_idl.dir/describe.cc.o.d"
+  "/root/repo/src/idl/lexer.cc" "src/idl/CMakeFiles/lrpc_idl.dir/lexer.cc.o" "gcc" "src/idl/CMakeFiles/lrpc_idl.dir/lexer.cc.o.d"
+  "/root/repo/src/idl/parser.cc" "src/idl/CMakeFiles/lrpc_idl.dir/parser.cc.o" "gcc" "src/idl/CMakeFiles/lrpc_idl.dir/parser.cc.o.d"
+  "/root/repo/src/idl/sema.cc" "src/idl/CMakeFiles/lrpc_idl.dir/sema.cc.o" "gcc" "src/idl/CMakeFiles/lrpc_idl.dir/sema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lrpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lrpc/CMakeFiles/lrpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/lrpc_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/lrpc_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lrpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nameserver/CMakeFiles/lrpc_nameserver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

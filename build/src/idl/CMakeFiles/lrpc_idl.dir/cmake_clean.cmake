@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpc_idl.dir/codegen.cc.o"
+  "CMakeFiles/lrpc_idl.dir/codegen.cc.o.d"
+  "CMakeFiles/lrpc_idl.dir/compile.cc.o"
+  "CMakeFiles/lrpc_idl.dir/compile.cc.o.d"
+  "CMakeFiles/lrpc_idl.dir/describe.cc.o"
+  "CMakeFiles/lrpc_idl.dir/describe.cc.o.d"
+  "CMakeFiles/lrpc_idl.dir/lexer.cc.o"
+  "CMakeFiles/lrpc_idl.dir/lexer.cc.o.d"
+  "CMakeFiles/lrpc_idl.dir/parser.cc.o"
+  "CMakeFiles/lrpc_idl.dir/parser.cc.o.d"
+  "CMakeFiles/lrpc_idl.dir/sema.cc.o"
+  "CMakeFiles/lrpc_idl.dir/sema.cc.o.d"
+  "liblrpc_idl.a"
+  "liblrpc_idl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpc_idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpc_stubgen.dir/stubgen_main.cc.o"
+  "CMakeFiles/lrpc_stubgen.dir/stubgen_main.cc.o.d"
+  "lrpc_stubgen"
+  "lrpc_stubgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpc_stubgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lrpc_stubgen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kern/binding_table.cc" "src/kern/CMakeFiles/lrpc_kern.dir/binding_table.cc.o" "gcc" "src/kern/CMakeFiles/lrpc_kern.dir/binding_table.cc.o.d"
+  "/root/repo/src/kern/estack.cc" "src/kern/CMakeFiles/lrpc_kern.dir/estack.cc.o" "gcc" "src/kern/CMakeFiles/lrpc_kern.dir/estack.cc.o.d"
+  "/root/repo/src/kern/kernel.cc" "src/kern/CMakeFiles/lrpc_kern.dir/kernel.cc.o" "gcc" "src/kern/CMakeFiles/lrpc_kern.dir/kernel.cc.o.d"
+  "/root/repo/src/kern/scheduler.cc" "src/kern/CMakeFiles/lrpc_kern.dir/scheduler.cc.o" "gcc" "src/kern/CMakeFiles/lrpc_kern.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lrpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lrpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/lrpc_shm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

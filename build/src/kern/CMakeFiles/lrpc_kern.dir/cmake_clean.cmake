@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpc_kern.dir/binding_table.cc.o"
+  "CMakeFiles/lrpc_kern.dir/binding_table.cc.o.d"
+  "CMakeFiles/lrpc_kern.dir/estack.cc.o"
+  "CMakeFiles/lrpc_kern.dir/estack.cc.o.d"
+  "CMakeFiles/lrpc_kern.dir/kernel.cc.o"
+  "CMakeFiles/lrpc_kern.dir/kernel.cc.o.d"
+  "CMakeFiles/lrpc_kern.dir/scheduler.cc.o"
+  "CMakeFiles/lrpc_kern.dir/scheduler.cc.o.d"
+  "liblrpc_kern.a"
+  "liblrpc_kern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpc_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

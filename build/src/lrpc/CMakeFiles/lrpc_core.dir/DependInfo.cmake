@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lrpc/call.cc" "src/lrpc/CMakeFiles/lrpc_core.dir/call.cc.o" "gcc" "src/lrpc/CMakeFiles/lrpc_core.dir/call.cc.o.d"
+  "/root/repo/src/lrpc/call_tracer.cc" "src/lrpc/CMakeFiles/lrpc_core.dir/call_tracer.cc.o" "gcc" "src/lrpc/CMakeFiles/lrpc_core.dir/call_tracer.cc.o.d"
+  "/root/repo/src/lrpc/clerk.cc" "src/lrpc/CMakeFiles/lrpc_core.dir/clerk.cc.o" "gcc" "src/lrpc/CMakeFiles/lrpc_core.dir/clerk.cc.o.d"
+  "/root/repo/src/lrpc/interface.cc" "src/lrpc/CMakeFiles/lrpc_core.dir/interface.cc.o" "gcc" "src/lrpc/CMakeFiles/lrpc_core.dir/interface.cc.o.d"
+  "/root/repo/src/lrpc/runtime.cc" "src/lrpc/CMakeFiles/lrpc_core.dir/runtime.cc.o" "gcc" "src/lrpc/CMakeFiles/lrpc_core.dir/runtime.cc.o.d"
+  "/root/repo/src/lrpc/server_frame.cc" "src/lrpc/CMakeFiles/lrpc_core.dir/server_frame.cc.o" "gcc" "src/lrpc/CMakeFiles/lrpc_core.dir/server_frame.cc.o.d"
+  "/root/repo/src/lrpc/testbed.cc" "src/lrpc/CMakeFiles/lrpc_core.dir/testbed.cc.o" "gcc" "src/lrpc/CMakeFiles/lrpc_core.dir/testbed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lrpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lrpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/lrpc_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/lrpc_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/nameserver/CMakeFiles/lrpc_nameserver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpc_core.dir/call.cc.o"
+  "CMakeFiles/lrpc_core.dir/call.cc.o.d"
+  "CMakeFiles/lrpc_core.dir/call_tracer.cc.o"
+  "CMakeFiles/lrpc_core.dir/call_tracer.cc.o.d"
+  "CMakeFiles/lrpc_core.dir/clerk.cc.o"
+  "CMakeFiles/lrpc_core.dir/clerk.cc.o.d"
+  "CMakeFiles/lrpc_core.dir/interface.cc.o"
+  "CMakeFiles/lrpc_core.dir/interface.cc.o.d"
+  "CMakeFiles/lrpc_core.dir/runtime.cc.o"
+  "CMakeFiles/lrpc_core.dir/runtime.cc.o.d"
+  "CMakeFiles/lrpc_core.dir/server_frame.cc.o"
+  "CMakeFiles/lrpc_core.dir/server_frame.cc.o.d"
+  "CMakeFiles/lrpc_core.dir/testbed.cc.o"
+  "CMakeFiles/lrpc_core.dir/testbed.cc.o.d"
+  "liblrpc_core.a"
+  "liblrpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpc_nameserver.dir/name_server.cc.o"
+  "CMakeFiles/lrpc_nameserver.dir/name_server.cc.o.d"
+  "liblrpc_nameserver.a"
+  "liblrpc_nameserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpc_nameserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

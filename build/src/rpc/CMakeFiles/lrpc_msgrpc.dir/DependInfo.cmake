@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/message.cc" "src/rpc/CMakeFiles/lrpc_msgrpc.dir/message.cc.o" "gcc" "src/rpc/CMakeFiles/lrpc_msgrpc.dir/message.cc.o.d"
+  "/root/repo/src/rpc/msg_rpc.cc" "src/rpc/CMakeFiles/lrpc_msgrpc.dir/msg_rpc.cc.o" "gcc" "src/rpc/CMakeFiles/lrpc_msgrpc.dir/msg_rpc.cc.o.d"
+  "/root/repo/src/rpc/peer_systems.cc" "src/rpc/CMakeFiles/lrpc_msgrpc.dir/peer_systems.cc.o" "gcc" "src/rpc/CMakeFiles/lrpc_msgrpc.dir/peer_systems.cc.o.d"
+  "/root/repo/src/rpc/port.cc" "src/rpc/CMakeFiles/lrpc_msgrpc.dir/port.cc.o" "gcc" "src/rpc/CMakeFiles/lrpc_msgrpc.dir/port.cc.o.d"
+  "/root/repo/src/rpc/register_rpc.cc" "src/rpc/CMakeFiles/lrpc_msgrpc.dir/register_rpc.cc.o" "gcc" "src/rpc/CMakeFiles/lrpc_msgrpc.dir/register_rpc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lrpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lrpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/lrpc_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/lrpc_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/lrpc/CMakeFiles/lrpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lrpc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/nameserver/CMakeFiles/lrpc_nameserver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

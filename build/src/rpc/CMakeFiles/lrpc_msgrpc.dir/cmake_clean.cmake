@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpc_msgrpc.dir/message.cc.o"
+  "CMakeFiles/lrpc_msgrpc.dir/message.cc.o.d"
+  "CMakeFiles/lrpc_msgrpc.dir/msg_rpc.cc.o"
+  "CMakeFiles/lrpc_msgrpc.dir/msg_rpc.cc.o.d"
+  "CMakeFiles/lrpc_msgrpc.dir/peer_systems.cc.o"
+  "CMakeFiles/lrpc_msgrpc.dir/peer_systems.cc.o.d"
+  "CMakeFiles/lrpc_msgrpc.dir/port.cc.o"
+  "CMakeFiles/lrpc_msgrpc.dir/port.cc.o.d"
+  "CMakeFiles/lrpc_msgrpc.dir/register_rpc.cc.o"
+  "CMakeFiles/lrpc_msgrpc.dir/register_rpc.cc.o.d"
+  "liblrpc_msgrpc.a"
+  "liblrpc_msgrpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpc_msgrpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

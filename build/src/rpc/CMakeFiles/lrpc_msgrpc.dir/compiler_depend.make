@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lrpc_msgrpc.
+# This may be replaced when dependencies are built.

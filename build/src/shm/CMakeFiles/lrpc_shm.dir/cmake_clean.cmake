@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpc_shm.dir/astack.cc.o"
+  "CMakeFiles/lrpc_shm.dir/astack.cc.o.d"
+  "CMakeFiles/lrpc_shm.dir/segment.cc.o"
+  "CMakeFiles/lrpc_shm.dir/segment.cc.o.d"
+  "liblrpc_shm.a"
+  "liblrpc_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpc_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_ledger.cc" "src/sim/CMakeFiles/lrpc_sim.dir/cost_ledger.cc.o" "gcc" "src/sim/CMakeFiles/lrpc_sim.dir/cost_ledger.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/lrpc_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/lrpc_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/machine_model.cc" "src/sim/CMakeFiles/lrpc_sim.dir/machine_model.cc.o" "gcc" "src/sim/CMakeFiles/lrpc_sim.dir/machine_model.cc.o.d"
+  "/root/repo/src/sim/network_model.cc" "src/sim/CMakeFiles/lrpc_sim.dir/network_model.cc.o" "gcc" "src/sim/CMakeFiles/lrpc_sim.dir/network_model.cc.o.d"
+  "/root/repo/src/sim/processor.cc" "src/sim/CMakeFiles/lrpc_sim.dir/processor.cc.o" "gcc" "src/sim/CMakeFiles/lrpc_sim.dir/processor.cc.o.d"
+  "/root/repo/src/sim/segment_sim.cc" "src/sim/CMakeFiles/lrpc_sim.dir/segment_sim.cc.o" "gcc" "src/sim/CMakeFiles/lrpc_sim.dir/segment_sim.cc.o.d"
+  "/root/repo/src/sim/sim_lock.cc" "src/sim/CMakeFiles/lrpc_sim.dir/sim_lock.cc.o" "gcc" "src/sim/CMakeFiles/lrpc_sim.dir/sim_lock.cc.o.d"
+  "/root/repo/src/sim/tlb.cc" "src/sim/CMakeFiles/lrpc_sim.dir/tlb.cc.o" "gcc" "src/sim/CMakeFiles/lrpc_sim.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lrpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

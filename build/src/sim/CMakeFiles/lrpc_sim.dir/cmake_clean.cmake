@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpc_sim.dir/cost_ledger.cc.o"
+  "CMakeFiles/lrpc_sim.dir/cost_ledger.cc.o.d"
+  "CMakeFiles/lrpc_sim.dir/machine.cc.o"
+  "CMakeFiles/lrpc_sim.dir/machine.cc.o.d"
+  "CMakeFiles/lrpc_sim.dir/machine_model.cc.o"
+  "CMakeFiles/lrpc_sim.dir/machine_model.cc.o.d"
+  "CMakeFiles/lrpc_sim.dir/network_model.cc.o"
+  "CMakeFiles/lrpc_sim.dir/network_model.cc.o.d"
+  "CMakeFiles/lrpc_sim.dir/processor.cc.o"
+  "CMakeFiles/lrpc_sim.dir/processor.cc.o.d"
+  "CMakeFiles/lrpc_sim.dir/segment_sim.cc.o"
+  "CMakeFiles/lrpc_sim.dir/segment_sim.cc.o.d"
+  "CMakeFiles/lrpc_sim.dir/sim_lock.cc.o"
+  "CMakeFiles/lrpc_sim.dir/sim_lock.cc.o.d"
+  "CMakeFiles/lrpc_sim.dir/tlb.cc.o"
+  "CMakeFiles/lrpc_sim.dir/tlb.cc.o.d"
+  "liblrpc_sim.a"
+  "liblrpc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/size_model.cc" "src/trace/CMakeFiles/lrpc_trace.dir/size_model.cc.o" "gcc" "src/trace/CMakeFiles/lrpc_trace.dir/size_model.cc.o.d"
+  "/root/repo/src/trace/workload.cc" "src/trace/CMakeFiles/lrpc_trace.dir/workload.cc.o" "gcc" "src/trace/CMakeFiles/lrpc_trace.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lrpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

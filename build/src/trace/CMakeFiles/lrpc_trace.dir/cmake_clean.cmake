@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpc_trace.dir/size_model.cc.o"
+  "CMakeFiles/lrpc_trace.dir/size_model.cc.o.d"
+  "CMakeFiles/lrpc_trace.dir/workload.cc.o"
+  "CMakeFiles/lrpc_trace.dir/workload.cc.o.d"
+  "liblrpc_trace.a"
+  "liblrpc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idl_property_test.dir/idl_property_test.cc.o"
+  "CMakeFiles/idl_property_test.dir/idl_property_test.cc.o.d"
+  "idl_property_test"
+  "idl_property_test.pdb"
+  "idl_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idl_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idl_struct_test.dir/idl_struct_test.cc.o"
+  "CMakeFiles/idl_struct_test.dir/idl_struct_test.cc.o.d"
+  "idl_struct_test"
+  "idl_struct_test.pdb"
+  "idl_struct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idl_struct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kern_test.dir/kern_test.cc.o"
+  "CMakeFiles/kern_test.dir/kern_test.cc.o.d"
+  "kern_test"
+  "kern_test.pdb"
+  "kern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpc_call_test.dir/lrpc_call_test.cc.o"
+  "CMakeFiles/lrpc_call_test.dir/lrpc_call_test.cc.o.d"
+  "lrpc_call_test"
+  "lrpc_call_test.pdb"
+  "lrpc_call_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpc_call_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marshal_property_test.dir/marshal_property_test.cc.o"
+  "CMakeFiles/marshal_property_test.dir/marshal_property_test.cc.o.d"
+  "marshal_property_test"
+  "marshal_property_test.pdb"
+  "marshal_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marshal_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

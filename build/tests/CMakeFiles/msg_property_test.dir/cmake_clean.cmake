@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msg_property_test.dir/msg_property_test.cc.o"
+  "CMakeFiles/msg_property_test.dir/msg_property_test.cc.o.d"
+  "msg_property_test"
+  "msg_property_test.pdb"
+  "msg_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msg_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

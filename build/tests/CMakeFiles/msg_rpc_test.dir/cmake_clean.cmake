@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msg_rpc_test.dir/msg_rpc_test.cc.o"
+  "CMakeFiles/msg_rpc_test.dir/msg_rpc_test.cc.o.d"
+  "msg_rpc_test"
+  "msg_rpc_test.pdb"
+  "msg_rpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msg_rpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_features_test.dir/runtime_features_test.cc.o"
+  "CMakeFiles/runtime_features_test.dir/runtime_features_test.cc.o.d"
+  "runtime_features_test"
+  "runtime_features_test.pdb"
+  "runtime_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/shm_test[1]_include.cmake")
+include("/root/repo/build/tests/kern_test[1]_include.cmake")
+include("/root/repo/build/tests/lrpc_call_test[1]_include.cmake")
+include("/root/repo/build/tests/msg_rpc_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/idl_test[1]_include.cmake")
+include("/root/repo/build/tests/marshal_property_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_features_test[1]_include.cmake")
+include("/root/repo/build/tests/kern_property_test[1]_include.cmake")
+include("/root/repo/build/tests/idl_property_test[1]_include.cmake")
+include("/root/repo/build/tests/network_test[1]_include.cmake")
+include("/root/repo/build/tests/msg_property_test[1]_include.cmake")
+include("/root/repo/build/tests/idl_struct_test[1]_include.cmake")
+include("/root/repo/build/tests/observability_test[1]_include.cmake")
+include("/root/repo/build/tests/interface_test[1]_include.cmake")
