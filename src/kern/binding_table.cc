@@ -22,10 +22,24 @@ BindingRecord& BindingTable::Create(DomainId client, DomainId server,
 
 Result<BindingRecord*> BindingTable::Validate(const BindingObject& object,
                                               DomainId caller) {
+  LRPC_RETURN_IF_ERROR(CheckValidate(object, caller));
+  BindingRecord* record = records_[static_cast<std::size_t>(object.id)].get();
+  // Injection point: revocation strikes at the instant the object would
+  // have validated — the worst possible moment for the caller.
+  if (FaultPointFires(injector_, FaultKind::kBindingRevocation)) {
+    record->revoked = true;
+    return Status(ErrorCode::kRevokedBinding, "fault injection: revoked");
+  }
+  return record;
+}
+
+Status BindingTable::CheckValidate(const BindingObject& object,
+                                   DomainId caller) const {
   if (object.id < 0 || static_cast<std::size_t>(object.id) >= records_.size()) {
     return Status(ErrorCode::kForgedBinding, "binding id out of range");
   }
-  BindingRecord* record = records_[static_cast<std::size_t>(object.id)].get();
+  const BindingRecord* record =
+      records_[static_cast<std::size_t>(object.id)].get();
   if (record->nonce != object.nonce) {
     return Status(ErrorCode::kForgedBinding, "nonce mismatch");
   }
@@ -35,7 +49,7 @@ Result<BindingRecord*> BindingTable::Validate(const BindingObject& object,
   if (record->revoked) {
     return Status(ErrorCode::kRevokedBinding);
   }
-  return record;
+  return Status::Ok();
 }
 
 BindingRecord* BindingTable::Find(BindingId id) {

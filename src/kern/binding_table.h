@@ -22,6 +22,7 @@
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/shm/astack.h"
+#include "src/sim/fault_injector.h"
 
 namespace lrpc {
 
@@ -59,7 +60,13 @@ class BindingTable {
                         InterfaceId interface_id, const void* pdl, bool remote);
 
   // Call-time validation: detects forged, revoked, and stolen bindings.
+  // The kBindingRevocation injection point lives here: a fault revokes the
+  // record at the instant it would otherwise have validated.
   Result<BindingRecord*> Validate(const BindingObject& object, DomainId caller);
+
+  // The same checks with no side effects and no fault injection; the
+  // invariant checker uses it to prove revoked nonces never validate.
+  Status CheckValidate(const BindingObject& object, DomainId caller) const;
 
   // Lookup without the capability check (kernel-internal).
   BindingRecord* Find(BindingId id);
@@ -72,9 +79,16 @@ class BindingTable {
   std::vector<BindingRecord*> ClientBindingsOf(DomainId domain);
 
   std::size_t size() const { return records_.size(); }
+  const BindingRecord& record_at(std::size_t index) const {
+    return *records_[index];
+  }
+
+  // Installed by Kernel::set_fault_injector; null means no injection.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
  private:
   Rng rng_;
+  FaultInjector* injector_ = nullptr;
   std::vector<std::unique_ptr<BindingRecord>> records_;
 };
 

@@ -1,0 +1,167 @@
+#include "src/kern/invariant_checker.h"
+
+#include <map>
+#include <utility>
+
+namespace lrpc {
+
+InvariantChecker::InvariantChecker(Kernel& kernel, std::size_t max_recorded)
+    : kernel_(kernel), max_recorded_(max_recorded) {
+  kernel_.set_event_listener(this);
+}
+
+InvariantChecker::~InvariantChecker() { kernel_.set_event_listener(nullptr); }
+
+void InvariantChecker::OnKernelEvent(Kernel& kernel, KernelEventKind kind) {
+  (void)kernel;
+  ++events_seen_;
+  CheckNow(KernelEventKindName(kind));
+}
+
+void InvariantChecker::CheckNow(std::string_view context) {
+  CheckLinkageStacks(context);
+  CheckEStackOwnership(context);
+  CheckRevokedBindings(context);
+  for (ExtraCheck& check : extra_checks_) {
+    std::vector<std::string> found;
+    check(kernel_, found);
+    for (std::string& v : found) {
+      Violate(context, std::move(v));
+    }
+  }
+}
+
+void InvariantChecker::Violate(std::string_view context, std::string what) {
+  ++violation_count_;
+  if (violations_.size() < max_recorded_) {
+    violations_.push_back("after " + std::string(context) + ": " +
+                          std::move(what));
+  }
+}
+
+void InvariantChecker::CheckLinkageStacks(std::string_view context) {
+  // (region, index) -> thread id of the stack it was first seen on.
+  std::map<std::pair<const AStackRegion*, int>, ThreadId> seen;
+  for (std::size_t i = 0; i < kernel_.thread_count(); ++i) {
+    const Thread& t = kernel_.thread(static_cast<ThreadId>(i));
+    if (t.state() == ThreadState::kDead) {
+      continue;
+    }
+    std::uint64_t prev_seq = 0;
+    for (const AStackRef& ref : t.linkage_stack()) {
+      if (!ref.valid() || ref.index >= ref.region->count()) {
+        Violate(context, "thread " + std::to_string(t.id()) +
+                             " has a dangling linkage reference");
+        continue;
+      }
+      const LinkageRecord& linkage = ref.region->linkage(ref.index);
+      // I1: claim order must increase toward the top of the stack.
+      if (linkage.seq <= prev_seq) {
+        Violate(context, "thread " + std::to_string(t.id()) +
+                             " linkage stack violates LIFO order (seq " +
+                             std::to_string(linkage.seq) + " above " +
+                             std::to_string(prev_seq) + ")");
+      }
+      prev_seq = linkage.seq;
+      // I2: a stacked linkage is a claimed linkage.
+      if (!linkage.in_use) {
+        Violate(context, "thread " + std::to_string(t.id()) +
+                             " holds A-stack " + std::to_string(ref.index) +
+                             " whose linkage is not in_use (double free?)");
+      }
+      auto [it, inserted] = seen.emplace(
+          std::make_pair(static_cast<const AStackRegion*>(ref.region),
+                         ref.index),
+          t.id());
+      if (!inserted) {
+        Violate(context, "A-stack " + std::to_string(ref.index) +
+                             " claimed by threads " +
+                             std::to_string(it->second) + " and " +
+                             std::to_string(t.id()) + " at once");
+      }
+    }
+  }
+}
+
+void InvariantChecker::CheckEStackOwnership(std::string_view context) {
+  // I3a/I3b: every association points into the server's pool, at an
+  // allocated E-stack marked associated; and no two A-stacks of one server
+  // domain share an E-stack (lazy association is one-to-one).
+  std::map<std::pair<DomainId, int>, const AStackRegion*> owners;
+  for (const AStackRegion* region : kernel_.astack_regions()) {
+    const Domain& server = kernel_.domain(region->server());
+    const EStackPool& pool = server.estacks();
+    for (int i = 0; i < region->count(); ++i) {
+      const int estack_id = region->estack_of(i);
+      if (estack_id < 0) {
+        continue;
+      }
+      if (estack_id >= pool.allocated()) {
+        Violate(context, "A-stack " + std::to_string(i) +
+                             " maps to E-stack " + std::to_string(estack_id) +
+                             " outside domain " +
+                             std::to_string(region->server()) + "'s pool");
+        continue;
+      }
+      if (!pool.stack(estack_id).associated) {
+        Violate(context, "A-stack " + std::to_string(i) +
+                             " maps to E-stack " + std::to_string(estack_id) +
+                             " that the pool thinks is unassociated");
+      }
+      auto [it, inserted] = owners.emplace(
+          std::make_pair(region->server(), estack_id), region);
+      if (!inserted) {
+        Violate(context, "E-stack " + std::to_string(estack_id) +
+                             " of domain " + std::to_string(region->server()) +
+                             " is associated with two A-stacks");
+      }
+    }
+  }
+
+  // I3c: a thread executing in a server under a claimed linkage must be
+  // running off an E-stack of that server. (Between the claim and the
+  // context transfer the thread is still in the client; the condition is
+  // keyed on current_domain.)
+  for (std::size_t i = 0; i < kernel_.thread_count(); ++i) {
+    const Thread& t = kernel_.thread(static_cast<ThreadId>(i));
+    if (t.state() == ThreadState::kDead || !t.HasLinkages()) {
+      continue;
+    }
+    const AStackRef& top = t.linkage_stack().back();
+    if (!top.valid() || top.region->server() != t.current_domain()) {
+      continue;
+    }
+    if (top.region->estack_of(top.index) < 0) {
+      Violate(context, "thread " + std::to_string(t.id()) +
+                           " runs in domain " +
+                           std::to_string(t.current_domain()) +
+                           " with no E-stack under its call");
+    }
+  }
+}
+
+void InvariantChecker::CheckRevokedBindings(std::string_view context) {
+  for (std::size_t i = 0; i < kernel_.bindings().size(); ++i) {
+    const BindingRecord& record = kernel_.bindings().record_at(i);
+    BindingObject object;
+    object.id = record.id;
+    object.nonce = record.nonce;
+    object.remote = record.remote;
+    if (record.revoked) {
+      // I4: the stored nonce must never validate once revoked.
+      if (kernel_.bindings().CheckValidate(object, record.client).ok()) {
+        Violate(context, "revoked binding " + std::to_string(record.id) +
+                             " still validates");
+      }
+    } else {
+      // A perturbed nonce must read as forged even on a live binding.
+      object.nonce ^= 1;
+      if (kernel_.bindings().CheckValidate(object, record.client).ok()) {
+        Violate(context, "binding " + std::to_string(record.id) +
+                             " validates with a forged nonce");
+      }
+    }
+  }
+}
+
+}  // namespace lrpc

@@ -1,0 +1,77 @@
+// Kernel invariant checker.
+//
+// Subscribes to kernel events (KernelEventListener) and re-validates, after
+// every one, the safety conditions the LRPC design depends on:
+//
+//   I1  Linkage-stack LIFO discipline: the linkage seq numbers on every
+//       thread's stack are strictly increasing bottom-to-top (calls return
+//       in the reverse of claim order).
+//   I2  Claim discipline: every linkage on a live thread's stack is marked
+//       in_use, and no A-stack is on two threads' stacks at once.
+//   I3  E-stack ownership: every A-stack/E-stack association points at an
+//       allocated, associated E-stack of the *server* domain; no two
+//       A-stacks of a domain share an E-stack; and a thread executing in a
+//       server under a claimed linkage has an E-stack there.
+//   I4  Revocation is final: a revoked Binding Object's stored nonce never
+//       validates again, and a perturbed nonce never validates at all.
+//
+// Layers above the kernel (e.g. the chaos testbed, which can see the
+// client-side A-stack free queues) register additional conservation checks
+// with AddCheck; they run under the same event cadence.
+
+#ifndef SRC_KERN_INVARIANT_CHECKER_H_
+#define SRC_KERN_INVARIANT_CHECKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/kern/kernel.h"
+
+namespace lrpc {
+
+class InvariantChecker : public KernelEventListener {
+ public:
+  // A layered check appends one string per violation it finds.
+  using ExtraCheck = std::function<void(Kernel&, std::vector<std::string>&)>;
+
+  // Installs itself as `kernel`'s event listener; uninstalls on destruction.
+  // At most `max_recorded` violation strings are kept (the count is exact).
+  explicit InvariantChecker(Kernel& kernel, std::size_t max_recorded = 32);
+  ~InvariantChecker() override;
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  void OnKernelEvent(Kernel& kernel, KernelEventKind kind) override;
+
+  // Runs every invariant immediately; `context` tags any violation found.
+  void CheckNow(std::string_view context);
+
+  void AddCheck(ExtraCheck check) { extra_checks_.push_back(std::move(check)); }
+
+  bool ok() const { return violation_count_ == 0; }
+  std::uint64_t violation_count() const { return violation_count_; }
+  const std::vector<std::string>& violations() const { return violations_; }
+  std::uint64_t events_seen() const { return events_seen_; }
+
+ private:
+  void Violate(std::string_view context, std::string what);
+
+  void CheckLinkageStacks(std::string_view context);   // I1 + I2.
+  void CheckEStackOwnership(std::string_view context); // I3.
+  void CheckRevokedBindings(std::string_view context); // I4.
+
+  Kernel& kernel_;
+  std::size_t max_recorded_;
+  std::vector<ExtraCheck> extra_checks_;
+  std::vector<std::string> violations_;
+  std::uint64_t violation_count_ = 0;
+  std::uint64_t events_seen_ = 0;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_KERN_INVARIANT_CHECKER_H_

@@ -14,6 +14,30 @@ constexpr std::uint64_t kFirstDomainPage = 64;
 
 }  // namespace
 
+std::string_view KernelEventKindName(KernelEventKind kind) {
+  switch (kind) {
+    case KernelEventKind::kDomainCreated:
+      return "DomainCreated";
+    case KernelEventKind::kThreadCreated:
+      return "ThreadCreated";
+    case KernelEventKind::kTransfer:
+      return "Transfer";
+    case KernelEventKind::kEStackEnsured:
+      return "EStackEnsured";
+    case KernelEventKind::kLinkageClaimed:
+      return "LinkageClaimed";
+    case KernelEventKind::kCallReturned:
+      return "CallReturned";
+    case KernelEventKind::kTermination:
+      return "Termination";
+    case KernelEventKind::kAbandon:
+      return "Abandon";
+    case KernelEventKind::kRegionAllocated:
+      return "RegionAllocated";
+  }
+  return "Unknown";
+}
+
 Kernel::Kernel(Machine& machine, std::uint64_t seed)
     : machine_(machine), bindings_(seed), scheduler_(machine) {}
 
@@ -26,6 +50,7 @@ DomainId Kernel::CreateDomain(DomainConfig config) {
       std::make_unique<Domain>(id, context, page_base, std::move(config)));
   LRPC_LOG(kDebug) << "created domain " << id << " ('"
                    << domains_.back()->name() << "'), vm context " << context;
+  NotifyEvent(KernelEventKind::kDomainCreated);
   return id;
 }
 
@@ -40,6 +65,7 @@ ThreadId Kernel::CreateThread(DomainId domain_id) {
   const auto id = static_cast<ThreadId>(threads_.size());
   threads_.push_back(std::make_unique<Thread>(id, domain_id));
   domain(domain_id).AddThread(id);
+  NotifyEvent(KernelEventKind::kThreadCreated);
   return id;
 }
 
@@ -61,14 +87,22 @@ Kernel::TransferResult Kernel::EnterDomain(Processor& cpu, Thread& t,
   if (cpu.loaded_context() == target_context) {
     // Already in the right context (e.g. same-domain call); nothing to do.
     t.set_current_domain(target.id());
+    NotifyEvent(KernelEventKind::kTransfer);
     return result;
   }
   if (domain_caching_ && allow_exchange) {
     Processor* idler = machine_.FindIdleInContext(target_context);
+    // Injection point: the exchange is unavailable — a forced
+    // processor-cache miss drops the call onto the switch path.
+    if (idler != nullptr &&
+        FaultPointFires(fault_injector_, FaultKind::kCacheMiss)) {
+      idler = nullptr;
+    }
     if (idler != nullptr) {
       machine_.ExchangeContexts(cpu, *idler);
       t.set_current_domain(target.id());
       result.exchanged = true;
+      NotifyEvent(KernelEventKind::kTransfer);
       return result;
     }
     // Wanted an idle processor in this context but none was available;
@@ -83,6 +117,7 @@ Kernel::TransferResult Kernel::EnterDomain(Processor& cpu, Thread& t,
   cpu.Charge(CostCategory::kContextSwitch, model().context_switch);
   cpu.LoadContext(target_context);
   t.set_current_domain(target.id());
+  NotifyEvent(KernelEventKind::kTransfer);
   return result;
 }
 
@@ -109,6 +144,20 @@ void Kernel::ProdIdleProcessors() {
 
 Result<int> Kernel::EnsureEStack(Domain& server, const AStackRef& ref,
                                  SimTime now) {
+  // Injection point: the server's E-stack budget reads as spent with
+  // nothing reclaimable (Section 3.2's failure mode, forced).
+  if (FaultPointFires(fault_injector_, FaultKind::kEStackExhaustion)) {
+    return Status(ErrorCode::kEStackExhausted, "fault injection: exhausted");
+  }
+  Result<int> ensured = EnsureEStackImpl(server, ref, now);
+  if (ensured.ok()) {
+    NotifyEvent(KernelEventKind::kEStackEnsured);
+  }
+  return ensured;
+}
+
+Result<int> Kernel::EnsureEStackImpl(Domain& server, const AStackRef& ref,
+                                     SimTime now) {
   AStackRegion& region = *ref.region;
   // Fast path: the association survives across calls precisely so that this
   // lookup is all a repeat call pays (Section 3.2).
@@ -133,9 +182,33 @@ Result<int> Kernel::EnsureEStack(Domain& server, const AStackRef& ref,
     // Budget exhausted: reclaim associations idle for a while, then retry.
     const SimTime cutoff = now - 50 * kMillisecond;
     if (ReclaimEStacks(server, cutoff) == 0) {
-      // Nothing stale: steal the oldest association outright.
-      EStack* oldest = pool.OldestAssociated();
+      // Nothing stale: steal the oldest association outright — but never
+      // from an A-stack with an outstanding call, whose thread is running
+      // on that E-stack right now.
+      std::vector<bool> busy(static_cast<std::size_t>(pool.allocated()));
+      for (AStackRegion* r : regions_) {
+        if (r->server() != server.id()) {
+          continue;
+        }
+        for (int i = 0; i < r->count(); ++i) {
+          const int in_use_estack = r->estack_of(i);
+          if (in_use_estack >= 0 && r->linkage(i).in_use) {
+            busy[static_cast<std::size_t>(in_use_estack)] = true;
+          }
+        }
+      }
+      EStack* oldest = nullptr;
+      for (int id = 0; id < pool.allocated(); ++id) {
+        EStack& candidate = pool.stack(id);
+        if (!candidate.associated || busy[static_cast<std::size_t>(id)]) {
+          continue;
+        }
+        if (oldest == nullptr || candidate.last_used < oldest->last_used) {
+          oldest = &candidate;
+        }
+      }
       if (oldest == nullptr) {
+        // Every E-stack is under an active call: genuinely exhausted.
         return Status(ErrorCode::kEStackExhausted);
       }
       pool.MarkUnassociated(oldest->id);
@@ -203,6 +276,7 @@ AStackRegion* Kernel::AllocateAStacks(BindingRecord& binding, std::size_t size,
       binding.client, binding.server, size, count, secondary));
   AStackRegion* region = binding.regions.back().get();
   regions_.push_back(region);
+  NotifyEvent(KernelEventKind::kRegionAllocated);
   return region;
 }
 
@@ -275,6 +349,7 @@ Status Kernel::TerminateDomain(DomainId id) {
   }
 
   dying->set_state(DomainState::kDead);
+  NotifyEvent(KernelEventKind::kTermination);
   return Status::Ok();
 }
 
@@ -321,6 +396,7 @@ Result<ThreadId> Kernel::AbandonCapturedCall(Thread& captured) {
   // The captured thread continues executing in the server but is destroyed
   // in the kernel when released (the return path checks this flag).
   captured.set_captured(true);
+  NotifyEvent(KernelEventKind::kAbandon);
   return fresh_id;
 }
 

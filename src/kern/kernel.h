@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/ids.h"
@@ -20,9 +21,35 @@
 #include "src/kern/domain.h"
 #include "src/kern/scheduler.h"
 #include "src/kern/thread.h"
+#include "src/sim/fault_injector.h"
 #include "src/sim/machine.h"
 
 namespace lrpc {
+
+class Kernel;
+
+// The kernel events after which global safety conditions must hold. The
+// invariant checker subscribes to these; hooks fire at operation
+// boundaries, never mid-update.
+enum class KernelEventKind : std::uint8_t {
+  kDomainCreated,
+  kThreadCreated,
+  kTransfer,        // Cross-domain context transfer (call or return leg).
+  kEStackEnsured,   // A-stack/E-stack association established.
+  kLinkageClaimed,  // Linkage claimed and pushed on a thread's stack.
+  kCallReturned,    // A-stack back on its free queue (success or failure).
+  kTermination,     // Domain-termination collector finished.
+  kAbandon,         // Captured-thread escape completed.
+  kRegionAllocated,
+};
+
+std::string_view KernelEventKindName(KernelEventKind kind);
+
+class KernelEventListener {
+ public:
+  virtual ~KernelEventListener() = default;
+  virtual void OnKernelEvent(Kernel& kernel, KernelEventKind kind) = 0;
+};
 
 class Kernel {
  public:
@@ -46,7 +73,38 @@ class Kernel {
   ThreadId CreateThread(DomainId domain);
   Thread& thread(ThreadId id) { return *threads_[static_cast<std::size_t>(id)]; }
   Thread* FindThread(ThreadId id);
+  std::size_t thread_count() const { return threads_.size(); }
   void DestroyThread(Thread& t);
+
+  // --- Fault injection and invariant observation (src/sim, testing). ---
+  // Installs `injector` at every kernel injection point (binding validation,
+  // context transfer, E-stack association, scheduler wakeup). Null
+  // uninstalls; with no injector every hook is a null-pointer test.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_ = injector;
+    bindings_.set_fault_injector(injector);
+    scheduler_.set_fault_injector(injector);
+  }
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
+  // The invariant checker (or any observer) subscribes here; NotifyEvent is
+  // fired after every kernel event listed in KernelEventKind.
+  void set_event_listener(KernelEventListener* listener) {
+    listener_ = listener;
+  }
+  void NotifyEvent(KernelEventKind kind) {
+    if (listener_ != nullptr) {
+      listener_->OnKernelEvent(*this, kind);
+    }
+  }
+
+  // Kernel-wide linkage claim order (stamped into LinkageRecord::seq when a
+  // call pushes a linkage; the checker verifies LIFO discipline with it).
+  std::uint64_t NextLinkageSeq() { return ++linkage_seq_; }
+
+  // Non-owning view of every A-stack region ever allocated (the checker and
+  // the termination collector scan by domain).
+  const std::vector<AStackRegion*>& astack_regions() const { return regions_; }
 
   // --- Trap and page-touch accounting. ---
   void ChargeTrap(Processor& cpu) {
@@ -118,6 +176,13 @@ class Kernel {
   };
   DomainMemory DomainMemoryUsage(DomainId id) const;
 
+ private:
+  // EnsureEStack minus the injection point and the event notification.
+  Result<int> EnsureEStackImpl(Domain& server, const AStackRef& ref,
+                               SimTime now);
+
+ public:
+
   // --- Domain termination (Section 5.3). ---
   // Revokes the domain's bindings, invalidates linkages, restarts visiting
   // threads in their callers with call-failed, and reclaims resources.
@@ -151,6 +216,9 @@ class Kernel {
   Scheduler scheduler_;
   std::vector<std::unique_ptr<Domain>> domains_;
   std::vector<std::unique_ptr<Thread>> threads_;
+  FaultInjector* fault_injector_ = nullptr;
+  KernelEventListener* listener_ = nullptr;
+  std::uint64_t linkage_seq_ = 0;
   bool domain_caching_ = true;
   int auto_prod_threshold_ = 0;
   int misses_since_prod_ = 0;

@@ -10,8 +10,15 @@ void Scheduler::Block(Processor& cpu, Thread& thread) {
   ++blocks_;
 }
 
+// A preempted wakeup loses roughly a scheduling quantum before the woken
+// thread actually runs — adversarial jitter for interleaving tests.
+constexpr SimDuration kInjectedWakeupDelay = Micros(100);
+
 void Scheduler::Wakeup(Processor& cpu, Thread& thread) {
   cpu.Charge(CostCategory::kMsgScheduling, machine_.model().thread_wakeup);
+  if (FaultPointFires(injector_, FaultKind::kSchedulerDelay)) {
+    cpu.Charge(CostCategory::kMsgScheduling, kInjectedWakeupDelay);
+  }
   {
     SimLockGuard guard(run_queue_lock_, cpu);
     ready_.push_back(&thread);

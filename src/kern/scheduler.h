@@ -16,6 +16,7 @@
 
 #include "src/common/ids.h"
 #include "src/common/status.h"
+#include "src/sim/fault_injector.h"
 #include "src/sim/machine.h"
 #include "src/sim/sim_lock.h"
 
@@ -51,7 +52,12 @@ class Scheduler {
   std::uint64_t wakeups() const { return wakeups_; }
   std::uint64_t handoffs() const { return handoffs_; }
 
+  // Installed by Kernel::set_fault_injector; arms the kSchedulerDelay
+  // injection point (a woken thread is preempted before it runs).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
  private:
+  FaultInjector* injector_ = nullptr;
   Machine& machine_;
   // The ready queue is global, shared scheduler state: touching it takes a
   // lock (one of the costs LRPC's direct dispatch avoids).

@@ -134,10 +134,15 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
                      kClientBindingPages);
   kernel_.TouchPages(cpu, client->page_base() + kClientAStackPageOffset, 1);
 
-  // Take an A-stack off the procedure's LIFO queue.
+  // Take an A-stack off the procedure's LIFO queue. The injection point
+  // makes the queue read as empty: the pool is exhausted (Section 5.2).
+  FaultInjector* injector = kernel_.fault_injector();
   AStackQueue& queue = binding.queue(pd.astack_group);
   Result<AStackRef> astack_result =
-      queue.Pop(cpu, model.astack_queue_lock_hold);
+      FaultPointFires(injector, FaultKind::kAStackExhaustion)
+          ? Result<AStackRef>(
+                Status(ErrorCode::kAStacksExhausted, "fault injection: empty"))
+          : queue.Pop(cpu, model.astack_queue_lock_hold);
   if (!astack_result.ok()) {
     if (binding.exhaustion_policy() != AStackExhaustionPolicy::kAllocateMore) {
       return astack_result.status();
@@ -178,6 +183,7 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
     // The kernel rejects the call and returns to the stub.
     kernel_.ChargeTrap(cpu);
     queue.Push(cpu, astack, model.astack_queue_lock_hold);
+    kernel_.NotifyEvent(KernelEventKind::kCallReturned);
     return status;
   };
 
@@ -224,6 +230,7 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
   }
   linkage.valid = true;
   linkage.in_use = true;
+  linkage.seq = kernel_.NextLinkageSeq();
   linkage.caller_thread = thread_id;
   linkage.caller_domain = client->id();
   linkage.binding = record->id;
@@ -231,6 +238,7 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
   linkage.return_address = 0x4000 + static_cast<std::uint64_t>(procedure);
   linkage.saved_stack_pointer = t->user_sp();
   t->PushLinkage(astack);
+  kernel_.NotifyEvent(KernelEventKind::kLinkageClaimed);
 
   // Find an execution stack in the server's domain (lazy A-stack/E-stack
   // association) and run the thread off it.
@@ -264,6 +272,15 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
   }
   cs.server_status = server_status;
 
+  // Injected Section 5.3 emergencies, landing while the thread is still in
+  // the server: the server domain terminates mid-call, or the client gives
+  // up on its captured thread. Both run the real kernel recovery paths.
+  if (FaultPointFires(injector, FaultKind::kDomainTermination)) {
+    (void)TerminateDomain(record->server);
+  } else if (FaultPointFires(injector, FaultKind::kThreadCapture)) {
+    (void)kernel_.AbandonCapturedCall(*t);
+  }
+
   // --- Return: back through the server stub's trap. Binding Object,
   // procedure identifier and A-stack were verified at call time; the
   // linkage at the top of the thread's stack makes them implicit now. ---
@@ -282,6 +299,7 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
     linkage.in_use = false;
     queue.Push(cpu, astack, model.astack_queue_lock_hold);
     kernel_.DestroyThread(*t);
+    kernel_.NotifyEvent(KernelEventKind::kCallReturned);
     return Status(ErrorCode::kCallAborted, "thread was abandoned by its client");
   }
 
@@ -302,11 +320,11 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
 
   t->PopLinkage();
   const bool linkage_was_valid = linkage.valid;
-  linkage.in_use = false;
   t->set_user_sp(linkage.saved_stack_pointer);
   astack.region->set_last_used(astack.index, cpu.clock());
 
   if (!linkage_was_valid) {
+    linkage.in_use = false;
     // A party to the binding terminated while the call was outstanding:
     // returning control would enter a dead domain. Deliver call-failed to
     // the first valid linkage down the stack (Section 5.3).
@@ -339,7 +357,11 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
   for (std::uint64_t index : oob_used) {
     ReleaseOobSegment(index);
   }
+  // The A-stack stays claimed (in_use) across the return transfer and the
+  // unmarshal; it leaves "claimed" only by rejoining the free queue.
+  linkage.in_use = false;
   queue.Push(cpu, astack, model.astack_queue_lock_hold);
+  kernel_.NotifyEvent(KernelEventKind::kCallReturned);
 
   // After a processor exchange the calling thread runs on a processor whose
   // cache is cold for the A-stack and client pages; the penalty scales with

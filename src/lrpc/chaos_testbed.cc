@@ -1,0 +1,359 @@
+#include "src/lrpc/chaos_testbed.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "src/common/rng.h"
+#include "src/lrpc/testbed.h"
+
+namespace lrpc {
+
+namespace {
+
+// Outcomes documented for the call path (docs/fault_injection.md): anything
+// else escaping a call is a bug the schedule reports.
+bool DocumentedCallStatus(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+    case ErrorCode::kAStacksExhausted:  // Exhaustion with the kFail policy.
+    case ErrorCode::kRevokedBinding:    // Revocation, or a terminated party.
+    case ErrorCode::kCallFailed:        // Server domain terminated mid-call.
+    case ErrorCode::kCallAborted:       // The client abandoned the thread.
+    case ErrorCode::kEStackExhausted:   // E-stack budget read as spent.
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool DocumentedImportStatus(ErrorCode code) {
+  return code == ErrorCode::kOk || code == ErrorCode::kBindingRefused;
+}
+
+}  // namespace
+
+void RegisterAStackConservationCheck(InvariantChecker& checker,
+                                     LrpcRuntime& runtime) {
+  checker.AddCheck([&runtime](Kernel& kernel,
+                              std::vector<std::string>& found) {
+    (void)kernel;
+    for (const auto& binding : runtime.bindings()) {
+      const BindingRecord* record =
+          const_cast<ClientBinding&>(*binding).record();
+      if (record == nullptr || record->revoked || record->remote) {
+        // A revoked binding's unwind paths drop A-stacks by design; there
+        // is nothing left to conserve.
+        continue;
+      }
+      ClientBinding& b = const_cast<ClientBinding&>(*binding);
+      int queued = 0;
+      std::map<std::pair<const AStackRegion*, int>, bool> seen;
+      for (int group = 0; group < b.queue_count(); ++group) {
+        for (const AStackRef& ref : b.queue(group).entries()) {
+          ++queued;
+          if (!ref.valid()) {
+            found.push_back("binding " + std::to_string(record->id) +
+                            " has an invalid queued A-stack");
+            continue;
+          }
+          if (ref.linkage().in_use) {
+            found.push_back("binding " + std::to_string(record->id) +
+                            " queues A-stack " + std::to_string(ref.index) +
+                            " that is still in use (double free)");
+          }
+          if (!seen.emplace(std::make_pair(ref.region, ref.index), true)
+                   .second) {
+            found.push_back("binding " + std::to_string(record->id) +
+                            " queues A-stack " + std::to_string(ref.index) +
+                            " twice");
+          }
+        }
+      }
+      int in_use = 0;
+      for (const auto& region : record->regions) {
+        for (int i = 0; i < region->count(); ++i) {
+          if (region->linkage(i).in_use) {
+            ++in_use;
+          }
+        }
+      }
+      if (queued + in_use != b.allocated_astacks()) {
+        found.push_back(
+            "binding " + std::to_string(record->id) + " conservation: " +
+            std::to_string(queued) + " queued + " + std::to_string(in_use) +
+            " in use != " + std::to_string(b.allocated_astacks()) +
+            " allocated (leak or double free)");
+      }
+    }
+  });
+}
+
+ChaosResult RunChaosSchedule(const ChaosOptions& options) {
+  ChaosResult result;
+
+  Machine machine(MachineModel::CVaxFirefly(),
+                  std::max(1, options.processors));
+  Kernel kernel(machine, options.seed);
+  LrpcRuntime runtime(kernel);
+  Processor& cpu = machine.processor(0);
+
+  struct ServerCtx {
+    DomainId domain = kNoDomain;
+    std::string name;
+    bool alive = true;
+  };
+  struct ClientCtx {
+    DomainId domain = kNoDomain;
+    ThreadId thread = kNoThread;
+    std::vector<ClientBinding*> bindings;
+  };
+  struct Procs {
+    int null_proc = -1;
+    int add_proc = -1;
+    int bigin_proc = -1;
+    int biginout_proc = -1;
+  };
+
+  // --- Build the world (no faults during setup: it always starts bound). ---
+  std::vector<ServerCtx> servers;
+  Procs procs;  // AddPaperProcedures assigns the same indices everywhere.
+  std::vector<std::unique_ptr<std::uint64_t>> bytes_seen;
+  for (int s = 0; s < options.servers; ++s) {
+    ServerCtx ctx;
+    ctx.name = "chaos.svc" + std::to_string(s);
+    ctx.domain = kernel.CreateDomain({.name = ctx.name});
+    Interface* iface = runtime.CreateInterface(ctx.domain, ctx.name);
+    bytes_seen.push_back(std::make_unique<std::uint64_t>(0));
+    AddPaperProcedures(iface, &procs.null_proc, &procs.add_proc,
+                       &procs.bigin_proc, &procs.biginout_proc,
+                       bytes_seen.back().get());
+    if (!runtime.Export(iface).ok()) {
+      result.undocumented.push_back("setup: export failed for " + ctx.name);
+      return result;
+    }
+    servers.push_back(std::move(ctx));
+  }
+
+  Rng rng(options.seed ^ 0xc4a05c4a05ULL);  // The schedule's own stream.
+  std::vector<ClientCtx> clients;
+  for (int c = 0; c < options.clients; ++c) {
+    ClientCtx ctx;
+    ctx.domain = kernel.CreateDomain({.name = "chaos.client" +
+                                              std::to_string(c)});
+    ctx.thread = kernel.CreateThread(ctx.domain);
+    for (const ServerCtx& server : servers) {
+      Result<ClientBinding*> bound = runtime.Import(cpu, ctx.domain,
+                                                    server.name);
+      if (!bound.ok()) {
+        result.undocumented.push_back("setup: import failed for " +
+                                      server.name);
+        return result;
+      }
+      (*bound)->set_exhaustion_policy(rng.NextBool(0.5)
+                                          ? AStackExhaustionPolicy::kFail
+                                          : AStackExhaustionPolicy::kAllocateMore);
+      ctx.bindings.push_back(*bound);
+    }
+    clients.push_back(std::move(ctx));
+  }
+  if (options.processors >= 2 && !servers.empty()) {
+    kernel.ParkIdleProcessor(machine.processor(1), servers.front().domain);
+  }
+
+  // --- Arm the checker and the injector, then run the stream. ---
+  InvariantChecker checker(kernel);
+  RegisterAStackConservationCheck(checker, runtime);
+  checker.CheckNow("setup");
+
+  FaultInjector injector(
+      options.fault_injection
+          ? FaultPlan::SeededRandom(options.fault_probability,
+                                    {FaultKind::kAStackExhaustion,
+                                     FaultKind::kBindingRevocation,
+                                     FaultKind::kDomainTermination,
+                                     FaultKind::kClerkRejection,
+                                     FaultKind::kCacheMiss,
+                                     FaultKind::kEStackExhaustion,
+                                     FaultKind::kThreadCapture})
+          : FaultPlan(),
+      options.seed);
+  kernel.set_fault_injector(&injector);
+
+  auto trace_line = [&result](std::string line) {
+    result.trace += line;
+    result.trace += '\n';
+  };
+
+  for (int op = 0; op < options.operations; ++op) {
+    // Refresh liveness: injected mid-call terminations kill servers without
+    // going through the schedule's own terminate operation.
+    int live_servers = 0;
+    for (ServerCtx& server : servers) {
+      server.alive = kernel.domain(server.domain).alive();
+      live_servers += server.alive ? 1 : 0;
+    }
+
+    const std::uint64_t roll = rng.NextBelow(100);
+
+    if (options.allow_termination && roll < 6 && live_servers > 1) {
+      // Terminate a random live server outright.
+      std::uint64_t pick = rng.NextBelow(static_cast<std::uint64_t>(live_servers));
+      for (ServerCtx& server : servers) {
+        if (!server.alive || pick-- != 0) {
+          continue;
+        }
+        const Status status = runtime.TerminateDomain(server.domain);
+        server.alive = false;
+        ++result.terminations;
+        trace_line("op=" + std::to_string(op) + " terminate server=" +
+                   std::to_string(server.domain) + " status=" +
+                   std::string(ErrorCodeName(status.code())));
+        break;
+      }
+      continue;
+    }
+
+    ClientCtx& client =
+        clients[rng.NextBelow(static_cast<std::uint64_t>(clients.size()))];
+
+    if (roll < 14 && live_servers > 0) {
+      // Import a live server's interface again (exercises the bind-time
+      // clerk-rejection injection point).
+      std::uint64_t pick = rng.NextBelow(static_cast<std::uint64_t>(live_servers));
+      for (ServerCtx& server : servers) {
+        if (!server.alive || pick-- != 0) {
+          continue;
+        }
+        Result<ClientBinding*> bound = runtime.Import(cpu, client.domain,
+                                                      server.name);
+        ++result.imports_attempted;
+        const ErrorCode code = bound.ok() ? ErrorCode::kOk
+                                          : bound.status().code();
+        if (bound.ok()) {
+          (*bound)->set_exhaustion_policy(
+              rng.NextBool(0.5) ? AStackExhaustionPolicy::kFail
+                                : AStackExhaustionPolicy::kAllocateMore);
+          client.bindings.push_back(*bound);
+        } else if (!DocumentedImportStatus(code)) {
+          result.undocumented.push_back(
+              "op " + std::to_string(op) + ": import returned undocumented " +
+              std::string(ErrorCodeName(code)));
+        }
+        trace_line("op=" + std::to_string(op) + " import client=" +
+                   std::to_string(client.domain) + " server=" +
+                   std::to_string(server.domain) + " status=" +
+                   std::string(ErrorCodeName(code)));
+        break;
+      }
+      continue;
+    }
+
+    // A call on a random binding — including bindings to dead servers,
+    // which must fail with the documented revoked status.
+    ClientBinding& binding = *client.bindings[rng.NextBelow(
+        static_cast<std::uint64_t>(client.bindings.size()))];
+    const std::uint64_t which = rng.NextBelow(3);
+    ++result.calls_attempted;
+    Status status = Status::Ok();
+    std::string detail;
+    if (which == 0) {
+      status = runtime.Call(cpu, client.thread, binding, procs.null_proc, {},
+                            {});
+      detail = "Null";
+    } else if (which == 1) {
+      const std::int32_t a =
+          static_cast<std::int32_t>(rng.NextInRange(-1000, 1000));
+      const std::int32_t b =
+          static_cast<std::int32_t>(rng.NextInRange(-1000, 1000));
+      std::int32_t sum = 0;
+      const CallArg args[] = {CallArg::Of(a), CallArg::Of(b)};
+      const CallRet rets[] = {CallRet::Of(&sum)};
+      status = runtime.Call(cpu, client.thread, binding, procs.add_proc, args,
+                            rets);
+      if (status.ok() && sum != a + b) {
+        result.undocumented.push_back("op " + std::to_string(op) +
+                                      ": Add returned a wrong sum");
+      }
+      detail = "Add";
+    } else {
+      std::uint8_t in[kBigSize];
+      std::uint8_t out[kBigSize] = {};
+      for (std::size_t i = 0; i < kBigSize; ++i) {
+        in[i] = static_cast<std::uint8_t>(rng.NextBelow(256));
+      }
+      const CallArg args[] = {CallArg(in, kBigSize)};
+      const CallRet rets[] = {CallRet(out, kBigSize)};
+      status = runtime.Call(cpu, client.thread, binding, procs.biginout_proc,
+                            args, rets);
+      if (status.ok()) {
+        for (std::size_t i = 0; i < kBigSize; ++i) {
+          if (out[i] != in[kBigSize - 1 - i]) {
+            result.undocumented.push_back(
+                "op " + std::to_string(op) + ": BigInOut echo corrupted");
+            break;
+          }
+        }
+      }
+      detail = "BigInOut";
+    }
+
+    if (status.ok()) {
+      ++result.calls_ok;
+    } else {
+      ++result.calls_failed;
+    }
+    if (!DocumentedCallStatus(status.code())) {
+      result.undocumented.push_back(
+          "op " + std::to_string(op) + ": call returned undocumented " +
+          std::string(ErrorCodeName(status.code())));
+    }
+    trace_line("op=" + std::to_string(op) + " call client=" +
+               std::to_string(client.domain) + " binding=" +
+               std::to_string(binding.object().id) + " proc=" + detail +
+               " status=" + std::string(ErrorCodeName(status.code())));
+
+    if (status.code() == ErrorCode::kCallAborted) {
+      // The captured thread died in the kernel; adopt the replacement
+      // AbandonCapturedCall parked in the client domain (highest thread id
+      // wins: the newest replacement).
+      Thread* old = kernel.FindThread(client.thread);
+      if (old == nullptr || old->state() == ThreadState::kDead) {
+        ThreadId replacement = kNoThread;
+        for (std::size_t i = 0; i < kernel.thread_count(); ++i) {
+          Thread& cand = kernel.thread(static_cast<ThreadId>(i));
+          if (cand.state() != ThreadState::kDead &&
+              cand.home_domain() == client.domain) {
+            replacement = cand.id();
+          }
+        }
+        if (replacement == kNoThread) {
+          result.undocumented.push_back(
+              "op " + std::to_string(op) +
+              ": aborted call left the client without a thread");
+        } else {
+          client.thread = replacement;
+          kernel.thread(replacement).TakeException();
+        }
+      }
+    }
+  }
+
+  checker.CheckNow("teardown");
+  kernel.set_fault_injector(nullptr);
+
+  result.violations = checker.violations();
+  result.violation_count = checker.violation_count();
+  result.events_seen = checker.events_seen();
+  result.faults_fired = injector.total_fired();
+  result.distinct_fault_kinds = injector.distinct_kinds_fired();
+  for (int k = 0; k < kFaultKindCount; ++k) {
+    result.fired_by_kind[static_cast<std::size_t>(k)] =
+        injector.fired(static_cast<FaultKind>(k));
+  }
+  result.trace += "faults: " + injector.TraceString() + "\n";
+  return result;
+}
+
+}  // namespace lrpc

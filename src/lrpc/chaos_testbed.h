@@ -1,0 +1,78 @@
+// The chaos testbed: a multi-domain, multi-client world driven through
+// thousands of seeded schedules with fault injection armed, while the
+// kernel invariant checker re-validates every event.
+//
+// One schedule = one world (several server domains exporting the paper's
+// procedures, several client domains each bound to every server) plus one
+// seeded operation stream (calls with random arguments, server domain
+// terminations, fresh imports). Every operation must either complete
+// correctly — results are verified, not just statuses — or fail with the
+// Status documented for the fault that fired (docs/fault_injection.md).
+// Determinism: a schedule's trace is a pure function of its options, so the
+// same seed replays the same events exactly.
+
+#ifndef SRC_LRPC_CHAOS_TESTBED_H_
+#define SRC_LRPC_CHAOS_TESTBED_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/kern/invariant_checker.h"
+#include "src/lrpc/runtime.h"
+
+namespace lrpc {
+
+struct ChaosOptions {
+  std::uint64_t seed = 1;
+  int servers = 3;           // Server domains, one exported interface each.
+  int clients = 3;           // Client domains; each binds to every server.
+  int operations = 60;       // Length of the operation stream.
+  int processors = 2;
+  // Probability that any one armed injection point fires.
+  double fault_probability = 0.08;
+  bool fault_injection = true;
+  // The stream may terminate server domains outright (not just via the
+  // injected mid-call termination).
+  bool allow_termination = true;
+};
+
+struct ChaosResult {
+  bool ok() const { return violations.empty() && undocumented.empty(); }
+
+  // Invariant violations seen by the checker (capped; the count is exact).
+  std::vector<std::string> violations;
+  std::uint64_t violation_count = 0;
+  // Operations whose outcome was outside the documented set: a status no
+  // fault maps to, or a wrong result from a call that claimed success.
+  std::vector<std::string> undocumented;
+
+  // One line per operation plus the fault firing record; byte-identical
+  // across runs with the same options.
+  std::string trace;
+
+  std::uint64_t events_seen = 0;    // Kernel events the checker validated.
+  std::uint64_t faults_fired = 0;
+  int distinct_fault_kinds = 0;
+  std::array<std::uint64_t, kFaultKindCount> fired_by_kind = {};
+  int calls_attempted = 0;
+  int calls_ok = 0;
+  int calls_failed = 0;
+  int terminations = 0;
+  int imports_attempted = 0;
+};
+
+// Builds the world, runs the schedule, tears everything down.
+ChaosResult RunChaosSchedule(const ChaosOptions& options);
+
+// Registers the A-stack free-list conservation audit with `checker`: for
+// every live binding, queued + in-use A-stacks must equal the number ever
+// allocated, queued entries must be unique and not in use. (Lives here, not
+// in the checker: only the LRPC layer can see the client-side queues.)
+void RegisterAStackConservationCheck(InvariantChecker& checker,
+                                     LrpcRuntime& runtime);
+
+}  // namespace lrpc
+
+#endif  // SRC_LRPC_CHAOS_TESTBED_H_

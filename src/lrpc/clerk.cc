@@ -2,10 +2,15 @@
 
 namespace lrpc {
 
-Result<const Interface*> Clerk::HandleImport(DomainId client, InterfaceId id) {
+Result<const Interface*> Clerk::HandleImport(DomainId client, InterfaceId id,
+                                             FaultInjector* injector) {
   for (const Interface* iface : exports_) {
     if (iface->id() != id) {
       continue;
+    }
+    if (FaultPointFires(injector, FaultKind::kClerkRejection)) {
+      ++imports_refused_;
+      return Status(ErrorCode::kBindingRefused, "fault injection: refused");
     }
     if (authorize_ && !authorize_(client, *iface)) {
       ++imports_refused_;

@@ -14,6 +14,7 @@
 #include "src/common/ids.h"
 #include "src/common/status.h"
 #include "src/lrpc/interface.h"
+#include "src/sim/fault_injector.h"
 
 namespace lrpc {
 
@@ -33,8 +34,11 @@ class Clerk {
   void AddExport(const Interface* iface) { exports_.push_back(iface); }
 
   // The import handshake: the kernel notifies the waiting clerk; the clerk
-  // enables the binding by replying with the PDL — or refuses it.
-  Result<const Interface*> HandleImport(DomainId client, InterfaceId id);
+  // enables the binding by replying with the PDL — or refuses it. The
+  // injection point (kClerkRejection) makes an otherwise-authorized import
+  // read as refused.
+  Result<const Interface*> HandleImport(DomainId client, InterfaceId id,
+                                        FaultInjector* injector = nullptr);
 
   std::uint64_t imports_handled() const { return imports_handled_; }
   std::uint64_t imports_refused() const { return imports_refused_; }

@@ -70,7 +70,8 @@ Result<ClientBinding*> LrpcRuntime::Import(Processor& cpu, DomainId client_id,
 
   const bool remote = entry->node != client->node();
   Result<const Interface*> iface_result =
-      entry->clerk->HandleImport(client_id, entry->interface_id);
+      entry->clerk->HandleImport(client_id, entry->interface_id,
+                                 kernel_.fault_injector());
   if (!iface_result.ok()) {
     return iface_result.status();
   }

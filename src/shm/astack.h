@@ -31,6 +31,9 @@ namespace lrpc {
 struct LinkageRecord {
   bool valid = true;         // Invalidated when a party domain terminates.
   bool in_use = false;       // An outstanding call owns this A-stack/linkage.
+  // Kernel-wide claim order, stamped when the linkage is pushed; the
+  // invariant checker uses it to verify linkage-stack LIFO discipline.
+  std::uint64_t seq = 0;
   ThreadId caller_thread = kNoThread;
   DomainId caller_domain = kNoDomain;
   BindingId binding = kNoBinding;
@@ -133,6 +136,10 @@ class AStackQueue {
 
   std::size_t size() const { return stacks_.size(); }
   SimLock& lock() { return lock_; }
+
+  // Checker-facing view of the free list (no lock, no charge): used by the
+  // invariant checker's A-stack conservation audit.
+  const std::vector<AStackRef>& entries() const { return stacks_; }
 
  private:
   SimLock lock_;

@@ -1,0 +1,100 @@
+#include "src/sim/fault_injector.h"
+
+#include <sstream>
+
+namespace lrpc {
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kAStackExhaustion:
+      return "AStackExhaustion";
+    case FaultKind::kBindingRevocation:
+      return "BindingRevocation";
+    case FaultKind::kDomainTermination:
+      return "DomainTermination";
+    case FaultKind::kClerkRejection:
+      return "ClerkRejection";
+    case FaultKind::kCacheMiss:
+      return "CacheMiss";
+    case FaultKind::kEStackExhaustion:
+      return "EStackExhaustion";
+    case FaultKind::kThreadCapture:
+      return "ThreadCapture";
+    case FaultKind::kSchedulerDelay:
+      return "SchedulerDelay";
+  }
+  return "Unknown";
+}
+
+FaultPlan FaultPlan::Scripted(std::vector<FaultRule> rules) {
+  FaultPlan plan;
+  plan.rules_ = std::move(rules);
+  return plan;
+}
+
+FaultPlan FaultPlan::SeededRandom(double probability,
+                                  std::vector<FaultKind> kinds) {
+  FaultPlan plan;
+  plan.random_probability_ = probability;
+  if (kinds.empty()) {
+    plan.random_armed_.fill(true);
+  } else {
+    for (FaultKind kind : kinds) {
+      plan.random_armed_[static_cast<std::size_t>(kind)] = true;
+    }
+  }
+  return plan;
+}
+
+bool FaultPlan::RandomlyArmed(FaultKind kind) const {
+  return random_probability_ > 0.0 &&
+         random_armed_[static_cast<std::size_t>(kind)];
+}
+
+bool FaultInjector::Fire(FaultKind kind) {
+  const auto index = static_cast<std::size_t>(kind);
+  const std::uint64_t hit = ++hits_[index];
+
+  bool fires = false;
+  for (const FaultRule& rule : plan_.rules()) {
+    if (rule.kind != kind || fired_[index] >= rule.max_fires) {
+      continue;
+    }
+    if (hit == rule.fire_on_hit || (rule.repeat && hit > rule.fire_on_hit)) {
+      fires = true;
+      break;
+    }
+  }
+  // The Rng is consumed on every randomly-armed hit the script did not
+  // already claim, so a run's draws depend only on the plan and the order
+  // in which injection points are reached.
+  if (!fires && plan_.RandomlyArmed(kind)) {
+    fires = rng_.NextBool(plan_.random_probability());
+  }
+  if (fires) {
+    ++fired_[index];
+    events_.push_back({kind, hit, events_.size()});
+  }
+  return fires;
+}
+
+int FaultInjector::distinct_kinds_fired() const {
+  int distinct = 0;
+  for (const std::uint64_t count : fired_) {
+    distinct += count > 0 ? 1 : 0;
+  }
+  return distinct;
+}
+
+std::string FaultInjector::TraceString() const {
+  std::ostringstream out;
+  for (const FaultEvent& event : events_) {
+    if (event.sequence > 0) {
+      out << ' ';
+    }
+    out << FaultKindName(event.kind) << '@' << event.hit;
+  }
+  return out.str();
+}
+
+}  // namespace lrpc

@@ -1,0 +1,131 @@
+// Deterministic fault injection for the Section 5 uncommon cases.
+//
+// The fast path is easy to exercise; the design stands or falls on the
+// uncommon cases — A-stack exhaustion, revoked bindings, domain termination
+// mid-call, clerk rejection, captured threads (Section 5). A FaultInjector
+// decides, at named injection points threaded through the kernel and the
+// LRPC runtime, whether a scripted or seeded-random fault fires. Decisions
+// are a pure function of the plan, the seed, and the order in which the
+// points are reached, so a failing run is replayed exactly from its seed.
+//
+// Injection points call FaultPointFires(injector, kind); with no injector
+// installed the hook is a null-pointer test and nothing else.
+
+#ifndef SRC_SIM_FAULT_INJECTOR_H_
+#define SRC_SIM_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace lrpc {
+
+// Every fault the testbed knows how to fire, with the injection point that
+// arms it and the Status the caller is documented to observe (see
+// docs/fault_injection.md for the full mapping).
+enum class FaultKind : std::uint8_t {
+  kAStackExhaustion,   // Client stub A-stack pop: queue reads as empty.
+  kBindingRevocation,  // Kernel validate: Binding Object revoked on the spot.
+  kDomainTermination,  // Server body: the server domain terminates mid-call.
+  kClerkRejection,     // Import handshake: the clerk refuses the binding.
+  kCacheMiss,          // Context transfer: the idle-processor exchange is
+                       // unavailable (forced processor-cache miss).
+  kEStackExhaustion,   // E-stack association: the server's budget reads as
+                       // spent with nothing reclaimable.
+  kThreadCapture,      // Server body: the client abandons the call, leaving
+                       // the thread captured in the server (Section 5.3).
+  kSchedulerDelay,     // Message-RPC wakeup: the woken thread is preempted
+                       // (adversarial scheduling jitter).
+};
+
+inline constexpr int kFaultKindCount = 8;
+
+std::string_view FaultKindName(FaultKind kind);
+
+// One scripted fault: fires when `kind`'s injection point is reached for
+// the `fire_on_hit`-th time (1-based), and on every later hit if `repeat`,
+// up to `max_fires` firings total.
+struct FaultRule {
+  FaultKind kind = FaultKind::kAStackExhaustion;
+  std::uint64_t fire_on_hit = 1;
+  bool repeat = false;
+  std::uint64_t max_fires = 1;
+};
+
+// What to inject: an explicit script, a seeded-random gate over a set of
+// kinds, or both (scripted rules are consulted first).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  // Fires exactly the given rules.
+  static FaultPlan Scripted(std::vector<FaultRule> rules);
+
+  // Every hit on an armed kind fires with the given probability, drawn
+  // from the injector's seeded Rng. An empty `kinds` arms every kind.
+  static FaultPlan SeededRandom(double probability,
+                                std::vector<FaultKind> kinds = {});
+
+  const std::vector<FaultRule>& rules() const { return rules_; }
+  double random_probability() const { return random_probability_; }
+  bool RandomlyArmed(FaultKind kind) const;
+
+ private:
+  std::vector<FaultRule> rules_;
+  double random_probability_ = 0.0;
+  std::array<bool, kFaultKindCount> random_armed_ = {};
+};
+
+// One fired fault, in firing order.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kAStackExhaustion;
+  std::uint64_t hit = 0;       // The per-kind hit index that fired (1-based).
+  std::uint64_t sequence = 0;  // Global firing order (0-based).
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan, std::uint64_t seed = 0xfa11)
+      : plan_(std::move(plan)), rng_(seed) {}
+
+  // Called by an injection point when `kind`'s trigger is reached; returns
+  // true when the fault fires. Each call advances the per-kind hit counter
+  // (and, in random mode, the Rng), so a run's decisions replay exactly.
+  bool Fire(FaultKind kind);
+
+  // Times `kind`'s injection point was reached / actually fired.
+  std::uint64_t hits(FaultKind kind) const {
+    return hits_[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t fired(FaultKind kind) const {
+    return fired_[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t total_fired() const { return events_.size(); }
+  int distinct_kinds_fired() const;
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  // Compact deterministic trace of every firing: "kind@hit kind@hit ...".
+  std::string TraceString() const;
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  std::array<std::uint64_t, kFaultKindCount> hits_ = {};
+  std::array<std::uint64_t, kFaultKindCount> fired_ = {};
+  std::vector<FaultEvent> events_;
+};
+
+// The hook every injection point uses. Compiles to a null-pointer test when
+// no injector is installed: the fast path pays nothing.
+inline bool FaultPointFires(FaultInjector* injector, FaultKind kind) {
+  return injector != nullptr && injector->Fire(kind);
+}
+
+}  // namespace lrpc
+
+#endif  // SRC_SIM_FAULT_INJECTOR_H_

@@ -6,6 +6,7 @@
 
 #include "src/lrpc/server_frame.h"
 #include "src/lrpc/testbed.h"
+#include "src/rpc/msg_rpc.h"
 #include "src/rpc/register_rpc.h"
 
 namespace lrpc {
@@ -223,6 +224,161 @@ TEST(RegisterRpc, Figure1MakesOverflowAFrequentProblem) {
   }
   lrpc_mean /= kSamples;
   EXPECT_GT(expected.mean_us, lrpc_mean);
+}
+
+// --- Fault injection: the Section 5 uncommon cases, forced on demand.
+// Each kind maps to the Status documented in docs/fault_injection.md. ---
+
+TEST(FaultInjection, AStackExhaustionFailsThenRetrySucceeds) {
+  Testbed bed;
+  bed.binding().set_exhaustion_policy(AStackExhaustionPolicy::kFail);
+  FaultInjector injector(
+      FaultPlan::Scripted({{.kind = FaultKind::kAStackExhaustion}}));
+  bed.kernel().set_fault_injector(&injector);
+  EXPECT_EQ(bed.CallNull().code(), ErrorCode::kAStacksExhausted);
+  // "The client can either wait for one to become available" (Section 5.2):
+  // the queue was never actually drained, so a retry goes through.
+  EXPECT_TRUE(bed.CallNull().ok());
+  EXPECT_EQ(injector.fired(FaultKind::kAStackExhaustion), 1u);
+}
+
+TEST(FaultInjection, AStackExhaustionGrowsUnderAllocateMore) {
+  Testbed bed;
+  bed.binding().set_exhaustion_policy(AStackExhaustionPolicy::kAllocateMore);
+  FaultInjector injector(
+      FaultPlan::Scripted({{.kind = FaultKind::kAStackExhaustion}}));
+  bed.kernel().set_fault_injector(&injector);
+  // "...or allocate more": the call succeeds off a secondary region.
+  CallStats stats;
+  EXPECT_TRUE(bed.CallNull(&stats).ok());
+  EXPECT_TRUE(stats.used_secondary_astack);
+}
+
+TEST(FaultInjection, RevocationIsPermanent) {
+  Testbed bed;
+  FaultInjector injector(
+      FaultPlan::Scripted({{.kind = FaultKind::kBindingRevocation}}));
+  bed.kernel().set_fault_injector(&injector);
+  EXPECT_EQ(bed.CallNull().code(), ErrorCode::kRevokedBinding);
+  // The record really is revoked, not just this one call: with the
+  // injector gone the nonce still never validates again.
+  bed.kernel().set_fault_injector(nullptr);
+  EXPECT_EQ(bed.CallNull().code(), ErrorCode::kRevokedBinding);
+}
+
+TEST(FaultInjection, ServerTerminationMidCallFailsTheCall) {
+  Testbed bed;
+  FaultInjector injector(
+      FaultPlan::Scripted({{.kind = FaultKind::kDomainTermination}}));
+  bed.kernel().set_fault_injector(&injector);
+  // The server terminates while the call executes: the collector unwinds
+  // the thread back into the client with call-failed (Section 5.3).
+  EXPECT_EQ(bed.CallNull().code(), ErrorCode::kCallFailed);
+  EXPECT_FALSE(bed.kernel().domain(bed.server_domain()).alive());
+  EXPECT_EQ(bed.kernel().thread(bed.client_thread()).current_domain(),
+            bed.client_domain());
+  // Calls after the fact find the binding revoked by the collector.
+  EXPECT_EQ(bed.CallNull().code(), ErrorCode::kRevokedBinding);
+}
+
+TEST(FaultInjection, ThreadCaptureAbortsAndReplacesTheThread) {
+  Testbed bed;
+  FaultInjector injector(
+      FaultPlan::Scripted({{.kind = FaultKind::kThreadCapture}}));
+  bed.kernel().set_fault_injector(&injector);
+  EXPECT_EQ(bed.CallNull().code(), ErrorCode::kCallAborted);
+  // The captured thread died in the kernel on release; the replacement
+  // waits in the client domain carrying the aborted exception.
+  EXPECT_EQ(bed.kernel().thread(bed.client_thread()).state(),
+            ThreadState::kDead);
+  Thread& replacement = bed.kernel().thread(
+      static_cast<ThreadId>(bed.kernel().thread_count() - 1));
+  EXPECT_EQ(replacement.home_domain(), bed.client_domain());
+  EXPECT_EQ(replacement.TakeException(), ThreadException::kCallAborted);
+  // The replacement calls normally; the abandoned A-stack was requeued.
+  bed.kernel().set_fault_injector(nullptr);
+  EXPECT_TRUE(bed.runtime()
+                  .Call(bed.cpu(0), replacement.id(), bed.binding(),
+                        bed.null_proc(), {}, {})
+                  .ok());
+}
+
+TEST(FaultInjection, EStackExhaustionFailsInTheKernel) {
+  Testbed bed;
+  FaultInjector injector(
+      FaultPlan::Scripted({{.kind = FaultKind::kEStackExhaustion}}));
+  bed.kernel().set_fault_injector(&injector);
+  EXPECT_EQ(bed.CallNull().code(), ErrorCode::kEStackExhausted);
+  // The failed call leaked nothing: the A-stack went back on its queue.
+  bed.kernel().set_fault_injector(nullptr);
+  EXPECT_TRUE(bed.CallNull().ok());
+}
+
+TEST(FaultInjection, ClerkRejectionRefusesTheImport) {
+  Testbed bed;
+  FaultInjector injector(
+      FaultPlan::Scripted({{.kind = FaultKind::kClerkRejection}}));
+  bed.kernel().set_fault_injector(&injector);
+  const DomainId other = bed.kernel().CreateDomain({.name = "other"});
+  Result<ClientBinding*> refused =
+      bed.runtime().Import(bed.cpu(0), other, bed.interface_spec()->name());
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), ErrorCode::kBindingRefused);
+  EXPECT_EQ(bed.runtime().clerk(bed.server_domain()).imports_refused(), 1u);
+  // One-shot rule: the next import binds.
+  EXPECT_TRUE(
+      bed.runtime().Import(bed.cpu(0), other, bed.interface_spec()->name()).ok());
+}
+
+TEST(FaultInjection, ForcedCacheMissDisablesTheExchange) {
+  Testbed bed({.processors = 2, .park_idle_in_server = true});
+  CallStats stats;
+  ASSERT_TRUE(bed.CallNull(&stats).ok());
+  ASSERT_TRUE(stats.exchanged_on_call);
+  FaultInjector injector(FaultPlan::Scripted(
+      {{.kind = FaultKind::kCacheMiss, .repeat = true, .max_fires = 100}}));
+  bed.kernel().set_fault_injector(&injector);
+  // The call stays correct; it just pays the context switch instead.
+  ASSERT_TRUE(bed.CallNull(&stats).ok());
+  EXPECT_FALSE(stats.exchanged_on_call);
+  EXPECT_FALSE(stats.exchanged_on_return);
+  EXPECT_GE(injector.fired(FaultKind::kCacheMiss), 1u);
+}
+
+TEST(FaultInjection, SchedulerDelaySlowsOnlyTheMessagePath) {
+  // LRPC never touches the scheduler; the delay injection point lives on
+  // the message-RPC wakeup path (traditional mode — SRC RPC's handoff
+  // scheduling bypasses the wakeup entirely).
+  Machine machine(MachineModel::CVaxFirefly(), 1);
+  Kernel kernel(machine);
+  MsgRpcSystem system(kernel, MsgRpcMode::kTraditional);
+  const DomainId client = kernel.CreateDomain({.name = "client"});
+  const DomainId server_domain = kernel.CreateDomain({.name = "server"});
+  const ThreadId thread = kernel.CreateThread(client);
+  Interface iface(0, "paper.Measures", server_domain);
+  int null_proc, add_proc, bigin_proc, biginout_proc;
+  std::uint64_t bytes_seen = 0;
+  AddPaperProcedures(&iface, &null_proc, &add_proc, &bigin_proc,
+                     &biginout_proc, &bytes_seen);
+  iface.Seal();
+  MsgServer* server = system.RegisterServer(server_domain, &iface);
+  MsgBinding binding = system.Bind(client, server);
+  Processor& cpu = machine.processor(0);
+
+  const SimTime before_clean = cpu.clock();
+  ASSERT_TRUE(system.Call(cpu, thread, binding, null_proc, {}, {}).ok());
+  const SimDuration clean = cpu.clock() - before_clean;
+
+  FaultInjector injector(FaultPlan::Scripted(
+      {{.kind = FaultKind::kSchedulerDelay, .repeat = true, .max_fires = 100}}));
+  kernel.set_fault_injector(&injector);
+  const SimTime before_delayed = cpu.clock();
+  ASSERT_TRUE(system.Call(cpu, thread, binding, null_proc, {}, {}).ok());
+  const SimDuration delayed = cpu.clock() - before_delayed;
+
+  EXPECT_GE(injector.fired(FaultKind::kSchedulerDelay), 1u);
+  // Still correct, just preempted: at least one 100us quantum slower.
+  EXPECT_GE(delayed, clean + Micros(100));
 }
 
 }  // namespace

@@ -1,0 +1,112 @@
+// The chaos stress driver: thousands of seeded multi-domain schedules with
+// fault injection armed and the kernel invariant checker validating every
+// event. Labeled `stress` in ctest; run it alone with `ctest -L stress`.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/lrpc/chaos_testbed.h"
+
+namespace lrpc {
+namespace {
+
+constexpr int kSchedules = 1000;
+
+std::string Describe(const ChaosResult& result) {
+  std::string out;
+  for (const std::string& v : result.violations) {
+    out += "violation: " + v + "\n";
+  }
+  for (const std::string& u : result.undocumented) {
+    out += "undocumented: " + u + "\n";
+  }
+  out += "trace:\n" + result.trace;
+  return out;
+}
+
+TEST(ChaosStress, ThousandSeededSchedulesHoldEveryInvariant) {
+  std::set<int> kinds_fired;
+  std::uint64_t total_events = 0;
+  std::uint64_t total_faults = 0;
+  int total_calls = 0;
+  int total_ok = 0;
+
+  for (int seed = 1; seed <= kSchedules; ++seed) {
+    const ChaosResult result = RunChaosSchedule({
+        .seed = static_cast<std::uint64_t>(seed),
+        .servers = 3,
+        .clients = 3,
+        .operations = 40,
+    });
+    ASSERT_TRUE(result.ok()) << "seed " << seed << "\n" << Describe(result);
+    ASSERT_EQ(result.violation_count, 0u) << "seed " << seed;
+    total_events += result.events_seen;
+    total_faults += result.faults_fired;
+    total_calls += result.calls_attempted;
+    total_ok += result.calls_ok;
+    for (int k = 0; k < kFaultKindCount; ++k) {
+      if (result.fired_by_kind[static_cast<std::size_t>(k)] > 0) {
+        kinds_fired.insert(k);
+      }
+    }
+  }
+
+  // The sweep really exercised the machinery: every event was checked,
+  // faults fired in bulk, and a healthy share of calls still succeeded.
+  EXPECT_GT(total_events, static_cast<std::uint64_t>(kSchedules) * 100);
+  EXPECT_GT(total_faults, static_cast<std::uint64_t>(kSchedules));
+  EXPECT_GT(total_calls, kSchedules * 20);
+  // Each call crosses several injection points and revoked bindings stay
+  // in the pick pool, so well under half the calls succeed — but plenty do.
+  EXPECT_GT(total_ok, total_calls / 5);
+  // All seven armed fault kinds fired somewhere in the sweep (the issue
+  // floor is five distinct kinds).
+  EXPECT_GE(kinds_fired.size(), 7u)
+      << "only " << kinds_fired.size() << " distinct fault kinds fired";
+}
+
+TEST(ChaosStress, SameSeedReplaysTheSameTrace) {
+  const ChaosOptions options{.seed = 42, .operations = 80};
+  const ChaosResult first = RunChaosSchedule(options);
+  const ChaosResult second = RunChaosSchedule(options);
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.events_seen, second.events_seen);
+  EXPECT_EQ(first.faults_fired, second.faults_fired);
+  EXPECT_EQ(first.calls_ok, second.calls_ok);
+}
+
+TEST(ChaosStress, DifferentSeedsDiverge) {
+  const ChaosResult a = RunChaosSchedule({.seed = 7, .operations = 80});
+  const ChaosResult b = RunChaosSchedule({.seed = 8, .operations = 80});
+  EXPECT_NE(a.trace, b.trace);
+}
+
+TEST(ChaosStress, QuietSchedulesStayFaultFreeAndAllCallsSucceed) {
+  // With injection off and no terminations every call must succeed — the
+  // chaos driver itself introduces no failures.
+  const ChaosResult result = RunChaosSchedule({.seed = 3,
+                                               .operations = 120,
+                                               .fault_injection = false,
+                                               .allow_termination = false});
+  ASSERT_TRUE(result.ok()) << Describe(result);
+  EXPECT_EQ(result.faults_fired, 0u);
+  EXPECT_EQ(result.calls_failed, 0);
+  EXPECT_GT(result.calls_ok, 0);
+}
+
+TEST(ChaosStress, HighFaultPressureStillHoldsInvariants) {
+  for (int seed = 1; seed <= 50; ++seed) {
+    const ChaosResult result = RunChaosSchedule({
+        .seed = static_cast<std::uint64_t>(seed) * 1000003,
+        .servers = 4,
+        .clients = 4,
+        .operations = 60,
+        .fault_probability = 0.35,
+    });
+    ASSERT_TRUE(result.ok()) << "seed " << seed << "\n" << Describe(result);
+  }
+}
+
+}  // namespace
+}  // namespace lrpc
