@@ -9,10 +9,26 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/common/status.h"
+
 namespace lrpc {
 
 [[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
   std::fprintf(stderr, "LRPC_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+// LRPC_CHECK_OK's failure path: names the failing expression AND the Status
+// it produced (code + detail), so a CI abort is diagnosable from the log.
+[[noreturn]] inline void CheckOkFailed(const char* file, int line,
+                                       const char* expr, const Status& status) {
+  const std::string_view name = ErrorCodeName(status.code());
+  const std::string_view detail = status.detail();
+  std::fprintf(stderr,
+               "LRPC_CHECK_OK failed at %s:%d: %s returned %.*s%s%.*s%s\n",
+               file, line, expr, static_cast<int>(name.size()), name.data(),
+               detail.empty() ? "" : " (", static_cast<int>(detail.size()),
+               detail.data(), detail.empty() ? "" : ")");
   std::abort();
 }
 
@@ -25,12 +41,12 @@ namespace lrpc {
     }                                                    \
   } while (false)
 
-#define LRPC_CHECK_OK(expr)                                            \
-  do {                                                                 \
-    ::lrpc::Status lrpc_check_status_ = (expr);                        \
-    if (!lrpc_check_status_.ok()) {                                    \
-      ::lrpc::CheckFailed(__FILE__, __LINE__, #expr " returned error"); \
-    }                                                                  \
+#define LRPC_CHECK_OK(expr)                                              \
+  do {                                                                   \
+    ::lrpc::Status lrpc_check_status_ = (expr);                          \
+    if (!lrpc_check_status_.ok()) {                                      \
+      ::lrpc::CheckOkFailed(__FILE__, __LINE__, #expr, lrpc_check_status_); \
+    }                                                                    \
   } while (false)
 
 #ifdef NDEBUG

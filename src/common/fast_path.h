@@ -1,0 +1,23 @@
+// Fast-path purity annotations, enforced by tools/lrpc_lint.
+//
+// The paper's performance argument rests on the common-case call path doing
+// "a handful of moves and a trap": no allocation, no logging, no shared
+// locks beyond the per-queue A-stack lock. These markers fence the regions
+// where that discipline must hold; `lrpc_lint` (rule lrpc-fast-path) rejects
+// heap allocation, container growth, string construction, LRPC_LOG and
+// SimLock acquisition between BEGIN and END.
+//
+// The macros expand to a no-op declaration so they can sit at namespace or
+// block scope without changing codegen. LRPC_FAST_PATH_ALLOW documents a
+// deliberate exception: placed on (or immediately above) the offending line
+// it suppresses the purity check for that line, and the reason string is
+// the reviewer-facing justification.
+
+#ifndef SRC_COMMON_FAST_PATH_H_
+#define SRC_COMMON_FAST_PATH_H_
+
+#define LRPC_FAST_PATH_BEGIN(name) static_assert(true, "fast path: " name)
+#define LRPC_FAST_PATH_END(name) static_assert(true, "end fast path: " name)
+#define LRPC_FAST_PATH_ALLOW(reason) static_assert(true, "allowed: " reason)
+
+#endif  // SRC_COMMON_FAST_PATH_H_

@@ -1,6 +1,13 @@
 #include "src/kern/estack.h"
 
+#include "src/common/fast_path.h"
+
 namespace lrpc {
+
+// E-stack claim and release run on every call once the A-stack/E-stack
+// association misses (Section 3.2); only the bind-time pool growth below
+// carries an explicit allowance (rule lrpc-fast-path).
+LRPC_FAST_PATH_BEGIN("estack claim/release");
 
 int EStackPool::associated_count() const {
   int count = 0;
@@ -28,6 +35,7 @@ Result<int> EStackPool::Allocate() {
   EStack s;
   s.id = allocated();
   s.size = estack_size_;
+  LRPC_FAST_PATH_ALLOW("pool growth is bounded by the domain's E-stack budget");
   stacks_.push_back(s);
   return s.id;
 }
@@ -57,5 +65,7 @@ EStack* EStackPool::OldestAssociated() {
   }
   return oldest;
 }
+
+LRPC_FAST_PATH_END("estack claim/release");
 
 }  // namespace lrpc

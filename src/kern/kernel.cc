@@ -1,6 +1,7 @@
 #include "src/kern/kernel.h"
 
 #include "src/common/check.h"
+#include "src/common/fast_path.h"
 #include "src/common/logging.h"
 
 namespace lrpc {
@@ -80,6 +81,11 @@ void Kernel::DestroyThread(Thread& t) {
   t.set_state(ThreadState::kDead);
 }
 
+// The context-transfer leg every LRPC call and return pays (Section 3.4):
+// either the idle-processor exchange or the TLB-invalidating switch, with
+// no allocation or logging on either branch (rule lrpc-fast-path).
+LRPC_FAST_PATH_BEGIN("kernel domain transfer");
+
 Kernel::TransferResult Kernel::EnterDomain(Processor& cpu, Thread& t,
                                            Domain& target, bool allow_exchange) {
   TransferResult result;
@@ -120,6 +126,8 @@ Kernel::TransferResult Kernel::EnterDomain(Processor& cpu, Thread& t,
   NotifyEvent(KernelEventKind::kTransfer);
   return result;
 }
+
+LRPC_FAST_PATH_END("kernel domain transfer");
 
 void Kernel::ParkIdleProcessor(Processor& cpu, DomainId domain_id) {
   cpu.LoadContext(domain(domain_id).vm_context());

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/common/check.h"
+#include "src/common/fast_path.h"
 #include "src/common/logging.h"
 #include "src/lrpc/runtime.h"
 #include "src/lrpc/server_frame.h"
@@ -88,6 +89,12 @@ Status LrpcRuntime::Call(Processor& cpu, ThreadId thread_id,
   stats_.astack_bytes += cs.astack_bytes;
   return status;
 }
+
+// The common-case call: client stub, kernel validation and transfer, server
+// stub, and the return leg. Everything here is "a handful of moves and a
+// trap" — lrpc_lint rejects allocation, logging and lock acquisition until
+// the matching END (rule lrpc-fast-path).
+LRPC_FAST_PATH_BEGIN("lrpc call/return");
 
 Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
                               ClientBinding& binding, int procedure,
@@ -377,6 +384,8 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
   }
   return unmarshal;
 }
+
+LRPC_FAST_PATH_END("lrpc call/return");
 
 Status LrpcRuntime::RemoteCall(Processor& cpu, ThreadId thread_id,
                                ClientBinding& binding, int procedure,

@@ -33,7 +33,11 @@ void AddPaperProcedures(Interface* iface, int* null_proc, int* add_proc,
       if (!b.ok()) {
         return b.status();
       }
-      return frame.Result_<std::int32_t>(2, *a + *b);
+      // Two's-complement wraparound; callers probe INT_MAX + 1, which is UB
+      // on signed ints.
+      const auto sum = static_cast<std::int32_t>(static_cast<std::uint32_t>(*a) +
+                                                 static_cast<std::uint32_t>(*b));
+      return frame.Result_<std::int32_t>(2, sum);
     };
     *add_proc = iface->AddProcedure(std::move(def));
   }

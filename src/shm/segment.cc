@@ -47,7 +47,9 @@ Status SharedSegment::Write(DomainId domain, std::size_t offset,
   if (!InBounds(offset, len)) {
     return Status(ErrorCode::kInvalidArgument, "segment write out of bounds");
   }
-  std::memcpy(bytes_.data() + offset, data, len);
+  if (len != 0) {  // Zero-length writes may legally pass data == nullptr.
+    std::memcpy(bytes_.data() + offset, data, len);
+  }
   return Status::Ok();
 }
 
@@ -59,7 +61,9 @@ Status SharedSegment::Read(DomainId domain, std::size_t offset, void* out,
   if (!InBounds(offset, len)) {
     return Status(ErrorCode::kInvalidArgument, "segment read out of bounds");
   }
-  std::memcpy(out, bytes_.data() + offset, len);
+  if (len != 0) {  // Zero-length reads may legally pass out == nullptr.
+    std::memcpy(out, bytes_.data() + offset, len);
+  }
   return Status::Ok();
 }
 

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <iterator>
 #include <set>
+#include <utility>
 
 #include "src/common/histogram.h"
 #include "src/common/rng.h"
@@ -35,6 +37,49 @@ TEST(StatusTest, EveryCodeHasAName) {
   for (int c = 0; c <= static_cast<int>(ErrorCode::kUnimplemented); ++c) {
     EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(c)), "kUnknown");
   }
+}
+
+// The name table in status.cc is a switch that silently drifts when codes
+// are added or reordered; pin every mapping. (This also satisfies
+// lrpc_lint's lrpc-enum-coverage rule: each enumerator is asserted on.)
+TEST(StatusTest, ErrorCodeNamesMatchTheirEnumerators) {
+  const std::pair<ErrorCode, std::string_view> kNames[] = {
+      {ErrorCode::kOk, "kOk"},
+      {ErrorCode::kNoSuchInterface, "kNoSuchInterface"},
+      {ErrorCode::kBindingRefused, "kBindingRefused"},
+      {ErrorCode::kForgedBinding, "kForgedBinding"},
+      {ErrorCode::kRevokedBinding, "kRevokedBinding"},
+      {ErrorCode::kNoSuchProcedure, "kNoSuchProcedure"},
+      {ErrorCode::kInvalidAStack, "kInvalidAStack"},
+      {ErrorCode::kAStackInUse, "kAStackInUse"},
+      {ErrorCode::kAStacksExhausted, "kAStacksExhausted"},
+      {ErrorCode::kEStackExhausted, "kEStackExhausted"},
+      {ErrorCode::kArgumentTooLarge, "kArgumentTooLarge"},
+      {ErrorCode::kTypeCheckFailed, "kTypeCheckFailed"},
+      {ErrorCode::kCallFailed, "kCallFailed"},
+      {ErrorCode::kCallAborted, "kCallAborted"},
+      {ErrorCode::kDomainTerminated, "kDomainTerminated"},
+      {ErrorCode::kThreadCaptured, "kThreadCaptured"},
+      {ErrorCode::kNotRemote, "kNotRemote"},
+      {ErrorCode::kRemoteUnreachable, "kRemoteUnreachable"},
+      {ErrorCode::kNoSuchDomain, "kNoSuchDomain"},
+      {ErrorCode::kNoSuchThread, "kNoSuchThread"},
+      {ErrorCode::kPermissionDenied, "kPermissionDenied"},
+      {ErrorCode::kOutOfMemory, "kOutOfMemory"},
+      {ErrorCode::kMessageTooLarge, "kMessageTooLarge"},
+      {ErrorCode::kPortClosed, "kPortClosed"},
+      {ErrorCode::kQueueFull, "kQueueFull"},
+      {ErrorCode::kInvalidArgument, "kInvalidArgument"},
+      {ErrorCode::kAlreadyExists, "kAlreadyExists"},
+      {ErrorCode::kNotFound, "kNotFound"},
+      {ErrorCode::kUnimplemented, "kUnimplemented"},
+  };
+  for (const auto& [code, name] : kNames) {
+    EXPECT_EQ(ErrorCodeName(code), name);
+  }
+  // Every enumerator is listed above exactly once.
+  EXPECT_EQ(std::size(kNames),
+            static_cast<std::size_t>(ErrorCode::kUnimplemented) + 1);
 }
 
 TEST(ResultTest, HoldsValue) {

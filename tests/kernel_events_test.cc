@@ -1,0 +1,130 @@
+// The kernel event stream (KernelEventKind): the hooks the invariant
+// checker subscribes to. These tests pin which events each kernel
+// operation emits and in what order on the call path, so a refactor that
+// drops or reorders a NotifyEvent is caught here rather than by a silent
+// loss of invariant coverage.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/lrpc/testbed.h"
+#include "src/sim/fault_injector.h"
+
+namespace lrpc {
+namespace {
+
+class EventRecorder : public KernelEventListener {
+ public:
+  void OnKernelEvent(Kernel& kernel, KernelEventKind kind) override {
+    (void)kernel;
+    events.push_back(kind);
+  }
+
+  int Count(KernelEventKind kind) const {
+    return static_cast<int>(std::count(events.begin(), events.end(), kind));
+  }
+
+  // First position of `kind`, or -1 if it never fired.
+  int IndexOf(KernelEventKind kind) const {
+    const auto it = std::find(events.begin(), events.end(), kind);
+    return it == events.end() ? -1
+                              : static_cast<int>(it - events.begin());
+  }
+
+  std::vector<KernelEventKind> events;
+};
+
+TEST(KernelEventsTest, EveryKindHasItsName) {
+  const std::pair<KernelEventKind, std::string_view> kNames[] = {
+      {KernelEventKind::kDomainCreated, "DomainCreated"},
+      {KernelEventKind::kThreadCreated, "ThreadCreated"},
+      {KernelEventKind::kTransfer, "Transfer"},
+      {KernelEventKind::kEStackEnsured, "EStackEnsured"},
+      {KernelEventKind::kLinkageClaimed, "LinkageClaimed"},
+      {KernelEventKind::kCallReturned, "CallReturned"},
+      {KernelEventKind::kTermination, "Termination"},
+      {KernelEventKind::kAbandon, "Abandon"},
+      {KernelEventKind::kRegionAllocated, "RegionAllocated"},
+  };
+  for (const auto& [kind, name] : kNames) {
+    EXPECT_EQ(KernelEventKindName(kind), name);
+  }
+}
+
+TEST(KernelEventsTest, SuccessfulCallEmitsTheCallLegSequence) {
+  Testbed bed;
+  EventRecorder recorder;
+  bed.kernel().set_event_listener(&recorder);
+  ASSERT_TRUE(bed.CallNull().ok());
+  bed.kernel().set_event_listener(nullptr);
+
+  // One linkage claim, one E-stack association, the call and return
+  // transfers, and the A-stack's return to its free queue — in that order.
+  EXPECT_EQ(recorder.Count(KernelEventKind::kLinkageClaimed), 1);
+  EXPECT_EQ(recorder.Count(KernelEventKind::kEStackEnsured), 1);
+  EXPECT_GE(recorder.Count(KernelEventKind::kTransfer), 2);
+  EXPECT_EQ(recorder.Count(KernelEventKind::kCallReturned), 1);
+  EXPECT_LT(recorder.IndexOf(KernelEventKind::kLinkageClaimed),
+            recorder.IndexOf(KernelEventKind::kEStackEnsured));
+  EXPECT_LT(recorder.IndexOf(KernelEventKind::kEStackEnsured),
+            recorder.IndexOf(KernelEventKind::kTransfer));
+  EXPECT_EQ(recorder.events.back(), KernelEventKind::kCallReturned);
+}
+
+TEST(KernelEventsTest, DomainAndThreadLifecycleEventsFire) {
+  Testbed bed;
+  EventRecorder recorder;
+  bed.kernel().set_event_listener(&recorder);
+
+  const DomainId domain = bed.kernel().CreateDomain({.name = "observed"});
+  EXPECT_EQ(recorder.Count(KernelEventKind::kDomainCreated), 1);
+  bed.kernel().CreateThread(domain);
+  EXPECT_EQ(recorder.Count(KernelEventKind::kThreadCreated), 1);
+
+  ASSERT_TRUE(bed.kernel().TerminateDomain(domain).ok());
+  EXPECT_EQ(recorder.Count(KernelEventKind::kTermination), 1);
+  bed.kernel().set_event_listener(nullptr);
+}
+
+TEST(KernelEventsTest, AStackGrowthEmitsRegionAllocated) {
+  Testbed bed;
+  // Force the stub's A-stack pop to read empty; the default
+  // kAllocateMore policy grows a secondary region instead of failing.
+  FaultInjector injector(
+      FaultPlan::Scripted({{.kind = FaultKind::kAStackExhaustion}}));
+  bed.kernel().set_fault_injector(&injector);
+  EventRecorder recorder;
+  bed.kernel().set_event_listener(&recorder);
+
+  CallStats stats;
+  ASSERT_TRUE(bed.CallNull(&stats).ok());
+  EXPECT_EQ(recorder.Count(KernelEventKind::kRegionAllocated), 1);
+  EXPECT_TRUE(stats.used_secondary_astack);
+  bed.kernel().set_event_listener(nullptr);
+  bed.kernel().set_fault_injector(nullptr);
+}
+
+TEST(KernelEventsTest, AbandonedCallEmitsAbandon) {
+  Testbed bed;
+  // The client abandons the captured thread while it sits in the server
+  // (Section 5.3): the kernel's escape path must announce itself.
+  FaultInjector injector(
+      FaultPlan::Scripted({{.kind = FaultKind::kThreadCapture}}));
+  bed.kernel().set_fault_injector(&injector);
+  EventRecorder recorder;
+  bed.kernel().set_event_listener(&recorder);
+
+  const Status status = bed.CallNull();
+  EXPECT_EQ(status.code(), ErrorCode::kCallAborted);
+  EXPECT_EQ(recorder.Count(KernelEventKind::kAbandon), 1);
+  // The replacement client thread is created by the abandon path itself.
+  EXPECT_EQ(recorder.Count(KernelEventKind::kThreadCreated), 1);
+  bed.kernel().set_event_listener(nullptr);
+  bed.kernel().set_fault_injector(nullptr);
+}
+
+}  // namespace
+}  // namespace lrpc

@@ -1,0 +1,350 @@
+// Tests for the lrpc_lint analyzer itself (tools/lrpc_lint): every rule,
+// every suppression form, and the escape hatch, driven over in-memory
+// snippets plus the on-disk fixture tree under tools/lrpc_lint/testdata.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tools/lrpc_lint/lint.h"
+
+namespace lrpc {
+namespace lint {
+namespace {
+
+int CountRule(const LintResult& result, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(result.findings.begin(), result.findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+bool HasFinding(const LintResult& result, const std::string& rule,
+                const std::string& file, int line) {
+  return std::any_of(result.findings.begin(), result.findings.end(),
+                     [&](const Finding& f) {
+                       return f.rule == rule && f.file == file &&
+                              f.line == line;
+                     });
+}
+
+LintResult LintSnippet(const std::string& path, const std::string& content) {
+  return RunLint({{path, content}}, {});
+}
+
+// --- lrpc-fast-path ---
+
+TEST(FastPathRule, FlagsSeededNewInsideRegion) {
+  const LintResult result = LintSnippet("src/x.cc",
+                                        "LRPC_FAST_PATH_BEGIN(\"r\");\n"
+                                        "int* p = new int(1);\n"
+                                        "LRPC_FAST_PATH_END(\"r\");\n");
+  ASSERT_EQ(CountRule(result, "lrpc-fast-path"), 1);
+  EXPECT_TRUE(HasFinding(result, "lrpc-fast-path", "src/x.cc", 2));
+  EXPECT_NE(result.findings[0].message.find("heap allocation"),
+            std::string::npos);
+}
+
+TEST(FastPathRule, IgnoresTheSameConstructOutsideRegions) {
+  const LintResult result =
+      LintSnippet("src/x.cc", "int* p = new int(1);\nv.push_back(1);\n");
+  EXPECT_EQ(CountRule(result, "lrpc-fast-path"), 0);
+}
+
+TEST(FastPathRule, FlagsEveryForbiddenCategory) {
+  const struct {
+    const char* line;
+    const char* category;
+  } kCases[] = {
+      {"void* p = malloc(8);", "heap allocation"},
+      {"queue.push_back(x);", "container growth"},
+      {"table->insert(k);", "container growth"},
+      {"buffer.resize(64);", "container growth"},
+      {"std::string name(\"x\");", "string construction"},
+      {"auto s = std::to_string(7);", "string construction"},
+      {"LRPC_LOG(kDebug) << 1;", "logging"},
+      {"SimLockGuard guard(lock, cpu);", "lock acquisition"},
+      {"lock.Acquire(cpu);", "lock acquisition"},
+  };
+  for (const auto& c : kCases) {
+    const LintResult result = LintSnippet(
+        "src/x.cc", std::string("LRPC_FAST_PATH_BEGIN(\"r\");\n") + c.line +
+                        "\nLRPC_FAST_PATH_END(\"r\");\n");
+    ASSERT_EQ(CountRule(result, "lrpc-fast-path"), 1) << c.line;
+    EXPECT_NE(result.findings[0].message.find(c.category), std::string::npos)
+        << c.line;
+  }
+}
+
+TEST(FastPathRule, DoesNotFlagLookalikes) {
+  // std::string_view is not std::string; renew/newest are not `new`;
+  // a free-function insert(...) is not container growth.
+  const LintResult result = LintSnippet("src/x.cc",
+                                        "LRPC_FAST_PATH_BEGIN(\"r\");\n"
+                                        "std::string_view v = name();\n"
+                                        "int renewed = renew(newest);\n"
+                                        "insert(table, key);\n"
+                                        "LRPC_FAST_PATH_END(\"r\");\n");
+  EXPECT_EQ(CountRule(result, "lrpc-fast-path"), 0);
+}
+
+TEST(FastPathRule, IgnoresCommentsAndStrings) {
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "LRPC_FAST_PATH_BEGIN(\"r\");\n"
+      "// new allocations are forbidden here, malloc too\n"
+      "const char* doc = \"never call v.push_back() on this path\";\n"
+      "/* std::string would be a\n   violation on this line */\n"
+      "LRPC_FAST_PATH_END(\"r\");\n");
+  EXPECT_EQ(CountRule(result, "lrpc-fast-path"), 0);
+}
+
+TEST(FastPathRule, AllowEscapeHatchOnSameOrPreviousLine) {
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "LRPC_FAST_PATH_BEGIN(\"r\");\n"
+      "LRPC_FAST_PATH_ALLOW(\"bounded growth\");\n"
+      "pool.push_back(1);\n"
+      "pool.reserve(8);  LRPC_FAST_PATH_ALLOW(\"same line\");\n"
+      "LRPC_FAST_PATH_END(\"r\");\n");
+  EXPECT_EQ(CountRule(result, "lrpc-fast-path"), 0);
+  EXPECT_EQ(result.suppressions_used, 2);
+}
+
+TEST(FastPathRule, AllowDoesNotLeakPastItsLine) {
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "LRPC_FAST_PATH_BEGIN(\"r\");\n"
+      "LRPC_FAST_PATH_ALLOW(\"one line only\");\n"
+      "pool.push_back(1);\n"
+      "pool.push_back(2);\n"  // Two lines below the allowance: flagged.
+      "LRPC_FAST_PATH_END(\"r\");\n");
+  ASSERT_EQ(CountRule(result, "lrpc-fast-path"), 1);
+  EXPECT_TRUE(HasFinding(result, "lrpc-fast-path", "src/x.cc", 4));
+}
+
+TEST(FastPathRule, FlagsUnbalancedRegions) {
+  EXPECT_EQ(CountRule(LintSnippet("src/x.cc", "LRPC_FAST_PATH_BEGIN(\"r\");\n"),
+                      "lrpc-fast-path"),
+            1);
+  EXPECT_EQ(
+      CountRule(LintSnippet("src/x.cc", "LRPC_FAST_PATH_END(\"r\");\n"),
+                "lrpc-fast-path"),
+      1);
+  EXPECT_EQ(CountRule(LintSnippet("src/x.cc",
+                                  "LRPC_FAST_PATH_BEGIN(\"a\");\n"
+                                  "LRPC_FAST_PATH_BEGIN(\"b\");\n"
+                                  "LRPC_FAST_PATH_END(\"b\");\n"),
+                      "lrpc-fast-path"),
+            1);  // The nested BEGIN.
+}
+
+TEST(FastPathRule, MacroDefinitionsAreNotMarkers) {
+  const LintResult result = LintSnippet(
+      "src/common/fast_path.h",
+      "#ifndef SRC_COMMON_FAST_PATH_H_\n"
+      "#define SRC_COMMON_FAST_PATH_H_\n"
+      "#define LRPC_FAST_PATH_BEGIN(name) static_assert(true, name)\n"
+      "int* p = new int(1);\n"  // Not in a region: the #define is no BEGIN.
+      "#endif  // SRC_COMMON_FAST_PATH_H_\n");
+  EXPECT_EQ(CountRule(result, "lrpc-fast-path"), 0);
+}
+
+// --- NOLINT ---
+
+TEST(Nolint, ScopedAndBareSuppressions) {
+  const LintResult scoped = LintSnippet("src/x.cc",
+                                        "LRPC_FAST_PATH_BEGIN(\"r\");\n"
+                                        "int* p = new int;  // "
+                                        "NOLINT(lrpc-fast-path)\n"
+                                        "LRPC_FAST_PATH_END(\"r\");\n");
+  EXPECT_EQ(CountRule(scoped, "lrpc-fast-path"), 0);
+  EXPECT_EQ(scoped.suppressions_used, 1);
+
+  const LintResult bare = LintSnippet("src/x.cc",
+                                      "LRPC_FAST_PATH_BEGIN(\"r\");\n"
+                                      "int* p = new int;  // NOLINT\n"
+                                      "LRPC_FAST_PATH_END(\"r\");\n");
+  EXPECT_EQ(CountRule(bare, "lrpc-fast-path"), 0);
+
+  // A NOLINT for a different rule does not cover this one.
+  const LintResult other = LintSnippet("src/x.cc",
+                                       "LRPC_FAST_PATH_BEGIN(\"r\");\n"
+                                       "int* p = new int;  // "
+                                       "NOLINT(lrpc-header-guard)\n"
+                                       "LRPC_FAST_PATH_END(\"r\");\n");
+  EXPECT_EQ(CountRule(other, "lrpc-fast-path"), 1);
+}
+
+// --- lrpc-header-guard ---
+
+TEST(HeaderGuardRule, AcceptsThePathSpellingGuard) {
+  const LintResult result = LintSnippet("src/kern/kernel.h",
+                                        "#ifndef SRC_KERN_KERNEL_H_\n"
+                                        "#define SRC_KERN_KERNEL_H_\n"
+                                        "#endif\n");
+  EXPECT_EQ(CountRule(result, "lrpc-header-guard"), 0);
+}
+
+TEST(HeaderGuardRule, FlagsWrongMissingAndUndefinedGuards) {
+  EXPECT_EQ(CountRule(LintSnippet("src/kern/kernel.h",
+                                  "#ifndef WRONG_H_\n#define WRONG_H_\n"),
+                      "lrpc-header-guard"),
+            1);
+  EXPECT_EQ(CountRule(LintSnippet("src/kern/kernel.h", "int x;\n"),
+                      "lrpc-header-guard"),
+            1);
+  EXPECT_EQ(CountRule(LintSnippet("src/kern/kernel.h",
+                                  "#ifndef SRC_KERN_KERNEL_H_\nint x;\n"),
+                      "lrpc-header-guard"),
+            1);
+  // Sources are exempt.
+  EXPECT_EQ(CountRule(LintSnippet("src/kern/kernel.cc", "int x;\n"),
+                      "lrpc-header-guard"),
+            0);
+}
+
+// --- lrpc-using-namespace, lrpc-check-in-header ---
+
+TEST(HeaderHygiene, FlagsHeaderScopeUsingNamespace) {
+  const LintResult result = LintSnippet("src/a.h",
+                                        "#ifndef SRC_A_H_\n"
+                                        "#define SRC_A_H_\n"
+                                        "using namespace std;\n"
+                                        "using std::vector;\n"  // Fine.
+                                        "#endif\n");
+  EXPECT_EQ(CountRule(result, "lrpc-using-namespace"), 1);
+  EXPECT_TRUE(HasFinding(result, "lrpc-using-namespace", "src/a.h", 3));
+  // And not in a .cc file.
+  EXPECT_EQ(CountRule(LintSnippet("src/a.cc", "using namespace std;\n"),
+                      "lrpc-using-namespace"),
+            0);
+}
+
+TEST(HeaderHygiene, FlagsCheckMacrosInPublicHeadersExceptCheckH) {
+  const LintResult result = LintSnippet("src/a.h",
+                                        "#ifndef SRC_A_H_\n"
+                                        "#define SRC_A_H_\n"
+                                        "inline void F() { LRPC_CHECK(1); }\n"
+                                        "#endif\n");
+  EXPECT_EQ(CountRule(result, "lrpc-check-in-header"), 1);
+
+  const LintResult check_h =
+      LintSnippet("src/common/check.h",
+                  "#ifndef SRC_COMMON_CHECK_H_\n"
+                  "#define SRC_COMMON_CHECK_H_\n"
+                  "#define LRPC_CHECK(expr) do {} while (false)\n"
+                  "inline void F() { LRPC_CHECK(1); }\n"
+                  "#endif\n");
+  EXPECT_EQ(CountRule(check_h, "lrpc-check-in-header"), 0);
+}
+
+// --- lrpc-enum-coverage, lrpc-fault-point ---
+
+constexpr char kEnumHeader[] =
+    "#ifndef SRC_E_H_\n"
+    "#define SRC_E_H_\n"
+    "enum class ErrorCode {\n"
+    "  kAlpha = 0,\n"
+    "  kBeta,\n"
+    "};\n"
+    "#endif\n";
+
+TEST(EnumCoverageRule, FlagsUntestedEnumerator) {
+  const LintResult result =
+      RunLint({{"src/e.h", kEnumHeader}},
+              {{"tests/e_test.cc", "auto x = ErrorCode::kAlpha;\n"}});
+  ASSERT_EQ(CountRule(result, "lrpc-enum-coverage"), 1);
+  EXPECT_TRUE(HasFinding(result, "lrpc-enum-coverage", "src/e.h", 5));
+  EXPECT_NE(result.findings[0].message.find("ErrorCode::kBeta"),
+            std::string::npos);
+}
+
+TEST(EnumCoverageRule, QualifiedMentionInAnyTestCounts) {
+  const LintResult result = RunLint(
+      {{"src/e.h", kEnumHeader}},
+      {{"tests/a_test.cc", "EXPECT_EQ(s.code(), ErrorCode::kAlpha);\n"},
+       {"tests/b_test.cc", "EXPECT_EQ(s.code(), lrpc::ErrorCode::kBeta);\n"}});
+  EXPECT_EQ(CountRule(result, "lrpc-enum-coverage"), 0);
+}
+
+TEST(EnumCoverageRule, UntrackedEnumsAreIgnored) {
+  const LintResult result = LintSnippet(
+      "src/e.h",
+      "#ifndef SRC_E_H_\n#define SRC_E_H_\n"
+      "enum class Color { kRed, kBlue };\n#endif\n");
+  EXPECT_EQ(CountRule(result, "lrpc-enum-coverage"), 0);
+}
+
+TEST(FaultPointRule, RequiresAnInjectionPointPerFaultKind) {
+  const char kFaults[] =
+      "#ifndef SRC_F_H_\n#define SRC_F_H_\n"
+      "enum class FaultKind {\n  kWired,\n  kUnwired,\n};\n#endif\n";
+  // The registration spans lines, as real call sites do.
+  const char kRuntime[] =
+      "bool Hook(FaultInjector* i) {\n"
+      "  return FaultPointFires(i,\n"
+      "                         FaultKind::kWired);\n"
+      "}\n";
+  const LintResult result =
+      RunLint({{"src/f.h", kFaults}, {"src/r.cc", kRuntime}},
+              {{"tests/f_test.cc",
+                "auto a = FaultKind::kWired;\nauto b = FaultKind::kUnwired;\n"}});
+  ASSERT_EQ(CountRule(result, "lrpc-fault-point"), 1);
+  EXPECT_TRUE(HasFinding(result, "lrpc-fault-point", "src/f.h", 5));
+}
+
+// --- The on-disk fixture tree, through the same loader the CLI uses ---
+
+TEST(FixtureTree, LoadsAndFindsEverySeededViolation) {
+  std::vector<SourceFile> sources;
+  std::vector<SourceFile> tests;
+  std::string error;
+  ASSERT_TRUE(LoadSourceTree(std::string(LRPC_LINT_TESTDATA_DIR) + "/tree",
+                             &sources, &tests, &error))
+      << error;
+  ASSERT_GE(sources.size(), 6u);
+  ASSERT_EQ(tests.size(), 1u);
+
+  const LintResult result = RunLint(sources, tests);
+  // The seeded fast-path new, log call and lock guard.
+  EXPECT_EQ(CountRule(result, "lrpc-fast-path"), 3);
+  EXPECT_TRUE(
+      HasFinding(result, "lrpc-fast-path", "src/bad/fastpath_new.cc", 12));
+  // The stale include guard.
+  EXPECT_TRUE(HasFinding(result, "lrpc-header-guard", "src/bad/bad_guard.h", 2));
+  // Header-scope using namespace and the abort macro in a header.
+  EXPECT_TRUE(HasFinding(result, "lrpc-using-namespace", "src/bad/using_ns.h", 5));
+  EXPECT_TRUE(HasFinding(result, "lrpc-check-in-header", "src/bad/using_ns.h", 7));
+  // The untested enumerator and the unwired fault kind.
+  EXPECT_TRUE(HasFinding(result, "lrpc-enum-coverage", "src/enums.h", 10));
+  EXPECT_TRUE(HasFinding(result, "lrpc-fault-point", "src/enums.h", 15));
+  // clean.cc contributes suppressions, not findings.
+  EXPECT_EQ(CountRule(result, "lrpc-fast-path") +
+                CountRule(result, "lrpc-header-guard") +
+                CountRule(result, "lrpc-using-namespace") +
+                CountRule(result, "lrpc-check-in-header") +
+                CountRule(result, "lrpc-enum-coverage") +
+                CountRule(result, "lrpc-fault-point"),
+            static_cast<int>(result.findings.size()));
+  EXPECT_EQ(result.suppressions_used, 3);
+}
+
+TEST(FixtureTree, FormatFindingIsFileLineRuleMessage) {
+  const Finding finding{"src/x.cc", 12, "lrpc-fast-path", "boom"};
+  EXPECT_EQ(FormatFinding(finding), "src/x.cc:12: [lrpc-fast-path] boom");
+}
+
+TEST(FixtureTree, MissingRootIsAnError) {
+  std::vector<SourceFile> sources;
+  std::vector<SourceFile> tests;
+  std::string error;
+  EXPECT_FALSE(LoadSourceTree("/nonexistent-lint-root", &sources, &tests,
+                              &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace lrpc

@@ -101,7 +101,9 @@ TEST_P(MarshalPropertyTest, RoundTripFidelityAndNoResidue) {
           if (!n.ok()) {
             return n.status();
           }
-          if (std::memcmp(seen.data(), p.in_payload.data(), seen.size()) != 0) {
+          // Guard the zero-length case: an empty vector's data() may be null.
+          if (!seen.empty() &&
+              std::memcmp(seen.data(), p.in_payload.data(), seen.size()) != 0) {
             return Status(ErrorCode::kInvalidArgument, "payload mismatch");
           }
         }
@@ -154,10 +156,14 @@ TEST_P(MarshalPropertyTest, RoundTripFidelityAndNoResidue) {
       if (!p.desc.is_out()) {
         continue;
       }
-      ASSERT_EQ(std::memcmp(ret_buffers[rb].data(), p.out_payload.data(),
-                            p.out_payload.size()),
-                0)
-          << "out param " << rb;
+      // memcmp's pointers must be non-null even for zero lengths, and an
+      // empty vector's data() may be null.
+      if (!p.out_payload.empty()) {
+        ASSERT_EQ(std::memcmp(ret_buffers[rb].data(), p.out_payload.data(),
+                              p.out_payload.size()),
+                  0)
+            << "out param " << rb;
+      }
       ++rb;
     }
 

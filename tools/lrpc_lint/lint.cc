@@ -1,0 +1,617 @@
+#include "tools/lrpc_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace lrpc {
+namespace lint {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) {
+    lines.push_back(current);
+  }
+  return lines;
+}
+
+// Blanks out comments and the bodies of string/character literals so the
+// matchers below never fire on prose. Keeps line structure and column
+// positions (replaced characters become spaces).
+std::vector<std::string> CleanLines(const std::vector<std::string>& raw) {
+  enum class State { kCode, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  std::vector<std::string> cleaned;
+  cleaned.reserve(raw.size());
+  for (const std::string& line : raw) {
+    std::string out(line.size(), ' ');
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            i = line.size();  // Rest of the line is a comment.
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            ++i;
+          } else if (c == '"') {
+            out[i] = '"';
+            state = State::kString;
+          } else if (c == '\'') {
+            out[i] = '\'';
+            state = State::kChar;
+          } else {
+            out[i] = c;
+          }
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            ++i;
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            out[i] = '"';
+            state = State::kCode;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            out[i] = '\'';
+            state = State::kCode;
+          }
+          break;
+      }
+    }
+    cleaned.push_back(std::move(out));
+  }
+  return cleaned;
+}
+
+// First occurrence of `word` in `text` at a word boundary on both sides
+// (the word itself may contain "::"). npos if absent.
+std::size_t FindWord(const std::string& text, const std::string& word,
+                     std::size_t from = 0) {
+  std::size_t pos = text.find(word, from);
+  while (pos != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsWordChar(text[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= text.size() || !IsWordChar(text[end]);
+    if (left_ok && right_ok) {
+      return pos;
+    }
+    pos = text.find(word, pos + 1);
+  }
+  return std::string::npos;
+}
+
+bool ContainsWord(const std::string& text, const std::string& word) {
+  return FindWord(text, word) != std::string::npos;
+}
+
+// True when `name` appears as a member call: `.name(` or `->name(`.
+bool ContainsMethodCall(const std::string& text, const std::string& name) {
+  std::size_t pos = FindWord(text, name);
+  while (pos != std::string::npos) {
+    std::size_t after = pos + name.size();
+    while (after < text.size() && text[after] == ' ') {
+      ++after;
+    }
+    const bool called = after < text.size() && text[after] == '(';
+    const bool member =
+        (pos >= 1 && text[pos - 1] == '.') ||
+        (pos >= 2 && text[pos - 2] == '-' && text[pos - 1] == '>');
+    if (called && member) {
+      return true;
+    }
+    pos = FindWord(text, name, pos + 1);
+  }
+  return false;
+}
+
+// True when the raw line carries a NOLINT marker covering `rule`:
+// bare `NOLINT` covers everything, `NOLINT(a, b)` covers the listed rules.
+bool NolintCovers(const std::string& raw_line, const std::string& rule) {
+  const std::size_t pos = FindWord(raw_line, "NOLINT");
+  if (pos == std::string::npos) {
+    return false;
+  }
+  std::size_t after = pos + 6;
+  if (after >= raw_line.size() || raw_line[after] != '(') {
+    return true;  // Bare NOLINT.
+  }
+  const std::size_t close = raw_line.find(')', after);
+  const std::string list = raw_line.substr(
+      after + 1, close == std::string::npos ? std::string::npos
+                                            : close - after - 1);
+  return FindWord(list, rule) != std::string::npos;
+}
+
+struct Enumerator {
+  std::string enum_name;  // "ErrorCode"
+  std::string name;       // "kForgedBinding"
+  std::string file;
+  int line = 0;  // 1-based.
+};
+
+bool IsPreprocessorLine(const std::string& cleaned) {
+  for (char c : cleaned) {
+    if (c == ' ' || c == '\t') {
+      continue;
+    }
+    return c == '#';
+  }
+  return false;
+}
+
+// A construct the fast path must not contain, and how to recognise it.
+struct ForbiddenConstruct {
+  const char* token;
+  bool method_call;  // Match `.token(` / `->token(` instead of a bare word.
+  const char* why;
+};
+
+constexpr ForbiddenConstruct kForbidden[] = {
+    {"new", false, "heap allocation"},
+    {"malloc", false, "heap allocation"},
+    {"calloc", false, "heap allocation"},
+    {"realloc", false, "heap allocation"},
+    {"push_back", true, "container growth"},
+    {"emplace_back", true, "container growth"},
+    {"emplace", true, "container growth"},
+    {"insert", true, "container growth"},
+    {"resize", true, "container growth"},
+    {"reserve", true, "container growth"},
+    {"append", true, "container growth"},
+    {"std::string", false, "string construction"},
+    {"std::to_string", false, "string construction"},
+    {"std::ostringstream", false, "string construction"},
+    {"std::stringstream", false, "string construction"},
+    {"LRPC_LOG", false, "logging"},
+    {"SimLockGuard", false, "lock acquisition"},
+    {"Acquire", true, "lock acquisition"},
+};
+
+class Linter {
+ public:
+  Linter(const std::vector<SourceFile>& sources,
+         const std::vector<SourceFile>& tests)
+      : sources_(sources), tests_(tests) {}
+
+  LintResult Run() {
+    for (const SourceFile& test : tests_) {
+      const std::vector<std::string> cleaned = CleanLines(SplitLines(test.content));
+      for (const std::string& line : cleaned) {
+        test_corpus_ += line;
+        test_corpus_ += '\n';
+      }
+    }
+    for (const SourceFile& file : sources_) {
+      ++result_.files_scanned;
+      LintFile(file);
+    }
+    result_.files_scanned += static_cast<int>(tests_.size());
+    CheckEnumCoverage();
+    CheckFaultPoints();
+    std::sort(result_.findings.begin(), result_.findings.end(),
+              [](const Finding& a, const Finding& b) {
+                if (a.file != b.file) return a.file < b.file;
+                if (a.line != b.line) return a.line < b.line;
+                return a.rule < b.rule;
+              });
+    return std::move(result_);
+  }
+
+ private:
+  void Report(const SourceFile& file, const std::vector<std::string>& raw,
+              int line, const std::string& rule, const std::string& message) {
+    if (line >= 1 && line <= static_cast<int>(raw.size()) &&
+        NolintCovers(raw[static_cast<std::size_t>(line - 1)], rule)) {
+      ++result_.suppressions_used;
+      return;
+    }
+    result_.findings.push_back({file.path, line, rule, message});
+  }
+
+  bool IsHeader(const std::string& path) const {
+    return path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+  }
+
+  void LintFile(const SourceFile& file) {
+    const std::vector<std::string> raw = SplitLines(file.content);
+    const std::vector<std::string> cleaned = CleanLines(raw);
+    CheckFastPath(file, raw, cleaned);
+    CollectEnums(file, cleaned);
+    if (IsHeader(file.path)) {
+      CheckHeaderGuard(file, raw, cleaned);
+      CheckHeaderHygiene(file, raw, cleaned);
+    }
+    // Full cleaned text, for matchers that span statements across lines.
+    std::string joined;
+    for (const std::string& line : cleaned) {
+      joined += line;
+      joined += '\n';
+    }
+    joined_sources_ += joined;
+  }
+
+  // --- lrpc-fast-path ---
+
+  void CheckFastPath(const SourceFile& file, const std::vector<std::string>& raw,
+                     const std::vector<std::string>& cleaned) {
+    bool in_region = false;
+    int region_start = 0;
+    for (std::size_t i = 0; i < cleaned.size(); ++i) {
+      const std::string& line = cleaned[i];
+      const int line_no = static_cast<int>(i) + 1;
+      if (IsPreprocessorLine(line)) {
+        continue;  // The macro definitions themselves are not markers.
+      }
+      if (ContainsWord(line, "LRPC_FAST_PATH_BEGIN")) {
+        if (in_region) {
+          Report(file, raw, line_no, "lrpc-fast-path",
+                 "nested LRPC_FAST_PATH_BEGIN (region opened at line " +
+                     std::to_string(region_start) + ")");
+        }
+        in_region = true;
+        region_start = line_no;
+        continue;
+      }
+      if (ContainsWord(line, "LRPC_FAST_PATH_END")) {
+        if (!in_region) {
+          Report(file, raw, line_no, "lrpc-fast-path",
+                 "LRPC_FAST_PATH_END without a matching BEGIN");
+        }
+        in_region = false;
+        continue;
+      }
+      if (!in_region) {
+        continue;
+      }
+      const bool allowed =
+          ContainsWord(line, "LRPC_FAST_PATH_ALLOW") ||
+          (i > 0 && ContainsWord(cleaned[i - 1], "LRPC_FAST_PATH_ALLOW"));
+      for (const ForbiddenConstruct& f : kForbidden) {
+        const bool hit = f.method_call ? ContainsMethodCall(line, f.token)
+                                       : ContainsWord(line, f.token);
+        if (!hit) {
+          continue;
+        }
+        if (allowed) {
+          ++result_.suppressions_used;
+          continue;
+        }
+        Report(file, raw, line_no, "lrpc-fast-path",
+               std::string(f.why) + " ('" + f.token +
+                   "') inside a fast-path region (opened at line " +
+                   std::to_string(region_start) +
+                   "); move it off the fast path or justify it with "
+                   "LRPC_FAST_PATH_ALLOW(reason)");
+      }
+    }
+    if (in_region) {
+      Report(file, raw, region_start, "lrpc-fast-path",
+             "LRPC_FAST_PATH_BEGIN never closed by LRPC_FAST_PATH_END");
+    }
+  }
+
+  // --- lrpc-header-guard ---
+
+  static std::string ExpectedGuard(const std::string& path) {
+    std::string guard;
+    for (char c : path) {
+      if (c == '/' || c == '.' || c == '-') {
+        guard.push_back('_');
+      } else {
+        guard.push_back(static_cast<char>(
+            std::toupper(static_cast<unsigned char>(c))));
+      }
+    }
+    guard.push_back('_');
+    return guard;
+  }
+
+  void CheckHeaderGuard(const SourceFile& file,
+                        const std::vector<std::string>& raw,
+                        const std::vector<std::string>& cleaned) {
+    const std::string expected = ExpectedGuard(file.path);
+    for (std::size_t i = 0; i < cleaned.size(); ++i) {
+      std::istringstream tokens(cleaned[i]);
+      std::string directive, symbol;
+      tokens >> directive >> symbol;
+      if (directive != "#ifndef") {
+        continue;
+      }
+      const int line_no = static_cast<int>(i) + 1;
+      if (symbol != expected) {
+        Report(file, raw, line_no, "lrpc-header-guard",
+               "include guard '" + symbol + "' should spell the path: '" +
+                   expected + "'");
+        return;
+      }
+      // The guard must actually be defined right after the check.
+      for (std::size_t j = i + 1; j < cleaned.size(); ++j) {
+        std::istringstream def(cleaned[j]);
+        std::string d, s;
+        def >> d >> s;
+        if (d == "#define" && s == expected) {
+          return;
+        }
+        if (!cleaned[j].empty() && !IsPreprocessorLine(cleaned[j])) {
+          break;
+        }
+      }
+      Report(file, raw, line_no, "lrpc-header-guard",
+             "include guard '" + expected + "' is tested but never #defined");
+      return;
+    }
+    Report(file, raw, 1, "lrpc-header-guard",
+           "missing include guard '" + expected + "'");
+  }
+
+  // --- lrpc-using-namespace, lrpc-check-in-header ---
+
+  void CheckHeaderHygiene(const SourceFile& file,
+                          const std::vector<std::string>& raw,
+                          const std::vector<std::string>& cleaned) {
+    const bool is_check_h =
+        file.path == "src/common/check.h" ||
+        (file.path.size() >= 19 &&
+         file.path.compare(file.path.size() - 19, 19, "src/common/check.h") == 0);
+    for (std::size_t i = 0; i < cleaned.size(); ++i) {
+      const std::string& line = cleaned[i];
+      const int line_no = static_cast<int>(i) + 1;
+      const std::size_t using_pos = FindWord(line, "using");
+      if (using_pos != std::string::npos) {
+        std::size_t next = using_pos + 5;
+        while (next < line.size() && (line[next] == ' ' || line[next] == '\t')) {
+          ++next;
+        }
+        if (FindWord(line, "namespace") == next) {
+          Report(file, raw, line_no, "lrpc-using-namespace",
+                 "'using namespace' in a header leaks into every includer");
+        }
+      }
+      if (is_check_h || IsPreprocessorLine(line)) {
+        continue;
+      }
+      for (const char* macro : {"LRPC_CHECK", "LRPC_CHECK_OK", "LRPC_DCHECK"}) {
+        if (ContainsWord(line, macro)) {
+          Report(file, raw, line_no, "lrpc-check-in-header",
+                 std::string(macro) +
+                     " in a public header; aborts belong in .cc files "
+                     "(callers cannot recover from a header-inlined abort)");
+          break;
+        }
+      }
+    }
+  }
+
+  // --- lrpc-enum-coverage, lrpc-fault-point ---
+
+  void CollectEnums(const SourceFile& file,
+                    const std::vector<std::string>& cleaned) {
+    static const char* kTracked[] = {"ErrorCode", "FaultKind",
+                                     "KernelEventKind"};
+    for (std::size_t i = 0; i < cleaned.size(); ++i) {
+      const std::string& line = cleaned[i];
+      const std::size_t enum_pos = FindWord(line, "enum");
+      if (enum_pos == std::string::npos ||
+          FindWord(line, "class") == std::string::npos) {
+        continue;
+      }
+      const char* tracked = nullptr;
+      for (const char* name : kTracked) {
+        if (ContainsWord(line, name)) {
+          tracked = name;
+          break;
+        }
+      }
+      if (tracked == nullptr) {
+        continue;
+      }
+      // Walk the enumerator list until the closing brace.
+      for (std::size_t j = i + 1; j < cleaned.size(); ++j) {
+        const std::string& body = cleaned[j];
+        if (body.find('}') != std::string::npos) {
+          break;
+        }
+        std::size_t k = 0;
+        while (k < body.size() && (body[k] == ' ' || body[k] == '\t')) {
+          ++k;
+        }
+        if (k >= body.size() || !IsWordChar(body[k]) ||
+            std::isdigit(static_cast<unsigned char>(body[k])) != 0) {
+          continue;
+        }
+        std::size_t end = k;
+        while (end < body.size() && IsWordChar(body[end])) {
+          ++end;
+        }
+        std::size_t after = end;
+        while (after < body.size() && body[after] == ' ') {
+          ++after;
+        }
+        if (after < body.size() && body[after] != ',' && body[after] != '=') {
+          continue;  // Not an enumerator (e.g. a nested declaration).
+        }
+        enumerators_.push_back({tracked, body.substr(k, end - k), file.path,
+                                static_cast<int>(j) + 1});
+      }
+    }
+  }
+
+  const SourceFile* FileByPath(const std::string& path) const {
+    for (const SourceFile& f : sources_) {
+      if (f.path == path) {
+        return &f;
+      }
+    }
+    return nullptr;
+  }
+
+  void ReportAtEnumerator(const Enumerator& e, const std::string& rule,
+                          const std::string& message) {
+    const SourceFile* file = FileByPath(e.file);
+    if (file != nullptr) {
+      const std::vector<std::string> raw = SplitLines(file->content);
+      Report(*file, raw, e.line, rule, message);
+    }
+  }
+
+  void CheckEnumCoverage() {
+    for (const Enumerator& e : enumerators_) {
+      const std::string qualified = e.enum_name + "::" + e.name;
+      if (FindWord(test_corpus_, qualified) != std::string::npos) {
+        continue;
+      }
+      ReportAtEnumerator(e, "lrpc-enum-coverage",
+                         "enumerator " + qualified +
+                             " appears in no test under tests/; every error "
+                             "code, fault kind and kernel event must be "
+                             "exercised or asserted somewhere");
+    }
+  }
+
+  void CheckFaultPoints() {
+    // Collect the FaultKind enumerators named inside FaultPointFires(...)
+    // argument lists anywhere in the (non-test) sources.
+    std::string registered;
+    std::size_t pos = 0;
+    while ((pos = FindWord(joined_sources_, "FaultPointFires", pos)) !=
+           std::string::npos) {
+      std::size_t open = joined_sources_.find('(', pos);
+      pos += 15;
+      if (open == std::string::npos) {
+        continue;
+      }
+      int depth = 0;
+      std::size_t end = open;
+      for (; end < joined_sources_.size(); ++end) {
+        if (joined_sources_[end] == '(') {
+          ++depth;
+        } else if (joined_sources_[end] == ')') {
+          if (--depth == 0) {
+            break;
+          }
+        }
+      }
+      registered += joined_sources_.substr(open, end - open);
+      registered += '\n';
+    }
+    for (const Enumerator& e : enumerators_) {
+      if (e.enum_name != "FaultKind") {
+        continue;
+      }
+      if (FindWord(registered, "FaultKind::" + e.name) != std::string::npos) {
+        continue;
+      }
+      ReportAtEnumerator(e, "lrpc-fault-point",
+                         "FaultKind::" + e.name +
+                             " has no registered injection point: no "
+                             "FaultPointFires(...) call names it");
+    }
+  }
+
+  const std::vector<SourceFile>& sources_;
+  const std::vector<SourceFile>& tests_;
+  std::string test_corpus_;
+  std::string joined_sources_;
+  std::vector<Enumerator> enumerators_;
+  LintResult result_;
+};
+
+}  // namespace
+
+LintResult RunLint(const std::vector<SourceFile>& sources,
+                   const std::vector<SourceFile>& tests) {
+  return Linter(sources, tests).Run();
+}
+
+std::string FormatFinding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+bool LoadSourceTree(const std::string& root, std::vector<SourceFile>* sources,
+                    std::vector<SourceFile>* tests, std::string* error) {
+  namespace fs = std::filesystem;
+  const fs::path base(root);
+  if (!fs::is_directory(base / "src")) {
+    if (error != nullptr) {
+      *error = "no src/ directory under '" + root + "'";
+    }
+    return false;
+  }
+  auto read_file = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  auto relative_path = [&](const fs::path& p) {
+    return fs::relative(p, base).generic_string();
+  };
+  for (const char* dir : {"src", "tools"}) {
+    const fs::path top = base / dir;
+    if (!fs::is_directory(top)) {
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(top)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      const std::string rel = relative_path(entry.path());
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cc" && ext != ".cpp") {
+        continue;
+      }
+      if (rel.find("/testdata/") != std::string::npos) {
+        continue;  // Lint fixtures intentionally violate the rules.
+      }
+      sources->push_back({rel, read_file(entry.path())});
+    }
+  }
+  const fs::path test_dir = base / "tests";
+  if (fs::is_directory(test_dir)) {
+    for (const auto& entry : fs::recursive_directory_iterator(test_dir)) {
+      if (!entry.is_regular_file() ||
+          entry.path().extension().string() != ".cc") {
+        continue;
+      }
+      tests->push_back({relative_path(entry.path()), read_file(entry.path())});
+    }
+  }
+  auto by_path = [](const SourceFile& a, const SourceFile& b) {
+    return a.path < b.path;
+  };
+  std::sort(sources->begin(), sources->end(), by_path);
+  std::sort(tests->begin(), tests->end(), by_path);
+  return true;
+}
+
+}  // namespace lint
+}  // namespace lrpc

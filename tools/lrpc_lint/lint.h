@@ -1,0 +1,73 @@
+// lrpc-lint: a domain-specific static analyzer for this repository.
+//
+// A lightweight tokenizer over the source tree (no libclang) enforcing the
+// disciplines the LRPC design depends on:
+//
+//   lrpc-fast-path      Inside LRPC_FAST_PATH_BEGIN/END regions (the client
+//                       stub call path, the kernel transfer, E-stack
+//                       claim/release) no heap allocation, container growth,
+//                       std::string construction, logging, or SimLock
+//                       acquisition — except via LRPC_FAST_PATH_ALLOW(reason).
+//   lrpc-enum-coverage  Every ErrorCode, FaultKind and KernelEventKind
+//                       enumerator appears in at least one test under tests/.
+//   lrpc-fault-point    Every FaultKind has a registered injection point (a
+//                       FaultPointFires call naming it) in the runtime.
+//   lrpc-header-guard   Include guards spell the header's path (SRC_..._H_).
+//   lrpc-using-namespace  No `using namespace` at header scope.
+//   lrpc-check-in-header  No LRPC_CHECK family in public headers outside
+//                       src/common/check.h.
+//
+// Any finding can be suppressed with `// NOLINT(lrpc-<rule>)` on the line it
+// anchors to (bare `// NOLINT` suppresses every rule on the line).
+//
+// The analyzer is a library so its unit tests can drive it over in-memory
+// fixture snippets; the lrpc_lint binary wraps it with tree discovery.
+
+#ifndef TOOLS_LRPC_LINT_LINT_H_
+#define TOOLS_LRPC_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace lrpc {
+namespace lint {
+
+// One input file. `path` is repository-relative with '/' separators; it
+// drives the expected include guard and the header/source/test distinction.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct LintResult {
+  std::vector<Finding> findings;
+  int files_scanned = 0;
+  int suppressions_used = 0;  // NOLINT / LRPC_FAST_PATH_ALLOW that fired.
+};
+
+// Runs every rule. `sources` are the runtime/tool files (headers and .cc);
+// `tests` are the test corpus the coverage rules check against. Findings
+// come back sorted by file then line.
+LintResult RunLint(const std::vector<SourceFile>& sources,
+                   const std::vector<SourceFile>& tests);
+
+// "file:line: [rule] message" — the single-line diagnostic format.
+std::string FormatFinding(const Finding& finding);
+
+// Loads the repository tree rooted at `root` into the two corpora:
+// src/** and tools/** (.h/.cc, minus tools/lrpc_lint/testdata) as sources,
+// tests/**.cc as tests. Returns false if `root` has no src/ directory.
+bool LoadSourceTree(const std::string& root, std::vector<SourceFile>* sources,
+                    std::vector<SourceFile>* tests, std::string* error);
+
+}  // namespace lint
+}  // namespace lrpc
+
+#endif  // TOOLS_LRPC_LINT_LINT_H_

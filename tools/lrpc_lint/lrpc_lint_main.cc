@@ -1,0 +1,50 @@
+// lrpc_lint: scans the repository for violations of the LRPC source
+// disciplines (see tools/lrpc_lint/lint.h and docs/static_analysis.md).
+//
+//   lrpc_lint --root <repo-root> [--verbose]
+//
+// Exits 0 when the tree is clean, 1 on findings, 2 on usage/IO errors.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/lrpc_lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help") {
+      std::printf("usage: lrpc_lint [--root <dir>] [--verbose]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "lrpc_lint: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<lrpc::lint::SourceFile> sources;
+  std::vector<lrpc::lint::SourceFile> tests;
+  std::string error;
+  if (!lrpc::lint::LoadSourceTree(root, &sources, &tests, &error)) {
+    std::fprintf(stderr, "lrpc_lint: %s\n", error.c_str());
+    return 2;
+  }
+
+  const lrpc::lint::LintResult result = lrpc::lint::RunLint(sources, tests);
+  for (const lrpc::lint::Finding& finding : result.findings) {
+    std::printf("%s\n", lrpc::lint::FormatFinding(finding).c_str());
+  }
+  if (verbose || !result.findings.empty()) {
+    std::printf("lrpc_lint: %d finding(s) in %d file(s), %d suppression(s)\n",
+                static_cast<int>(result.findings.size()), result.files_scanned,
+                result.suppressions_used);
+  }
+  return result.findings.empty() ? 0 : 1;
+}

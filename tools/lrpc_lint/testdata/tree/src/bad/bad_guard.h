@@ -1,0 +1,7 @@
+// Fixture: the guard spells a stale path, not this file's.
+#ifndef WRONG_GUARD_H_
+#define WRONG_GUARD_H_
+
+namespace fixture {}
+
+#endif  // WRONG_GUARD_H_

@@ -1,0 +1,20 @@
+// Fixture: a seeded fast-path violation. lrpc_lint must flag the `new`,
+// the log call, and the lock guard inside the region, and nothing outside.
+#include <string>
+
+namespace fixture {
+
+int* Outside() { return new int(1); }  // Outside any region: not flagged.
+
+LRPC_FAST_PATH_BEGIN("fixture fast path");
+
+int* Transfer() {
+  int* leak = new int(42);
+  LRPC_LOG(kDebug) << "transferring";
+  SimLockGuard guard(lock_, cpu_);
+  return leak;
+}
+
+LRPC_FAST_PATH_END("fixture fast path");
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: header-scope `using namespace` plus an abort macro in a header.
+#ifndef SRC_BAD_USING_NS_H_
+#define SRC_BAD_USING_NS_H_
+
+using namespace std;
+
+inline void Check(int ok) { LRPC_CHECK(ok == 1); }
+
+#endif  // SRC_BAD_USING_NS_H_

@@ -1,0 +1,20 @@
+// Fixture: tracked enums with one covered and one uncovered enumerator,
+// and one wired and one unwired fault kind.
+#ifndef SRC_ENUMS_H_
+#define SRC_ENUMS_H_
+
+namespace fixture {
+
+enum class ErrorCode {
+  kCovered = 0,
+  kUncovered,  // No test names this: lrpc-enum-coverage must fire.
+};
+
+enum class FaultKind {
+  kWired,    // Has a FaultPointFires call in wired.cc.
+  kUnwired,  // No injection point: lrpc-fault-point must fire.
+};
+
+}  // namespace fixture
+
+#endif  // SRC_ENUMS_H_

@@ -1,0 +1,22 @@
+// Fixture: a fast-path region whose only violations carry an allowance or
+// a NOLINT — the file must lint clean (three suppressions).
+#include <vector>
+
+namespace fixture {
+
+LRPC_FAST_PATH_BEGIN("clean fixture");
+
+void Claim(std::vector<int>& pool) {
+  LRPC_FAST_PATH_ALLOW("growth is bounded by the fixture budget");
+  pool.push_back(1);
+  pool.reserve(8);  LRPC_FAST_PATH_ALLOW("same-line allowance");
+  int* scratch = new int(0);  // NOLINT(lrpc-fast-path)
+  delete scratch;
+}
+
+LRPC_FAST_PATH_END("clean fixture");
+
+// Words like "new" in comments or "malloc" in strings must never count.
+const char* kDoc = "call malloc never; new is forbidden";
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: registers FaultKind::kWired's injection point, spanning lines the
+// way real call sites do.
+#include "src/enums.h"
+
+namespace fixture {
+
+bool Hook(FaultInjector* injector) {
+  return FaultPointFires(injector,
+                         FaultKind::kWired);
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture test corpus: names kCovered and both fault kinds, but never
+// ErrorCode::kUncovered.
+#include "src/enums.h"
+
+namespace fixture {
+
+void TestCovered() {
+  (void)ErrorCode::kCovered;
+  (void)FaultKind::kWired;
+  (void)FaultKind::kUnwired;
+}
+
+}  // namespace fixture
