@@ -62,6 +62,12 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "kNotFound";
     case ErrorCode::kUnimplemented:
       return "kUnimplemented";
+    case ErrorCode::kDeadlineExceeded:
+      return "kDeadlineExceeded";
+    case ErrorCode::kCircuitOpen:
+      return "kCircuitOpen";
+    case ErrorCode::kRetriesExhausted:
+      return "kRetriesExhausted";
   }
   return "kUnknown";
 }

@@ -54,10 +54,35 @@ enum class ErrorCode : std::uint8_t {
   kAlreadyExists,
   kNotFound,
   kUnimplemented,
+  // Supervision outcomes (docs/supervision.md).
+  kDeadlineExceeded,      // Call watchdog expired before the server returned.
+  kCircuitOpen,           // Per-binding circuit breaker is open: fail fast.
+  kRetriesExhausted,      // Transient failures outlasted the retry budget.
 };
 
 // Human-readable name of an error code ("kOk", "kForgedBinding", ...).
 std::string_view ErrorCodeName(ErrorCode code);
+
+// True exactly for the transient resource/transport failures that a caller
+// may safely retry: the call never began executing in the server (A-stack /
+// E-stack / linkage / message-queue exhaustion, or the simulated network
+// dropped the request before delivery). Mid-execution failures (kCallFailed,
+// kCallAborted) are never retryable — the handler may have run, and LRPC
+// makes no idempotency promise. This is the single source of truth for the
+// classification; supervision (docs/supervision.md) and the chaos testbed
+// both build on it.
+constexpr bool IsRetryable(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kAStacksExhausted:
+    case ErrorCode::kAStackInUse:
+    case ErrorCode::kEStackExhausted:
+    case ErrorCode::kQueueFull:
+    case ErrorCode::kRemoteUnreachable:
+      return true;
+    default:
+      return false;
+  }
+}
 
 // A cheap, trivially-copyable status word. Carries a code plus an optional
 // static detail string (no allocation: details must be string literals or
@@ -73,6 +98,9 @@ class Status {
   constexpr bool ok() const { return code_ == ErrorCode::kOk; }
   constexpr ErrorCode code() const { return code_; }
   constexpr std::string_view detail() const { return detail_; }
+
+  // See IsRetryable(ErrorCode) above.
+  constexpr bool Retryable() const { return IsRetryable(code_); }
 
   friend constexpr bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_;

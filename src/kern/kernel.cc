@@ -35,6 +35,14 @@ std::string_view KernelEventKindName(KernelEventKind kind) {
       return "Abandon";
     case KernelEventKind::kRegionAllocated:
       return "RegionAllocated";
+    case KernelEventKind::kWatchdogExpired:
+      return "WatchdogExpired";
+    case KernelEventKind::kSupervisorRetry:
+      return "SupervisorRetry";
+    case KernelEventKind::kFailover:
+      return "Failover";
+    case KernelEventKind::kCircuitStateChange:
+      return "CircuitStateChange";
   }
   return "Unknown";
 }
@@ -406,6 +414,74 @@ Result<ThreadId> Kernel::AbandonCapturedCall(Thread& captured) {
   captured.set_captured(true);
   NotifyEvent(KernelEventKind::kAbandon);
   return fresh_id;
+}
+
+Kernel::WatchdogEntry* Kernel::FindWatchdog(ThreadId thread) {
+  for (WatchdogEntry& entry : watchdogs_) {
+    if (entry.thread == thread) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+void Kernel::ArmCallWatchdog(ThreadId thread, SimTime deadline) {
+  WatchdogEntry* entry = FindWatchdog(thread);
+  if (entry == nullptr) {
+    // First supervised call on this thread; later arms reuse the slot.
+    watchdogs_.push_back({});
+    entry = &watchdogs_.back();
+    entry->thread = thread;
+  }
+  entry->deadline = deadline;
+  entry->armed = true;
+  entry->fired = false;
+  entry->replacement = kNoThread;
+}
+
+void Kernel::DisarmCallWatchdog(ThreadId thread) {
+  if (WatchdogEntry* entry = FindWatchdog(thread)) {
+    entry->armed = false;
+  }
+}
+
+bool Kernel::PollCallWatchdog(Processor& cpu, Thread& t) {
+  WatchdogEntry* entry = FindWatchdog(t.id());
+  if (entry == nullptr || !entry->armed || cpu.clock() <= entry->deadline) {
+    return false;
+  }
+  // Injection point: the watchdog notices the expiry late — this poll is
+  // skipped, the call completes, and only the supervisor's post-return
+  // deadline check observes the overrun.
+  if (FaultPointFires(fault_injector_, FaultKind::kWatchdogLateFire)) {
+    return false;
+  }
+  entry->armed = false;
+  if (!t.HasLinkages()) {
+    return false;  // No outstanding call to abandon.
+  }
+  Result<ThreadId> fresh = AbandonCapturedCall(t);
+  if (!fresh.ok()) {
+    return false;  // e.g. the client domain itself died meanwhile.
+  }
+  entry->fired = true;
+  entry->replacement = *fresh;
+  ++watchdog_fires_;
+  NotifyEvent(KernelEventKind::kWatchdogExpired);
+  return true;
+}
+
+bool Kernel::ConsumeWatchdogFire(ThreadId thread, ThreadId* replacement) {
+  WatchdogEntry* entry = FindWatchdog(thread);
+  if (entry == nullptr || !entry->fired) {
+    return false;
+  }
+  entry->fired = false;
+  if (replacement != nullptr) {
+    *replacement = entry->replacement;
+  }
+  entry->replacement = kNoThread;
+  return true;
 }
 
 }  // namespace lrpc

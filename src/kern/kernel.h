@@ -41,6 +41,11 @@ enum class KernelEventKind : std::uint8_t {
   kTermination,     // Domain-termination collector finished.
   kAbandon,         // Captured-thread escape completed.
   kRegionAllocated,
+  // Supervision events (docs/supervision.md).
+  kWatchdogExpired,     // Call watchdog abandoned an over-deadline call.
+  kSupervisorRetry,     // Supervised call backed off for a retry attempt.
+  kFailover,            // Supervised call re-routed (rebind or message RPC).
+  kCircuitStateChange,  // A per-binding circuit breaker changed state.
 };
 
 std::string_view KernelEventKindName(KernelEventKind kind);
@@ -210,7 +215,40 @@ class Kernel {
   // thread keeps executing in the server and dies in the kernel on release.
   Result<ThreadId> AbandonCapturedCall(Thread& captured);
 
+  // --- Call watchdog (supervision layer; docs/supervision.md). ---
+  // Arms a deadline for `thread`'s next outstanding call. The call path
+  // polls the watchdog on its return leg; past the deadline the kernel
+  // abandons the call through the captured-thread escape above, so the
+  // in-flight call surfaces kCallAborted instead of hanging. Re-arming
+  // replaces the previous deadline.
+  void ArmCallWatchdog(ThreadId thread, SimTime deadline);
+  void DisarmCallWatchdog(ThreadId thread);
+  // The poll: abandons `t`'s call if its armed deadline has passed. Returns
+  // true when the abandonment happened. Kept out of the fast-path regions;
+  // the call site is a plain method call that does nothing when no watchdog
+  // was ever armed. Injection point kWatchdogLateFire suppresses one
+  // expired poll (the overrun is then only detectable after the return).
+  bool PollCallWatchdog(Processor& cpu, Thread& t);
+  // Reports-and-clears whether `thread`'s last armed watchdog fired, handing
+  // back the replacement thread the abandonment created. This is how a
+  // supervisor distinguishes a watchdog abandonment (-> kDeadlineExceeded)
+  // from any other kCallAborted, and where it learns which thread to
+  // continue on.
+  bool ConsumeWatchdogFire(ThreadId thread, ThreadId* replacement);
+  std::uint64_t watchdog_fires() const { return watchdog_fires_; }
+
  private:
+  // One slot per supervised thread; slots are reused on re-arm so the
+  // steady state allocates nothing.
+  struct WatchdogEntry {
+    ThreadId thread = kNoThread;
+    SimTime deadline = 0;
+    bool armed = false;
+    bool fired = false;                // Sticky until consumed.
+    ThreadId replacement = kNoThread;  // Thread AbandonCapturedCall made.
+  };
+  WatchdogEntry* FindWatchdog(ThreadId thread);
+
   Machine& machine_;
   BindingTable bindings_;
   Scheduler scheduler_;
@@ -226,6 +264,8 @@ class Kernel {
   // Non-owning index of every A-stack region (owned by binding records);
   // lets E-stack reclamation and the collector scan by server domain.
   std::vector<AStackRegion*> regions_;
+  std::vector<WatchdogEntry> watchdogs_;
+  std::uint64_t watchdog_fires_ = 0;
 };
 
 }  // namespace lrpc

@@ -296,6 +296,12 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
   kernel_.TouchPages(cpu, kernel_.kernel_page_base() + kKernelReturnPageOffset,
                      kKernelReturnPages);
 
+  // The call watchdog (supervision layer): a call past its armed deadline is
+  // abandoned here through the captured-thread escape, so the captured
+  // branch below runs its normal cleanup. With no watchdog ever armed this
+  // is a null check on an empty table.
+  kernel_.PollCallWatchdog(cpu, *t);
+
   if (t->captured()) {
     // The client abandoned this call (Section 5.3): the captured thread is
     // destroyed in the kernel when released. Its A-stack returns to the

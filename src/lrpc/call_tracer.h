@@ -25,6 +25,8 @@ enum class TraceEventKind : std::uint8_t {
   kRemoteCall,  // A completed cross-machine call.
   kBind,        // An import completed.
   kTerminate,   // A domain terminated.
+  kSupervised,  // A supervised call completed (spans every attempt; the
+                // underlying attempts are traced as kCall individually).
 };
 
 struct TraceEvent {

@@ -13,19 +13,35 @@ namespace lrpc {
 namespace {
 
 // Outcomes documented for the call path (docs/fault_injection.md): anything
-// else escaping a call is a bug the schedule reports.
-bool DocumentedCallStatus(ErrorCode code) {
+// else escaping a call is a bug the schedule reports. Transient codes are
+// whatever Status::Retryable() says they are — the classification lives in
+// one place (src/common/status.h), not in a parallel list here.
+bool DocumentedCallStatus(ErrorCode code, bool supervised) {
+  if (code == ErrorCode::kOk || IsRetryable(code)) {
+    return true;  // Success, or a transient (exhaustion/queue) outcome.
+  }
   switch (code) {
-    case ErrorCode::kOk:
-    case ErrorCode::kAStacksExhausted:  // Exhaustion with the kFail policy.
     case ErrorCode::kRevokedBinding:    // Revocation, or a terminated party.
     case ErrorCode::kCallFailed:        // Server domain terminated mid-call.
     case ErrorCode::kCallAborted:       // The client abandoned the thread.
-    case ErrorCode::kEStackExhausted:   // E-stack budget read as spent.
       return true;
     default:
-      return false;
+      break;
   }
+  if (supervised) {
+    // The supervision layer's own verdicts (docs/supervision.md).
+    switch (code) {
+      case ErrorCode::kDeadlineExceeded:   // Watchdog or late-detected overrun.
+      case ErrorCode::kCircuitOpen:        // Breaker rejected the call.
+      case ErrorCode::kRetriesExhausted:   // Transients outlasted the budget.
+      case ErrorCode::kDomainTerminated:   // Failover target died mid-call.
+      case ErrorCode::kNoSuchInterface:    // No live fallback server remained.
+        return true;
+      default:
+        break;
+    }
+  }
+  return false;
 }
 
 bool DocumentedImportStatus(ErrorCode code) {
@@ -102,6 +118,7 @@ ChaosResult RunChaosSchedule(const ChaosOptions& options) {
   struct ServerCtx {
     DomainId domain = kNoDomain;
     std::string name;
+    Interface* iface = nullptr;
     bool alive = true;
   };
   struct ClientCtx {
@@ -133,7 +150,31 @@ ChaosResult RunChaosSchedule(const ChaosOptions& options) {
       result.undocumented.push_back("setup: export failed for " + ctx.name);
       return result;
     }
+    ctx.iface = iface;
     servers.push_back(std::move(ctx));
+  }
+
+  // The supervision layer (docs/supervision.md): one supervisor shepherds
+  // every call, and a dedicated fallback domain — never terminated by the
+  // stream — hosts each interface over message RPC as the failover target.
+  std::unique_ptr<FallbackTransport> fallback;
+  std::unique_ptr<SupervisedCall> supervisor;
+  if (options.supervision) {
+    supervisor = std::make_unique<SupervisedCall>(
+        runtime, options.supervision_policy, options.seed ^ 0x5e1fca11ULL);
+    if (options.fallback_factory) {
+      const DomainId fallback_domain =
+          kernel.CreateDomain({.name = "chaos.fallback"});
+      fallback = options.fallback_factory(kernel);
+      for (const ServerCtx& server : servers) {
+        if (!fallback->ExportFallback(fallback_domain, server.iface).ok()) {
+          result.undocumented.push_back("setup: fallback export failed for " +
+                                        server.name);
+          return result;
+        }
+      }
+      supervisor->set_fallback(fallback.get());
+    }
   }
 
   Rng rng(options.seed ^ 0xc4a05c4a05ULL);  // The schedule's own stream.
@@ -167,16 +208,19 @@ ChaosResult RunChaosSchedule(const ChaosOptions& options) {
   RegisterAStackConservationCheck(checker, runtime);
   checker.CheckNow("setup");
 
+  std::vector<FaultKind> armed_kinds = options.fault_kinds;
+  if (armed_kinds.empty()) {
+    armed_kinds = {FaultKind::kAStackExhaustion,
+                   FaultKind::kBindingRevocation,
+                   FaultKind::kDomainTermination,
+                   FaultKind::kClerkRejection,
+                   FaultKind::kCacheMiss,
+                   FaultKind::kEStackExhaustion,
+                   FaultKind::kThreadCapture};
+  }
   FaultInjector injector(
       options.fault_injection
-          ? FaultPlan::SeededRandom(options.fault_probability,
-                                    {FaultKind::kAStackExhaustion,
-                                     FaultKind::kBindingRevocation,
-                                     FaultKind::kDomainTermination,
-                                     FaultKind::kClerkRejection,
-                                     FaultKind::kCacheMiss,
-                                     FaultKind::kEStackExhaustion,
-                                     FaultKind::kThreadCapture})
+          ? FaultPlan::SeededRandom(options.fault_probability, armed_kinds)
           : FaultPlan(),
       options.seed);
   kernel.set_fault_injector(&injector);
@@ -251,16 +295,35 @@ ChaosResult RunChaosSchedule(const ChaosOptions& options) {
     }
 
     // A call on a random binding — including bindings to dead servers,
-    // which must fail with the documented revoked status.
-    ClientBinding& binding = *client.bindings[rng.NextBelow(
-        static_cast<std::uint64_t>(client.bindings.size()))];
+    // which must fail with the documented revoked status (or, supervised,
+    // recover through a rebind or the message-RPC fallback).
+    const auto binding_index = static_cast<std::size_t>(rng.NextBelow(
+        static_cast<std::uint64_t>(client.bindings.size())));
+    ClientBinding& binding = *client.bindings[binding_index];
     const std::uint64_t which = rng.NextBelow(3);
     ++result.calls_attempted;
+    int attempts = 1;
+    auto issue = [&](int proc, std::span<const CallArg> args,
+                     std::span<const CallRet> rets) -> Status {
+      if (supervisor == nullptr) {
+        return runtime.Call(cpu, client.thread, binding, proc, args, rets);
+      }
+      SupervisionOutcome out = supervisor->Call(
+          cpu, client.thread, client.bindings[binding_index], proc, args,
+          rets);
+      // Continue on whatever identities supervision left us: a watchdog
+      // abandonment replaced the thread, a rebind replaced the binding.
+      client.thread = out.thread;
+      if (out.binding != nullptr) {
+        client.bindings[binding_index] = out.binding;
+      }
+      attempts = out.attempts;
+      return out.status;
+    };
     Status status = Status::Ok();
     std::string detail;
     if (which == 0) {
-      status = runtime.Call(cpu, client.thread, binding, procs.null_proc, {},
-                            {});
+      status = issue(procs.null_proc, {}, {});
       detail = "Null";
     } else if (which == 1) {
       const std::int32_t a =
@@ -270,8 +333,7 @@ ChaosResult RunChaosSchedule(const ChaosOptions& options) {
       std::int32_t sum = 0;
       const CallArg args[] = {CallArg::Of(a), CallArg::Of(b)};
       const CallRet rets[] = {CallRet::Of(&sum)};
-      status = runtime.Call(cpu, client.thread, binding, procs.add_proc, args,
-                            rets);
+      status = issue(procs.add_proc, args, rets);
       if (status.ok() && sum != a + b) {
         result.undocumented.push_back("op " + std::to_string(op) +
                                       ": Add returned a wrong sum");
@@ -285,8 +347,7 @@ ChaosResult RunChaosSchedule(const ChaosOptions& options) {
       }
       const CallArg args[] = {CallArg(in, kBigSize)};
       const CallRet rets[] = {CallRet(out, kBigSize)};
-      status = runtime.Call(cpu, client.thread, binding, procs.biginout_proc,
-                            args, rets);
+      status = issue(procs.biginout_proc, args, rets);
       if (status.ok()) {
         for (std::size_t i = 0; i < kBigSize; ++i) {
           if (out[i] != in[kBigSize - 1 - i]) {
@@ -304,7 +365,7 @@ ChaosResult RunChaosSchedule(const ChaosOptions& options) {
     } else {
       ++result.calls_failed;
     }
-    if (!DocumentedCallStatus(status.code())) {
+    if (!DocumentedCallStatus(status.code(), supervisor != nullptr)) {
       result.undocumented.push_back(
           "op " + std::to_string(op) + ": call returned undocumented " +
           std::string(ErrorCodeName(status.code())));
@@ -312,7 +373,10 @@ ChaosResult RunChaosSchedule(const ChaosOptions& options) {
     trace_line("op=" + std::to_string(op) + " call client=" +
                std::to_string(client.domain) + " binding=" +
                std::to_string(binding.object().id) + " proc=" + detail +
-               " status=" + std::string(ErrorCodeName(status.code())));
+               " status=" + std::string(ErrorCodeName(status.code())) +
+               (supervisor != nullptr
+                    ? " attempts=" + std::to_string(attempts)
+                    : ""));
 
     if (status.code() == ErrorCode::kCallAborted) {
       // The captured thread died in the kernel; adopt the replacement
@@ -351,6 +415,15 @@ ChaosResult RunChaosSchedule(const ChaosOptions& options) {
   for (int k = 0; k < kFaultKindCount; ++k) {
     result.fired_by_kind[static_cast<std::size_t>(k)] =
         injector.fired(static_cast<FaultKind>(k));
+  }
+  if (supervisor != nullptr) {
+    const SupervisedCall::Stats& stats = supervisor->stats();
+    result.calls_recovered = static_cast<int>(stats.recovered_calls);
+    result.rebinds = static_cast<int>(stats.rebinds);
+    result.msg_failovers = static_cast<int>(stats.msg_failovers);
+    result.deadline_expiries = static_cast<int>(stats.deadline_expiries);
+    result.breaker_rejections = static_cast<int>(stats.breaker_rejections);
+    result.watchdog_fires = kernel.watchdog_fires();
   }
   result.trace += "faults: " + injector.TraceString() + "\n";
   return result;

@@ -16,11 +16,14 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/kern/invariant_checker.h"
 #include "src/lrpc/runtime.h"
+#include "src/lrpc/supervised_call.h"
 
 namespace lrpc {
 
@@ -36,6 +39,19 @@ struct ChaosOptions {
   // The stream may terminate server domains outright (not just via the
   // injected mid-call termination).
   bool allow_termination = true;
+  // Injection kinds to arm; empty means the default call-path set.
+  std::vector<FaultKind> fault_kinds;
+
+  // Supervision (docs/supervision.md): when on, every call is shepherded by
+  // a SupervisedCall — deadline watchdog, seeded retry/backoff, per-binding
+  // circuit breaker, rebind-or-failover on revocation/termination.
+  bool supervision = false;
+  SupervisionPolicy supervision_policy;
+  // Builds the message-RPC failover transport, hosted by a dedicated
+  // fallback domain the schedule never terminates. A factory rather than a
+  // transport: lrpc_core cannot link the baseline RPC library, so stress
+  // tests supply MsgRpcSystem from the outside. Null disables failover.
+  std::function<std::unique_ptr<FallbackTransport>(Kernel&)> fallback_factory;
 };
 
 struct ChaosResult {
@@ -61,6 +77,14 @@ struct ChaosResult {
   int calls_failed = 0;
   int terminations = 0;
   int imports_attempted = 0;
+
+  // Supervision counters (zero when ChaosOptions::supervision is off).
+  int calls_recovered = 0;      // Succeeded only thanks to supervision.
+  int rebinds = 0;
+  int msg_failovers = 0;
+  int deadline_expiries = 0;
+  int breaker_rejections = 0;
+  std::uint64_t watchdog_fires = 0;
 };
 
 // Builds the world, runs the schedule, tears everything down.

@@ -1,0 +1,130 @@
+// Per-binding circuit breaker (supervision layer; docs/supervision.md).
+//
+// A binding whose calls keep failing is eventually not worth calling: the
+// breaker trips after `failure_threshold` consecutive supervised failures
+// and fails subsequent calls fast with kCircuitOpen, sparing the A-stack
+// queues, the kernel validation path and the retry budget. After
+// `open_cooldown` of simulated time the breaker admits a bounded number of
+// probe calls (half-open); one success re-closes it, one failure re-opens
+// it for another cooldown.
+//
+//                 failure_threshold consecutive failures
+//     closed ---------------------------------------------> open
+//       ^                                                    |
+//       | probe succeeds                 open_cooldown       |
+//       +------------- half-open <---------------------------+
+//                        |    ^
+//                        +----+  probe fails (re-open) / budget spent
+//
+// Everything is driven by sim time and plain counters: no allocation, no
+// lock, fully deterministic. State lives on the ClientBinding so it spans
+// supervisors and survives across supervised calls.
+
+#ifndef SRC_LRPC_CIRCUIT_BREAKER_H_
+#define SRC_LRPC_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/sim/time.h"
+
+namespace lrpc {
+
+enum class CircuitState : std::uint8_t {
+  kClosed,    // Calls pass; consecutive failures are counted.
+  kOpen,      // Calls fail fast with kCircuitOpen until the cooldown ends.
+  kHalfOpen,  // A probe budget's worth of calls pass; the rest fail fast.
+};
+
+inline std::string_view CircuitStateName(CircuitState state) {
+  switch (state) {
+    case CircuitState::kClosed:
+      return "closed";
+    case CircuitState::kOpen:
+      return "open";
+    case CircuitState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+struct BreakerPolicy {
+  int failure_threshold = 4;  // Consecutive failures that open the circuit.
+  SimDuration open_cooldown = 500 * kMicrosecond;
+  int probe_budget = 1;       // Half-open probes admitted per cooldown.
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerPolicy policy = {}) : policy_(policy) {}
+
+  CircuitState state() const { return state_; }
+  const BreakerPolicy& policy() const { return policy_; }
+
+  // The admission gate, consulted before an attempt. May transition
+  // open -> half-open when the cooldown has elapsed; consumes a probe in
+  // half-open. False means the caller must fail fast with kCircuitOpen.
+  bool AllowCall(SimTime now) {
+    switch (state_) {
+      case CircuitState::kClosed:
+        return true;
+      case CircuitState::kOpen:
+        if (now < opened_at_ + policy_.open_cooldown) {
+          ++rejected_;
+          return false;
+        }
+        Transition(CircuitState::kHalfOpen);
+        probes_left_ = policy_.probe_budget;
+        [[fallthrough]];
+      case CircuitState::kHalfOpen:
+        if (probes_left_ <= 0) {
+          ++rejected_;
+          return false;
+        }
+        --probes_left_;
+        return true;
+    }
+    return true;
+  }
+
+  // Records the outcome of an admitted call. Success closes the circuit
+  // (from any state); failure counts toward the threshold in closed and
+  // re-opens immediately in half-open.
+  void OnSuccess() {
+    consecutive_failures_ = 0;
+    if (state_ != CircuitState::kClosed) {
+      Transition(CircuitState::kClosed);
+    }
+  }
+  void OnFailure(SimTime now) {
+    ++consecutive_failures_;
+    if (state_ == CircuitState::kHalfOpen ||
+        (state_ == CircuitState::kClosed &&
+         consecutive_failures_ >= policy_.failure_threshold)) {
+      opened_at_ = now;
+      Transition(CircuitState::kOpen);
+    }
+  }
+
+  int consecutive_failures() const { return consecutive_failures_; }
+  std::uint64_t transitions() const { return transitions_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  void Transition(CircuitState next) {
+    state_ = next;
+    ++transitions_;
+  }
+
+  BreakerPolicy policy_;
+  CircuitState state_ = CircuitState::kClosed;
+  int consecutive_failures_ = 0;
+  int probes_left_ = 0;
+  SimTime opened_at_ = 0;
+  std::uint64_t transitions_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_LRPC_CIRCUIT_BREAKER_H_

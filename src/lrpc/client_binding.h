@@ -13,6 +13,7 @@
 
 #include "src/common/ids.h"
 #include "src/kern/binding_table.h"
+#include "src/lrpc/circuit_breaker.h"
 #include "src/lrpc/interface.h"
 #include "src/shm/astack.h"
 
@@ -53,6 +54,18 @@ class ClientBinding {
   int allocated_astacks() const { return allocated_astacks_; }
   void add_allocated(int n) { allocated_astacks_ += n; }
 
+  // The per-binding circuit breaker (docs/supervision.md), created lazily
+  // by the first supervised call so unsupervised bindings pay nothing.
+  // State lives here, not in the supervisor, so it is genuinely per-binding
+  // and survives supervisor reconfiguration.
+  CircuitBreaker* breaker() { return breaker_.get(); }
+  CircuitBreaker& EnsureBreaker(const BreakerPolicy& policy) {
+    if (breaker_ == nullptr) {
+      breaker_ = std::make_unique<CircuitBreaker>(policy);
+    }
+    return *breaker_;
+  }
+
  private:
   DomainId client_;
   BindingObject object_;
@@ -61,6 +74,7 @@ class ClientBinding {
   AStackExhaustionPolicy policy_ = AStackExhaustionPolicy::kAllocateMore;
   std::vector<std::unique_ptr<AStackQueue>> queues_;
   int allocated_astacks_ = 0;
+  std::unique_ptr<CircuitBreaker> breaker_;
 };
 
 }  // namespace lrpc

@@ -1,0 +1,243 @@
+#include "src/lrpc/supervised_call.h"
+
+#include <algorithm>
+
+#include "src/kern/kernel.h"
+#include "src/lrpc/call_tracer.h"
+#include "src/sim/fault_injector.h"
+
+namespace lrpc {
+
+SupervisedCall::SupervisedCall(LrpcRuntime& runtime, SupervisionPolicy policy,
+                               std::uint64_t seed)
+    : runtime_(runtime), policy_(policy), rng_(seed) {}
+
+SimDuration SupervisedCall::NextBackoff(std::size_t retry_index) {
+  const RetryPolicy& r = policy_.retry;
+  double base = static_cast<double>(std::max<SimDuration>(r.initial_backoff, 1));
+  const double cap = static_cast<double>(std::max<SimDuration>(r.max_backoff, 1));
+  for (std::size_t i = 0; i < retry_index && base < cap; ++i) {
+    base *= r.multiplier;
+  }
+  base = std::min(base, cap);
+  // Jitter scales the pause by [1 - j/2, 1 + j/2); the draw order is fixed
+  // (one draw per retry), so the schedule replays exactly from the seed.
+  const double factor = 1.0 + r.jitter * (rng_.NextDouble() - 0.5);
+  const auto pause = static_cast<SimDuration>(base * factor);
+  return pause > 0 ? pause : 1;
+}
+
+void SupervisedCall::AdoptReplacement(SupervisionOutcome& out) {
+  Kernel& kernel = runtime_.kernel();
+  Thread* current = kernel.FindThread(out.thread);
+  if (current != nullptr && current->state() != ThreadState::kDead) {
+    return;  // The thread survived (e.g. unwound with an exception).
+  }
+  // Highest live thread id homed in the client domain: the newest
+  // replacement AbandonCapturedCall created.
+  const DomainId client = out.binding->client();
+  ThreadId replacement = kNoThread;
+  for (std::size_t i = 0; i < kernel.thread_count(); ++i) {
+    Thread& cand = kernel.thread(static_cast<ThreadId>(i));
+    if (cand.state() != ThreadState::kDead && cand.home_domain() == client) {
+      replacement = cand.id();
+    }
+  }
+  if (replacement != kNoThread) {
+    out.thread = replacement;
+    kernel.thread(replacement).TakeException();
+  }
+}
+
+Status SupervisedCall::AttemptLrpc(Processor& cpu, SupervisionOutcome& out,
+                                   int procedure,
+                                   std::span<const CallArg> args,
+                                   std::span<const CallRet> rets,
+                                   CallStats* stats) {
+  Kernel& kernel = runtime_.kernel();
+  const SimTime started = cpu.clock();
+  const bool watched = policy_.deadline > 0;
+  if (watched) {
+    kernel.ArmCallWatchdog(out.thread, started + policy_.deadline);
+  }
+  Status status = runtime_.Call(cpu, out.thread, *out.binding, procedure,
+                                args, rets, stats);
+  if (!watched) {
+    return status;
+  }
+  ThreadId replacement = kNoThread;
+  const bool fired = kernel.ConsumeWatchdogFire(out.thread, &replacement);
+  kernel.DisarmCallWatchdog(out.thread);
+  if (fired) {
+    // The watchdog abandoned the over-deadline call; the captured thread
+    // died in the kernel. Continue on the replacement thread the escape
+    // created, clearing its pending call-aborted exception.
+    out.deadline_expired = true;
+    out.watchdog_abandoned = true;
+    ++stats_.deadline_expiries;
+    if (replacement != kNoThread) {
+      out.thread = replacement;
+      kernel.thread(replacement).TakeException();
+    }
+    return Status(ErrorCode::kDeadlineExceeded, "watchdog abandoned the call");
+  }
+  if (cpu.clock() > started + policy_.deadline) {
+    // The call returned on its own, but past the deadline (the watchdog may
+    // have fired late — FaultKind::kWatchdogLateFire). The caller still
+    // observes the overrun; any results written are discarded by contract.
+    out.deadline_expired = true;
+    ++stats_.deadline_expiries;
+    return Status(ErrorCode::kDeadlineExceeded, "call returned past deadline");
+  }
+  return status;
+}
+
+SupervisionOutcome SupervisedCall::Call(Processor& cpu, ThreadId thread,
+                                        ClientBinding* binding, int procedure,
+                                        std::span<const CallArg> args,
+                                        std::span<const CallRet> rets,
+                                        CallStats* stats) {
+  SupervisionOutcome out;
+  out.thread = thread;
+  out.binding = binding;
+  ++stats_.calls;
+
+  Kernel& kernel = runtime_.kernel();
+  const SimTime supervised_start = cpu.clock();
+  const std::string_view name = binding->interface_spec()->name();
+
+  CircuitBreaker* breaker = nullptr;
+  if (policy_.breaker_enabled) {
+    breaker = &binding->EnsureBreaker(policy_.breaker);
+    const CircuitState before = breaker->state();
+    const bool admitted = breaker->AllowCall(cpu.clock());
+    if (breaker->state() != before) {
+      kernel.NotifyEvent(KernelEventKind::kCircuitStateChange);
+    }
+    if (!admitted) {
+      out.breaker_rejected = true;
+      ++stats_.breaker_rejections;
+      out.status = Status(ErrorCode::kCircuitOpen, "circuit breaker is open");
+      Trace(cpu, out, supervised_start, procedure);
+      return out;
+    }
+  }
+
+  Status last = Status::Ok();
+  int retries_left = std::max(1, policy_.retry.max_attempts) - 1;
+  int rebinds_left = policy_.max_rebinds;
+  bool via_fallback = false;  // The binding is unusable; calls go over msg RPC.
+
+  while (true) {
+    ++out.attempts;
+    if (via_fallback) {
+      last = fallback_->CallFallback(cpu, out.thread, binding->client(), name,
+                                     procedure, args, rets);
+    } else {
+      last = AttemptLrpc(cpu, out, procedure, args, rets, stats);
+    }
+
+    if (last.ok() || out.deadline_expired) {
+      break;  // Success, or a terminal deadline overrun.
+    }
+    if (last.code() == ErrorCode::kCallAborted ||
+        last.code() == ErrorCode::kCallFailed) {
+      // The handler may have executed: never re-issued (no idempotency
+      // promise). An abort killed the thread; adopt its replacement.
+      if (last.code() == ErrorCode::kCallAborted) {
+        AdoptReplacement(out);
+      }
+      break;
+    }
+    if (!via_fallback && (last.code() == ErrorCode::kRevokedBinding ||
+                          last.code() == ErrorCode::kDomainTerminated)) {
+      // Graceful degradation: the binding is dead, but the service may not
+      // be. Re-import through the nameserver; if the interface is no longer
+      // exported over LRPC, fail over to message RPC. The injection point
+      // makes the recovery target read as dead (the uncommon case of the
+      // uncommon case), surfacing the original error.
+      if (FaultPointFires(kernel.fault_injector(),
+                          FaultKind::kFailoverTargetDead)) {
+        break;
+      }
+      if (policy_.rebind && rebinds_left > 0) {
+        Result<ClientBinding*> rebound =
+            runtime_.Import(cpu, binding->client(), name);
+        if (rebound.ok()) {
+          --rebinds_left;
+          out.binding = *rebound;
+          ++out.rebinds;
+          ++stats_.rebinds;
+          kernel.NotifyEvent(KernelEventKind::kFailover);
+          continue;  // Immediate retry on the fresh binding.
+        }
+      }
+      if (policy_.failover && fallback_ != nullptr && fallback_->Serves(name)) {
+        via_fallback = true;
+        out.msg_failover = true;
+        ++stats_.msg_failovers;
+        kernel.NotifyEvent(KernelEventKind::kFailover);
+        continue;  // Immediate retry over the message transport.
+      }
+      break;  // No recovery route left.
+    }
+    if (!last.Retryable()) {
+      break;
+    }
+    if (retries_left <= 0) {
+      // With a budget of one attempt no retry was ever made, so the
+      // transient error surfaces unchanged rather than as kRetriesExhausted.
+      if (policy_.retry.max_attempts > 1) {
+        last = Status(ErrorCode::kRetriesExhausted,
+                      "transient failures outlasted the retry budget");
+      }
+      break;
+    }
+    --retries_left;
+    const SimDuration pause = NextBackoff(out.backoffs.size());
+    out.backoffs.push_back(pause);
+    ++stats_.retries;
+    cpu.AdvanceTo(cpu.clock() + pause);
+    kernel.NotifyEvent(KernelEventKind::kSupervisorRetry);
+  }
+
+  out.status = last;
+  if (last.ok() && (out.attempts > 1 || out.rebinds > 0 || out.msg_failover)) {
+    out.recovered = true;
+    ++stats_.recovered_calls;
+  }
+  if (breaker != nullptr) {
+    const CircuitState before = breaker->state();
+    if (last.ok()) {
+      breaker->OnSuccess();
+    } else {
+      breaker->OnFailure(cpu.clock());
+    }
+    if (breaker->state() != before) {
+      kernel.NotifyEvent(KernelEventKind::kCircuitStateChange);
+    }
+  }
+  Trace(cpu, out, supervised_start, procedure);
+  return out;
+}
+
+void SupervisedCall::Trace(Processor& cpu, const SupervisionOutcome& out,
+                           SimTime started, int procedure) {
+  CallTracer* tracer = runtime_.tracer();
+  if (tracer == nullptr) {
+    return;
+  }
+  TraceEvent event;
+  event.kind = TraceEventKind::kSupervised;
+  event.start = started;
+  event.end = cpu.clock();
+  event.client = out.binding != nullptr ? out.binding->client() : kNoDomain;
+  event.server = out.binding != nullptr && out.binding->record() != nullptr
+                     ? out.binding->record()->server
+                     : kNoDomain;
+  event.procedure = procedure;
+  event.result = out.status.code();
+  tracer->Record(event);
+}
+
+}  // namespace lrpc

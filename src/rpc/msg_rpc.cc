@@ -68,6 +68,40 @@ MsgServer* MsgRpcSystem::RegisterServer(DomainId domain, const Interface* iface,
   return servers_.back().get();
 }
 
+MsgServer* MsgRpcSystem::FindServerByName(std::string_view name) const {
+  for (const auto& server : servers_) {
+    if (server->interface_spec()->name() == name &&
+        kernel_.domain(server->domain()).alive()) {
+      return server.get();
+    }
+  }
+  return nullptr;
+}
+
+Status MsgRpcSystem::ExportFallback(DomainId domain, const Interface* iface) {
+  if (!kernel_.domain(domain).alive()) {
+    return Status(ErrorCode::kDomainTerminated, "fallback host domain is dead");
+  }
+  RegisterServer(domain, iface);
+  return Status::Ok();
+}
+
+bool MsgRpcSystem::Serves(std::string_view name) const {
+  return FindServerByName(name) != nullptr;
+}
+
+Status MsgRpcSystem::CallFallback(Processor& cpu, ThreadId thread,
+                                  DomainId client, std::string_view name,
+                                  int procedure, std::span<const CallArg> args,
+                                  std::span<const CallRet> rets) {
+  MsgServer* server = FindServerByName(name);
+  if (server == nullptr) {
+    return Status(ErrorCode::kNoSuchInterface, "no live fallback server");
+  }
+  MsgBinding binding{client, server};
+  return Call(cpu, thread, binding, procedure, args, rets);
+}
+
 void MsgRpcSystem::ChargeCopy(Processor& cpu, std::size_t bytes) {
   const MachineModel& model = kernel_.model();
   cpu.Charge(CostCategory::kArgumentCopy,
@@ -264,7 +298,8 @@ Status MsgRpcSystem::Call(Processor& cpu, ThreadId thread_id,
   Thread* worker = server->ClaimWorker(kernel_);
   if (worker == nullptr) {
     // Caller serialization: no receiver thread remained (Section 2.3,
-    // "Dispatch").
+    // "Dispatch"). kQueueFull is classified transient by Status::Retryable()
+    // — the request never reached a handler, so callers may safely retry.
     if (src) {
       global_lock_.Release(cpu);
     }

@@ -36,6 +36,7 @@
 #include "src/kern/kernel.h"
 #include "src/lrpc/interface.h"
 #include "src/lrpc/runtime.h"
+#include "src/lrpc/supervised_call.h"
 #include "src/rpc/message.h"
 #include "src/rpc/port.h"
 #include "src/sim/segment_sim.h"
@@ -82,7 +83,11 @@ struct MsgBinding {
   MsgServer* server = nullptr;
 };
 
-class MsgRpcSystem {
+// MsgRpcSystem doubles as the supervision layer's FallbackTransport
+// (docs/supervision.md): a supervised LRPC call whose binding is revoked
+// and whose interface can no longer be re-imported fails over here — same
+// marshalled bytes, message-passing transport.
+class MsgRpcSystem : public FallbackTransport {
  public:
   MsgRpcSystem(Kernel& kernel, MsgRpcMode mode);
 
@@ -106,6 +111,14 @@ class MsgRpcSystem {
               int procedure, std::span<const CallArg> args,
               std::span<const CallRet> rets, CallStats* stats = nullptr);
 
+  // --- FallbackTransport (the supervision layer's failover hook). ---
+  Status ExportFallback(DomainId domain, const Interface* iface) override;
+  bool Serves(std::string_view name) const override;
+  Status CallFallback(Processor& cpu, ThreadId thread, DomainId client,
+                      std::string_view name, int procedure,
+                      std::span<const CallArg> args,
+                      std::span<const CallRet> rets) override;
+
   // The single lock SRC RPC holds across buffer acquisition and the
   // transfer path.
   SimLock& global_lock() { return global_lock_; }
@@ -118,6 +131,9 @@ class MsgRpcSystem {
   static std::vector<CallSegment> SrcNullCallSegments(const MachineModel& model);
 
  private:
+  // The live registered server for `name`, or null.
+  MsgServer* FindServerByName(std::string_view name) const;
+
   // One copy operation over `bytes`: setup + per-byte.
   void ChargeCopy(Processor& cpu, std::size_t bytes);
 

@@ -22,6 +22,10 @@ std::string_view FaultKindName(FaultKind kind) {
       return "ThreadCapture";
     case FaultKind::kSchedulerDelay:
       return "SchedulerDelay";
+    case FaultKind::kWatchdogLateFire:
+      return "WatchdogLateFire";
+    case FaultKind::kFailoverTargetDead:
+      return "FailoverTargetDead";
   }
   return "Unknown";
 }

@@ -40,9 +40,14 @@ enum class FaultKind : std::uint8_t {
                        // the thread captured in the server (Section 5.3).
   kSchedulerDelay,     // Message-RPC wakeup: the woken thread is preempted
                        // (adversarial scheduling jitter).
+  kWatchdogLateFire,   // Watchdog poll: an expired deadline goes unnoticed
+                       // this poll, so the call runs to completion and the
+                       // overrun is only detected after the return.
+  kFailoverTargetDead, // Supervised failover: the rebind/message-RPC target
+                       // reads as dead, so recovery is skipped.
 };
 
-inline constexpr int kFaultKindCount = 8;
+inline constexpr int kFaultKindCount = 10;
 
 std::string_view FaultKindName(FaultKind kind);
 

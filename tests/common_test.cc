@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <iterator>
 #include <set>
@@ -34,7 +35,7 @@ TEST(StatusTest, EqualityComparesCodesOnly) {
 }
 
 TEST(StatusTest, EveryCodeHasAName) {
-  for (int c = 0; c <= static_cast<int>(ErrorCode::kUnimplemented); ++c) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kRetriesExhausted); ++c) {
     EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(c)), "kUnknown");
   }
 }
@@ -73,13 +74,50 @@ TEST(StatusTest, ErrorCodeNamesMatchTheirEnumerators) {
       {ErrorCode::kAlreadyExists, "kAlreadyExists"},
       {ErrorCode::kNotFound, "kNotFound"},
       {ErrorCode::kUnimplemented, "kUnimplemented"},
+      {ErrorCode::kDeadlineExceeded, "kDeadlineExceeded"},
+      {ErrorCode::kCircuitOpen, "kCircuitOpen"},
+      {ErrorCode::kRetriesExhausted, "kRetriesExhausted"},
   };
   for (const auto& [code, name] : kNames) {
     EXPECT_EQ(ErrorCodeName(code), name);
   }
   // Every enumerator is listed above exactly once.
   EXPECT_EQ(std::size(kNames),
-            static_cast<std::size_t>(ErrorCode::kUnimplemented) + 1);
+            static_cast<std::size_t>(ErrorCode::kRetriesExhausted) + 1);
+}
+
+// Status::Retryable() is the single source of truth for which failures a
+// supervisor may re-issue (docs/supervision.md): only outcomes where the
+// call never began executing in the server. Pin every code's class so a new
+// enumerator must consciously pick a side.
+TEST(StatusTest, RetryableClassificationIsExhaustive) {
+  const ErrorCode kRetryable[] = {
+      ErrorCode::kAStacksExhausted,  // Free-list empty; drains on returns.
+      ErrorCode::kAStackInUse,       // Raced another caller to the A-stack.
+      ErrorCode::kEStackExhausted,   // E-stack budget read as spent.
+      ErrorCode::kQueueFull,         // No idle server thread (msg RPC).
+      ErrorCode::kRemoteUnreachable, // Transport loss before dispatch.
+  };
+  for (ErrorCode code : kRetryable) {
+    EXPECT_TRUE(IsRetryable(code)) << ErrorCodeName(code);
+    EXPECT_TRUE(Status(code).Retryable()) << ErrorCodeName(code);
+  }
+  // Everything else — including mid-execution failures (kCallFailed,
+  // kCallAborted) and the supervisor's own verdicts — must never be
+  // re-issued automatically.
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kRetriesExhausted); ++c) {
+    const auto code = static_cast<ErrorCode>(c);
+    const bool listed =
+        std::find(std::begin(kRetryable), std::end(kRetryable), code) !=
+        std::end(kRetryable);
+    EXPECT_EQ(IsRetryable(code), listed) << ErrorCodeName(code);
+  }
+  EXPECT_FALSE(Status::Ok().Retryable());
+  EXPECT_FALSE(Status(ErrorCode::kCallFailed).Retryable());
+  EXPECT_FALSE(Status(ErrorCode::kCallAborted).Retryable());
+  EXPECT_FALSE(Status(ErrorCode::kDeadlineExceeded).Retryable());
+  EXPECT_FALSE(Status(ErrorCode::kCircuitOpen).Retryable());
+  EXPECT_FALSE(Status(ErrorCode::kRetriesExhausted).Retryable());
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -48,6 +48,10 @@ TEST(KernelEventsTest, EveryKindHasItsName) {
       {KernelEventKind::kTermination, "Termination"},
       {KernelEventKind::kAbandon, "Abandon"},
       {KernelEventKind::kRegionAllocated, "RegionAllocated"},
+      {KernelEventKind::kWatchdogExpired, "WatchdogExpired"},
+      {KernelEventKind::kSupervisorRetry, "SupervisorRetry"},
+      {KernelEventKind::kFailover, "Failover"},
+      {KernelEventKind::kCircuitStateChange, "CircuitStateChange"},
   };
   for (const auto& [kind, name] : kNames) {
     EXPECT_EQ(KernelEventKindName(kind), name);

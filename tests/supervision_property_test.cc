@@ -1,0 +1,72 @@
+// Determinism of the supervision layer (docs/supervision.md): the retry
+// schedule — which attempts are made, how long each jittered backoff
+// pauses, and the final Status — is a pure function of the supervisor seed
+// and the fault plan. Replaying the same seed reproduces the schedule
+// byte-for-byte; different seeds jitter differently.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/lrpc/supervised_call.h"
+#include "src/lrpc/testbed.h"
+#include "src/sim/fault_injector.h"
+
+namespace lrpc {
+namespace {
+
+constexpr int kSeeds = 200;
+constexpr int kCallsPerRun = 6;
+
+// One full run from scratch: a fresh world, a seeded-random exhaustion
+// plan, and a supervisor; returns the schedule as a flat string.
+std::string RunSchedule(std::uint64_t seed) {
+  Testbed bed;
+  bed.binding().set_exhaustion_policy(AStackExhaustionPolicy::kFail);
+  FaultInjector injector(
+      FaultPlan::SeededRandom(0.5, {FaultKind::kAStackExhaustion}), seed);
+  bed.kernel().set_fault_injector(&injector);
+
+  SupervisionPolicy policy;
+  policy.retry.max_attempts = 4;
+  SupervisedCall supervisor(bed.runtime(), policy, seed ^ 0x5eedULL);
+
+  std::string schedule;
+  for (int i = 0; i < kCallsPerRun; ++i) {
+    SupervisionOutcome out = supervisor.Call(bed.cpu(0), bed.client_thread(),
+                                             &bed.binding(), bed.null_proc(),
+                                             {}, {});
+    schedule += std::string(ErrorCodeName(out.status.code())) + " a=" +
+                std::to_string(out.attempts) + " b=";
+    for (SimDuration pause : out.backoffs) {
+      schedule += std::to_string(pause) + ",";
+    }
+    schedule += ";";
+  }
+  bed.kernel().set_fault_injector(nullptr);
+  return schedule;
+}
+
+TEST(SupervisionPropertyTest, SameSeedReplaysTheExactSchedule) {
+  std::set<std::string> distinct;
+  int runs_with_backoffs = 0;
+  for (int s = 0; s < kSeeds; ++s) {
+    const auto seed = static_cast<std::uint64_t>(s) * 2654435761ULL + 1;
+    const std::string first = RunSchedule(seed);
+    const std::string second = RunSchedule(seed);
+    ASSERT_EQ(first, second) << "seed " << seed << " did not replay";
+    distinct.insert(first);
+    if (first.find("b=;") == std::string::npos ||
+        first.find(',') != std::string::npos) {
+      ++runs_with_backoffs;
+    }
+  }
+  // The sweep actually exercised the retry path, and the jitter really
+  // depends on the seed (many distinct schedules across seeds).
+  EXPECT_GT(runs_with_backoffs, kSeeds / 2);
+  EXPECT_GT(static_cast<int>(distinct.size()), kSeeds / 2);
+}
+
+}  // namespace
+}  // namespace lrpc
