@@ -1,0 +1,218 @@
+// Figure 3 on real threads: multiprocessor call throughput of the parallel
+// engine (docs/concurrency.md, docs/EXPERIMENTS.md).
+//
+// Sweeps worker threads 1..N over {lock-free, single-lock} shared structures
+// and {domain caching on, off}, measuring wall-clock Null calls/second per
+// configuration, and writes the matrix as JSON (BENCH_throughput.json at the
+// repo root is the committed snapshot; `cmake --build build --target
+// bench-json` refreshes it).
+//
+// The paper's Figure 3 shows call throughput scaling near-linearly to 4
+// processors because the only shared state on the call path is guarded by
+// per-interface A-stack list locks. This bench reproduces the *shape* on
+// whatever host it runs: on a multi-core host the lock-free rows scale and
+// the single-lock rows flatten; on a single-core host every multi-thread
+// row is oversubscribed (flagged in the JSON) and only the lock-free vs
+// single-lock ordering is meaningful.
+//
+// Flags:
+//   --json <path>   write the JSON matrix here (default: stdout only)
+//   --wall-ms <n>   wall budget per configuration (default 300)
+//   --threads <n>   max worker threads (default: max(hardware_concurrency, 2))
+//   --enforce       exit non-zero unless lock-free >= single-lock at max
+//                   threads, and (only when the host has >= 2 cores)
+//                   multi-thread > 1.5x single-thread
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/par/par_world.h"
+
+namespace {
+
+struct Row {
+  int threads = 0;
+  bool lock_free = false;
+  bool domain_caching = false;
+  bool oversubscribed = false;
+  double calls_per_sec = 0.0;
+  std::uint64_t calls = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cas_retries = 0;
+  std::uint64_t exchange_claims = 0;
+};
+
+Row RunConfig(int threads, bool lock_free, bool caching, int wall_ms,
+              unsigned hw) {
+  lrpc::ParWorldOptions options;
+  options.workers = threads;
+  options.domains = 1;  // One shared binding: maximum free-list contention.
+  options.parked = caching ? 2 : 0;
+  options.lock_free = lock_free;
+  options.domain_caching = caching;
+  options.astacks_per_group = std::max(8, 2 * threads);
+  lrpc::ParWorld world(options);
+
+  lrpc::ParallelMachine::RunReport report = world.par()->RunWorkers(
+      std::chrono::milliseconds(wall_ms),
+      [&world](int w) { return world.CallNull(w); });
+
+  Row row;
+  row.threads = threads;
+  row.lock_free = lock_free;
+  row.domain_caching = caching;
+  row.oversubscribed =
+      static_cast<unsigned>(threads + options.parked) > (hw == 0 ? 1u : hw);
+  row.calls_per_sec = report.calls_per_second;
+  row.calls = report.calls;
+  row.failed = report.failures;
+  row.cas_retries = world.par()->total_cas_retries();
+  row.exchange_claims = world.machine().parallel_idle()->claims();
+  return row;
+}
+
+void WriteJson(std::ostream& out, const std::vector<Row>& rows, unsigned hw,
+               int wall_ms, int max_threads) {
+  out << "{\n";
+  out << "  \"bench\": \"mt_throughput\",\n";
+  out << "  \"workload\": \"Null\",\n";
+  out << "  \"hardware_concurrency\": " << hw << ",\n";
+  out << "  \"wall_ms_per_config\": " << wall_ms << ",\n";
+  out << "  \"max_threads\": " << max_threads << ",\n";
+  out << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"threads\": " << r.threads
+        << ", \"lock_free\": " << (r.lock_free ? "true" : "false")
+        << ", \"domain_caching\": " << (r.domain_caching ? "true" : "false")
+        << ", \"oversubscribed\": " << (r.oversubscribed ? "true" : "false")
+        << ", \"calls_per_sec\": " << static_cast<std::uint64_t>(r.calls_per_sec)
+        << ", \"calls\": " << r.calls << ", \"failed\": " << r.failed
+        << ", \"cas_retries\": " << r.cas_retries
+        << ", \"exchange_claims\": " << r.exchange_claims << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+const Row* FindRow(const std::vector<Row>& rows, int threads, bool lock_free,
+                   bool caching) {
+  for (const Row& r : rows) {
+    if (r.threads == threads && r.lock_free == lock_free &&
+        r.domain_caching == caching) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  int wall_ms = 300;
+  int max_threads = 0;
+  bool enforce = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--wall-ms") == 0 && i + 1 < argc) {
+      wall_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      max_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--enforce") == 0) {
+      enforce = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (max_threads <= 0) {
+    // Even on a single-core host, sweep to 2 so the lock-free vs
+    // single-lock comparison under contention exists (flagged
+    // oversubscribed).
+    max_threads = static_cast<int>(std::max(hw, 2u));
+  }
+
+  std::printf("mt_throughput: hardware_concurrency=%u wall_ms=%d "
+              "max_threads=%d\n\n",
+              hw, wall_ms, max_threads);
+  std::printf("%8s  %-10s  %-8s  %12s  %8s  %6s\n", "threads", "structures",
+              "caching", "calls/sec", "failed", "oversub");
+
+  std::vector<Row> rows;
+  for (int threads = 1; threads <= max_threads; ++threads) {
+    for (const bool lock_free : {true, false}) {
+      for (const bool caching : {true, false}) {
+        Row row = RunConfig(threads, lock_free, caching, wall_ms, hw);
+        std::printf("%8d  %-10s  %-8s  %12.0f  %8llu  %6s\n", row.threads,
+                    row.lock_free ? "lock-free" : "one-lock",
+                    row.domain_caching ? "on" : "off", row.calls_per_sec,
+                    static_cast<unsigned long long>(row.failed),
+                    row.oversubscribed ? "yes" : "no");
+        rows.push_back(row);
+      }
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    WriteJson(out, rows, hw, wall_ms, max_threads);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  if (enforce) {
+    int rc = 0;
+    // Lock-free must not lose to the single lock at peak contention (the
+    // whole point of per-structure CAS paths). Compare like against like:
+    // same caching mode.
+    for (const bool caching : {true, false}) {
+      const Row* lf = FindRow(rows, max_threads, true, caching);
+      const Row* lk = FindRow(rows, max_threads, false, caching);
+      if (lf == nullptr || lk == nullptr ||
+          lf->calls_per_sec < lk->calls_per_sec) {
+        std::fprintf(stderr,
+                     "ENFORCE FAIL: lock-free (%.0f c/s) < single-lock "
+                     "(%.0f c/s) at %d threads, caching=%d\n",
+                     lf != nullptr ? lf->calls_per_sec : 0.0,
+                     lk != nullptr ? lk->calls_per_sec : 0.0, max_threads,
+                     caching ? 1 : 0);
+        rc = 1;
+      }
+    }
+    // Scaling is only a fair ask when the host actually has parallelism.
+    if (hw >= 2 && max_threads >= 2) {
+      const Row* one = FindRow(rows, 1, true, false);
+      const Row* many = FindRow(rows, max_threads, true, false);
+      if (one == nullptr || many == nullptr ||
+          many->calls_per_sec <= 1.5 * one->calls_per_sec) {
+        std::fprintf(stderr,
+                     "ENFORCE FAIL: %d-thread lock-free (%.0f c/s) is not "
+                     "> 1.5x single-thread (%.0f c/s)\n",
+                     max_threads, many != nullptr ? many->calls_per_sec : 0.0,
+                     one != nullptr ? one->calls_per_sec : 0.0);
+        rc = 1;
+      }
+    } else {
+      std::printf("scaling check skipped: host has %u core(s)\n", hw);
+    }
+    if (rc == 0) {
+      std::printf("enforce: all throughput expectations hold\n");
+    }
+    return rc;
+  }
+  return 0;
+}

@@ -104,7 +104,27 @@ Kernel::TransferResult Kernel::EnterDomain(Processor& cpu, Thread& t,
     NotifyEvent(KernelEventKind::kTransfer);
     return result;
   }
-  if (domain_caching_ && allow_exchange) {
+  if (domain_caching_ && allow_exchange &&
+      machine_.parallel_idle() != nullptr) {
+    // Real-thread engine: the exchange is a lock-free claim. A successful
+    // claim owns the parked processor outright (no rival can win it), so
+    // the context/TLB swap below races with nothing; re-parking afterwards
+    // releases the mutations to the next claimant.
+    IdleProcessorRegistry& registry = *machine_.parallel_idle();
+    const int idler_id = registry.TryClaimInContext(target_context);
+    if (idler_id >= 0) {
+      Processor& idler = machine_.processor(idler_id);
+      machine_.ExchangeContexts(cpu, idler);
+      registry.Park(idler_id, idler.loaded_context());
+      t.set_current_domain(target.id());
+      result.exchanged = true;
+      NotifyEvent(KernelEventKind::kTransfer);
+      return result;
+    }
+    registry.RecordMiss(target_context);
+    // No auto-prodding here: prodding walks shared processor state, which
+    // only the deterministic driver may do.
+  } else if (domain_caching_ && allow_exchange) {
     Processor* idler = machine_.FindIdleInContext(target_context);
     // Injection point: the exchange is unavailable — a forced
     // processor-cache miss drops the call onto the switch path.
@@ -140,6 +160,9 @@ LRPC_FAST_PATH_END("kernel domain transfer");
 void Kernel::ParkIdleProcessor(Processor& cpu, DomainId domain_id) {
   cpu.LoadContext(domain(domain_id).vm_context());
   machine_.MarkIdle(cpu);
+  if (IdleProcessorRegistry* registry = machine_.parallel_idle()) {
+    registry->Park(cpu.id(), cpu.loaded_context());
+  }
 }
 
 void Kernel::ProdIdleProcessors() {
@@ -256,6 +279,40 @@ Result<int> Kernel::EnsureEStackImpl(Domain& server, const AStackRef& ref,
     region.set_estack(ref.index, free_stack->id);
     region.set_last_used(ref.index, now);
     return free_stack->id;
+  }
+  pool.MarkAssociated(*allocated, now);
+  region.set_estack(ref.index, *allocated);
+  region.set_last_used(ref.index, now);
+  return *allocated;
+}
+
+Result<int> Kernel::EnsureEStackParallel(Domain& server, const AStackRef& ref,
+                                         SimTime now) {
+  AStackRegion& region = *ref.region;
+  // Repeat-call fast path: everything touched here travels with ownership
+  // of the A-stack (popped off its free list), so no lock is needed. The
+  // pool-side MarkAssociated bookkeeping is skipped — the flag is already
+  // set, and the pool's recency stamps only feed reclamation, which the
+  // parallel mode never runs.
+  const int estack_id = region.estack_of(ref.index);
+  if (estack_id >= 0) {
+    region.set_last_used(ref.index, now);
+    return estack_id;
+  }
+  // First call on this A-stack: associate under the kernel's mutex so the
+  // pool scans and the allocation are serialized.
+  std::lock_guard<std::mutex> guard(par_estack_mutex_);
+  EStackPool& pool = server.estacks();
+  if (EStack* free_stack = pool.FindUnassociated()) {
+    pool.MarkAssociated(free_stack->id, now);
+    region.set_estack(ref.index, free_stack->id);
+    region.set_last_used(ref.index, now);
+    return free_stack->id;
+  }
+  Result<int> allocated = pool.Allocate();
+  if (!allocated.ok()) {
+    return Status(ErrorCode::kEStackExhausted,
+                  "parallel mode: E-stack budget below the A-stack set");
   }
   pool.MarkAssociated(*allocated, now);
   region.set_estack(ref.index, *allocated);

@@ -10,7 +10,9 @@
 #ifndef SRC_KERN_KERNEL_H_
 #define SRC_KERN_KERNEL_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -105,7 +107,11 @@ class Kernel {
 
   // Kernel-wide linkage claim order (stamped into LinkageRecord::seq when a
   // call pushes a linkage; the checker verifies LIFO discipline with it).
-  std::uint64_t NextLinkageSeq() { return ++linkage_seq_; }
+  // Atomic so concurrent calls under the real-thread engine draw distinct
+  // values; relaxed, because only uniqueness matters, not ordering.
+  std::uint64_t NextLinkageSeq() {
+    return linkage_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
   // Non-owning view of every A-stack region ever allocated (the checker and
   // the termination collector scan by domain).
@@ -157,6 +163,16 @@ class Kernel {
   Result<int> EnsureEStack(Domain& server, const AStackRef& ref, SimTime now);
   // Breaks the E-stack association of A-stacks not used since `cutoff`.
   int ReclaimEStacks(Domain& server, SimTime cutoff);
+
+  // EnsureEStack for the real-thread engine (docs/concurrency.md). The
+  // repeat-call fast path — the association already exists — touches only
+  // state the caller owns through its A-stack, so it takes no lock; the
+  // first call on an A-stack associates under a kernel mutex, with no
+  // reclamation or stealing (parallel worlds provision each server's
+  // E-stack budget to cover its A-stack set, so Allocate cannot run dry
+  // while other A-stacks' associations must stay untouched).
+  Result<int> EnsureEStackParallel(Domain& server, const AStackRef& ref,
+                                   SimTime now);
 
   // --- A-stack allocation (bind time; Section 3.1). ---
   // Allocates a contiguous region of `count` A-stacks of `size` bytes,
@@ -256,7 +272,9 @@ class Kernel {
   std::vector<std::unique_ptr<Thread>> threads_;
   FaultInjector* fault_injector_ = nullptr;
   KernelEventListener* listener_ = nullptr;
-  std::uint64_t linkage_seq_ = 0;
+  std::atomic<std::uint64_t> linkage_seq_{0};
+  // Guards first-call E-stack association under the real-thread engine.
+  std::mutex par_estack_mutex_;
   bool domain_caching_ = true;
   int auto_prod_threshold_ = 0;
   int misses_since_prod_ = 0;

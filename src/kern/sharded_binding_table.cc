@@ -1,0 +1,130 @@
+#include "src/kern/sharded_binding_table.h"
+
+#include "src/common/check.h"
+
+namespace lrpc {
+
+ShardedBindingTable::ShardedBindingTable(Options options)
+    : options_(options) {
+  LRPC_CHECK(options_.shards > 0);
+  LRPC_CHECK(options_.max_bindings > 0);
+  slots_per_shard_ =
+      (options_.max_bindings + options_.shards - 1) / options_.shards;
+  shards_ = std::make_unique<Shard[]>(static_cast<std::size_t>(options_.shards));
+  for (int s = 0; s < options_.shards; ++s) {
+    shards_[static_cast<std::size_t>(s)].entries =
+        std::make_unique<Entry[]>(static_cast<std::size_t>(slots_per_shard_));
+  }
+}
+
+ShardedBindingTable::Entry* ShardedBindingTable::FindEntry(
+    BindingId id) const {
+  if (id < 0 || id >= static_cast<BindingId>(options_.max_bindings)) {
+    return nullptr;
+  }
+  const auto slot = static_cast<std::size_t>(
+      id / static_cast<BindingId>(options_.shards));
+  return &shard_of(id).entries[slot];
+}
+
+void ShardedBindingTable::MirrorFrom(BindingTable& table) {
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    BindingRecord* record = table.Find(static_cast<BindingId>(i));
+    LRPC_CHECK(record != nullptr);
+    const Status added = AddEntry(record->id, record->nonce, record->client,
+                                  record->revoked, record);
+    LRPC_CHECK(added.ok());
+  }
+}
+
+Status ShardedBindingTable::AddEntry(BindingId id, std::uint64_t nonce,
+                                     DomainId client, bool revoked,
+                                     BindingRecord* record) {
+  Entry* entry = FindEntry(id);
+  if (entry == nullptr) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "binding id beyond the mirror's capacity");
+  }
+  std::unique_lock<std::mutex> global;
+  if (!options_.lock_free) {
+    global = std::unique_lock<std::mutex>(global_mutex_);
+  }
+  std::lock_guard<std::mutex> guard(shard_of(id).mutex);
+  const std::uint64_t seq = entry->seq.load(std::memory_order_relaxed);
+  if (seq != 0) {
+    return Status(ErrorCode::kInvalidArgument, "binding id already mirrored");
+  }
+  // Odd first: a concurrent reader retries rather than consuming a
+  // half-written entry; the final even store publishes it.
+  entry->seq.store(seq + 1, std::memory_order_release);
+  entry->nonce.store(nonce, std::memory_order_relaxed);
+  entry->client.store(client, std::memory_order_relaxed);
+  entry->revoked.store(revoked, std::memory_order_relaxed);
+  entry->record.store(record, std::memory_order_relaxed);
+  entry->seq.store(seq + 2, std::memory_order_release);
+  return Status::Ok();
+}
+
+Result<BindingRecord*> ShardedBindingTable::Validate(
+    const BindingObject& object, DomainId caller) const {
+  validations_.fetch_add(1, std::memory_order_relaxed);
+  const Entry* entry = FindEntry(object.id);
+  if (entry == nullptr) {
+    return Status(ErrorCode::kForgedBinding, "binding id out of range");
+  }
+  std::unique_lock<std::mutex> global;
+  if (!options_.lock_free) {
+    global = std::unique_lock<std::mutex>(global_mutex_);
+  }
+  for (;;) {
+    const std::uint64_t s1 = entry->seq.load(std::memory_order_acquire);
+    if (s1 == 0) {
+      return Status(ErrorCode::kForgedBinding, "binding id out of range");
+    }
+    if ((s1 & 1) != 0) {
+      seq_retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const std::uint64_t nonce = entry->nonce.load(std::memory_order_relaxed);
+    const DomainId client = entry->client.load(std::memory_order_relaxed);
+    const bool revoked = entry->revoked.load(std::memory_order_relaxed);
+    BindingRecord* record = entry->record.load(std::memory_order_relaxed);
+    const std::uint64_t s2 = entry->seq.load(std::memory_order_acquire);
+    if (s1 != s2) {
+      seq_retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (nonce != object.nonce) {
+      return Status(ErrorCode::kForgedBinding, "nonce mismatch");
+    }
+    if (client != caller) {
+      return Status(ErrorCode::kForgedBinding,
+                    "binding held by another domain");
+    }
+    if (revoked) {
+      return Status(ErrorCode::kRevokedBinding);
+    }
+    return record;
+  }
+}
+
+void ShardedBindingTable::Revoke(BindingId id) {
+  Entry* entry = FindEntry(id);
+  if (entry == nullptr) {
+    return;
+  }
+  std::unique_lock<std::mutex> global;
+  if (!options_.lock_free) {
+    global = std::unique_lock<std::mutex>(global_mutex_);
+  }
+  std::lock_guard<std::mutex> guard(shard_of(id).mutex);
+  const std::uint64_t seq = entry->seq.load(std::memory_order_relaxed);
+  if (seq == 0) {
+    return;
+  }
+  entry->seq.store(seq + 1, std::memory_order_release);
+  entry->revoked.store(true, std::memory_order_relaxed);
+  entry->seq.store(seq + 2, std::memory_order_release);
+}
+
+}  // namespace lrpc

@@ -1,0 +1,113 @@
+// Sharded Binding Object validation for the real-thread engine
+// (docs/concurrency.md).
+//
+// Binding validation sits on the call leg of every LRPC (Section 3.2), so
+// under real host threads it must not funnel through a table-wide lock. This
+// table keeps a fixed-capacity mirror of the kernel's BindingTable, sharded
+// by id, with a per-entry sequence counter:
+//
+//   reader    load seq (acquire); odd -> a writer is mid-update, retry;
+//             read nonce/holder/revoked; reload seq (acquire); a changed
+//             value means the entry mutated underfoot, retry
+//   writer    take the shard mutex, bump seq to odd (release), write the
+//             fields, bump seq back to even (release)
+//
+// seq == 0 marks an empty slot, so publication of a new entry is the final
+// even store and readers can never observe half-written fields. The fields
+// themselves are relaxed atomics — the seq protocol provides the ordering,
+// the atomicity only keeps the individual loads untorn — which keeps the
+// scheme exact under ThreadSanitizer rather than "benign-race" folklore.
+//
+// The mutating operations (mirror, create, revoke) are the uncommon cases;
+// validation, the per-call operation, takes no lock in lock-free mode. The
+// single-mutex variant is kept behind the `lock_free` option as the
+// contention baseline bench_mt_throughput compares against.
+
+#ifndef SRC_KERN_SHARDED_BINDING_TABLE_H_
+#define SRC_KERN_SHARDED_BINDING_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/kern/binding_table.h"
+
+namespace lrpc {
+
+class ShardedBindingTable {
+ public:
+  struct Options {
+    int shards = 16;
+    bool lock_free = true;
+    // Ids beyond this never validate; sized at construction so no operation
+    // resizes shared storage.
+    int max_bindings = 256;
+  };
+
+  ShardedBindingTable() : ShardedBindingTable(Options()) {}
+  explicit ShardedBindingTable(Options options);
+
+  // Copies every record of `table` into the mirror (setup, or any moment
+  // when no validators are running). Entries keep a pointer to the kernel's
+  // real BindingRecord, which stays the owner of regions and interface data.
+  void MirrorFrom(BindingTable& table);
+
+  // Adds one entry (MirrorFrom uses this; property tests drive it
+  // directly). Thread-safe against concurrent Validate.
+  Status AddEntry(BindingId id, std::uint64_t nonce, DomainId client,
+                  bool revoked, BindingRecord* record);
+
+  // Call-leg validation: forged (unknown id, nonce mismatch, wrong holder)
+  // and revoked detection, same statuses as BindingTable::Validate.
+  Result<BindingRecord*> Validate(const BindingObject& object,
+                                  DomainId caller) const;
+
+  // Marks `id` revoked. Thread-safe against concurrent Validate.
+  void Revoke(BindingId id);
+
+  bool lock_free() const { return options_.lock_free; }
+  int shard_count() const { return options_.shards; }
+  std::uint64_t validations() const {
+    return validations_.load(std::memory_order_relaxed);
+  }
+  // Times a reader saw an odd or moved sequence and went around again.
+  std::uint64_t seq_retries() const {
+    return seq_retries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    // 0 = empty; odd = writer mid-update; even > 0 = stable.
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> nonce{0};
+    std::atomic<DomainId> client{kNoDomain};
+    std::atomic<bool> revoked{false};
+    std::atomic<BindingRecord*> record{nullptr};
+  };
+  struct Shard {
+    std::mutex mutex;  // Writers only (lock-free mode).
+    std::unique_ptr<Entry[]> entries;
+  };
+
+  Entry* FindEntry(BindingId id) const;
+  Shard& shard_of(BindingId id) const {
+    return shards_[static_cast<std::size_t>(
+        id % static_cast<BindingId>(options_.shards))];
+  }
+
+  Options options_;
+  int slots_per_shard_;
+  mutable std::unique_ptr<Shard[]> shards_;
+  // The baseline's single table-wide lock (locked mode only).
+  mutable std::mutex global_mutex_;
+  mutable std::atomic<std::uint64_t> validations_{0};
+  mutable std::atomic<std::uint64_t> seq_retries_{0};
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_KERN_SHARDED_BINDING_TABLE_H_

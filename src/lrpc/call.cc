@@ -90,6 +90,19 @@ Status LrpcRuntime::Call(Processor& cpu, ThreadId thread_id,
   return status;
 }
 
+// The per-worker entry of the parallel-host backend: the same fast path,
+// minus the runtime-wide stats fold and the tracer — both are shared
+// mutable state no concurrent call may touch. Workers aggregate their own
+// CallStats and the ParallelMachine folds them after the join.
+Status LrpcRuntime::CallParallel(Processor& cpu, ThreadId thread_id,
+                                 ClientBinding& binding, int procedure,
+                                 std::span<const CallArg> args,
+                                 std::span<const CallRet> rets, CallStats& cs) {
+  LRPC_CHECK(backend_ == RuntimeBackend::kParallelHost);
+  cs = CallStats{};
+  return CallLocal(cpu, thread_id, binding, procedure, args, rets, cs);
+}
+
 // The common-case call: client stub, kernel validation and transfer, server
 // stub, and the return leg. Everything here is "a handful of moves and a
 // trap" — lrpc_lint rejects allocation, logging and lock acquisition until
@@ -143,15 +156,23 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
 
   // Take an A-stack off the procedure's LIFO queue. The injection point
   // makes the queue read as empty: the pool is exhausted (Section 5.2).
+  // Under the parallel-host backend the binding carries a real-thread
+  // overlay of the free list; every pop and push on this path goes through
+  // it instead of the SimLock-guarded queue (docs/concurrency.md).
   FaultInjector* injector = kernel_.fault_injector();
   AStackQueue& queue = binding.queue(pd.astack_group);
+  ParFreeList* par_list = binding.par_queue(pd.astack_group);
   Result<AStackRef> astack_result =
       FaultPointFires(injector, FaultKind::kAStackExhaustion)
           ? Result<AStackRef>(
                 Status(ErrorCode::kAStacksExhausted, "fault injection: empty"))
-          : queue.Pop(cpu, model.astack_queue_lock_hold);
+      : par_list != nullptr ? par_list->Pop(cpu, model.astack_queue_lock_hold)
+                            : queue.Pop(cpu, model.astack_queue_lock_hold);
   if (!astack_result.ok()) {
-    if (binding.exhaustion_policy() != AStackExhaustionPolicy::kAllocateMore) {
+    // Growing mutates the binding's region list, which concurrent calls
+    // read without a lock; parallel worlds provision a fixed set instead.
+    if (par_list != nullptr ||
+        binding.exhaustion_policy() != AStackExhaustionPolicy::kAllocateMore) {
       return astack_result.status();
     }
     LRPC_RETURN_IF_ERROR(GrowAStacks(cpu, binding, pd.astack_group));
@@ -161,6 +182,15 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
     }
   }
   const AStackRef astack = *astack_result;
+  // Every exit below this point owns the A-stack and must hand it back
+  // through whichever free structure it came from.
+  auto requeue_astack = [&] {
+    if (par_list != nullptr) {
+      par_list->Push(cpu, astack, model.astack_queue_lock_hold);
+    } else {
+      queue.Push(cpu, astack, model.astack_queue_lock_hold);
+    }
+  };
   if (astack.region->secondary()) {
     cs.used_secondary_astack = true;
   }
@@ -174,7 +204,7 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
     for (std::uint64_t index : oob_used) {
       ReleaseOobSegment(index);
     }
-    queue.Push(cpu, astack, model.astack_queue_lock_hold);
+    requeue_astack();
     return marshal;
   }
 
@@ -189,14 +219,18 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
   auto fail_in_kernel = [&](Status status) {
     // The kernel rejects the call and returns to the stub.
     kernel_.ChargeTrap(cpu);
-    queue.Push(cpu, astack, model.astack_queue_lock_hold);
+    requeue_astack();
     kernel_.NotifyEvent(KernelEventKind::kCallReturned);
     return status;
   };
 
-  // Verify the Binding and procedure identifier.
+  // Verify the Binding and procedure identifier. In parallel mode the leg
+  // validates against the sharded mirror: a seqlock read per entry, no
+  // global table lock (docs/concurrency.md).
   Result<BindingRecord*> record_result =
-      kernel_.bindings().Validate(binding.object(), binding.client());
+      par_bindings_ != nullptr
+          ? par_bindings_->Validate(binding.object(), binding.client())
+          : kernel_.bindings().Validate(binding.object(), binding.client());
   if (!record_result.ok()) {
     return fail_in_kernel(record_result.status());
   }
@@ -250,7 +284,10 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
   // Find an execution stack in the server's domain (lazy A-stack/E-stack
   // association) and run the thread off it.
   Domain& server = kernel_.domain(record->server);
-  Result<int> estack = kernel_.EnsureEStack(server, astack, cpu.clock());
+  Result<int> estack =
+      backend_ == RuntimeBackend::kParallelHost
+          ? kernel_.EnsureEStackParallel(server, astack, cpu.clock())
+          : kernel_.EnsureEStack(server, astack, cpu.clock());
   if (!estack.ok()) {
     t->PopLinkage();
     linkage.in_use = false;
@@ -310,7 +347,7 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
       t->PopLinkage();
     }
     linkage.in_use = false;
-    queue.Push(cpu, astack, model.astack_queue_lock_hold);
+    requeue_astack();
     kernel_.DestroyThread(*t);
     kernel_.NotifyEvent(KernelEventKind::kCallReturned);
     return Status(ErrorCode::kCallAborted, "thread was abandoned by its client");
@@ -373,7 +410,7 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
   // The A-stack stays claimed (in_use) across the return transfer and the
   // unmarshal; it leaves "claimed" only by rejoining the free queue.
   linkage.in_use = false;
-  queue.Push(cpu, astack, model.astack_queue_lock_hold);
+  requeue_astack();
   kernel_.NotifyEvent(KernelEventKind::kCallReturned);
 
   // After a processor exchange the calling thread runs on a processor whose

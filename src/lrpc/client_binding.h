@@ -16,6 +16,7 @@
 #include "src/lrpc/circuit_breaker.h"
 #include "src/lrpc/interface.h"
 #include "src/shm/astack.h"
+#include "src/shm/par_free_list.h"
 
 namespace lrpc {
 
@@ -50,6 +51,22 @@ class ClientBinding {
   }
   int queue_count() const { return static_cast<int>(queues_.size()); }
 
+  // Real-thread overlay of the free queues (docs/concurrency.md): when the
+  // ParallelMachine adopts a world it installs one ParFreeList per group,
+  // and the call path routes every pop and push through it instead of the
+  // SimLock-guarded queue. Non-owning; null in the deterministic backend.
+  void set_par_queue(int group, ParFreeList* list) {
+    if (par_queues_.size() <= static_cast<std::size_t>(group)) {
+      par_queues_.resize(static_cast<std::size_t>(group) + 1, nullptr);
+    }
+    par_queues_[static_cast<std::size_t>(group)] = list;
+  }
+  ParFreeList* par_queue(int group) const {
+    return static_cast<std::size_t>(group) < par_queues_.size()
+               ? par_queues_[static_cast<std::size_t>(group)]
+               : nullptr;
+  }
+
   // Total A-stacks ever allocated to this binding (primary + secondary).
   int allocated_astacks() const { return allocated_astacks_; }
   void add_allocated(int n) { allocated_astacks_ += n; }
@@ -73,6 +90,7 @@ class ClientBinding {
   BindingRecord* record_;
   AStackExhaustionPolicy policy_ = AStackExhaustionPolicy::kAllocateMore;
   std::vector<std::unique_ptr<AStackQueue>> queues_;
+  std::vector<ParFreeList*> par_queues_;
   int allocated_astacks_ = 0;
   std::unique_ptr<CircuitBreaker> breaker_;
 };

@@ -144,6 +144,7 @@ Status LrpcRuntime::GrowAStacks(Processor& cpu, ClientBinding& binding,
 }
 
 SharedSegment* LrpcRuntime::OobSegment(std::uint64_t index) {
+  std::lock_guard<std::mutex> guard(oob_mutex_);
   if (index >= oob_segments_.size()) {
     return nullptr;
   }
@@ -153,6 +154,7 @@ SharedSegment* LrpcRuntime::OobSegment(std::uint64_t index) {
 Result<std::uint64_t> LrpcRuntime::AllocateOobSegment(std::size_t size,
                                                       DomainId client,
                                                       DomainId server) {
+  std::lock_guard<std::mutex> guard(oob_mutex_);
   // Reuse a released segment when one is big enough: out-of-band transfers
   // are per-call, so without reuse a long-running client would leak a
   // segment per oversized call.
@@ -176,6 +178,7 @@ Result<std::uint64_t> LrpcRuntime::AllocateOobSegment(std::size_t size,
 }
 
 void LrpcRuntime::ReleaseOobSegment(std::uint64_t index) {
+  std::lock_guard<std::mutex> guard(oob_mutex_);
   if (index >= oob_segments_.size()) {
     return;
   }
@@ -183,6 +186,7 @@ void LrpcRuntime::ReleaseOobSegment(std::uint64_t index) {
 }
 
 std::size_t LrpcRuntime::LiveOobSegments() const {
+  std::lock_guard<std::mutex> guard(oob_mutex_);
   return oob_segments_.size() - oob_free_list_.size();
 }
 

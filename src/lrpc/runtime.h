@@ -18,6 +18,7 @@
 #define SRC_LRPC_RUNTIME_H_
 
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -26,6 +27,7 @@
 #include "src/common/ids.h"
 #include "src/common/status.h"
 #include "src/kern/kernel.h"
+#include "src/kern/sharded_binding_table.h"
 #include "src/lrpc/call_tracer.h"
 #include "src/lrpc/clerk.h"
 #include "src/lrpc/client_binding.h"
@@ -79,13 +81,26 @@ struct CallStats {
   Status server_status;           // The handler's own return status.
 };
 
+// Which execution engine drives the call path (docs/concurrency.md). The
+// deterministic simulator is the default and is bit-identical to the
+// pre-engine tree; the parallel-host backend runs one real std::thread per
+// processor and routes the shared structures on the call path through their
+// lock-free (or locked-baseline) re-implementations.
+enum class RuntimeBackend : std::uint8_t {
+  kDeterministicSim,
+  kParallelHost,
+};
+
 class LrpcRuntime {
  public:
-  explicit LrpcRuntime(Kernel& kernel) : kernel_(kernel) {}
+  explicit LrpcRuntime(Kernel& kernel,
+                       RuntimeBackend backend = RuntimeBackend::kDeterministicSim)
+      : kernel_(kernel), backend_(backend) {}
 
   Kernel& kernel() { return kernel_; }
   Machine& machine() { return kernel_.machine(); }
   NameServer& names() { return names_; }
+  RuntimeBackend backend() const { return backend_; }
 
   // --- Server side. ---
   // Creates an (unsealed) interface owned by the runtime.
@@ -129,6 +144,22 @@ class LrpcRuntime {
   Status CallByName(Processor& cpu, ThreadId thread, ClientBinding& binding,
                     std::string_view procedure, std::span<const CallArg> args,
                     std::span<const CallRet> rets, CallStats* stats = nullptr);
+
+  // --- Parallel-host backend (src/par, docs/concurrency.md). ---
+  // The per-worker call entry: the same fast path as Call(), minus the
+  // runtime-wide stats fold and the tracer, both of which are shared
+  // mutable state no concurrent call may touch. Only valid on the
+  // kParallelHost backend; per-call numbers come back through `stats`.
+  Status CallParallel(Processor& cpu, ThreadId thread, ClientBinding& binding,
+                      int procedure, std::span<const CallArg> args,
+                      std::span<const CallRet> rets, CallStats& stats);
+
+  // Installs the sharded mirror the call leg validates against in parallel
+  // mode (non-owning; the ParallelMachine owns it). Null detaches.
+  void AttachShardedBindings(ShardedBindingTable* table) {
+    par_bindings_ = table;
+  }
+  ShardedBindingTable* sharded_bindings() { return par_bindings_; }
 
   // --- Out-of-band segments (Section 5.2). ---
   SharedSegment* OobSegment(std::uint64_t index);
@@ -189,12 +220,18 @@ class LrpcRuntime {
   void ReleaseOobSegment(std::uint64_t index);
 
   Kernel& kernel_;
+  RuntimeBackend backend_ = RuntimeBackend::kDeterministicSim;
+  ShardedBindingTable* par_bindings_ = nullptr;
   NameServer names_;
   std::vector<std::unique_ptr<Interface>> interfaces_;
   std::vector<std::unique_ptr<Clerk>> clerks_;       // Indexed by DomainId.
   std::vector<std::unique_ptr<ClientBinding>> bindings_;
   std::vector<std::unique_ptr<SharedSegment>> oob_segments_;
   std::vector<std::uint64_t> oob_free_list_;
+  // Out-of-band segments are uncommon-case (Section 5.2) and mutate shared
+  // vectors; the mutex keeps them safe under the parallel backend and is
+  // uncontended in the deterministic one.
+  mutable std::mutex oob_mutex_;
   RuntimeStats stats_;
   CallTracer* tracer_ = nullptr;
 };

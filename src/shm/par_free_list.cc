@@ -1,0 +1,134 @@
+#include "src/shm/par_free_list.h"
+
+#include "src/common/check.h"
+
+namespace lrpc {
+
+ParFreeList::ParFreeList(std::string name, bool lock_free, int capacity)
+    : name_(std::move(name)), lock_free_(lock_free), capacity_(capacity) {
+  LRPC_CHECK(capacity > 0);
+  slots_.reserve(static_cast<std::size_t>(capacity));
+  next_ = std::make_unique<std::atomic<std::int32_t>[]>(
+      static_cast<std::size_t>(capacity));
+  for (int i = 0; i < capacity; ++i) {
+    next_[static_cast<std::size_t>(i)].store(kEmpty,
+                                             std::memory_order_relaxed);
+  }
+  free_ids_.reserve(static_cast<std::size_t>(capacity));
+}
+
+void ParFreeList::Register(AStackRef ref) {
+  LRPC_CHECK(ref.valid());
+  LRPC_CHECK(registered() < capacity_);
+  const auto id = static_cast<std::int32_t>(slots_.size());
+  if (bases_.empty() || bases_.back().region != ref.region) {
+    bases_.push_back({ref.region, id - ref.index});
+  }
+  LRPC_CHECK(NodeOf(ref) == id);
+  slots_.push_back(ref);
+  // Single-threaded setup: seed the free set through the normal paths so
+  // the initial head chain is exactly what a sequence of pushes builds.
+  if (lock_free_) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    next_[static_cast<std::size_t>(id)].store(UnpackIndex(head),
+                                              std::memory_order_relaxed);
+    head_.store(Pack(UnpackTag(head) + 1, id), std::memory_order_relaxed);
+  } else {
+    free_ids_.push_back(id);
+  }
+}
+
+std::int32_t ParFreeList::NodeOf(AStackRef ref) const {
+  for (const RegionBase& base : bases_) {
+    if (base.region == ref.region) {
+      return base.base + ref.index;
+    }
+  }
+  return kEmpty;
+}
+
+Result<AStackRef> ParFreeList::Pop(Processor& cpu,
+                                   SimDuration charge_while_held) {
+  if (charge_while_held > 0) {
+    cpu.Charge(CostCategory::kClientStub, charge_while_held);
+  }
+  if (lock_free_) {
+    std::uint64_t head = head_.load(std::memory_order_acquire);
+    for (;;) {
+      const std::int32_t index = UnpackIndex(head);
+      if (index < 0) {
+        return Status(ErrorCode::kAStacksExhausted);
+      }
+      // A rival may pop `index` and push it back before our exchange; the
+      // stale next value cannot win then, because the tag has moved on.
+      const std::int32_t next =
+          next_[static_cast<std::size_t>(index)].load(
+              std::memory_order_relaxed);
+      // Success is the acquire edge: it orders this thread after the push
+      // that freed `index`, covering the A-stack and linkage it now owns.
+      if (head_.compare_exchange_weak(head, Pack(UnpackTag(head) + 1, next),
+                                      std::memory_order_acquire,
+                                      std::memory_order_acquire)) {
+        pops_.fetch_add(1, std::memory_order_relaxed);
+        return slots_[static_cast<std::size_t>(index)];
+      }
+      cas_retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (free_ids_.empty()) {
+    return Status(ErrorCode::kAStacksExhausted);
+  }
+  const std::int32_t id = free_ids_.back();
+  free_ids_.pop_back();
+  pops_.fetch_add(1, std::memory_order_relaxed);
+  return slots_[static_cast<std::size_t>(id)];
+}
+
+void ParFreeList::Push(Processor& cpu, AStackRef ref,
+                       SimDuration charge_while_held) {
+  if (charge_while_held > 0) {
+    cpu.Charge(CostCategory::kClientStub, charge_while_held);
+  }
+  const std::int32_t id = NodeOf(ref);
+  LRPC_CHECK(id >= 0 && id < registered());
+  if (lock_free_) {
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      next_[static_cast<std::size_t>(id)].store(UnpackIndex(head),
+                                                std::memory_order_relaxed);
+      // Release publishes every write this owner made to the A-stack and
+      // its linkage; the next pop's acquire picks them up.
+      if (head_.compare_exchange_weak(head, Pack(UnpackTag(head) + 1, id),
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+        pushes_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      cas_retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  std::lock_guard<std::mutex> guard(mutex_);
+  free_ids_.push_back(id);
+  pushes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<AStackRef> ParFreeList::Snapshot() const {
+  std::vector<AStackRef> out;
+  if (lock_free_) {
+    std::int32_t index = UnpackIndex(head_.load(std::memory_order_acquire));
+    while (index >= 0) {
+      out.push_back(slots_[static_cast<std::size_t>(index)]);
+      index = next_[static_cast<std::size_t>(index)].load(
+          std::memory_order_relaxed);
+    }
+    return out;
+  }
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (auto it = free_ids_.rbegin(); it != free_ids_.rend(); ++it) {
+    out.push_back(slots_[static_cast<std::size_t>(*it)]);
+  }
+  return out;
+}
+
+}  // namespace lrpc

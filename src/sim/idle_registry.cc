@@ -1,0 +1,103 @@
+#include "src/sim/idle_registry.h"
+
+#include "src/common/check.h"
+
+namespace lrpc {
+
+IdleProcessorRegistry::IdleProcessorRegistry(int processor_count,
+                                             int max_contexts)
+    : processor_count_(processor_count), max_contexts_(max_contexts) {
+  LRPC_CHECK(processor_count > 0);
+  LRPC_CHECK(max_contexts > 0);
+  slots_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(processor_count));
+  miss_counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(max_contexts));
+  for (int i = 0; i < processor_count; ++i) {
+    slots_[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
+  }
+  for (int i = 0; i < max_contexts; ++i) {
+    miss_counts_[static_cast<std::size_t>(i)].store(
+        0, std::memory_order_relaxed);
+  }
+}
+
+void IdleProcessorRegistry::Park(int cpu, VmContextId context) {
+  LRPC_DCHECK(cpu >= 0 && cpu < processor_count_);
+  LRPC_DCHECK(context >= 0);
+  slots_[static_cast<std::size_t>(cpu)].store(Encode(context),
+                                              std::memory_order_release);
+}
+
+void IdleProcessorRegistry::Unpark(int cpu) {
+  LRPC_DCHECK(cpu >= 0 && cpu < processor_count_);
+  slots_[static_cast<std::size_t>(cpu)].store(0, std::memory_order_relaxed);
+}
+
+int IdleProcessorRegistry::TryClaimInContext(VmContextId context) {
+  if (context < 0) {
+    return -1;
+  }
+  const std::uint64_t want = Encode(context);
+  for (int i = 0; i < processor_count_; ++i) {
+    std::uint64_t seen =
+        slots_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    if (seen != want) {
+      continue;
+    }
+    // Acquire on success: the claimant is ordered after the Park that
+    // published this processor, and therefore after the previous exchange's
+    // writes to its clock, TLB and context.
+    if (slots_[static_cast<std::size_t>(i)].compare_exchange_strong(
+            seen, 0, std::memory_order_acquire, std::memory_order_relaxed)) {
+      claims_.fetch_add(1, std::memory_order_relaxed);
+      return i;
+    }
+  }
+  failed_claims_.fetch_add(1, std::memory_order_relaxed);
+  return -1;
+}
+
+void IdleProcessorRegistry::RecordMiss(VmContextId context) {
+  if (context < 0 || context >= max_contexts_) {
+    return;
+  }
+  miss_counts_[static_cast<std::size_t>(context)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::uint64_t IdleProcessorRegistry::misses(VmContextId context) const {
+  if (context < 0 || context >= max_contexts_) {
+    return 0;
+  }
+  return miss_counts_[static_cast<std::size_t>(context)].load(
+      std::memory_order_relaxed);
+}
+
+VmContextId IdleProcessorRegistry::BusiestMissedContext() const {
+  VmContextId best = kNoVmContext;
+  std::uint64_t best_count = 0;
+  for (int i = 0; i < max_contexts_; ++i) {
+    const std::uint64_t count =
+        miss_counts_[static_cast<std::size_t>(i)].load(
+            std::memory_order_relaxed);
+    if (count > best_count) {
+      best_count = count;
+      best = static_cast<VmContextId>(i);
+    }
+  }
+  return best;
+}
+
+int IdleProcessorRegistry::parked_count() const {
+  int parked = 0;
+  for (int i = 0; i < processor_count_; ++i) {
+    if (slots_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed) !=
+        0) {
+      ++parked;
+    }
+  }
+  return parked;
+}
+
+}  // namespace lrpc

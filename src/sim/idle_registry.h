@@ -1,0 +1,81 @@
+// Lock-free idle-processor registry (domain caching under real threads;
+// docs/concurrency.md).
+//
+// On the simulated machine the Section 3.4 exchange finds an idle processor
+// with a linear scan over Processor::idle() flags — fine when one host
+// thread drives everything, a data race the moment each Processor has its
+// own std::thread. Here each processor gets one atomic slot:
+//
+//   0            not claimable (running, or already claimed)
+//   context + 1  parked, idling with that VM context loaded
+//
+// Parking is a release store; claiming is a compare-exchange of the slot
+// back to 0 with acquire on success. A successful claim therefore (a) is
+// exclusive — no two callers can win the same exchange — and (b) orders the
+// claimant after every mutation the previous exchange made to the parked
+// processor's clock, TLB and loaded context. The kernel's EnterDomain uses
+// this registry instead of the scan whenever a Machine has it enabled.
+//
+// Idle-miss counters (what ProdIdleProcessors steers by in the simulator)
+// are kept here as fixed-capacity relaxed atomics so the miss path never
+// resizes shared storage.
+
+#ifndef SRC_SIM_IDLE_REGISTRY_H_
+#define SRC_SIM_IDLE_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/sim/processor.h"
+
+namespace lrpc {
+
+class IdleProcessorRegistry {
+ public:
+  // `max_contexts` bounds the VM context ids the miss counters can track;
+  // misses on larger ids are counted in aggregate only.
+  IdleProcessorRegistry(int processor_count, int max_contexts);
+
+  // Publishes processor `cpu` as claimable, idling in `context`. Release:
+  // everything done to the processor before parking is visible to the
+  // eventual claimant.
+  void Park(int cpu, VmContextId context);
+  // Withdraws a parked processor (it keeps whatever context it has loaded).
+  void Unpark(int cpu);
+
+  // Claims any processor parked in `context`; returns its id, or -1. The
+  // winner owns the processor outright until it parks it again.
+  int TryClaimInContext(VmContextId context);
+
+  // A call wanted an idler in `context` and found none (drives prodding
+  // decisions, mirrors Machine::RecordIdleMiss).
+  void RecordMiss(VmContextId context);
+  std::uint64_t misses(VmContextId context) const;
+  VmContextId BusiestMissedContext() const;
+
+  int processor_count() const { return processor_count_; }
+  int parked_count() const;
+  std::uint64_t claims() const {
+    return claims_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t failed_claims() const {
+    return failed_claims_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static std::uint64_t Encode(VmContextId context) {
+    return static_cast<std::uint64_t>(context) + 1;
+  }
+
+  int processor_count_;
+  int max_contexts_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> miss_counts_;
+  std::atomic<std::uint64_t> claims_{0};
+  std::atomic<std::uint64_t> failed_claims_{0};
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_SIM_IDLE_REGISTRY_H_

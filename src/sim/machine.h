@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/sim/idle_registry.h"
 #include "src/sim/machine_model.h"
 #include "src/sim/processor.h"
 #include "src/sim/time.h"
@@ -55,6 +56,17 @@ class Machine {
   // spin in), or kNoVmContext if there have been no misses.
   VmContextId BusiestMissedContext() const;
 
+  // --- Real-thread idle registry (parallel engine, docs/concurrency.md). ---
+  // Replaces the scan-based registry above with a lock-free one; while
+  // enabled, Kernel::EnterDomain claims idlers through it instead of
+  // FindIdleInContext, and Kernel::ParkIdleProcessor publishes through it.
+  // `max_contexts` bounds the VM context ids the miss counters track.
+  void EnableParallelIdle(int max_contexts) {
+    par_idle_ = std::make_unique<IdleProcessorRegistry>(processor_count(),
+                                                        max_contexts);
+  }
+  IdleProcessorRegistry* parallel_idle() { return par_idle_.get(); }
+
   // Exchanges the loaded VM contexts (and TLB warmth) of the caller's
   // processor and an idle processor, so the calling thread continues on a
   // processor where the target context is already loaded. Charges the
@@ -78,6 +90,7 @@ class Machine {
   std::vector<std::unique_ptr<Processor>> processors_;
   int active_processors_ = 1;
   std::vector<std::uint64_t> idle_miss_counts_;  // Indexed by VmContextId.
+  std::unique_ptr<IdleProcessorRegistry> par_idle_;
 };
 
 }  // namespace lrpc

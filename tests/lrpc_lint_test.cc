@@ -140,6 +140,75 @@ TEST(FastPathRule, FlagsUnbalancedRegions) {
             1);  // The nested BEGIN.
 }
 
+TEST(FastPathRule, AtomicIdiomIsAllowedWithoutEscapeHatch) {
+  // Lock-free synchronization is what the fast path is made of: atomic
+  // loads, CAS loops, fences and fetch-and-add need no ALLOW marker.
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "LRPC_FAST_PATH_BEGIN(\"r\");\n"
+      "Node* expected = head_.load(std::memory_order_acquire);\n"
+      "while (!head_.compare_exchange_weak(expected, next,\n"
+      "                                    std::memory_order_release)) {}\n"
+      "claims_.fetch_add(1, std::memory_order_relaxed);\n"
+      "std::atomic_thread_fence(std::memory_order_seq_cst);\n"
+      "LRPC_FAST_PATH_END(\"r\");\n");
+  EXPECT_EQ(CountRule(result, "lrpc-fast-path"), 0);
+  EXPECT_EQ(result.suppressions_used, 0);
+}
+
+TEST(FastPathRule, AtomicIdiomExemptsOtherRulesOnThatLine) {
+  // A line that is visibly an atomic exchange is trusted wholesale for the
+  // non-mutex rules (the idiom marker, not an ALLOW, is the license).
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "LRPC_FAST_PATH_BEGIN(\"r\");\n"
+      "seen.insert(ticket_.fetch_add(1, std::memory_order_acq_rel));\n"
+      "LRPC_FAST_PATH_END(\"r\");\n");
+  EXPECT_EQ(CountRule(result, "lrpc-fast-path"), 0);
+}
+
+TEST(FastPathRule, MutexAcquisitionIsFlaggedWithoutAllow) {
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "LRPC_FAST_PATH_BEGIN(\"r\");\n"
+      "mu_.lock();\n"
+      "std::lock_guard<std::mutex> guard(table_mu_);\n"
+      "LRPC_FAST_PATH_END(\"r\");\n");
+  // The lock() call, plus the guard line's std::lock_guard and std::mutex.
+  EXPECT_EQ(CountRule(result, "lrpc-fast-path"), 3);
+  EXPECT_TRUE(HasFinding(result, "lrpc-fast-path", "src/x.cc", 2));
+  EXPECT_TRUE(HasFinding(result, "lrpc-fast-path", "src/x.cc", 3));
+}
+
+TEST(FastPathRule, AtomicIdiomDoesNotExemptMutexAcquisition) {
+  // A mutex next to an atomic is still a mutex: the idiom exemption never
+  // covers the mutex family, only an explicit ALLOW does.
+  const LintResult flagged = LintSnippet(
+      "src/x.cc",
+      "LRPC_FAST_PATH_BEGIN(\"r\");\n"
+      "epoch_.fetch_add(1, std::memory_order_relaxed); mu_.lock();\n"
+      "LRPC_FAST_PATH_END(\"r\");\n");
+  EXPECT_EQ(CountRule(flagged, "lrpc-fast-path"), 1);
+  EXPECT_TRUE(HasFinding(flagged, "lrpc-fast-path", "src/x.cc", 2));
+
+  const LintResult allowed = LintSnippet(
+      "src/x.cc",
+      "LRPC_FAST_PATH_BEGIN(\"r\");\n"
+      "LRPC_FAST_PATH_ALLOW(\"startup only, no call in flight\");\n"
+      "mu_.lock();\n"
+      "LRPC_FAST_PATH_END(\"r\");\n");
+  EXPECT_EQ(CountRule(allowed, "lrpc-fast-path"), 0);
+  EXPECT_EQ(allowed.suppressions_used, 1);
+}
+
+TEST(FastPathRule, MutexWordsOutsideRegionsAreIgnored) {
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "std::mutex mu_;\n"
+      "void Slow() { std::lock_guard<std::mutex> g(mu_); }\n");
+  EXPECT_EQ(CountRule(result, "lrpc-fast-path"), 0);
+}
+
 TEST(FastPathRule, MacroDefinitionsAreNotMarkers) {
   const LintResult result = LintSnippet(
       "src/common/fast_path.h",
@@ -308,10 +377,13 @@ TEST(FixtureTree, LoadsAndFindsEverySeededViolation) {
   ASSERT_EQ(tests.size(), 1u);
 
   const LintResult result = RunLint(sources, tests);
-  // The seeded fast-path new, log call and lock guard.
-  EXPECT_EQ(CountRule(result, "lrpc-fast-path"), 3);
+  // The seeded fast-path new, log call and lock guard, plus the seeded
+  // mutex acquisition; the CAS loop in fastpath_atomic.cc adds nothing.
+  EXPECT_EQ(CountRule(result, "lrpc-fast-path"), 4);
   EXPECT_TRUE(
       HasFinding(result, "lrpc-fast-path", "src/bad/fastpath_new.cc", 12));
+  EXPECT_TRUE(
+      HasFinding(result, "lrpc-fast-path", "src/bad/fastpath_mutex.cc", 15));
   // The stale include guard.
   EXPECT_TRUE(HasFinding(result, "lrpc-header-guard", "src/bad/bad_guard.h", 2));
   // Header-scope using namespace and the abort macro in a header.

@@ -381,5 +381,94 @@ TEST(FaultInjection, SchedulerDelaySlowsOnlyTheMessagePath) {
   EXPECT_GE(delayed, clean + Micros(100));
 }
 
+// --- Determinism regression: the default simulator backend must keep
+// producing the seed's bench tables bit-for-bit. The parallel engine
+// (src/par) branches off the same call path; these pins catch any
+// accidental cost or ordering drift on the deterministic side. The
+// expectations are the repo's Table 4 / Table 5 outputs (which match the
+// paper's C-VAX Firefly columns); every call is cycle-deterministic, so
+// the per-call average is exact, not approximate.
+
+namespace determinism {
+
+constexpr int kPinCalls = 2000;
+
+SimDuration MeasureLrpcTicks(bool multiprocessor, int proc_kind) {
+  TestbedOptions options;
+  if (multiprocessor) {
+    options.processors = 2;
+    options.park_idle_in_server = true;
+  }
+  Testbed bed(options);
+  std::uint8_t big_in[kBigSize] = {};
+  std::uint8_t big_out[kBigSize];
+  std::int32_t sum = 0;
+  auto call = [&]() {
+    switch (proc_kind) {
+      case 0:
+        (void)bed.CallNull();
+        break;
+      case 1:
+        (void)bed.CallAdd(1, 2, &sum);
+        break;
+      case 2:
+        (void)bed.CallBigIn(big_in);
+        break;
+      default:
+        (void)bed.CallBigInOut(big_in, big_out);
+        break;
+    }
+  };
+  call();  // Warm the context and E-stack association.
+  const SimTime start = bed.cpu(0).clock();
+  for (int i = 0; i < kPinCalls; ++i) {
+    call();
+  }
+  return bed.cpu(0).clock() - start;
+}
+
+}  // namespace determinism
+
+TEST(DeterminismPin, Table4LatenciesAreSeedIdentical) {
+  using determinism::MeasureLrpcTicks;
+  // Exact simulated-tick totals for 2000 steady-state calls; the per-call
+  // averages are Table 4's 157/164/192/227 µs (LRPC) and 125/133/172/219 µs
+  // (LRPC/MP). Pinning ticks rather than rounded µs makes any drift — even
+  // one tick on one call — fail loudly.
+  EXPECT_EQ(MeasureLrpcTicks(false, 0), 314000000);   // Null: 157 us/call
+  EXPECT_EQ(MeasureLrpcTicks(false, 1), 328004000);   // Add
+  EXPECT_EQ(MeasureLrpcTicks(false, 2), 384000000);   // BigIn: 192 us/call
+  EXPECT_EQ(MeasureLrpcTicks(false, 3), 454000000);   // BigInOut: 227 us/call
+  // LRPC/MP column (idle-processor domain caching on the second CPU).
+  EXPECT_EQ(MeasureLrpcTicks(true, 0), 250000000);    // Null: 125 us/call
+  EXPECT_EQ(MeasureLrpcTicks(true, 1), 265444000);    // Add
+  EXPECT_EQ(MeasureLrpcTicks(true, 2), 344000000);    // BigIn: 172 us/call
+  EXPECT_EQ(MeasureLrpcTicks(true, 3), 438000000);    // BigInOut: 219 us/call
+}
+
+TEST(DeterminismPin, Table5BreakdownIsSeedIdentical) {
+  Testbed bed;
+  for (int i = 0; i < 3; ++i) {
+    (void)bed.CallNull();  // Reach steady state, then attribute one call.
+  }
+  const CostLedger before = bed.cpu(0).ledger();
+  const std::uint64_t misses_before = bed.cpu(0).tlb().miss_count();
+  ASSERT_TRUE(bed.CallNull().ok());
+  const CostLedger d = bed.cpu(0).ledger().Diff(before);
+  const std::uint64_t misses = bed.cpu(0).tlb().miss_count() - misses_before;
+
+  EXPECT_DOUBLE_EQ(ToMicros(d.total(CostCategory::kProcedureCall)), 7.0);
+  EXPECT_DOUBLE_EQ(ToMicros(d.total(CostCategory::kKernelTrap)), 36.0);
+  EXPECT_DOUBLE_EQ(ToMicros(d.total(CostCategory::kContextSwitch)), 66.0);
+  EXPECT_DOUBLE_EQ(ToMicros(d.MinimumTotal()), 109.0);
+  EXPECT_DOUBLE_EQ(ToMicros(d.total(CostCategory::kClientStub)), 18.0);
+  EXPECT_DOUBLE_EQ(ToMicros(d.total(CostCategory::kServerStub)), 3.0);
+  EXPECT_DOUBLE_EQ(ToMicros(d.total(CostCategory::kKernelPath)), 27.0);
+  EXPECT_DOUBLE_EQ(ToMicros(d.LrpcOverheadTotal()), 48.0);
+  EXPECT_DOUBLE_EQ(ToMicros(d.GrandTotal()), 157.0);
+  // Section 4's TLB accounting: exactly the paper's 43 misses per call.
+  EXPECT_EQ(misses, 43u);
+}
+
 }  // namespace
 }  // namespace lrpc

@@ -193,7 +193,39 @@ constexpr ForbiddenConstruct kForbidden[] = {
     {"LRPC_LOG", false, "logging"},
     {"SimLockGuard", false, "lock acquisition"},
     {"Acquire", true, "lock acquisition"},
+    // The mutex family blocks, which the fast path must never do
+    // (docs/concurrency.md); atomics are the sanctioned alternative.
+    {"std::mutex", false, "mutex acquisition"},
+    {"std::shared_mutex", false, "mutex acquisition"},
+    {"std::recursive_mutex", false, "mutex acquisition"},
+    {"std::timed_mutex", false, "mutex acquisition"},
+    {"std::lock_guard", false, "mutex acquisition"},
+    {"std::unique_lock", false, "mutex acquisition"},
+    {"std::scoped_lock", false, "mutex acquisition"},
+    {"lock", true, "mutex acquisition"},
+    {"try_lock", true, "mutex acquisition"},
 };
+
+// Lock-free synchronization is the one kind the fast path may do: a line
+// that is visibly an atomic idiom is exempt from the purity tokens above —
+// except the mutex family, which always needs an explicit ALLOW (a mutex
+// next to an atomic is still a mutex).
+bool IsAtomicIdiom(const std::string& line) {
+  static constexpr const char* kAtomicMarkers[] = {
+      "std::atomic",        "compare_exchange", "fetch_add",
+      "fetch_sub",          "memory_order",     "atomic_thread_fence",
+      "atomic_signal_fence"};
+  for (const char* marker : kAtomicMarkers) {
+    if (line.find(marker) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsMutexRule(const ForbiddenConstruct& f) {
+  return std::string_view(f.why) == "mutex acquisition";
+}
 
 class Linter {
  public:
@@ -294,11 +326,15 @@ class Linter {
       const bool allowed =
           ContainsWord(line, "LRPC_FAST_PATH_ALLOW") ||
           (i > 0 && ContainsWord(cleaned[i - 1], "LRPC_FAST_PATH_ALLOW"));
+      const bool atomic_idiom = IsAtomicIdiom(line);
       for (const ForbiddenConstruct& f : kForbidden) {
         const bool hit = f.method_call ? ContainsMethodCall(line, f.token)
                                        : ContainsWord(line, f.token);
         if (!hit) {
           continue;
+        }
+        if (atomic_idiom && !IsMutexRule(f)) {
+          continue;  // CAS loops and fences are fast-path-legal.
         }
         if (allowed) {
           ++result_.suppressions_used;

@@ -1,0 +1,23 @@
+// Fixture: a seeded mutex acquisition on the fast path. lrpc_lint must
+// flag the blocking lock() inside the region (atomics are fine, mutexes
+// are not) and ignore the identical call outside it.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex mu_;  // Outside any region: declaring the mutex is not flagged.
+
+void Outside() { mu_.lock(); }  // Outside any region: not flagged.
+
+LRPC_FAST_PATH_BEGIN("mutex fixture");
+
+int Transfer(int value) {
+  mu_.lock();
+  int out = value + 1;
+  mu_.unlock();
+  return out;
+}
+
+LRPC_FAST_PATH_END("mutex fixture");
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: lock-free synchronization inside a fast-path region. Atomic
+// loads, CAS loops, fences and fetch-and-add are the sanctioned fast-path
+// idiom and must lint clean without any ALLOW marker.
+#include <atomic>
+
+namespace fixture {
+
+struct Node {
+  Node* next = nullptr;
+};
+
+std::atomic<Node*> head_{nullptr};
+std::atomic<int> claims_{0};
+
+LRPC_FAST_PATH_BEGIN("atomic fixture");
+
+Node* Pop() {
+  Node* expected = head_.load(std::memory_order_acquire);
+  while (expected != nullptr &&
+         !head_.compare_exchange_weak(expected, expected->next,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+  }
+  claims_.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  return expected;
+}
+
+LRPC_FAST_PATH_END("atomic fixture");
+
+}  // namespace fixture
