@@ -155,6 +155,42 @@ std::string ProcComment(const CompiledProc& proc) {
   return line;
 }
 
+// Generation-time mirror of Interface::Seal's inline-eligibility rule
+// (docs/fast_path.md): every parameter fixed-size with plain marshaling,
+// packed in/out bytes within kInlineBytesLimit, slot span within the
+// linkage register window. Offsets are 8-byte-aligned slots in declaration
+// order, exactly ParamOffset's layout — sema resolved struct sizes, so the
+// numbers are known here and the stub embeds them as constants.
+struct InlineLayout {
+  bool eligible = false;
+  std::size_t span = 0;
+  std::vector<std::size_t> offsets;  // One per parameter.
+};
+
+InlineLayout ComputeInlineLayout(const CompiledProc& proc) {
+  InlineLayout layout;
+  std::size_t in_bytes = 0;
+  std::size_t out_bytes = 0;
+  for (const CompiledParam& p : proc.params) {
+    if (p.fixed_size == 0 || p.flags.immutable || p.flags.type_checked ||
+        p.flags.by_ref || p.kind == IdlTypeKind::kCardinal) {
+      return layout;  // Ineligible; offsets unused.
+    }
+    layout.offsets.push_back(layout.span);
+    if (!IsOut(p)) {
+      in_bytes += p.fixed_size;
+    }
+    if (!IsIn(p)) {
+      out_bytes += p.fixed_size;
+    }
+    layout.span += (p.fixed_size + 7) & ~std::size_t{7};
+  }
+  layout.eligible = in_bytes <= kInlineBytesLimit &&
+                    out_bytes <= kInlineBytesLimit &&
+                    layout.span <= kInlineSlotSpanLimit;
+  return layout;
+}
+
 std::string FieldCppType(const CompiledField& field) {
   switch (field.kind) {
     case IdlTypeKind::kInt32:
@@ -361,10 +397,14 @@ void CodeGenerator::EmitClientClass(const CompiledInterface& iface,
   *out += "  }\n\n";
   *out += "  lrpc::ClientBinding& binding() { return *binding_; }\n\n";
 
-  for (std::size_t pi = 0; pi < iface.procs.size(); ++pi) {
-    const CompiledProc& proc = iface.procs[pi];
-    *out += "  // " + ProcComment(proc) + "\n";
-    *out += "  " + ClientMethodSignature(proc) + " {\n";
+  // The general-path body: build CallArg/CallRet spans and go through
+  // LrpcRuntime::Call. Inline-eligible procedures also get this body as a
+  // `<Name>_General` method so tests can compare the two paths byte for
+  // byte.
+  auto emit_general = [out](const CompiledProc& proc, std::size_t pi,
+                            const std::string& method_name) {
+    *out += "  lrpc::Status " + method_name + "(" + ClientParams(proc) +
+            ") {\n";
     std::string args_init, rets_init;
     int n_args = 0, n_rets = 0;
     for (const CompiledParam& p : proc.params) {
@@ -422,6 +462,66 @@ void CodeGenerator::EmitClientClass(const CompiledInterface& iface,
     *out += n_rets > 0 ? "rets, " : "{}, ";
     *out += "stats);\n";
     *out += "  }\n\n";
+  };
+
+  // The inline body: pack fixed-size arguments into a block at their slot
+  // offsets and move the whole window in one CallInline (Section 2.2's
+  // register-passed arguments; docs/fast_path.md).
+  auto emit_inline = [out](const CompiledProc& proc, std::size_t pi,
+                           const InlineLayout& layout) {
+    *out += "  lrpc::Status " + proc.name + "(" + ClientParams(proc) +
+            ") {\n";
+    if (layout.span == 0) {
+      *out += "    return runtime_->CallInline(cpu, thread, *binding_, " +
+              std::to_string(pi) + ",\n        nullptr, nullptr, stats);\n";
+      *out += "  }\n\n";
+      return;
+    }
+    *out += "    unsigned char block[" + std::to_string(layout.span) +
+            "] = {};\n";
+    for (std::size_t i = 0; i < proc.params.size(); ++i) {
+      const CompiledParam& p = proc.params[i];
+      if (IsOut(p)) {
+        continue;
+      }
+      // Value and reference parameters need their address; pointer-shaped
+      // parameters (bytes, inout) are already addresses.
+      const std::string src =
+          (IsBytes(p) || IsInOut(p)) ? p.name : "&" + p.name;
+      *out += "    std::memcpy(block + " + std::to_string(layout.offsets[i]) +
+              ", " + src + ", " + std::to_string(p.fixed_size) + ");\n";
+    }
+    *out += "    const lrpc::Status inline_status =\n"
+            "        runtime_->CallInline(cpu, thread, *binding_, " +
+            std::to_string(pi) + ", block, block, stats);\n";
+    *out += "    if (!inline_status.ok()) { return inline_status; }\n";
+    for (std::size_t i = 0; i < proc.params.size(); ++i) {
+      const CompiledParam& p = proc.params[i];
+      if (IsIn(p)) {
+        continue;
+      }
+      *out += "    std::memcpy(" + p.name + ", block + " +
+              std::to_string(layout.offsets[i]) + ", " +
+              std::to_string(p.fixed_size) + ");\n";
+    }
+    *out += "    return inline_status;\n";
+    *out += "  }\n\n";
+  };
+
+  for (std::size_t pi = 0; pi < iface.procs.size(); ++pi) {
+    const CompiledProc& proc = iface.procs[pi];
+    const InlineLayout layout = ComputeInlineLayout(proc);
+    *out += "  // " + ProcComment(proc) + "\n";
+    if (layout.eligible) {
+      emit_inline(proc, pi, layout);
+      *out += "  // General-path variant of " + proc.name +
+              " (differential testing; same\n"
+              "  // arguments, A-stack marshaling instead of the register "
+              "window).\n";
+      emit_general(proc, pi, proc.name + "_General");
+    } else {
+      emit_general(proc, pi, proc.name);
+    }
   }
 
   *out += " private:\n";

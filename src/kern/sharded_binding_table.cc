@@ -4,10 +4,44 @@
 
 namespace lrpc {
 
+namespace {
+
+// The per-thread binding/validation cache (docs/fast_path.md): a small
+// direct-mapped cache of fully-validated (binding, caller) pairs, tagged
+// with the table generation current when the full validation ran. Strictly
+// thread-private, so probes and fills need no synchronization of their own;
+// the generation tag carries all cross-thread invalidation.
+struct CachedValidation {
+  const void* table = nullptr;  // Which mirror the entry came from.
+  std::uint64_t generation = 0;
+  BindingId id = kNoBinding;
+  std::uint64_t nonce = 0;
+  DomainId client = kNoDomain;
+  BindingRecord* record = nullptr;
+};
+
+constexpr std::size_t kBindingCacheWays = 8;  // Power of two (index mask).
+
+thread_local CachedValidation tls_binding_cache[kBindingCacheWays];
+
+CachedValidation& CacheSlotFor(BindingId id) {
+  return tls_binding_cache[static_cast<std::size_t>(
+      static_cast<std::uint64_t>(id) & (kBindingCacheWays - 1))];
+}
+
+}  // namespace
+
 ShardedBindingTable::ShardedBindingTable(Options options)
     : options_(options) {
   LRPC_CHECK(options_.shards > 0);
   LRPC_CHECK(options_.max_bindings > 0);
+  // Seed the generation from a process-wide epoch so a table constructed at
+  // a freed table's address can never match a thread's cached entries from
+  // the old instance (the cache keys on the table pointer + generation).
+  static std::atomic<std::uint64_t> table_epoch{1};
+  generation_.store(table_epoch.fetch_add(std::uint64_t{1} << 32,
+                                          std::memory_order_relaxed),
+                    std::memory_order_relaxed);
   slots_per_shard_ =
       (options_.max_bindings + options_.shards - 1) / options_.shards;
   shards_ = std::make_unique<Shard[]>(static_cast<std::size_t>(options_.shards));
@@ -62,6 +96,9 @@ Status ShardedBindingTable::AddEntry(BindingId id, std::uint64_t nonce,
   entry->revoked.store(revoked, std::memory_order_relaxed);
   entry->record.store(record, std::memory_order_relaxed);
   entry->seq.store(seq + 2, std::memory_order_release);
+  // Release AFTER the entry is published: a cached validator that observes
+  // the new generation (acquire) therefore observes the entry too.
+  generation_.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
 
@@ -108,6 +145,38 @@ Result<BindingRecord*> ShardedBindingTable::Validate(
   }
 }
 
+Result<BindingRecord*> ShardedBindingTable::ValidateCached(
+    const BindingObject& object, DomainId caller) const {
+  CachedValidation& slot = CacheSlotFor(object.id);
+  // Acquire pairs with the mutators' release bumps: observing a generation
+  // value orders this thread after every entry write that preceded the
+  // bump, so a full validation run under `gen` can be safely re-used for
+  // as long as the generation stays at `gen`.
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (slot.table == this && slot.generation == gen && slot.id == object.id &&
+      slot.nonce == object.nonce && slot.client == caller) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return slot.record;
+  }
+  Result<BindingRecord*> result = Validate(object, caller);
+  if (result.ok()) {
+    // Tagged with the generation loaded BEFORE the full validation: if a
+    // mutation slipped in between, the tag is conservatively old and the
+    // next probe revalidates — a stale success can never be cached under a
+    // newer generation than the validation actually observed.
+    slot.table = this;
+    slot.generation = gen;
+    slot.id = object.id;
+    slot.nonce = object.nonce;
+    slot.client = caller;
+    slot.record = *result;
+  } else if (slot.table == this && slot.id == object.id) {
+    // Drop a now-refuted entry so a same-generation probe cannot revive it.
+    slot.table = nullptr;
+  }
+  return result;
+}
+
 void ShardedBindingTable::Revoke(BindingId id) {
   Entry* entry = FindEntry(id);
   if (entry == nullptr) {
@@ -125,6 +194,11 @@ void ShardedBindingTable::Revoke(BindingId id) {
   entry->seq.store(seq + 1, std::memory_order_release);
   entry->revoked.store(true, std::memory_order_relaxed);
   entry->seq.store(seq + 2, std::memory_order_release);
+  // The bump must be release and must FOLLOW the entry update: a reader
+  // that acquires the new generation value is then ordered after the
+  // revoked store, so its revalidation cannot cache the old entry under
+  // the new generation (docs/fast_path.md has the full argument).
+  generation_.fetch_add(1, std::memory_order_release);
 }
 
 }  // namespace lrpc

@@ -32,6 +32,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/common/cacheline.h"
 #include "src/common/ids.h"
 #include "src/common/status.h"
 #include "src/kern/binding_table.h"
@@ -66,8 +67,23 @@ class ShardedBindingTable {
   Result<BindingRecord*> Validate(const BindingObject& object,
                                   DomainId caller) const;
 
+  // Validate through the calling thread's binding cache (docs/fast_path.md):
+  // a repeat call through the same (binding, caller) pair skips the seqlock
+  // read entirely when the table's generation has not moved since the cached
+  // full validation. Every mutation (AddEntry, Revoke, MirrorFrom) bumps the
+  // generation with release; the cache probe loads it with acquire, so a
+  // thread that has observed a revocation by any means can never hit a stale
+  // entry. Same statuses as Validate.
+  Result<BindingRecord*> ValidateCached(const BindingObject& object,
+                                        DomainId caller) const;
+
   // Marks `id` revoked. Thread-safe against concurrent Validate.
   void Revoke(BindingId id);
+
+  // Monotonic mutation counter; cached validations are tagged with it.
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
   bool lock_free() const { return options_.lock_free; }
   int shard_count() const { return options_.shards; }
@@ -78,9 +94,17 @@ class ShardedBindingTable {
   std::uint64_t seq_retries() const {
     return seq_retries_.load(std::memory_order_relaxed);
   }
+  // ValidateCached probes answered without touching the seqlock.
+  std::uint64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
 
  private:
-  struct Entry {
+  // One line per entry: Validate's seqlock read walks seq, the fields, then
+  // seq again — all on a single cache line — and a writer revoking one
+  // binding invalidates only that binding's line in rival caches
+  // (docs/fast_path.md layout audit).
+  struct LRPC_CACHELINE_ALIGNED Entry {
     // 0 = empty; odd = writer mid-update; even > 0 = stable.
     std::atomic<std::uint64_t> seq{0};
     std::atomic<std::uint64_t> nonce{0};
@@ -88,6 +112,8 @@ class ShardedBindingTable {
     std::atomic<bool> revoked{false};
     std::atomic<BindingRecord*> record{nullptr};
   };
+  static_assert(sizeof(Entry) == kCacheLineSize,
+                "binding-table entry layout audit: one line per entry");
   struct Shard {
     std::mutex mutex;  // Writers only (lock-free mode).
     std::unique_ptr<Entry[]> entries;
@@ -104,8 +130,13 @@ class ShardedBindingTable {
   mutable std::unique_ptr<Shard[]> shards_;
   // The baseline's single table-wide lock (locked mode only).
   mutable std::mutex global_mutex_;
-  mutable std::atomic<std::uint64_t> validations_{0};
+  // The generation is read by every cached validation and written only by
+  // the uncommon mutators; its own line keeps writer bumps from dragging
+  // the statistics lines through every reader.
+  LRPC_CACHELINE_ALIGNED std::atomic<std::uint64_t> generation_{1};
+  LRPC_CACHELINE_ALIGNED mutable std::atomic<std::uint64_t> validations_{0};
   mutable std::atomic<std::uint64_t> seq_retries_{0};
+  mutable std::atomic<std::uint64_t> cache_hits_{0};
 };
 
 }  // namespace lrpc

@@ -46,12 +46,60 @@ Status LrpcRuntime::Call(Processor& cpu, ThreadId thread_id,
                          ClientBinding& binding, int procedure,
                          std::span<const CallArg> args,
                          std::span<const CallRet> rets, CallStats* stats) {
+  return CallAccounted(cpu, thread_id, binding, procedure, args, rets, stats,
+                       nullptr);
+}
+
+Status LrpcRuntime::CallInline(Processor& cpu, ThreadId thread_id,
+                               ClientBinding& binding, int procedure,
+                               const void* block_in, void* block_out,
+                               CallStats* stats) {
+  const Interface* iface = binding.interface_spec();
+  if (procedure < 0 || procedure >= iface->procedure_count()) {
+    return Status(ErrorCode::kNoSuchProcedure);
+  }
+  const ProcedureDescriptor& pd = iface->pd(procedure);
+  if (!pd.inline_eligible) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "procedure is not inline-eligible");
+  }
+  if (binding.object().remote) {
+    // Uncommon case: the wire path has no register window, so re-expand the
+    // caller's window into per-parameter spans and take the general path.
+    const ProcedureDef& def = *pd.def;
+    std::vector<CallArg> args;
+    std::vector<CallRet> rets;
+    for (std::size_t i = 0; i < def.params.size(); ++i) {
+      const ParamDesc& p = def.params[i];
+      const std::size_t offset = ParamOffset(def, i);
+      if (p.is_in()) {
+        args.emplace_back(static_cast<const std::byte*>(block_in) + offset,
+                          p.size);
+      }
+      if (p.is_out()) {
+        rets.emplace_back(static_cast<std::byte*>(block_out) + offset, p.size);
+      }
+    }
+    return CallAccounted(cpu, thread_id, binding, procedure, args, rets,
+                         stats, nullptr);
+  }
+  const InlineWindow win{static_cast<const std::byte*>(block_in),
+                         static_cast<std::byte*>(block_out)};
+  return CallAccounted(cpu, thread_id, binding, procedure, {}, {}, stats,
+                       &win);
+}
+
+Status LrpcRuntime::CallAccounted(Processor& cpu, ThreadId thread_id,
+                                  ClientBinding& binding, int procedure,
+                                  std::span<const CallArg> args,
+                                  std::span<const CallRet> rets,
+                                  CallStats* stats, const InlineWindow* win) {
   CallStats local_stats;
   CallStats& cs = stats != nullptr ? *stats : local_stats;
   cs = CallStats{};
   const SimTime trace_start = cpu.clock();
   const Status status =
-      CallLocal(cpu, thread_id, binding, procedure, args, rets, cs);
+      CallLocal(cpu, thread_id, binding, procedure, args, rets, cs, win);
 
   if (tracer_ != nullptr) {
     TraceEvent event;
@@ -103,16 +151,93 @@ Status LrpcRuntime::CallParallel(Processor& cpu, ThreadId thread_id,
   return CallLocal(cpu, thread_id, binding, procedure, args, rets, cs);
 }
 
+Status LrpcRuntime::CallInlineParallel(Processor& cpu, ThreadId thread_id,
+                                       ClientBinding& binding, int procedure,
+                                       const void* block_in, void* block_out,
+                                       CallStats& cs) {
+  LRPC_CHECK(backend_ == RuntimeBackend::kParallelHost);
+  cs = CallStats{};
+  const Interface* iface = binding.interface_spec();
+  if (procedure < 0 || procedure >= iface->procedure_count()) {
+    return Status(ErrorCode::kNoSuchProcedure);
+  }
+  if (!iface->pd(procedure).inline_eligible) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "procedure is not inline-eligible");
+  }
+  const InlineWindow win{static_cast<const std::byte*>(block_in),
+                         static_cast<std::byte*>(block_out)};
+  return CallLocal(cpu, thread_id, binding, procedure, {}, {}, cs, &win);
+}
+
 // The common-case call: client stub, kernel validation and transfer, server
 // stub, and the return leg. Everything here is "a handful of moves and a
 // trap" — lrpc_lint rejects allocation, logging and lock acquisition until
 // the matching END (rule lrpc-fast-path).
 LRPC_FAST_PATH_BEGIN("lrpc call/return");
 
+// The register window must hold any eligible procedure's full slot span.
+static_assert(kInlineSlotSpanLimit <= kLinkageRegsSize,
+              "inline slot-span cap exceeds the linkage register window");
+
+// Inline-path copy A: the caller already packed its arguments at their slot
+// offsets, so the whole window moves with one memcpy — no per-argument
+// rights-checked segment writes. The model charges stay per-argument
+// (summed, then charged once) so the deterministic backend's ledger and
+// clock are tick-identical to the general path.
+void LrpcRuntime::MarshalInline(Processor& cpu, const ProcedureDef& def,
+                                const ProcedureDescriptor& pd,
+                                LinkageRecord& linkage,
+                                const InlineWindow& win, CallStats& cs) {
+  if (pd.slot_span > 0) {
+    std::memcpy(linkage.regs, win.block_in, pd.slot_span);
+  }
+  const MachineModel& model = machine().model();
+  SimDuration charge = 0;
+  for (const ParamDesc& p : def.params) {
+    if (!p.is_in()) {
+      continue;
+    }
+    charge += model.lrpc_copy_per_arg +
+              Micros(model.lrpc_copy_per_byte_us * static_cast<double>(p.size));
+    cs.copies.Count(CopyOp::kA, p.size);
+    cs.astack_bytes += p.size;
+  }
+  if (charge > 0) {
+    cpu.Charge(CostCategory::kArgumentCopy, charge);
+  }
+}
+
+// Inline-path copy F: the register window comes back to the caller's block
+// in one move; the stub scatters results from their slot offsets.
+void LrpcRuntime::UnmarshalInline(Processor& cpu, const ProcedureDef& def,
+                                  const ProcedureDescriptor& pd,
+                                  LinkageRecord& linkage,
+                                  const InlineWindow& win, CallStats& cs) {
+  if (pd.slot_span > 0) {
+    std::memcpy(win.block_out, linkage.regs, pd.slot_span);
+  }
+  const MachineModel& model = machine().model();
+  SimDuration charge = 0;
+  for (const ParamDesc& p : def.params) {
+    if (!p.is_out()) {
+      continue;
+    }
+    charge += model.lrpc_copy_per_arg +
+              Micros(model.lrpc_copy_per_byte_us * static_cast<double>(p.size));
+    cs.copies.Count(CopyOp::kF, p.size);
+    cs.astack_bytes += p.size;
+  }
+  if (charge > 0) {
+    cpu.Charge(CostCategory::kArgumentCopy, charge);
+  }
+}
+
 Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
                               ClientBinding& binding, int procedure,
                               std::span<const CallArg> args,
-                              std::span<const CallRet> rets, CallStats& cs) {
+                              std::span<const CallRet> rets, CallStats& cs,
+                              const InlineWindow* win) {
   const MachineModel& model = machine().model();
   Thread* t = kernel_.FindThread(thread_id);
   if (t == nullptr || t->state() == ThreadState::kDead) {
@@ -131,6 +256,13 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
   // the earliest possible moment — the first instruction of the stub"
   // (Section 5.1).
   if (binding.object().remote) {
+    if (win != nullptr) {
+      // CallInline re-expands remote windows before reaching here; a window
+      // on this branch means a caller skipped that (e.g. parallel inline on
+      // a remote binding, which the wire path cannot serve).
+      return Status(ErrorCode::kInvalidArgument,
+                    "inline path cannot cross machines");
+    }
     return RemoteCall(cpu, thread_id, binding, procedure, args, rets, cs);
   }
 
@@ -158,16 +290,18 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
   // makes the queue read as empty: the pool is exhausted (Section 5.2).
   // Under the parallel-host backend the binding carries a real-thread
   // overlay of the free list; every pop and push on this path goes through
-  // it instead of the SimLock-guarded queue (docs/concurrency.md).
+  // it instead of the SimLock-guarded queue (docs/concurrency.md), and the
+  // simulated queue is not even looked up.
   FaultInjector* injector = kernel_.fault_injector();
-  AStackQueue& queue = binding.queue(pd.astack_group);
   ParFreeList* par_list = binding.par_queue(pd.astack_group);
+  AStackQueue* queue =
+      par_list == nullptr ? &binding.queue(pd.astack_group) : nullptr;
   Result<AStackRef> astack_result =
       FaultPointFires(injector, FaultKind::kAStackExhaustion)
           ? Result<AStackRef>(
                 Status(ErrorCode::kAStacksExhausted, "fault injection: empty"))
       : par_list != nullptr ? par_list->Pop(cpu, model.astack_queue_lock_hold)
-                            : queue.Pop(cpu, model.astack_queue_lock_hold);
+                            : queue->Pop(cpu, model.astack_queue_lock_hold);
   if (!astack_result.ok()) {
     // Growing mutates the binding's region list, which concurrent calls
     // read without a lock; parallel worlds provision a fixed set instead.
@@ -176,19 +310,24 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
       return astack_result.status();
     }
     LRPC_RETURN_IF_ERROR(GrowAStacks(cpu, binding, pd.astack_group));
-    astack_result = queue.Pop(cpu, model.astack_queue_lock_hold);
+    astack_result = queue->Pop(cpu, model.astack_queue_lock_hold);
     if (!astack_result.ok()) {
       return astack_result.status();
     }
   }
   const AStackRef astack = *astack_result;
+  // The pop transferred ownership of the A-stack/linkage pair to this
+  // thread (the free list's release/acquire edge), so the linkage is
+  // already writable here — the inline path fills its register window
+  // before the trap, exactly where the general path fills the A-stack.
+  LinkageRecord& linkage = astack.linkage();
   // Every exit below this point owns the A-stack and must hand it back
   // through whichever free structure it came from.
   auto requeue_astack = [&] {
     if (par_list != nullptr) {
       par_list->Push(cpu, astack, model.astack_queue_lock_hold);
     } else {
-      queue.Push(cpu, astack, model.astack_queue_lock_hold);
+      queue->Push(cpu, astack, model.astack_queue_lock_hold);
     }
   };
   if (astack.region->secondary()) {
@@ -196,16 +335,22 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
   }
 
   // Push the arguments onto the A-stack (copy A; Modula2+ conventions with
-  // a separate argument pointer make this directly usable by the server).
+  // a separate argument pointer make this directly usable by the server) —
+  // or, on the inline path, move the caller's packed window into the
+  // linkage record's registers with a single copy (Section 2.2).
   std::vector<std::uint64_t> oob_used;
-  Status marshal =
-      MarshalArguments(cpu, client->id(), def, astack, args, &cs, &oob_used);
-  if (!marshal.ok()) {
-    for (std::uint64_t index : oob_used) {
-      ReleaseOobSegment(index);
+  if (win != nullptr) {
+    MarshalInline(cpu, def, pd, linkage, *win, cs);
+  } else {
+    Status marshal =
+        MarshalArguments(cpu, client->id(), def, astack, args, &cs, &oob_used);
+    if (!marshal.ok()) {
+      for (std::uint64_t index : oob_used) {
+        ReleaseOobSegment(index);
+      }
+      requeue_astack();
+      return marshal;
     }
-    requeue_astack();
-    return marshal;
   }
 
   // Put the A-stack address, Binding Object and procedure identifier in
@@ -225,11 +370,12 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
   };
 
   // Verify the Binding and procedure identifier. In parallel mode the leg
-  // validates against the sharded mirror: a seqlock read per entry, no
-  // global table lock (docs/concurrency.md).
+  // validates against the sharded mirror through the per-thread binding
+  // cache: a repeat call skips even the seqlock read until a table mutation
+  // bumps the generation (docs/fast_path.md).
   Result<BindingRecord*> record_result =
       par_bindings_ != nullptr
-          ? par_bindings_->Validate(binding.object(), binding.client())
+          ? par_bindings_->ValidateCached(binding.object(), binding.client())
           : kernel_.bindings().Validate(binding.object(), binding.client());
   if (!record_result.ok()) {
     return fail_in_kernel(record_result.status());
@@ -265,7 +411,6 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
 
   // Ensure no other thread is currently using this A-stack/linkage pair,
   // then record the caller's return state and push the linkage.
-  LinkageRecord& linkage = astack.linkage();
   if (linkage.in_use) {
     return fail_in_kernel(Status(ErrorCode::kAStackInUse));
   }
@@ -310,6 +455,12 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
 
   ServerFrame frame(this, cpu, def, astack, server.id(), client->id(),
                     thread_id, &cs.copies);
+  if (win != nullptr) {
+    // Inline path: the frame serves the handler straight from the linkage
+    // record's register window; no A-stack slot decoding, no segment
+    // rights checks.
+    frame.AttachRegisterWindow(linkage.regs);
+  }
   Status server_status = frame.PrepareArguments();
   if (server_status.ok() && def.handler) {
     server_status = def.handler(frame);
@@ -401,7 +552,11 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
 
   Status unmarshal = Status::Ok();
   if (server_status.ok()) {
-    unmarshal = UnmarshalResults(cpu, client->id(), def, astack, rets, &cs);
+    if (win != nullptr) {
+      UnmarshalInline(cpu, def, pd, linkage, *win, cs);
+    } else {
+      unmarshal = UnmarshalResults(cpu, client->id(), def, astack, rets, &cs);
+    }
   }
   // Out-of-band transfer segments are per-call; return them for reuse.
   for (std::uint64_t index : oob_used) {

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/cacheline.h"
 #include "src/common/ids.h"
 #include "src/kern/binding_table.h"
 #include "src/lrpc/circuit_breaker.h"
@@ -28,11 +29,11 @@ enum class AStackExhaustionPolicy : std::uint8_t {
   kAllocateMore,  // Grow with a secondary (slower-to-validate) region.
 };
 
-class ClientBinding {
+class LRPC_CACHELINE_ALIGNED ClientBinding {
  public:
   ClientBinding(DomainId client, BindingObject object, const Interface* iface,
                 BindingRecord* record)
-      : client_(client), object_(object), iface_(iface), record_(record) {}
+      : object_(object), iface_(iface), record_(record), client_(client) {}
 
   DomainId client() const { return client_; }
   const BindingObject& object() const { return object_; }
@@ -84,16 +85,34 @@ class ClientBinding {
   }
 
  private:
-  DomainId client_;
+  // Hot-first member order (docs/fast_path.md layout audit): every call
+  // reads the Binding Object, the interface, the binding record and — in
+  // the real-thread backend — the par-queue overlay pointer, so those four
+  // lead the class and share its first (aligned) cache line. The simulated
+  // queue vector, bind-time bookkeeping and the lazily-built breaker are
+  // per-call-cold and follow.
   BindingObject object_;
   const Interface* iface_;
   BindingRecord* record_;
-  AStackExhaustionPolicy policy_ = AStackExhaustionPolicy::kAllocateMore;
-  std::vector<std::unique_ptr<AStackQueue>> queues_;
   std::vector<ParFreeList*> par_queues_;
+  // --- end of the per-call hot group ---
+  std::vector<std::unique_ptr<AStackQueue>> queues_;
+  DomainId client_;
+  AStackExhaustionPolicy policy_ = AStackExhaustionPolicy::kAllocateMore;
   int allocated_astacks_ = 0;
   std::unique_ptr<CircuitBreaker> breaker_;
+
+  // The class is not standard-layout (vector members), so the audit asserts
+  // sizes rather than offsets: the hot group starts at offset 0 (first
+  // member, no bases, no vtable) and must fit the first line.
+  static_assert(sizeof(BindingObject) + 2 * sizeof(void*) +
+                        sizeof(std::vector<ParFreeList*>) <=
+                    kCacheLineSize,
+                "client-binding layout audit: hot group exceeds one line");
 };
+
+static_assert(alignof(ClientBinding) == kCacheLineSize,
+              "client-binding layout audit: class must be line-aligned");
 
 }  // namespace lrpc
 

@@ -104,6 +104,36 @@ void Interface::Seal() {
     pd.astack_size = bucket;
     pd.astack_group = group;
     pd.def = &defs_[i];
+
+    // Inline ("register-style") eligibility: fixed sizes only, plain
+    // marshaling only. Any immutability copy, conformance check or
+    // by-reference re-creation needs the general path's per-parameter
+    // machinery, and any variable-sized parameter needs the A-stack.
+    std::size_t in_bytes = 0;
+    std::size_t out_bytes = 0;
+    std::size_t span = 0;
+    bool eligible = true;
+    for (const auto& p : def.params) {
+      if (p.size == 0 || p.flags.immutable || p.flags.type_checked ||
+          p.flags.by_ref || p.conformance) {
+        eligible = false;
+        break;
+      }
+      if (p.is_in()) {
+        in_bytes += p.size;
+      }
+      if (p.is_out()) {
+        out_bytes += p.size;
+      }
+      span += AlignSlot(p.size);
+    }
+    if (eligible && in_bytes <= kInlineBytesLimit &&
+        out_bytes <= kInlineBytesLimit && span <= kInlineSlotSpanLimit) {
+      pd.inline_eligible = true;
+      pd.in_bytes = static_cast<std::uint32_t>(in_bytes);
+      pd.out_bytes = static_cast<std::uint32_t>(out_bytes);
+      pd.slot_span = static_cast<std::uint32_t>(span);
+    }
     pdl_.push_back(pd);
   }
   astack_group_count_ = static_cast<int>(bucket_of_group.size());

@@ -89,6 +89,15 @@ struct ProcedureDef {
   std::size_t astack_size_override = 0;
 };
 
+// Byte caps for the register-style inline path: a procedure whose packed
+// arguments and packed results each fit kInlineBytesLimit — the paper's
+// "passed in registers" case of Section 2.2 — marshals directly into the
+// linkage record instead of the A-stack. The slot span must also fit the
+// linkage's register window (kLinkageRegsSize; asserted where both are
+// visible).
+constexpr std::size_t kInlineBytesLimit = 32;
+constexpr std::size_t kInlineSlotSpanLimit = 64;
+
 // A procedure descriptor: what the clerk hands the kernel at bind time.
 struct ProcedureDescriptor {
   std::uint64_t entry_address = 0;  // Entry stub address in the server.
@@ -98,6 +107,15 @@ struct ProcedureDescriptor {
   // similarly-sized A-stacks share; Section 3.1).
   int astack_group = 0;
   const ProcedureDef* def = nullptr;
+  // Register-style inline path (docs/fast_path.md), precomputed at Seal so
+  // the call path branches on one bool: true iff every parameter is fixed
+  // size with plain marshaling (no immutability copy, no conformance check,
+  // no by-reference re-creation) and the packed in/out bytes and slot span
+  // fit the linkage record's register window.
+  bool inline_eligible = false;
+  std::uint32_t in_bytes = 0;   // Packed argument bytes (in + inout).
+  std::uint32_t out_bytes = 0;  // Packed result bytes (out + inout).
+  std::uint32_t slot_span = 0;  // Aligned slot bytes across all params.
 };
 
 // When an interface has variable-sized arguments the A-stack defaults to

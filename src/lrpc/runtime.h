@@ -17,6 +17,7 @@
 #ifndef SRC_LRPC_RUNTIME_H_
 #define SRC_LRPC_RUNTIME_H_
 
+#include <cstddef>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -121,6 +122,20 @@ class LrpcRuntime {
               int procedure, std::span<const CallArg> args,
               std::span<const CallRet> rets, CallStats* stats = nullptr);
 
+  // The register-style inline path (Section 2.2, docs/fast_path.md): for a
+  // procedure sealed inline-eligible, the caller packs its fixed-size
+  // arguments into `block_in` at their slot offsets (pd.slot_span bytes;
+  // null when the span is zero) and the runtime moves the whole window into
+  // the linkage record with one copy — no per-argument rights-checked
+  // A-stack writes. Results come back the same way through `block_out`
+  // (which may alias `block_in`). Model charges and copy statistics are
+  // identical to the general path, so the two are tick-identical in the
+  // deterministic backend; only host-time differs. Returns
+  // kInvalidArgument for procedures that are not inline-eligible.
+  Status CallInline(Processor& cpu, ThreadId thread, ClientBinding& binding,
+                    int procedure, const void* block_in, void* block_out,
+                    CallStats* stats = nullptr);
+
   // Runtime-wide counters, accumulated across every call.
   struct RuntimeStats {
     std::uint64_t calls = 0;
@@ -153,6 +168,13 @@ class LrpcRuntime {
   Status CallParallel(Processor& cpu, ThreadId thread, ClientBinding& binding,
                       int procedure, std::span<const CallArg> args,
                       std::span<const CallRet> rets, CallStats& stats);
+
+  // CallInline for the parallel-host backend (same contract as CallInline,
+  // same restrictions as CallParallel).
+  Status CallInlineParallel(Processor& cpu, ThreadId thread,
+                            ClientBinding& binding, int procedure,
+                            const void* block_in, void* block_out,
+                            CallStats& stats);
 
   // Installs the sharded mirror the call leg validates against in parallel
   // mode (non-owning; the ParallelMachine owns it). Null detaches.
@@ -190,10 +212,37 @@ class LrpcRuntime {
   // Grows a binding's A-stack supply with a secondary region (Section 5.2).
   Status GrowAStacks(Processor& cpu, ClientBinding& binding, int group);
 
+  // The caller-side window of one inline call: packed argument bytes in,
+  // packed result bytes out, both laid out at the procedure's slot offsets.
+  struct InlineWindow {
+    const std::byte* block_in = nullptr;
+    std::byte* block_out = nullptr;
+  };
+
   // The local fast path (Section 3.2); Call() wraps it for accounting.
+  // When `win` is non-null the call marshals through the linkage record's
+  // register window instead of the A-stack (docs/fast_path.md).
   Status CallLocal(Processor& cpu, ThreadId thread, ClientBinding& binding,
                    int procedure, std::span<const CallArg> args,
-                   std::span<const CallRet> rets, CallStats& stats);
+                   std::span<const CallRet> rets, CallStats& stats,
+                   const InlineWindow* win = nullptr);
+
+  // Shared tail of Call and CallInline: runs CallLocal, records the trace
+  // event and folds the per-call stats into the runtime-wide counters.
+  Status CallAccounted(Processor& cpu, ThreadId thread, ClientBinding& binding,
+                       int procedure, std::span<const CallArg> args,
+                       std::span<const CallRet> rets, CallStats* stats,
+                       const InlineWindow* win);
+
+  // Inline-path marshaling: one copy between the caller's window and the
+  // linkage record's register window; model charges and copy statistics
+  // match the general path's per-argument totals.
+  void MarshalInline(Processor& cpu, const ProcedureDef& def,
+                     const ProcedureDescriptor& pd, LinkageRecord& linkage,
+                     const InlineWindow& win, CallStats& cs);
+  void UnmarshalInline(Processor& cpu, const ProcedureDef& def,
+                       const ProcedureDescriptor& pd, LinkageRecord& linkage,
+                       const InlineWindow& win, CallStats& cs);
 
   // The cross-machine branch taken by the first stub instruction when the
   // Binding Object carries the remote bit (Section 5.1).

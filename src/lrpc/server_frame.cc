@@ -33,6 +33,19 @@ bool ServerFrame::Alerted() const {
 Status ServerFrame::DecodeSlot(int index, SlotInfo* info) const {
   const auto i = static_cast<std::size_t>(index);
   const ParamDesc& p = def_.params[i];
+  if (regs_ != nullptr) {
+    // Register-window mode: fixed-size slots at their offsets within the
+    // window; eligibility rules out everything else.
+    if (p.size == 0) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "variable-sized parameter in a register window");
+    }
+    info->offset = ParamOffset(def_, i);
+    info->data_offset = info->offset;
+    info->length = p.size;
+    info->out_of_band = false;
+    return Status::Ok();
+  }
   const std::size_t base = astack_.offset() + ParamOffset(def_, i);
   SharedSegment& segment = astack_.region->segment();
 
@@ -167,6 +180,10 @@ Result<std::size_t> ServerFrame::ReadArg(int index, void* out,
   }
   const SlotInfo& slot = slots_[static_cast<std::size_t>(index)];
   const std::size_t n = len < slot.length ? len : slot.length;
+  if (regs_ != nullptr) {
+    std::memcpy(out, regs_ + slot.data_offset, n);
+    return n;
+  }
   if (slot.private_copy) {
     std::memcpy(out, slot.private_bytes_.data(), n);
     return n;
@@ -190,6 +207,9 @@ Result<const std::uint8_t*> ServerFrame::ArgView(int index) const {
     return Status(ErrorCode::kInvalidArgument, "no such parameter");
   }
   const SlotInfo& slot = slots_[static_cast<std::size_t>(index)];
+  if (regs_ != nullptr) {
+    return regs_ + slot.data_offset;
+  }
   if (slot.private_copy) {
     return static_cast<const std::uint8_t*>(slot.private_bytes_.data());
   }
@@ -218,6 +238,14 @@ Status ServerFrame::WriteResult(int index, const void* data, std::size_t len) {
   const ParamDesc& p = def_.params[static_cast<std::size_t>(index)];
   if (!p.is_out()) {
     return Status(ErrorCode::kInvalidArgument, "not an out-parameter");
+  }
+  if (regs_ != nullptr) {
+    if (len != p.size) {
+      return Status(ErrorCode::kInvalidArgument, "result size mismatch");
+    }
+    std::memcpy(regs_ + ParamOffset(def_, static_cast<std::size_t>(index)),
+                data, len);
+    return Status::Ok();
   }
   const std::size_t base =
       astack_.offset() + ParamOffset(def_, static_cast<std::size_t>(index));

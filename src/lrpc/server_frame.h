@@ -49,6 +49,15 @@ class ServerFrame {
   // still running the folded type checks.
   Status PrepareArguments(bool already_private = false);
 
+  // Register-window mode (docs/fast_path.md): inline-path calls attach the
+  // linkage record's register window before PrepareArguments, and the frame
+  // then serves every argument from (and writes every result to) `regs` at
+  // the parameter's slot offset — no A-stack decode, no segment rights
+  // checks. Only valid for inline-eligible procedures (all parameters fixed
+  // size, plain marshaling), which the runtime guarantees.
+  void AttachRegisterWindow(std::uint8_t* regs) { regs_ = regs; }
+  bool register_window() const { return regs_ != nullptr; }
+
   // True when someone alerted this call's thread (Section 5.3's advisory
   // signal). A long-running server procedure may poll this and return
   // early with kCallAborted — or ignore it entirely.
@@ -118,7 +127,8 @@ class ServerFrame {
   DomainId client_;
   ThreadId thread_;
   CopyStats* copies_;
-  std::vector<SlotInfo> slots_;  // One per parameter, filled by Prepare.
+  std::uint8_t* regs_ = nullptr;  // Register window; null = A-stack mode.
+  std::vector<SlotInfo> slots_;   // One per parameter, filled by Prepare.
   bool prepared_ = false;
 };
 

@@ -15,8 +15,7 @@ AStackRegion::AStackRegion(DomainId client, DomainId server,
   LRPC_CHECK(astack_size > 0);
   LRPC_CHECK(count > 0);
   linkages_.resize(static_cast<std::size_t>(count));
-  estacks_.assign(static_cast<std::size_t>(count), -1);
-  last_used_.assign(static_cast<std::size_t>(count), 0);
+  slot_state_.assign(static_cast<std::size_t>(count), AStackSlotState{});
   // Pair-wise mapping: read-write in exactly the two party domains.
   segment_.GrantMapping(client, MapRights::kReadWrite);
   segment_.GrantMapping(server, MapRights::kReadWrite);

@@ -15,10 +15,12 @@
 #ifndef SRC_SHM_ASTACK_H_
 #define SRC_SHM_ASTACK_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "src/common/cacheline.h"
 #include "src/common/ids.h"
 #include "src/common/status.h"
 #include "src/shm/segment.h"
@@ -27,20 +29,64 @@
 
 namespace lrpc {
 
+// Capacity of the linkage record's register window: the inline
+// ("register-style", Section 2.2) call path marshals small all-fixed-size
+// argument lists straight into the linkage record instead of the A-stack.
+// 64 bytes covers the eligibility limit of 32 in-bytes plus 32 out-bytes at
+// 8-byte-aligned slot offsets (docs/fast_path.md).
+inline constexpr std::size_t kLinkageRegsSize = 64;
+
 // Kernel-private call linkage. One per A-stack.
-struct LinkageRecord {
+//
+// Layout audit (docs/fast_path.md): adjacent records in a region are popped
+// and pushed by different worker threads, so each record owns its cache
+// lines outright. Line 0 packs every field the general call path touches;
+// line 1 is the register window, touched only by the inline path (which in
+// exchange never touches the A-stack segment at all).
+struct LRPC_CACHELINE_ALIGNED LinkageRecord {
+  // --- Line 0: claimed and released on every call. ---
   bool valid = true;         // Invalidated when a party domain terminates.
   bool in_use = false;       // An outstanding call owns this A-stack/linkage.
+  std::uint32_t procedure = 0;
   // Kernel-wide claim order, stamped when the linkage is pushed; the
   // invariant checker uses it to verify linkage-stack LIFO discipline.
   std::uint64_t seq = 0;
   ThreadId caller_thread = kNoThread;
   DomainId caller_domain = kNoDomain;
   BindingId binding = kNoBinding;
-  std::uint32_t procedure = 0;
   std::uint64_t return_address = 0;      // Simulated client PC.
   std::uint64_t saved_stack_pointer = 0; // Simulated client SP.
+  // --- Line 1: the inline path's register window. ---
+  LRPC_CACHELINE_ALIGNED std::uint8_t regs[kLinkageRegsSize] = {};
 };
+
+static_assert(sizeof(LinkageRecord) == 2 * kCacheLineSize,
+              "linkage record layout audit: two lines, hot fields + regs");
+static_assert(offsetof(LinkageRecord, valid) == 0);
+static_assert(offsetof(LinkageRecord, procedure) == 4);
+static_assert(offsetof(LinkageRecord, seq) == 8);
+static_assert(offsetof(LinkageRecord, caller_thread) == 16);
+static_assert(offsetof(LinkageRecord, caller_domain) == 20);
+static_assert(offsetof(LinkageRecord, binding) == 24);
+static_assert(offsetof(LinkageRecord, return_address) == 32);
+static_assert(offsetof(LinkageRecord, saved_stack_pointer) == 40,
+              "every general-path field fits the first cache line");
+static_assert(offsetof(LinkageRecord, regs) == kCacheLineSize,
+              "the register window starts on its own line");
+
+// Per-A-stack mutable call state that is NOT part of the linkage claim
+// protocol: the lazy E-stack association and the last-use timestamp. Both
+// are written on every call by whichever thread owns the A-stack, so
+// adjacent indices must not share a line (they did when these lived in two
+// parallel vectors); packing them into one aligned slot also means a repeat
+// call touches one line here instead of two.
+struct LRPC_CACHELINE_ALIGNED AStackSlotState {
+  int estack = -1;
+  SimTime last_used = 0;
+};
+
+static_assert(sizeof(AStackSlotState) == kCacheLineSize,
+              "one slot-state line per A-stack");
 
 // One contiguous run of equally-sized A-stacks shared pair-wise between a
 // client and a server domain, with their co-located linkage records.
@@ -75,16 +121,20 @@ class AStackRegion {
 
   // Lazy A-stack/E-stack association (Section 3.2): the id of the E-stack
   // currently associated with A-stack `index`, or -1.
-  int estack_of(int index) const { return estacks_[static_cast<std::size_t>(index)]; }
+  int estack_of(int index) const {
+    return slot_state_[static_cast<std::size_t>(index)].estack;
+  }
   void set_estack(int index, int estack) {
-    estacks_[static_cast<std::size_t>(index)] = estack;
+    slot_state_[static_cast<std::size_t>(index)].estack = estack;
   }
 
   // Timestamp of the most recent call on each A-stack; the kernel reclaims
   // E-stacks from A-stacks not recently used.
-  SimTime last_used(int index) const { return last_used_[static_cast<std::size_t>(index)]; }
+  SimTime last_used(int index) const {
+    return slot_state_[static_cast<std::size_t>(index)].last_used;
+  }
   void set_last_used(int index, SimTime t) {
-    last_used_[static_cast<std::size_t>(index)] = t;
+    slot_state_[static_cast<std::size_t>(index)].last_used = t;
   }
 
   // Invalidate every linkage in this region (domain termination, §5.3).
@@ -98,8 +148,7 @@ class AStackRegion {
   bool secondary_;
   SharedSegment segment_;
   std::vector<LinkageRecord> linkages_;
-  std::vector<int> estacks_;
-  std::vector<SimTime> last_used_;
+  std::vector<AStackSlotState> slot_state_;
 };
 
 // A reference to one A-stack: the region plus the index within it.

@@ -66,6 +66,13 @@ Result<AStackRef> ParFreeList::Pop(Processor& cpu,
               std::memory_order_relaxed);
       // Success is the acquire edge: it orders this thread after the push
       // that freed `index`, covering the A-stack and linkage it now owns.
+      // The FAILURE ordering must also be acquire — it cannot be relaxed,
+      // because the head value a failed exchange hands back is what the
+      // next iteration's next_[index] read keys off. That read happens
+      // BEFORE the eventually-successful exchange, so the success edge
+      // cannot retroactively order it; only an acquire on the load that
+      // observed `index` at the head guarantees the read sees the next
+      // pointer its pusher stored (docs/fast_path.md, rejected relaxation).
       if (head_.compare_exchange_weak(head, Pack(UnpackTag(head) + 1, next),
                                       std::memory_order_acquire,
                                       std::memory_order_acquire)) {

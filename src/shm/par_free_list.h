@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/cacheline.h"
 #include "src/common/status.h"
 #include "src/shm/astack.h"
 #include "src/sim/processor.h"
@@ -110,18 +111,25 @@ class ParFreeList {
   };
   std::vector<RegionBase> bases_;
 
-  // Lock-free state.
-  std::atomic<std::uint64_t> head_{Pack(0, kEmpty)};
+  // Lock-free state. The head is the CAS target of every pop and push, so
+  // it owns a cache line outright: before the layout audit it shared a line
+  // with the statistics counters below, and every relaxed counter bump
+  // forced the next rival's compare-exchange to re-fetch the line
+  // (docs/fast_path.md).
+  LRPC_CACHELINE_ALIGNED std::atomic<std::uint64_t> head_{Pack(0, kEmpty)};
   std::unique_ptr<std::atomic<std::int32_t>[]> next_;
 
   // Locked-baseline state.
   mutable std::mutex mutex_;
   std::vector<std::int32_t> free_ids_;
 
-  std::atomic<std::uint64_t> pops_{0};
+  // Statistics, on their own line so bumping them never invalidates head_.
+  LRPC_CACHELINE_ALIGNED std::atomic<std::uint64_t> pops_{0};
   std::atomic<std::uint64_t> pushes_{0};
   std::atomic<std::uint64_t> cas_retries_{0};
 };
+
+static_assert(sizeof(std::atomic<std::uint64_t>) == 8);
 
 }  // namespace lrpc
 

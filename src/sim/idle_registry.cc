@@ -9,13 +9,9 @@ IdleProcessorRegistry::IdleProcessorRegistry(int processor_count,
     : processor_count_(processor_count), max_contexts_(max_contexts) {
   LRPC_CHECK(processor_count > 0);
   LRPC_CHECK(max_contexts > 0);
-  slots_ = std::make_unique<std::atomic<std::uint64_t>[]>(
-      static_cast<std::size_t>(processor_count));
+  slots_ = std::make_unique<Slot[]>(static_cast<std::size_t>(processor_count));
   miss_counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(
       static_cast<std::size_t>(max_contexts));
-  for (int i = 0; i < processor_count; ++i) {
-    slots_[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
-  }
   for (int i = 0; i < max_contexts; ++i) {
     miss_counts_[static_cast<std::size_t>(i)].store(
         0, std::memory_order_relaxed);
@@ -25,31 +21,50 @@ IdleProcessorRegistry::IdleProcessorRegistry(int processor_count,
 void IdleProcessorRegistry::Park(int cpu, VmContextId context) {
   LRPC_DCHECK(cpu >= 0 && cpu < processor_count_);
   LRPC_DCHECK(context >= 0);
-  slots_[static_cast<std::size_t>(cpu)].store(Encode(context),
-                                              std::memory_order_release);
+  // Exchange rather than store so re-parking an already-parked slot (a
+  // context change while idling) leaves the hint balanced.
+  const std::uint64_t prior = slots_[static_cast<std::size_t>(cpu)]
+                                  .value.exchange(Encode(context),
+                                                  std::memory_order_release);
+  if (prior == 0) {
+    parked_hint_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void IdleProcessorRegistry::Unpark(int cpu) {
   LRPC_DCHECK(cpu >= 0 && cpu < processor_count_);
-  slots_[static_cast<std::size_t>(cpu)].store(0, std::memory_order_relaxed);
+  const std::uint64_t prior = slots_[static_cast<std::size_t>(cpu)]
+                                  .value.exchange(0,
+                                                  std::memory_order_relaxed);
+  if (prior != 0) {
+    parked_hint_.fetch_sub(1, std::memory_order_relaxed);
+  }
 }
 
 int IdleProcessorRegistry::TryClaimInContext(VmContextId context) {
   if (context < 0) {
     return -1;
   }
+  // Advisory early-exit (see parked_hint_): a saturated machine attempts a
+  // claim on both legs of every call, and without this the scan walks one
+  // line per processor — twice per call — just to find nothing.
+  if (parked_hint_.load(std::memory_order_relaxed) <= 0) {
+    failed_claims_.fetch_add(1, std::memory_order_relaxed);
+    return -1;
+  }
   const std::uint64_t want = Encode(context);
   for (int i = 0; i < processor_count_; ++i) {
-    std::uint64_t seen =
-        slots_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    std::uint64_t seen = slots_[static_cast<std::size_t>(i)].value.load(
+        std::memory_order_relaxed);
     if (seen != want) {
       continue;
     }
     // Acquire on success: the claimant is ordered after the Park that
     // published this processor, and therefore after the previous exchange's
     // writes to its clock, TLB and context.
-    if (slots_[static_cast<std::size_t>(i)].compare_exchange_strong(
+    if (slots_[static_cast<std::size_t>(i)].value.compare_exchange_strong(
             seen, 0, std::memory_order_acquire, std::memory_order_relaxed)) {
+      parked_hint_.fetch_sub(1, std::memory_order_relaxed);
       claims_.fetch_add(1, std::memory_order_relaxed);
       return i;
     }
@@ -92,8 +107,8 @@ VmContextId IdleProcessorRegistry::BusiestMissedContext() const {
 int IdleProcessorRegistry::parked_count() const {
   int parked = 0;
   for (int i = 0; i < processor_count_; ++i) {
-    if (slots_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed) !=
-        0) {
+    if (slots_[static_cast<std::size_t>(i)].value.load(
+            std::memory_order_relaxed) != 0) {
       ++parked;
     }
   }

@@ -19,6 +19,12 @@
 // Idle-miss counters (what ProdIdleProcessors steers by in the simulator)
 // are kept here as fixed-capacity relaxed atomics so the miss path never
 // resizes shared storage.
+//
+// Claiming is attempted twice per call (call and return leg), so the scan
+// is fronted by a relaxed parked-count hint: when nothing is parked — the
+// common case for a saturated machine — TryClaimInContext returns without
+// touching any slot line. The hint is advisory (see the comment at
+// parked_hint_); correctness always rides the slot compare-exchange.
 
 #ifndef SRC_SIM_IDLE_REGISTRY_H_
 #define SRC_SIM_IDLE_REGISTRY_H_
@@ -27,6 +33,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "src/common/cacheline.h"
 #include "src/sim/processor.h"
 
 namespace lrpc {
@@ -68,11 +75,30 @@ class IdleProcessorRegistry {
     return static_cast<std::uint64_t>(context) + 1;
   }
 
+  // One line per slot: a processor parking itself must not invalidate the
+  // line a rival is compare-exchanging for a different processor
+  // (docs/fast_path.md layout audit).
+  struct LRPC_CACHELINE_ALIGNED Slot {
+    std::atomic<std::uint64_t> value{0};
+  };
+  static_assert(sizeof(Slot) == kCacheLineSize,
+                "idle-registry layout audit: one line per slot");
+
   int processor_count_;
   int max_contexts_;
-  std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
+  std::unique_ptr<Slot[]> slots_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> miss_counts_;
-  std::atomic<std::uint64_t> claims_{0};
+  // Advisory count of parked slots, maintained by Park/Unpark/claims with
+  // relaxed operations. Relaxation argument (docs/fast_path.md): the hint
+  // only gates an OPTIMIZATION — a claimant that reads 0 while a park is in
+  // flight skips the scan and falls back to a full context switch, which is
+  // always correct; a claimant that reads >0 for a slot already claimed
+  // just scans and fails as before. No caller derives exclusivity or
+  // visibility from the hint, so no ordering stronger than relaxed buys
+  // anything. Its own line: it is written by every park/claim and read by
+  // every call, and must not drag the statistics counters along.
+  LRPC_CACHELINE_ALIGNED std::atomic<int> parked_hint_{0};
+  LRPC_CACHELINE_ALIGNED std::atomic<std::uint64_t> claims_{0};
   std::atomic<std::uint64_t> failed_claims_{0};
 };
 

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "src/common/cacheline.h"
 #include "src/sim/cost_ledger.h"
 #include "src/sim/tlb.h"
 #include "src/sim/time.h"
@@ -22,7 +23,11 @@ class Machine;
 using VmContextId = std::int32_t;
 constexpr VmContextId kNoVmContext = -1;
 
-class Processor {
+// Line-aligned: the parallel machine stores processors contiguously and
+// each worker thread advances its own clock/ledger on every call, so a
+// processor must never share a cache line with its neighbour
+// (docs/fast_path.md layout audit).
+class LRPC_CACHELINE_ALIGNED Processor {
  public:
   Processor(Machine* machine, int id, int tlb_entries)
       : machine_(machine), id_(id), tlb_(tlb_entries) {}
@@ -73,6 +78,10 @@ class Processor {
   Machine* machine() const { return machine_; }
 
  private:
+  // Hot scalars first: a Null call touches the clock and loaded context on
+  // every charge and domain transfer, and they fit the first line together
+  // with the identity fields; the TLB and ledger (bulkier, touched via
+  // their own methods) follow.
   Machine* machine_;
   int id_;
   SimTime clock_ = 0;
@@ -80,7 +89,15 @@ class Processor {
   bool idle_ = false;
   Tlb tlb_;
   CostLedger ledger_;
+
+  static_assert(sizeof(Machine*) + sizeof(int) + sizeof(SimTime) +
+                        sizeof(VmContextId) + sizeof(bool) <=
+                    kCacheLineSize,
+                "processor layout audit: hot scalars exceed one line");
 };
+
+static_assert(alignof(Processor) == kCacheLineSize,
+              "processor layout audit: class must be line-aligned");
 
 }  // namespace lrpc
 

@@ -220,6 +220,85 @@ TEST(FastPathRule, MacroDefinitionsAreNotMarkers) {
   EXPECT_EQ(CountRule(result, "lrpc-fast-path"), 0);
 }
 
+// --- lrpc-cacheline ---
+
+TEST(CachelineRule, FlagsBareStaticAndAtomicDeclarationsInRegion) {
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "LRPC_FAST_PATH_BEGIN(\"r\");\n"
+      "static int counter = 0;\n"
+      "std::atomic<int> pending{0};\n"
+      "LRPC_FAST_PATH_END(\"r\");\n");
+  ASSERT_EQ(CountRule(result, "lrpc-cacheline"), 2);
+  EXPECT_TRUE(HasFinding(result, "lrpc-cacheline", "src/x.cc", 2));
+  EXPECT_TRUE(HasFinding(result, "lrpc-cacheline", "src/x.cc", 3));
+  EXPECT_NE(result.findings[0].message.find("LRPC_CACHELINE_ALIGNED"),
+            std::string::npos);
+}
+
+TEST(CachelineRule, AlignedDeclarationsAreClean) {
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "LRPC_FAST_PATH_BEGIN(\"r\");\n"
+      "LRPC_CACHELINE_ALIGNED static int counter = 0;\n"
+      "LRPC_CACHELINE_ALIGNED\n"
+      "std::atomic<int> pending{0};\n"
+      "LRPC_FAST_PATH_END(\"r\");\n");
+  EXPECT_EQ(CountRule(result, "lrpc-cacheline"), 0);
+}
+
+TEST(CachelineRule, ConstStaticsAreNotMutableState) {
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "LRPC_FAST_PATH_BEGIN(\"r\");\n"
+      "static const int kTable = 64;\n"
+      "static constexpr int kWays = 8;\n"
+      "static_assert(kWays <= kTable);\n"
+      "int x = static_cast<int>(kWays);\n"
+      "LRPC_FAST_PATH_END(\"r\");\n");
+  EXPECT_EQ(CountRule(result, "lrpc-cacheline"), 0);
+}
+
+TEST(CachelineRule, AtomicUsesAreNotDeclarations) {
+  // Loads, CAS loops and fences name the variable or the fence function,
+  // not std::atomic<...>; only the declaration needs the alignment.
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "LRPC_FAST_PATH_BEGIN(\"r\");\n"
+      "int v = pending_.load(std::memory_order_acquire);\n"
+      "pending_.fetch_add(1, std::memory_order_relaxed);\n"
+      "std::atomic_thread_fence(std::memory_order_seq_cst);\n"
+      "LRPC_FAST_PATH_END(\"r\");\n");
+  EXPECT_EQ(CountRule(result, "lrpc-cacheline"), 0);
+}
+
+TEST(CachelineRule, IgnoresDeclarationsOutsideRegions) {
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "static int counter = 0;\n"
+      "std::atomic<int> pending{0};\n");
+  EXPECT_EQ(CountRule(result, "lrpc-cacheline"), 0);
+}
+
+TEST(CachelineRule, AllowAndNolintSuppress) {
+  const LintResult allowed = LintSnippet(
+      "src/x.cc",
+      "LRPC_FAST_PATH_BEGIN(\"r\");\n"
+      "LRPC_FAST_PATH_ALLOW(\"tool code, single-threaded\");\n"
+      "static int counter = 0;\n"
+      "LRPC_FAST_PATH_END(\"r\");\n");
+  EXPECT_EQ(CountRule(allowed, "lrpc-cacheline"), 0);
+  EXPECT_EQ(allowed.suppressions_used, 1);
+
+  const LintResult nolint = LintSnippet(
+      "src/x.cc",
+      "LRPC_FAST_PATH_BEGIN(\"r\");\n"
+      "static int counter = 0;  // NOLINT(lrpc-cacheline)\n"
+      "LRPC_FAST_PATH_END(\"r\");\n");
+  EXPECT_EQ(CountRule(nolint, "lrpc-cacheline"), 0);
+  EXPECT_EQ(nolint.suppressions_used, 1);
+}
+
 // --- NOLINT ---
 
 TEST(Nolint, ScopedAndBareSuppressions) {
@@ -384,6 +463,13 @@ TEST(FixtureTree, LoadsAndFindsEverySeededViolation) {
       HasFinding(result, "lrpc-fast-path", "src/bad/fastpath_new.cc", 12));
   EXPECT_TRUE(
       HasFinding(result, "lrpc-fast-path", "src/bad/fastpath_mutex.cc", 15));
+  // The unaligned function-static and atomic declaration; the aligned,
+  // const and allowed ones in the same fixture stay clean.
+  EXPECT_EQ(CountRule(result, "lrpc-cacheline"), 2);
+  EXPECT_TRUE(HasFinding(result, "lrpc-cacheline",
+                         "src/bad/fastpath_unaligned.cc", 11));
+  EXPECT_TRUE(HasFinding(result, "lrpc-cacheline",
+                         "src/bad/fastpath_unaligned.cc", 12));
   // The stale include guard.
   EXPECT_TRUE(HasFinding(result, "lrpc-header-guard", "src/bad/bad_guard.h", 2));
   // Header-scope using namespace and the abort macro in a header.
@@ -394,13 +480,14 @@ TEST(FixtureTree, LoadsAndFindsEverySeededViolation) {
   EXPECT_TRUE(HasFinding(result, "lrpc-fault-point", "src/enums.h", 15));
   // clean.cc contributes suppressions, not findings.
   EXPECT_EQ(CountRule(result, "lrpc-fast-path") +
+                CountRule(result, "lrpc-cacheline") +
                 CountRule(result, "lrpc-header-guard") +
                 CountRule(result, "lrpc-using-namespace") +
                 CountRule(result, "lrpc-check-in-header") +
                 CountRule(result, "lrpc-enum-coverage") +
                 CountRule(result, "lrpc-fault-point"),
             static_cast<int>(result.findings.size()));
-  EXPECT_EQ(result.suppressions_used, 3);
+  EXPECT_EQ(result.suppressions_used, 4);
 }
 
 TEST(FixtureTree, FormatFindingIsFileLineRuleMessage) {

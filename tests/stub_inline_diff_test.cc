@@ -1,0 +1,215 @@
+// Differential tests of the stubgen inline path: for every inline-eligible
+// procedure in the generated Geometry stubs, the register-style `<Name>()`
+// stub (CallInline through the linkage record's regs window) must be
+// observably identical to the A-stack `<Name>_General()` stub — same bytes
+// out, same CallStats, and (in the deterministic simulator) the same
+// simulated clock advance. See docs/fast_path.md for the eligibility rules.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+
+#include "examples/generated/geometry_stubs.h"
+#include "src/lrpc/runtime.h"
+
+namespace lrpc {
+namespace {
+
+class CountingGeometry : public lrpcgen::GeometryServer {
+ public:
+  Status Area(ServerFrame& frame, const lrpcgen::Rect& r,
+              std::int64_t* area) override {
+    (void)frame;
+    ++area_calls;
+    *area = static_cast<std::int64_t>(r.width) * r.height;
+    return Status::Ok();
+  }
+
+  Status Translate(ServerFrame& frame, lrpcgen::Point* p, std::int32_t dx,
+                   std::int32_t dy) override {
+    (void)frame;
+    ++translate_calls;
+    p->x += dx;
+    p->y += dy;
+    return Status::Ok();
+  }
+
+  Status Union(ServerFrame& frame, const lrpcgen::Rect& a,
+               const lrpcgen::Rect& b, lrpcgen::Rect* bounding) override {
+    (void)frame;
+    ++union_calls;
+    const std::int32_t left = a.origin.x < b.origin.x ? a.origin.x : b.origin.x;
+    const std::int32_t top = a.origin.y < b.origin.y ? a.origin.y : b.origin.y;
+    std::int32_t right = a.origin.x + a.width;
+    if (b.origin.x + b.width > right) right = b.origin.x + b.width;
+    std::int32_t bottom = a.origin.y + a.height;
+    if (b.origin.y + b.height > bottom) bottom = b.origin.y + b.height;
+    bounding->origin = {left, top};
+    bounding->width = right - left;
+    bounding->height = bottom - top;
+    return Status::Ok();
+  }
+
+  int area_calls = 0;
+  int translate_calls = 0;
+  int union_calls = 0;
+};
+
+// Machine + kernel + runtime + the generated server and client, the same
+// shape examples/geometry_service.cpp sets up.
+class StubInlineDiffTest : public ::testing::Test {
+ protected:
+  StubInlineDiffTest()
+      : machine_(MachineModel::CVaxFirefly(), 1),
+        kernel_(machine_),
+        runtime_(kernel_),
+        app_(kernel_.CreateDomain({.name = "app"})),
+        service_(kernel_.CreateDomain({.name = "geometry"})),
+        thread_(kernel_.CreateThread(app_)) {
+    auto iface = impl_.Export(runtime_, service_);
+    EXPECT_TRUE(iface.ok());
+    iface_ = iface.ok() ? *iface : nullptr;
+    cpu().LoadContext(kernel_.domain(app_).vm_context());
+    auto client = lrpcgen::GeometryClient::Import(runtime_, cpu(), app_);
+    EXPECT_TRUE(client.ok());
+    if (client.ok()) client_.emplace(*client);
+  }
+
+  Processor& cpu() { return machine_.processor(0); }
+  lrpcgen::GeometryClient& client() { return *client_; }
+
+  Machine machine_;
+  Kernel kernel_;
+  LrpcRuntime runtime_;
+  DomainId app_;
+  DomainId service_;
+  ThreadId thread_;
+  Interface* iface_ = nullptr;
+  CountingGeometry impl_;
+  std::optional<lrpcgen::GeometryClient> client_;
+};
+
+bool StatsEqual(const CallStats& a, const CallStats& b) {
+  return a.copies.a == b.copies.a && a.copies.f == b.copies.f &&
+         a.exchanged_on_call == b.exchanged_on_call &&
+         a.exchanged_on_return == b.exchanged_on_return &&
+         a.used_secondary_astack == b.used_secondary_astack &&
+         a.used_out_of_band == b.used_out_of_band &&
+         a.astack_bytes == b.astack_bytes &&
+         a.server_status.code() == b.server_status.code();
+}
+
+TEST_F(StubInlineDiffTest, EveryGeometryProcedureIsInlineEligible) {
+  ASSERT_NE(iface_, nullptr);
+  for (int i = 0; i < 3; ++i) {
+    const ProcedureDescriptor& pd = iface_->pd(i);
+    EXPECT_TRUE(pd.inline_eligible) << "proc " << i << " (" << pd.def->name
+                                    << ") should take the register path";
+    EXPECT_LE(pd.in_bytes, std::size_t{32});
+    EXPECT_LE(pd.out_bytes, std::size_t{32});
+  }
+}
+
+TEST_F(StubInlineDiffTest, AreaInlineMatchesGeneralByteForByte) {
+  const lrpcgen::Rect r{{100, 50}, 1200, 800};
+
+  std::int64_t inline_area = -1;
+  std::int64_t general_area = -2;
+  CallStats inline_stats, general_stats;
+
+  const SimTime t0 = cpu().clock();
+  ASSERT_TRUE(client().Area(cpu(), thread_, r, &inline_area,
+                            &inline_stats).ok());
+  const SimTime inline_ticks = cpu().clock() - t0;
+
+  const SimTime t1 = cpu().clock();
+  ASSERT_TRUE(client().Area_General(cpu(), thread_, r, &general_area,
+                                    &general_stats).ok());
+  const SimTime general_ticks = cpu().clock() - t1;
+
+  EXPECT_EQ(0, std::memcmp(&inline_area, &general_area, sizeof(inline_area)));
+  EXPECT_EQ(inline_area, 1200 * 800);
+  EXPECT_TRUE(StatsEqual(inline_stats, general_stats));
+  EXPECT_EQ(inline_ticks, general_ticks)
+      << "inline path must be tick-identical in the deterministic sim";
+  EXPECT_EQ(impl_.area_calls, 2);
+}
+
+TEST_F(StubInlineDiffTest, TranslateInoutRoundTripsIdentically) {
+  lrpcgen::Point inline_p{10, 20};
+  lrpcgen::Point general_p{10, 20};
+  CallStats inline_stats, general_stats;
+
+  const SimTime t0 = cpu().clock();
+  ASSERT_TRUE(client().Translate(cpu(), thread_, &inline_p, 5, -8,
+                                 &inline_stats).ok());
+  const SimTime inline_ticks = cpu().clock() - t0;
+
+  const SimTime t1 = cpu().clock();
+  ASSERT_TRUE(client().Translate_General(cpu(), thread_, &general_p, 5, -8,
+                                         &general_stats).ok());
+  const SimTime general_ticks = cpu().clock() - t1;
+
+  EXPECT_EQ(0, std::memcmp(&inline_p, &general_p, sizeof(inline_p)));
+  EXPECT_EQ(inline_p.x, 15);
+  EXPECT_EQ(inline_p.y, 12);
+  EXPECT_TRUE(StatsEqual(inline_stats, general_stats));
+  EXPECT_EQ(inline_ticks, general_ticks);
+  EXPECT_EQ(impl_.translate_calls, 2);
+}
+
+TEST_F(StubInlineDiffTest, UnionTwoRecordsInMatchRecordOut) {
+  const lrpcgen::Rect a{{0, 0}, 10, 10};
+  const lrpcgen::Rect b{{5, 5}, 10, 10};
+  lrpcgen::Rect inline_box{};
+  lrpcgen::Rect general_box{};
+  CallStats inline_stats, general_stats;
+
+  const SimTime t0 = cpu().clock();
+  ASSERT_TRUE(client().Union(cpu(), thread_, a, b, &inline_box,
+                             &inline_stats).ok());
+  const SimTime inline_ticks = cpu().clock() - t0;
+
+  const SimTime t1 = cpu().clock();
+  ASSERT_TRUE(client().Union_General(cpu(), thread_, a, b, &general_box,
+                                     &general_stats).ok());
+  const SimTime general_ticks = cpu().clock() - t1;
+
+  EXPECT_EQ(0, std::memcmp(&inline_box, &general_box, sizeof(inline_box)));
+  EXPECT_EQ(inline_box.width, 15);
+  EXPECT_EQ(inline_box.height, 15);
+  EXPECT_TRUE(StatsEqual(inline_stats, general_stats));
+  EXPECT_EQ(inline_ticks, general_ticks);
+  EXPECT_EQ(impl_.union_calls, 2);
+}
+
+// Differential sweep: many randomized inputs through both paths, comparing
+// every output byte. Any divergence in the inline marshaling (offset slips,
+// truncated windows, stale block bytes) shows up as a memcmp failure.
+TEST_F(StubInlineDiffTest, RandomizedSweepNeverDiverges) {
+  std::uint64_t state = 0x1989'2026;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::int32_t>(state >> 33) % 1000;
+  };
+
+  for (int i = 0; i < 64; ++i) {
+    const lrpcgen::Rect r{{next(), next()}, next(), next()};
+    std::int64_t via_inline = 0, via_general = 0;
+    ASSERT_TRUE(client().Area(cpu(), thread_, r, &via_inline).ok());
+    ASSERT_TRUE(client().Area_General(cpu(), thread_, r, &via_general).ok());
+    ASSERT_EQ(via_inline, via_general) << "iteration " << i;
+
+    lrpcgen::Point p1{next(), next()};
+    lrpcgen::Point p2 = p1;
+    const std::int32_t dx = next(), dy = next();
+    ASSERT_TRUE(client().Translate(cpu(), thread_, &p1, dx, dy).ok());
+    ASSERT_TRUE(client().Translate_General(cpu(), thread_, &p2, dx, dy).ok());
+    ASSERT_EQ(0, std::memcmp(&p1, &p2, sizeof(p1))) << "iteration " << i;
+  }
+}
+
+}  // namespace
+}  // namespace lrpc

@@ -227,6 +227,22 @@ bool IsMutexRule(const ForbiddenConstruct& f) {
   return std::string_view(f.why) == "mutex acquisition";
 }
 
+// A `std::atomic<...>` declaration (the template-argument bracket right
+// after the word distinguishes a declaration from loads/stores, which name
+// the variable, and from std::atomic_thread_fence, whose underscore fails
+// the word boundary).
+bool IsAtomicDeclaration(const std::string& line) {
+  std::size_t pos = FindWord(line, "std::atomic");
+  while (pos != std::string::npos) {
+    const std::size_t after = pos + std::string_view("std::atomic").size();
+    if (after < line.size() && line[after] == '<') {
+      return true;
+    }
+    pos = FindWord(line, "std::atomic", pos + 1);
+  }
+  return false;
+}
+
 class Linter {
  public:
   Linter(const std::vector<SourceFile>& sources,
@@ -347,11 +363,52 @@ class Linter {
                    "); move it off the fast path or justify it with "
                    "LRPC_FAST_PATH_ALLOW(reason)");
       }
+      CheckCachelineAlignment(file, raw, cleaned, i, allowed);
     }
     if (in_region) {
       Report(file, raw, region_start, "lrpc-fast-path",
              "LRPC_FAST_PATH_BEGIN never closed by LRPC_FAST_PATH_END");
     }
+  }
+
+  // --- lrpc-cacheline ---
+  // Mutable state declared inside a fast-path region outlives or is shared
+  // across concurrent calls (a function-static, an atomic), so an unaligned
+  // declaration invites false sharing with whatever the allocator or the
+  // enclosing object packs next to it (docs/fast_path.md). Such
+  // declarations must carry LRPC_CACHELINE_ALIGNED on the same or the
+  // previous line. Only called for lines inside a fast-path region.
+  void CheckCachelineAlignment(const SourceFile& file,
+                               const std::vector<std::string>& raw,
+                               const std::vector<std::string>& cleaned,
+                               std::size_t i, bool allowed) {
+    const std::string& line = cleaned[i];
+    const char* what = nullptr;
+    if (ContainsWord(line, "static") && !ContainsWord(line, "const") &&
+        !ContainsWord(line, "constexpr")) {
+      what = "function-static mutable state";
+    } else if (IsAtomicDeclaration(line)) {
+      what = "an atomic declaration";
+    }
+    if (what == nullptr) {
+      return;
+    }
+    const bool aligned =
+        ContainsWord(line, "LRPC_CACHELINE_ALIGNED") ||
+        (i > 0 && ContainsWord(cleaned[i - 1], "LRPC_CACHELINE_ALIGNED"));
+    if (aligned) {
+      return;
+    }
+    if (allowed) {
+      ++result_.suppressions_used;
+      return;
+    }
+    Report(file, raw, static_cast<int>(i) + 1, "lrpc-cacheline",
+           std::string(what) +
+               " in a fast-path region without LRPC_CACHELINE_ALIGNED; "
+               "shared mutable state on the fast path must own its cache "
+               "line (docs/fast_path.md) or justify the packing with "
+               "LRPC_FAST_PATH_ALLOW(reason)");
   }
 
   // --- lrpc-header-guard ---

@@ -8,6 +8,11 @@
 //                       claim/release) no heap allocation, container growth,
 //                       std::string construction, logging, or SimLock
 //                       acquisition — except via LRPC_FAST_PATH_ALLOW(reason).
+//   lrpc-cacheline      Inside fast-path regions, function-static mutable
+//                       state and std::atomic declarations must carry
+//                       LRPC_CACHELINE_ALIGNED (same or previous line):
+//                       shared mutable fast-path state owns its cache line
+//                       (docs/fast_path.md).
 //   lrpc-enum-coverage  Every ErrorCode, FaultKind and KernelEventKind
 //                       enumerator appears in at least one test under tests/.
 //   lrpc-fault-point    Every FaultKind has a registered injection point (a

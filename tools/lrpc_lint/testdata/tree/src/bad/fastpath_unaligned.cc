@@ -1,0 +1,25 @@
+// Fixture: mutable shared state declared inside a fast-path region without
+// LRPC_CACHELINE_ALIGNED. The bare function-static and the bare atomic
+// must each be flagged; the aligned, const and allowed ones must not.
+#include <atomic>
+
+namespace fixture {
+
+LRPC_FAST_PATH_BEGIN("unaligned fixture");
+
+int Next(int step) {
+  static int counter = 0;
+  std::atomic<int> pending{0};
+  LRPC_CACHELINE_ALIGNED static int aligned_hits = 0;
+  static const int kBase = 64;
+  LRPC_FAST_PATH_ALLOW("single-threaded tool, packing is fine");
+  static int allowed_calls = 0;
+  counter += step;
+  ++aligned_hits;
+  ++allowed_calls;
+  return counter + pending.load(std::memory_order_relaxed) + kBase;
+}
+
+LRPC_FAST_PATH_END("unaligned fixture");
+
+}  // namespace fixture
