@@ -1,0 +1,340 @@
+// Fleet-scale traffic bench: throughput and tail latency per fleet size,
+// with admission control active (docs/scale.md).
+//
+// For each fleet size F the bench stands up F server domains and F client
+// domains (10 imports per client: F=1000 means 2000 domains and 10,000
+// bindings), replays a seeded heavy-tailed open-loop arrival process at
+// offered loads of 0.5x, 0.9x and 2.0x the calibrated capacity under the
+// reject-at-call shedding policy, and reports admitted throughput, p50/p95/
+// p99 sojourn per argument-size class, and the shed fraction. Everything is
+// sim-time: rows are deterministic for a seed, so the committed
+// BENCH_scale.json regresses exactly, not statistically.
+//
+// Flags:
+//   --json <path>      write results here (BENCH_scale.json at the repo
+//                      root is the committed snapshot; `cmake --build build
+//                      --target bench-json` refreshes it)
+//   --baseline <path>  committed snapshot to regress against under --enforce
+//   --fleet <csv>      fleet sizes (server=client domain counts), default
+//                      10,100,1000
+//   --loads <csv>      offered load factors, default 0.5,0.9,2.0
+//   --calls <n>        offered calls per scenario (default 200000)
+//   --workers <n>      worker threads on the parallel backend (default 4)
+//   --backend <s>      sim, par or both (default both)
+//   --enforce          exit non-zero unless (a) no admitted call failed,
+//                      (b) the shed fraction is zero at 0.5x and monotone
+//                      non-decreasing in load, with real shedding (>= 25%)
+//                      at 2.0x, (c) every scenario's admitted p99 is within
+//                      its SLO target and the max wait stayed bounded, and
+//                      (d) when a baseline is given, admitted throughput is
+//                      at least half the committed value per row.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/scale/fleet.h"
+
+namespace {
+
+using lrpc::AdmissionPolicy;
+using lrpc::CallClass;
+using lrpc::FleetOptions;
+using lrpc::FleetReport;
+using lrpc::FleetWorld;
+using lrpc::RuntimeBackend;
+using lrpc::ScenarioOptions;
+
+struct Row {
+  int fleet = 0;
+  std::string backend;
+  double load = 0.0;
+  double wall_ms = 0.0;  // Host wall-clock of the scenario run.
+  FleetReport report;
+};
+
+std::vector<int> ParseInts(const std::string& csv) {
+  std::vector<int> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    out.push_back(std::atoi(item.c_str()));
+  }
+  return out;
+}
+
+std::vector<double> ParseDoubles(const std::string& csv) {
+  std::vector<double> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    out.push_back(std::atof(item.c_str()));
+  }
+  return out;
+}
+
+void WriteJson(std::ostream& out, const std::vector<Row>& rows,
+               std::uint64_t calls, int workers) {
+  out << "{\n";
+  out << "  \"bench\": \"scale\",\n";
+  out << "  \"policy\": \"reject-at-call\",\n";
+  out << "  \"calls\": " << calls << ",\n";
+  out << "  \"workers\": " << workers << ",\n";
+  out << "  \"rows\": [\n";
+  char load[16];
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const FleetReport& rep = r.report;
+    std::snprintf(load, sizeof(load), "%.2f", r.load);
+    out << "    {\"fleet\": " << r.fleet << ", \"backend\": \"" << r.backend
+        << "\", \"load\": " << load << ", \"offered\": " << rep.offered
+        << ", \"admitted\": " << rep.admitted << ", \"shed\": " << rep.shed
+        << ", \"failed\": " << rep.failed << ", \"shed_fraction\": "
+        << rep.shed_fraction << ", \"p50_ns\": " << rep.p50
+        << ", \"p95_ns\": " << rep.p95 << ", \"p99_ns\": " << rep.p99
+        << ", \"small_p99_ns\": "
+        << rep.per_class[static_cast<int>(CallClass::kSmall)].p99
+        << ", \"medium_p99_ns\": "
+        << rep.per_class[static_cast<int>(CallClass::kMedium)].p99
+        << ", \"large_p99_ns\": "
+        << rep.per_class[static_cast<int>(CallClass::kLarge)].p99
+        << ", \"slo_p99_ns\": " << rep.slo_p99
+        << ", \"max_wait_ns\": " << rep.max_wait
+        << ", \"admitted_per_sec\": "
+        << static_cast<std::uint64_t>(rep.admitted_per_second)
+        << ", \"wall_ms\": " << static_cast<std::uint64_t>(r.wall_ms) << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+// Scan of a committed BENCH_scale.json for the admitted_per_sec recorded
+// for (fleet, backend, load); -1 if absent. The writer above is the only
+// producer, so the match is on its exact row shape.
+double BaselineThroughput(const std::string& json, int fleet,
+                          const std::string& backend, double load) {
+  char key[96];
+  std::snprintf(key, sizeof(key),
+                "\"fleet\": %d, \"backend\": \"%s\", \"load\": %.2f", fleet,
+                backend.c_str(), load);
+  const std::size_t at = json.find(key);
+  if (at == std::string::npos) {
+    return -1.0;
+  }
+  const std::string field = "\"admitted_per_sec\": ";
+  const std::size_t p = json.find(field, at);
+  if (p == std::string::npos) {
+    return -1.0;
+  }
+  return std::atof(json.c_str() + p + field.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string baseline_path;
+  std::vector<int> fleets = {10, 100, 1000};
+  std::vector<double> loads = {0.5, 0.9, 2.0};
+  std::uint64_t calls = 200000;
+  int workers = 4;
+  std::string backend_arg = "both";
+  bool enforce = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--fleet") == 0 && i + 1 < argc) {
+      fleets = ParseInts(argv[++i]);
+    } else if (std::strcmp(argv[i], "--loads") == 0 && i + 1 < argc) {
+      loads = ParseDoubles(argv[++i]);
+    } else if (std::strcmp(argv[i], "--calls") == 0 && i + 1 < argc) {
+      calls = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      backend_arg = argv[++i];
+    } else if (std::strcmp(argv[i], "--enforce") == 0) {
+      enforce = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (fleets.empty() || loads.empty() || calls == 0 || workers < 1 ||
+      (backend_arg != "sim" && backend_arg != "par" &&
+       backend_arg != "both")) {
+    std::fprintf(stderr, "bad flags\n");
+    return 2;
+  }
+
+  std::vector<std::pair<std::string, RuntimeBackend>> backends;
+  if (backend_arg != "par") {
+    backends.emplace_back("sim", RuntimeBackend::kDeterministicSim);
+  }
+  if (backend_arg != "sim") {
+    backends.emplace_back("par", RuntimeBackend::kParallelHost);
+  }
+
+  std::printf("scale: calls=%llu workers=%d policy=reject-at-call\n\n",
+              static_cast<unsigned long long>(calls), workers);
+  std::printf("%6s  %-4s  %5s  %9s  %9s  %6s  %10s  %10s  %12s  %8s\n",
+              "fleet", "back", "load", "admitted", "shed", "shed%", "p50 ns",
+              "p99 ns", "admitted/s", "wall ms");
+
+  std::vector<Row> rows;
+  for (const auto& [backend_name, backend] : backends) {
+    for (int fleet : fleets) {
+      FleetOptions options;
+      options.backend = backend;
+      options.server_domains = fleet;
+      options.client_domains = fleet;
+      options.imports_per_client = 10;
+      options.workers = backend == RuntimeBackend::kParallelHost ? workers : 1;
+      FleetWorld world(options);
+      for (double load : loads) {
+        ScenarioOptions scenario;
+        scenario.load_factor = load;
+        scenario.calls = calls;
+        scenario.admission.policy = AdmissionPolicy::kRejectAtCall;
+        Row row;
+        row.fleet = fleet;
+        row.backend = backend_name;
+        row.load = load;
+        const auto wall_start = std::chrono::steady_clock::now();
+        row.report = world.RunScenario(scenario);
+        row.wall_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count();
+        const FleetReport& rep = row.report;
+        std::printf(
+            "%6d  %-4s  %5.2f  %9llu  %9llu  %5.1f%%  %10llu  %10llu  %12.0f"
+            "  %8.0f\n",
+            fleet, backend_name.c_str(), load,
+            static_cast<unsigned long long>(rep.admitted),
+            static_cast<unsigned long long>(rep.shed),
+            100.0 * rep.shed_fraction,
+            static_cast<unsigned long long>(rep.p50),
+            static_cast<unsigned long long>(rep.p99),
+            rep.admitted_per_second, row.wall_ms);
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    WriteJson(out, rows, calls, workers);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  if (enforce) {
+    int rc = 0;
+    for (const Row& r : rows) {
+      const FleetReport& rep = r.report;
+      const char* tag = r.backend.c_str();
+      if (rep.failed != 0) {
+        std::fprintf(stderr,
+                     "ENFORCE FAIL: fleet %d %s load %.2f had %llu failed "
+                     "calls\n",
+                     r.fleet, tag, r.load,
+                     static_cast<unsigned long long>(rep.failed));
+        rc = 1;
+      }
+      if (r.load <= 0.5 && rep.shed != 0) {
+        std::fprintf(stderr,
+                     "ENFORCE FAIL: fleet %d %s shed %llu calls at %.2fx "
+                     "load (must be 0 at or below half capacity)\n",
+                     r.fleet, tag, static_cast<unsigned long long>(rep.shed),
+                     r.load);
+        rc = 1;
+      }
+      if (rep.p99 > rep.slo_p99) {
+        std::fprintf(stderr,
+                     "ENFORCE FAIL: fleet %d %s load %.2f admitted p99 "
+                     "(%llu ns) over SLO (%llu ns)\n",
+                     r.fleet, tag, r.load,
+                     static_cast<unsigned long long>(rep.p99),
+                     static_cast<unsigned long long>(rep.slo_p99));
+        rc = 1;
+      }
+      // Bounded queueing: an admitted call waits at most the threshold, so
+      // the longest observed wait must stay within the SLO envelope too.
+      if (rep.max_wait > 2 * rep.slo_p99) {
+        std::fprintf(stderr,
+                     "ENFORCE FAIL: fleet %d %s load %.2f max wait %llu ns "
+                     "exceeds 2x SLO (%llu ns): queueing is not bounded\n",
+                     r.fleet, tag, r.load,
+                     static_cast<unsigned long long>(rep.max_wait),
+                     static_cast<unsigned long long>(rep.slo_p99));
+        rc = 1;
+      }
+      if (r.load >= 2.0 && rep.shed_fraction < 0.25) {
+        std::fprintf(stderr,
+                     "ENFORCE FAIL: fleet %d %s shed only %.1f%% at %.2fx "
+                     "overload (expected real shedding)\n",
+                     r.fleet, tag, 100.0 * rep.shed_fraction, r.load);
+        rc = 1;
+      }
+    }
+    // Shed fraction monotone in offered load, per fleet x backend.
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      for (std::size_t j = i + 1; j < rows.size(); ++j) {
+        const Row& a = rows[i];
+        const Row& b = rows[j];
+        if (a.fleet == b.fleet && a.backend == b.backend && a.load < b.load &&
+            a.report.shed_fraction > b.report.shed_fraction) {
+          std::fprintf(stderr,
+                       "ENFORCE FAIL: fleet %d %s shed fraction not "
+                       "monotone: %.4f at %.2fx > %.4f at %.2fx\n",
+                       a.fleet, a.backend.c_str(), a.report.shed_fraction,
+                       a.load, b.report.shed_fraction, b.load);
+          rc = 1;
+        }
+      }
+    }
+    if (!baseline_path.empty()) {
+      std::ifstream in(baseline_path);
+      if (!in) {
+        std::fprintf(stderr, "ENFORCE FAIL: cannot read baseline %s\n",
+                     baseline_path.c_str());
+        rc = 1;
+      } else {
+        std::stringstream buf;
+        buf << in.rdbuf();
+        const std::string baseline = buf.str();
+        for (const Row& r : rows) {
+          const double base =
+              BaselineThroughput(baseline, r.fleet, r.backend, r.load);
+          if (base <= 0.0) {
+            continue;  // Row not in the committed grid (e.g. smoke config).
+          }
+          if (r.report.admitted_per_second < 0.5 * base) {
+            std::fprintf(stderr,
+                         "ENFORCE FAIL: fleet %d %s load %.2f admitted/s "
+                         "(%.0f) < 0.5x committed baseline (%.0f)\n",
+                         r.fleet, r.backend.c_str(), r.load,
+                         r.report.admitted_per_second, base);
+            rc = 1;
+          }
+        }
+      }
+    }
+    if (rc == 0) {
+      std::printf("enforce: all scale expectations hold\n");
+    }
+    return rc;
+  }
+  return 0;
+}

@@ -50,6 +50,24 @@ void Histogram::AddN(std::uint64_t value, std::uint64_t count) {
   sum_ += static_cast<double>(value) * static_cast<double>(count);
 }
 
+Status Histogram::Merge(const Histogram& other) {
+  if (edges_ != other.edges_) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "histogram merge requires identical bucket edges");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  overflow_ += other.overflow_;
+  total_count_ += other.total_count_;
+  if (other.total_count_ > 0) {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+  return Status::Ok();
+}
+
 double Histogram::mean() const {
   return total_count_ == 0 ? 0.0 : sum_ / static_cast<double>(total_count_);
 }

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
+
 namespace lrpc {
 
 class Histogram {
@@ -26,6 +28,15 @@ class Histogram {
 
   void Add(std::uint64_t value);
   void AddN(std::uint64_t value, std::uint64_t count);
+
+  // Folds `other` into this histogram. Both must have identical bucket
+  // edges (kInvalidArgument otherwise). Merging N per-thread histograms
+  // produces exactly the histogram a single pooled recorder would have
+  // built from the union of their samples: bucket counts, overflow, total,
+  // min/max and mean are all exact, so Percentile() on the merged histogram
+  // equals Percentile() on the pooled one (the SLO-reporting property
+  // tests/histogram_property_test.cc pins).
+  Status Merge(const Histogram& other);
 
   std::uint64_t total_count() const { return total_count_; }
   std::size_t bucket_count() const { return counts_.size(); }

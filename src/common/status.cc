@@ -68,6 +68,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "kCircuitOpen";
     case ErrorCode::kRetriesExhausted:
       return "kRetriesExhausted";
+    case ErrorCode::kOverloadShed:
+      return "kOverloadShed";
   }
   return "kUnknown";
 }

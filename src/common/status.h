@@ -58,6 +58,8 @@ enum class ErrorCode : std::uint8_t {
   kDeadlineExceeded,      // Call watchdog expired before the server returned.
   kCircuitOpen,           // Per-binding circuit breaker is open: fail fast.
   kRetriesExhausted,      // Transient failures outlasted the retry budget.
+  // Admission control (docs/scale.md).
+  kOverloadShed,          // Load shedding rejected the call under overload.
 };
 
 // Human-readable name of an error code ("kOk", "kForgedBinding", ...).

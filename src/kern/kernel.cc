@@ -43,6 +43,10 @@ std::string_view KernelEventKindName(KernelEventKind kind) {
       return "Failover";
     case KernelEventKind::kCircuitStateChange:
       return "CircuitStateChange";
+    case KernelEventKind::kAdmissionShed:
+      return "AdmissionShed";
+    case KernelEventKind::kAdmissionDegraded:
+      return "AdmissionDegraded";
   }
   return "Unknown";
 }

@@ -48,6 +48,9 @@ enum class KernelEventKind : std::uint8_t {
   kSupervisorRetry,     // Supervised call backed off for a retry attempt.
   kFailover,            // Supervised call re-routed (rebind or message RPC).
   kCircuitStateChange,  // A per-binding circuit breaker changed state.
+  // Admission-control events (docs/scale.md).
+  kAdmissionShed,       // Load shedding rejected a call before dispatch.
+  kAdmissionDegraded,   // Overload routed a call to the message-RPC path.
 };
 
 std::string_view KernelEventKindName(KernelEventKind kind);

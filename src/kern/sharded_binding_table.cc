@@ -1,5 +1,7 @@
 #include "src/kern/sharded_binding_table.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 
 namespace lrpc {
@@ -175,6 +177,32 @@ Result<BindingRecord*> ShardedBindingTable::ValidateCached(
     slot.table = nullptr;
   }
   return result;
+}
+
+ShardedBindingTable::Occupancy ShardedBindingTable::MeasureOccupancy() const {
+  Occupancy occ;
+  occ.per_shard.assign(static_cast<std::size_t>(options_.shards), 0);
+  for (int s = 0; s < options_.shards; ++s) {
+    const Shard& shard = shards_[static_cast<std::size_t>(s)];
+    std::size_t occupied = 0;
+    for (int i = 0; i < slots_per_shard_; ++i) {
+      const std::uint64_t seq =
+          shard.entries[static_cast<std::size_t>(i)].seq.load(
+              std::memory_order_acquire);
+      if (seq != 0 && (seq & 1) == 0) {
+        ++occupied;
+      }
+    }
+    occ.per_shard[static_cast<std::size_t>(s)] = occupied;
+    occ.total += occupied;
+  }
+  occ.min_shard = occ.per_shard[0];
+  occ.max_shard = occ.per_shard[0];
+  for (std::size_t count : occ.per_shard) {
+    occ.min_shard = std::min(occ.min_shard, count);
+    occ.max_shard = std::max(occ.max_shard, count);
+  }
+  return occ;
 }
 
 void ShardedBindingTable::Revoke(BindingId id) {

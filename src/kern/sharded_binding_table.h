@@ -99,6 +99,17 @@ class ShardedBindingTable {
     return cache_hits_.load(std::memory_order_relaxed);
   }
 
+  // Per-shard slot occupancy, for shard-balance assertions at fleet scale
+  // (tests/scale_test.cc). Counts stable (even, non-zero seq) entries with
+  // acquire loads; exact when no writer is mid-update, a snapshot otherwise.
+  struct Occupancy {
+    std::vector<std::size_t> per_shard;  // Occupied slots, by shard index.
+    std::size_t total = 0;
+    std::size_t min_shard = 0;  // Smallest per-shard count.
+    std::size_t max_shard = 0;  // Largest per-shard count.
+  };
+  Occupancy MeasureOccupancy() const;
+
  private:
   // One line per entry: Validate's seqlock read walks seq, the fields, then
   // seq again — all on a single cache line — and a writer revoking one

@@ -1,4 +1,5 @@
-// Per-binding circuit breaker (supervision layer; docs/supervision.md).
+// Per-binding circuit breaker (supervision layer; docs/supervision.md) and
+// the fail-fast leg of admission control (docs/scale.md).
 //
 // A binding whose calls keep failing is eventually not worth calling: the
 // breaker trips after `failure_threshold` consecutive supervised failures
@@ -17,12 +18,20 @@
 //                        +----+  probe fails (re-open) / budget spent
 //
 // Everything is driven by sim time and plain counters: no allocation, no
-// lock, fully deterministic. State lives on the ClientBinding so it spans
-// supervisors and survives across supervised calls.
+// lock, fully deterministic under a single thread. The fields are atomics
+// because the real-thread engine (docs/concurrency.md) consults breakers
+// from concurrent workers; the half-open probe budget is published only by
+// the thread that wins the open -> half-open CAS and consumed by CAS
+// decrement, so a storm of threads observing the cooldown's end admits at
+// most `probe_budget` probes per half-open epoch — with a budget of one,
+// exactly one thread wins the probe slot (tests/breaker_property_test.cc
+// pins the race). State lives on the ClientBinding so it spans supervisors
+// and survives across supervised calls.
 
 #ifndef SRC_LRPC_CIRCUIT_BREAKER_H_
 #define SRC_LRPC_CIRCUIT_BREAKER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string_view>
 
@@ -58,71 +67,106 @@ class CircuitBreaker {
  public:
   explicit CircuitBreaker(BreakerPolicy policy = {}) : policy_(policy) {}
 
-  CircuitState state() const { return state_; }
+  CircuitState state() const {
+    return state_.load(std::memory_order_acquire);
+  }
   const BreakerPolicy& policy() const { return policy_; }
 
   // The admission gate, consulted before an attempt. May transition
   // open -> half-open when the cooldown has elapsed; consumes a probe in
   // half-open. False means the caller must fail fast with kCircuitOpen.
   bool AllowCall(SimTime now) {
-    switch (state_) {
-      case CircuitState::kClosed:
-        return true;
-      case CircuitState::kOpen:
-        if (now < opened_at_ + policy_.open_cooldown) {
-          ++rejected_;
-          return false;
-        }
-        Transition(CircuitState::kHalfOpen);
-        probes_left_ = policy_.probe_budget;
-        [[fallthrough]];
-      case CircuitState::kHalfOpen:
-        if (probes_left_ <= 0) {
-          ++rejected_;
-          return false;
-        }
-        --probes_left_;
-        return true;
+    CircuitState s = state_.load(std::memory_order_acquire);
+    if (s == CircuitState::kClosed) {
+      return true;
     }
-    return true;
+    if (s == CircuitState::kOpen) {
+      if (now < opened_at_.load(std::memory_order_acquire) +
+                    policy_.open_cooldown) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      // Only the CAS winner publishes the epoch's probe budget. The budget
+      // is guaranteed zero on entry to kOpen (OnFailure strands it before
+      // re-opening), so a rival that observes kHalfOpen before the store
+      // lands reads 0 and rejects — under-admission, never over-admission.
+      // Storing before the CAS would let a loser re-arm probes a faster
+      // thread already spent.
+      if (state_.compare_exchange_strong(s, CircuitState::kHalfOpen,
+                                         std::memory_order_acq_rel)) {
+        probes_left_.store(policy_.probe_budget, std::memory_order_release);
+        transitions_.fetch_add(1, std::memory_order_relaxed);
+        s = CircuitState::kHalfOpen;
+      }
+      // On a lost race `s` holds the rival's state; only half-open admits.
+      if (s != CircuitState::kHalfOpen) {
+        if (s == CircuitState::kClosed) {
+          return true;  // A rival probe already succeeded and re-closed.
+        }
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+    // Half-open: claim one probe by CAS decrement. The budget is the only
+    // admission currency, so concurrent observers admit at most
+    // `probe_budget` probes however the claims interleave.
+    int probes = probes_left_.load(std::memory_order_acquire);
+    while (probes > 0) {
+      if (probes_left_.compare_exchange_weak(probes, probes - 1,
+                                             std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
   }
 
   // Records the outcome of an admitted call. Success closes the circuit
   // (from any state); failure counts toward the threshold in closed and
   // re-opens immediately in half-open.
   void OnSuccess() {
-    consecutive_failures_ = 0;
-    if (state_ != CircuitState::kClosed) {
-      Transition(CircuitState::kClosed);
+    consecutive_failures_.store(0, std::memory_order_relaxed);
+    const CircuitState prev =
+        state_.exchange(CircuitState::kClosed, std::memory_order_acq_rel);
+    if (prev != CircuitState::kClosed) {
+      transitions_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   void OnFailure(SimTime now) {
-    ++consecutive_failures_;
-    if (state_ == CircuitState::kHalfOpen ||
-        (state_ == CircuitState::kClosed &&
-         consecutive_failures_ >= policy_.failure_threshold)) {
-      opened_at_ = now;
-      Transition(CircuitState::kOpen);
+    const int failures =
+        consecutive_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+    CircuitState s = state_.load(std::memory_order_acquire);
+    if (s == CircuitState::kHalfOpen ||
+        (s == CircuitState::kClosed && failures >= policy_.failure_threshold)) {
+      // Strand any unspent probes before re-opening so a thread that still
+      // sees kHalfOpen cannot admit against the failed epoch.
+      probes_left_.store(0, std::memory_order_release);
+      opened_at_.store(now, std::memory_order_release);
+      if (state_.compare_exchange_strong(s, CircuitState::kOpen,
+                                         std::memory_order_acq_rel)) {
+        transitions_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
 
-  int consecutive_failures() const { return consecutive_failures_; }
-  std::uint64_t transitions() const { return transitions_; }
-  std::uint64_t rejected() const { return rejected_; }
-
- private:
-  void Transition(CircuitState next) {
-    state_ = next;
-    ++transitions_;
+  int consecutive_failures() const {
+    return consecutive_failures_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t transitions() const {
+    return transitions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
   }
 
+ private:
   BreakerPolicy policy_;
-  CircuitState state_ = CircuitState::kClosed;
-  int consecutive_failures_ = 0;
-  int probes_left_ = 0;
-  SimTime opened_at_ = 0;
-  std::uint64_t transitions_ = 0;
-  std::uint64_t rejected_ = 0;
+  std::atomic<CircuitState> state_{CircuitState::kClosed};
+  std::atomic<int> consecutive_failures_{0};
+  std::atomic<int> probes_left_{0};
+  std::atomic<SimTime> opened_at_{0};
+  std::atomic<std::uint64_t> transitions_{0};
+  std::atomic<std::uint64_t> rejected_{0};
 };
 
 }  // namespace lrpc

@@ -1,46 +1,88 @@
 #include "src/nameserver/name_server.h"
 
-#include <algorithm>
+#include <mutex>
+#include <utility>
 
 namespace lrpc {
 
 Status NameServer::Register(ExportEntry entry) {
-  for (const auto& existing : entries_) {
-    if (existing.name == entry.name) {
-      return Status(ErrorCode::kAlreadyExists, "interface name already exported");
-    }
+  std::unique_lock lock(mu_);
+  if (index_.contains(entry.name)) {
+    duplicate_registers_.fetch_add(1, std::memory_order_relaxed);
+    return Status(ErrorCode::kAlreadyExists, "interface name already exported");
   }
+  index_.emplace(entry.name, entries_.size());
   entries_.push_back(std::move(entry));
+  registers_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
+void NameServer::RemoveSlotLocked(std::size_t slot) {
+  index_.erase(entries_[slot].name);
+  const std::size_t last = entries_.size() - 1;
+  if (slot != last) {
+    entries_[slot] = std::move(entries_[last]);
+    index_[entries_[slot].name] = slot;
+  }
+  entries_.pop_back();
+  withdrawals_.fetch_add(1, std::memory_order_relaxed);
+}
+
 Status NameServer::Withdraw(std::string_view name) {
-  auto it = std::find_if(entries_.begin(), entries_.end(),
-                         [&](const ExportEntry& e) { return e.name == name; });
-  if (it == entries_.end()) {
+  std::unique_lock lock(mu_);
+  auto it = index_.find(name);
+  if (it == index_.end()) {
     return Status(ErrorCode::kNotFound);
   }
-  entries_.erase(it);
+  RemoveSlotLocked(it->second);
   return Status::Ok();
 }
 
 int NameServer::WithdrawAllFrom(DomainId domain) {
-  const auto before = entries_.size();
-  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
-                                [&](const ExportEntry& e) {
-                                  return e.server == domain;
-                                }),
-                 entries_.end());
-  return static_cast<int>(before - entries_.size());
+  std::unique_lock lock(mu_);
+  int removed = 0;
+  // Swap-and-pop invalidates only slots >= the one removed, so a backward
+  // scan visits every entry exactly once.
+  for (std::size_t i = entries_.size(); i-- > 0;) {
+    if (entries_[i].server == domain) {
+      RemoveSlotLocked(i);
+      ++removed;
+    }
+  }
+  return removed;
 }
 
 Result<ExportEntry> NameServer::Lookup(std::string_view name) const {
-  for (const auto& entry : entries_) {
-    if (entry.name == name) {
-      return entry;
-    }
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_lock lock(mu_);
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return Status(ErrorCode::kNoSuchInterface);
   }
-  return Status(ErrorCode::kNoSuchInterface);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return entries_[it->second];
+}
+
+std::size_t NameServer::size() const {
+  std::shared_lock lock(mu_);
+  return entries_.size();
+}
+
+NameServer::Stats NameServer::stats() const {
+  Stats s;
+  s.registers = registers_.load(std::memory_order_relaxed);
+  s.duplicate_registers = duplicate_registers_.load(std::memory_order_relaxed);
+  s.withdrawals = withdrawals_.load(std::memory_order_relaxed);
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<ExportEntry> NameServer::entries() const {
+  std::shared_lock lock(mu_);
+  return entries_;
 }
 
 }  // namespace lrpc

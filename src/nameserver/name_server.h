@@ -6,12 +6,23 @@
 // the exporting clerk — the binding handshake (PDL reply, A-stack
 // allocation, Binding Object creation) runs through the kernel and the
 // clerk, in src/lrpc.
+//
+// The table is a dense vector of exports plus a hash index keyed by name,
+// so Register/Lookup/Withdraw are O(1) expected even for fleet-scale
+// populations (10k+ exports; tests/nameserver_stress_test.cc). A
+// shared_mutex guards the table: lookups (the bind-storm hot path) take the
+// shared side, mutations the exclusive side, and the traffic counters are
+// relaxed atomics so a read burst never serialises on stats.
 
 #ifndef SRC_NAMESERVER_NAME_SERVER_H_
 #define SRC_NAMESERVER_NAME_SERVER_H_
 
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/ids.h"
@@ -31,6 +42,16 @@ struct ExportEntry {
 
 class NameServer {
  public:
+  // Cumulative traffic counters, for capacity planning and the scale tests.
+  struct Stats {
+    std::uint64_t registers = 0;            // Successful Register calls.
+    std::uint64_t duplicate_registers = 0;  // Register rejected: name taken.
+    std::uint64_t withdrawals = 0;          // Entries removed (any path).
+    std::uint64_t lookups = 0;              // Total Lookup calls.
+    std::uint64_t hits = 0;                 // Lookups that found an export.
+    std::uint64_t misses = 0;               // Lookups that found nothing.
+  };
+
   // Registers an exported interface under `name`. Fails with kAlreadyExists
   // if the name is taken by a live export.
   Status Register(ExportEntry entry);
@@ -40,14 +61,49 @@ class NameServer {
   // Removes every export owned by `domain`.
   int WithdrawAllFrom(DomainId domain);
 
-  // Looks up a live export.
+  // Looks up a live export (returns a copy: the entry may be withdrawn by
+  // a concurrent caller the moment the lock drops).
   Result<ExportEntry> Lookup(std::string_view name) const;
 
-  std::size_t size() const { return entries_.size(); }
-  const std::vector<ExportEntry>& entries() const { return entries_; }
+  std::size_t size() const;
+  Stats stats() const;
+
+  // Snapshot of the live exports, in no particular order. A copy, not a
+  // reference: the dense vector reorders on Withdraw (swap-and-pop) and may
+  // be mutated by concurrent registrations.
+  std::vector<ExportEntry> entries() const;
 
  private:
-  std::vector<ExportEntry> entries_;
+  // Heterogeneous hashing so Lookup(string_view) never allocates a
+  // temporary std::string for the probe.
+  struct NameHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct NameEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  // Removes the entry at `slot` by swap-and-pop, fixing the index entry of
+  // the export that moved into the hole. Caller holds mu_ exclusively.
+  void RemoveSlotLocked(std::size_t slot);
+
+  mutable std::shared_mutex mu_;
+  std::vector<ExportEntry> entries_;  // Dense; order changes on Withdraw.
+  std::unordered_map<std::string, std::size_t, NameHash, NameEq>
+      index_;                         // name -> slot in entries_.
+
+  mutable std::atomic<std::uint64_t> registers_{0};
+  mutable std::atomic<std::uint64_t> duplicate_registers_{0};
+  mutable std::atomic<std::uint64_t> withdrawals_{0};
+  mutable std::atomic<std::uint64_t> lookups_{0};
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace lrpc

@@ -15,6 +15,7 @@ ShardedBindingTable::Options TableOptions(const ParallelOptions& options) {
   ShardedBindingTable::Options table;
   table.shards = options.binding_shards;
   table.lock_free = options.lock_free;
+  table.max_bindings = options.max_bindings;
   return table;
 }
 

@@ -43,6 +43,10 @@ struct ParallelOptions {
   // the contention reference Figure 3 compares against.
   bool lock_free = true;
   int binding_shards = 16;
+  // Capacity of the sharded binding mirror. The default suits the unit
+  // tests and benches; fleet-scale worlds (10k+ bindings, src/scale) must
+  // raise it — ids at or beyond the cap fail to mirror in AdoptWorld.
+  int max_bindings = 256;
 };
 
 class ParallelMachine {

@@ -1,0 +1,177 @@
+// Admission control: the load-shedding leg of the fleet harness
+// (docs/scale.md).
+//
+// An open-loop arrival process does not slow down when the fleet saturates;
+// without intervention the backlog — and therefore every later call's
+// sojourn time — grows without bound (the kNone policy exists exactly to
+// demonstrate that). The controller bounds the tail by inspecting, per
+// offered call, how long the call has already waited for its worker
+// (sim-time wait = processor clock minus arrival) and applying one of three
+// pluggable policies once the wait crosses `max_queue_delay`:
+//
+//   kRejectAtCall      shed this call with kOverloadShed; the stub never
+//                      traps. The classic per-call load shedder.
+//   kRejectAtBind      feed overload into the binding's CircuitBreaker:
+//                      crossing the threshold counts as a failure, sustained
+//                      overload opens the breaker and subsequent calls are
+//                      refused AT THE BINDING (no wait inspection at all)
+//                      until the cooldown's half-open probe finds the queue
+//                      drained. Shedding a whole binding at a time.
+//   kDegradeToMsgRpc   route the overflow call onto the message-RPC clerk
+//                      channel — slower, but with its own capacity — so the
+//                      LRPC fast path keeps its SLO while degraded traffic
+//                      is tracked separately.
+//
+// Every shed fires KernelEventKind::kAdmissionShed and every degrade
+// kAdmissionDegraded, so the invariant checker and the chaos testbed can
+// audit that shed accounting matches kernel-visible decisions. The
+// controller is shared by all workers of a run: counters are relaxed
+// atomics, the per-binding breaker is itself thread-safe, and Decide takes
+// no lock.
+
+#ifndef SRC_SCALE_ADMISSION_H_
+#define SRC_SCALE_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "src/kern/kernel.h"
+#include "src/lrpc/circuit_breaker.h"
+#include "src/lrpc/client_binding.h"
+#include "src/sim/time.h"
+
+namespace lrpc {
+
+enum class AdmissionPolicy : std::uint8_t {
+  kNone = 0,          // Admit everything (the unbounded-queueing contrast).
+  kRejectAtCall = 1,  // Shed individual calls past the wait threshold.
+  kRejectAtBind = 2,  // Open the binding's circuit breaker under overload.
+  kDegradeToMsgRpc = 3,  // Route overflow to the message-RPC path.
+};
+
+inline std::string_view AdmissionPolicyName(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kNone:
+      return "none";
+    case AdmissionPolicy::kRejectAtCall:
+      return "reject-at-call";
+    case AdmissionPolicy::kRejectAtBind:
+      return "reject-at-bind";
+    case AdmissionPolicy::kDegradeToMsgRpc:
+      return "degrade-to-msg-rpc";
+  }
+  return "unknown";
+}
+
+struct AdmissionOptions {
+  AdmissionPolicy policy = AdmissionPolicy::kNone;
+  // Wait beyond which a call is considered over-delayed. 0 lets the fleet
+  // pick its calibrated default (a large multiple of the mean service time,
+  // so ordinary burstiness at half load never sheds).
+  SimDuration max_queue_delay = 0;
+  // Breaker parameters for kRejectAtBind (per binding).
+  BreakerPolicy breaker;
+};
+
+enum class AdmissionDecision : std::uint8_t {
+  kAdmit = 0,
+  kShed = 1,
+  kDegrade = 2,
+};
+
+class AdmissionController {
+ public:
+  // `kernel` may be null (no event notification). The controller never
+  // owns it.
+  AdmissionController(AdmissionOptions options, Kernel* kernel)
+      : options_(options), kernel_(kernel) {}
+
+  const AdmissionOptions& options() const { return options_; }
+
+  // The per-offered-call gate. `wait` is how long the call has already
+  // queued for its worker (>= 0). `degraded_wait` is the backlog of the
+  // message-RPC fallback channel, consulted only by kDegradeToMsgRpc: a
+  // call the fast path cannot take rides the fallback while that channel
+  // keeps up, and is shed once even the fallback is `kDegradedWaitFactor`
+  // thresholds behind — degradation must not become its own unbounded
+  // queue.
+  static constexpr SimDuration kDegradedWaitFactor = 4;
+  AdmissionDecision Decide(ClientBinding& binding, SimTime now,
+                           SimDuration wait, SimDuration degraded_wait = 0) {
+    switch (options_.policy) {
+      case AdmissionPolicy::kNone:
+        return AdmissionDecision::kAdmit;
+      case AdmissionPolicy::kRejectAtCall:
+        if (wait > options_.max_queue_delay) {
+          return Shed();
+        }
+        return AdmissionDecision::kAdmit;
+      case AdmissionPolicy::kRejectAtBind: {
+        CircuitBreaker& breaker = binding.EnsureBreaker(options_.breaker);
+        if (!breaker.AllowCall(now)) {
+          // Refused at the Binding Object itself: the wait is never even
+          // inspected while the breaker holds the binding shut.
+          return Shed();
+        }
+        if (wait > options_.max_queue_delay) {
+          breaker.OnFailure(now);
+          return Shed();
+        }
+        return AdmissionDecision::kAdmit;
+      }
+      case AdmissionPolicy::kDegradeToMsgRpc:
+        if (wait > options_.max_queue_delay) {
+          if (degraded_wait > kDegradedWaitFactor * options_.max_queue_delay) {
+            return Shed();
+          }
+          degrades_.fetch_add(1, std::memory_order_relaxed);
+          if (kernel_ != nullptr) {
+            kernel_->NotifyEvent(KernelEventKind::kAdmissionDegraded);
+          }
+          return AdmissionDecision::kDegrade;
+        }
+        return AdmissionDecision::kAdmit;
+    }
+    return AdmissionDecision::kAdmit;
+  }
+
+  // Outcome of an admitted call; closes/advances the breaker under
+  // kRejectAtBind, a no-op otherwise.
+  void OnOutcome(ClientBinding& binding, SimTime now, bool ok) {
+    if (options_.policy != AdmissionPolicy::kRejectAtBind) {
+      return;
+    }
+    CircuitBreaker& breaker = binding.EnsureBreaker(options_.breaker);
+    if (ok) {
+      breaker.OnSuccess();
+    } else {
+      breaker.OnFailure(now);
+    }
+  }
+
+  std::uint64_t sheds() const {
+    return sheds_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t degrades() const {
+    return degrades_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  AdmissionDecision Shed() {
+    sheds_.fetch_add(1, std::memory_order_relaxed);
+    if (kernel_ != nullptr) {
+      kernel_->NotifyEvent(KernelEventKind::kAdmissionShed);
+    }
+    return AdmissionDecision::kShed;
+  }
+
+  AdmissionOptions options_;
+  Kernel* kernel_;
+  std::atomic<std::uint64_t> sheds_{0};
+  std::atomic<std::uint64_t> degrades_{0};
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_SCALE_ADMISSION_H_

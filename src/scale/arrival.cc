@@ -1,0 +1,73 @@
+#include "src/scale/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace lrpc {
+
+OpenLoopArrivals::OpenLoopArrivals(SimDuration mean_gap, std::uint64_t seed,
+                                   const TrafficOptions& options)
+    : rng_(seed),
+      mean_gap_(static_cast<double>(mean_gap)),
+      burst_fraction_(options.burst_fraction) {
+  LRPC_CHECK(mean_gap > 0);
+  LRPC_CHECK(options.burst_fraction >= 0.0 && options.burst_fraction < 1.0);
+  LRPC_CHECK(options.burst_fraction * options.burst_factor < 1.0);
+  // Mixture mean: (1 - f) * fast + f * slow == mean_gap, with the slow
+  // component pinned at burst_factor * mean_gap.
+  slow_mean_ = options.burst_factor * mean_gap_;
+  fast_mean_ = mean_gap_ *
+               (1.0 - options.burst_fraction * options.burst_factor) /
+               (1.0 - options.burst_fraction);
+}
+
+SimDuration OpenLoopArrivals::Next() {
+  const double mean =
+      rng_.NextBool(burst_fraction_) ? slow_mean_ : fast_mean_;
+  next_ += rng_.NextExponential(mean);
+  return static_cast<SimDuration>(next_);
+}
+
+FleetTrafficModel::FleetTrafficModel(int binding_count,
+                                     const TrafficOptions& options) {
+  LRPC_CHECK(binding_count > 0);
+  binding_cdf_.reserve(static_cast<std::size_t>(binding_count));
+  double mass = 0.0;
+  for (int rank = 0; rank < binding_count; ++rank) {
+    mass += std::pow(static_cast<double>(rank + 1), -options.zipf_exponent);
+    binding_cdf_.push_back(mass);
+  }
+  for (double& cum : binding_cdf_) {
+    cum /= mass;
+  }
+
+  const double total = options.small_weight + options.medium_weight +
+                       options.large_weight;
+  LRPC_CHECK(total > 0.0);
+  class_probability_[0] = options.small_weight / total;
+  class_probability_[1] = options.medium_weight / total;
+  class_probability_[2] = options.large_weight / total;
+}
+
+int FleetTrafficModel::PickBinding(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it =
+      std::lower_bound(binding_cdf_.begin(), binding_cdf_.end(), u);
+  const auto rank = static_cast<std::size_t>(it - binding_cdf_.begin());
+  return static_cast<int>(std::min(rank, binding_cdf_.size() - 1));
+}
+
+CallClass FleetTrafficModel::PickClass(Rng& rng) const {
+  const double u = rng.NextDouble();
+  if (u < class_probability_[0]) {
+    return CallClass::kSmall;
+  }
+  if (u < class_probability_[0] + class_probability_[1]) {
+    return CallClass::kMedium;
+  }
+  return CallClass::kLarge;
+}
+
+}  // namespace lrpc

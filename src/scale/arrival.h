@@ -1,0 +1,112 @@
+// Seeded open-loop traffic synthesis for the fleet harness (docs/scale.md).
+//
+// Two generators, both driven by the repo's deterministic Rng so every
+// scenario replays bit-for-bit from its seed:
+//
+//   OpenLoopArrivals   a heavy-tailed arrival clock. Gaps are drawn from a
+//                      two-phase hyperexponential (H2) mixture: most gaps
+//                      come from a fast exponential, a seeded fraction from
+//                      one `burst_factor` times slower, giving the bursty,
+//                      high-CV arrival process real RPC fleets see instead
+//                      of the gentle Poisson stream. Open-loop: the next
+//                      arrival never waits for the previous call to finish,
+//                      so overload actually queues instead of self-pacing.
+//
+//   FleetTrafficModel  which binding, and how many bytes. Binding
+//                      popularity is Zipf-distributed (the Table 1
+//                      observation: a handful of services take most of the
+//                      traffic) and the argument-size class mix follows the
+//                      Figure 1 shape — mostly small arguments, a modest
+//                      medium band, and a spike of maximum-packet-sized
+//                      transfers.
+
+#ifndef SRC_SCALE_ARRIVAL_H_
+#define SRC_SCALE_ARRIVAL_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/time.h"
+
+namespace lrpc {
+
+// Argument-size classes, the Figure 1 mix collapsed to its three modes.
+enum class CallClass : std::uint8_t {
+  kSmall = 0,   // A few words of arguments (the majority of calls).
+  kMedium = 1,  // Tens of bytes, within a single A-stack line.
+  kLarge = 2,   // The 1448-byte maximum-packet spike.
+};
+inline constexpr int kCallClassCount = 3;
+
+inline std::string_view CallClassName(CallClass c) {
+  switch (c) {
+    case CallClass::kSmall:
+      return "small";
+    case CallClass::kMedium:
+      return "medium";
+    case CallClass::kLarge:
+      return "large";
+  }
+  return "unknown";
+}
+
+struct TrafficOptions {
+  // Figure-1 class mix (normalised at use; must be positive overall).
+  double small_weight = 0.55;
+  double medium_weight = 0.35;
+  double large_weight = 0.10;
+  // Zipf exponent for binding popularity (0 = uniform).
+  double zipf_exponent = 1.1;
+  // H2 burstiness: `burst_fraction` of gaps come from a component
+  // `burst_factor` times the mean. Requires burst_fraction * burst_factor
+  // < 1 so the fast component keeps a positive mean.
+  double burst_fraction = 0.2;
+  double burst_factor = 4.0;
+};
+
+// The arrival clock. Next() returns successive absolute arrival offsets
+// (ns of sim time from the stream's origin), strictly non-decreasing.
+class OpenLoopArrivals {
+ public:
+  OpenLoopArrivals(SimDuration mean_gap, std::uint64_t seed,
+                   const TrafficOptions& options = {});
+
+  SimDuration Next();
+
+  // Mean of the configured gap distribution (== the mean_gap argument).
+  double mean_gap() const { return mean_gap_; }
+
+ private:
+  Rng rng_;
+  double mean_gap_;
+  double fast_mean_;
+  double slow_mean_;
+  double burst_fraction_;
+  double next_ = 0.0;  // Accumulated in double to avoid per-gap truncation.
+};
+
+// Binding popularity and size-class sampling. One instance per worker over
+// that worker's local binding list keeps the generators contention-free.
+class FleetTrafficModel {
+ public:
+  FleetTrafficModel(int binding_count, const TrafficOptions& options);
+
+  // Index in [0, binding_count): Zipf by rank (rank 0 most popular).
+  int PickBinding(Rng& rng) const;
+  CallClass PickClass(Rng& rng) const;
+
+  // The stationary class probabilities (normalised weights).
+  double class_probability(CallClass c) const {
+    return class_probability_[static_cast<std::size_t>(c)];
+  }
+
+ private:
+  std::vector<double> binding_cdf_;  // Cumulative Zipf mass by rank.
+  double class_probability_[kCallClassCount];
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_SCALE_ARRIVAL_H_

@@ -1,0 +1,69 @@
+#include "src/scale/slo.h"
+
+#include <utility>
+#include <vector>
+
+namespace lrpc {
+
+Histogram MakeLatencyHistogram() {
+  // Geometric edges at kLatencyBucketRatio: 130 buckets from 100ns reach
+  // ~2e12ns. Integer rounding keeps them strictly increasing (each step
+  // adds >= 20).
+  std::vector<std::uint64_t> edges;
+  edges.reserve(130);
+  double edge = 100.0;
+  for (int i = 0; i < 130; ++i) {
+    edges.push_back(static_cast<std::uint64_t>(edge));
+    edge *= kLatencyBucketRatio;
+  }
+  return Histogram(std::move(edges));
+}
+
+SloTracker::SloTracker()
+    : latency_{MakeLatencyHistogram(), MakeLatencyHistogram(),
+               MakeLatencyHistogram()},
+      degraded_latency_{MakeLatencyHistogram(), MakeLatencyHistogram(),
+                        MakeLatencyHistogram()} {}
+
+void SloTracker::RecordAdmitted(CallClass c, SimDuration sojourn) {
+  const auto i = static_cast<std::size_t>(c);
+  ++offered_[i];
+  ++admitted_[i];
+  latency_[i].Add(sojourn < 0 ? 0 : static_cast<std::uint64_t>(sojourn));
+}
+
+void SloTracker::RecordShed(CallClass c) {
+  const auto i = static_cast<std::size_t>(c);
+  ++offered_[i];
+  ++shed_[i];
+}
+
+void SloTracker::RecordDegraded(CallClass c, SimDuration sojourn) {
+  const auto i = static_cast<std::size_t>(c);
+  ++offered_[i];
+  ++degraded_[i];
+  degraded_latency_[i].Add(sojourn < 0 ? 0
+                                       : static_cast<std::uint64_t>(sojourn));
+}
+
+void SloTracker::RecordFailed(CallClass c) {
+  const auto i = static_cast<std::size_t>(c);
+  ++offered_[i];
+  ++failed_[i];
+}
+
+Status SloTracker::Merge(const SloTracker& other) {
+  for (std::size_t i = 0; i < kCallClassCount; ++i) {
+    LRPC_RETURN_IF_ERROR(latency_[i].Merge(other.latency_[i]));
+    LRPC_RETURN_IF_ERROR(
+        degraded_latency_[i].Merge(other.degraded_latency_[i]));
+    offered_[i] += other.offered_[i];
+    admitted_[i] += other.admitted_[i];
+    shed_[i] += other.shed_[i];
+    degraded_[i] += other.degraded_[i];
+    failed_[i] += other.failed_[i];
+  }
+  return Status::Ok();
+}
+
+}  // namespace lrpc

@@ -1,0 +1,103 @@
+// SLO accounting for the fleet harness (docs/scale.md).
+//
+// Every offered call ends in exactly one of four outcomes:
+//
+//   admitted   ran on the LRPC fast path; its sojourn time (completion
+//              minus arrival, queueing included) lands in the per-class
+//              latency histogram the percentile gates read
+//   shed       rejected by admission control before dispatch (kOverloadShed)
+//   degraded   routed to the message-RPC path; latency tracked separately
+//              so a degrade storm cannot smear the fast path's percentiles
+//   failed     admitted but returned a non-ok status (breaker trips,
+//              A-stack exhaustion, chaos faults)
+//
+// Trackers are strictly thread-local during a run — one per worker — and
+// folded with Merge() afterwards, which is exact (Histogram::Merge), so the
+// merged p99 equals what a single pooled recorder would have reported.
+
+#ifndef SRC_SCALE_SLO_H_
+#define SRC_SCALE_SLO_H_
+
+#include <cstdint>
+
+#include "src/common/histogram.h"
+#include "src/common/status.h"
+#include "src/scale/arrival.h"
+#include "src/sim/time.h"
+
+namespace lrpc {
+
+// Log-spaced latency bucket edges shared by every tracker in a run, so any
+// two trackers merge. Spans 100ns to ~300s of sim time at ~20% resolution.
+// Percentile() reports a bucket's upper edge, so a reported quantile can
+// exceed the true value by up to this ratio — SLO targets derived from
+// model quantities (fleet.cc) must scale by it before comparing.
+inline constexpr double kLatencyBucketRatio = 1.2;
+
+Histogram MakeLatencyHistogram();
+
+class SloTracker {
+ public:
+  SloTracker();
+
+  void RecordAdmitted(CallClass c, SimDuration sojourn);
+  void RecordShed(CallClass c);
+  void RecordDegraded(CallClass c, SimDuration sojourn);
+  void RecordFailed(CallClass c);
+
+  // Exact fold of another tracker (identical bucket layout by
+  // construction). Fails only if someone built mismatched histograms.
+  Status Merge(const SloTracker& other);
+
+  std::uint64_t offered(CallClass c) const { return Of(offered_, c); }
+  std::uint64_t admitted(CallClass c) const { return Of(admitted_, c); }
+  std::uint64_t shed(CallClass c) const { return Of(shed_, c); }
+  std::uint64_t degraded(CallClass c) const { return Of(degraded_, c); }
+  std::uint64_t failed(CallClass c) const { return Of(failed_, c); }
+
+  std::uint64_t total_offered() const { return Sum(offered_); }
+  std::uint64_t total_admitted() const { return Sum(admitted_); }
+  std::uint64_t total_shed() const { return Sum(shed_); }
+  std::uint64_t total_degraded() const { return Sum(degraded_); }
+  std::uint64_t total_failed() const { return Sum(failed_); }
+
+  double shed_fraction() const {
+    const std::uint64_t offered = total_offered();
+    return offered == 0
+               ? 0.0
+               : static_cast<double>(total_shed()) /
+                     static_cast<double>(offered);
+  }
+
+  // Fast-path (admitted) latency percentiles, ns of sim time.
+  std::uint64_t Percentile(CallClass c, double fraction) const {
+    return latency_[static_cast<std::size_t>(c)].Percentile(fraction);
+  }
+  const Histogram& latency(CallClass c) const {
+    return latency_[static_cast<std::size_t>(c)];
+  }
+  const Histogram& degraded_latency(CallClass c) const {
+    return degraded_latency_[static_cast<std::size_t>(c)];
+  }
+
+ private:
+  static std::uint64_t Of(const std::uint64_t (&a)[kCallClassCount],
+                          CallClass c) {
+    return a[static_cast<std::size_t>(c)];
+  }
+  static std::uint64_t Sum(const std::uint64_t (&a)[kCallClassCount]) {
+    return a[0] + a[1] + a[2];
+  }
+
+  Histogram latency_[kCallClassCount];
+  Histogram degraded_latency_[kCallClassCount];
+  std::uint64_t offered_[kCallClassCount] = {};
+  std::uint64_t admitted_[kCallClassCount] = {};
+  std::uint64_t shed_[kCallClassCount] = {};
+  std::uint64_t degraded_[kCallClassCount] = {};
+  std::uint64_t failed_[kCallClassCount] = {};
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_SCALE_SLO_H_

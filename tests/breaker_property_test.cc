@@ -1,0 +1,175 @@
+// Property tests for the CircuitBreaker's concurrent half-open protocol.
+//
+// The contract under contention (src/lrpc/circuit_breaker.h): when many
+// threads observe the cooldown's end simultaneously, at most `probe_budget`
+// of them may be admitted as probes in that half-open epoch, and at least
+// one of them must be (the CAS winner consumes from the budget it just
+// published). With the default budget of one, exactly one thread wins the
+// probe slot. The sequential semantics are pinned first; the seeded
+// concurrent reps then hammer the race itself.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/lrpc/circuit_breaker.h"
+#include "src/sim/time.h"
+
+namespace lrpc {
+namespace {
+
+void TripBreaker(CircuitBreaker& breaker, SimTime now) {
+  for (int i = 0; i < breaker.policy().failure_threshold; ++i) {
+    breaker.OnFailure(now);
+  }
+  ASSERT_EQ(breaker.state(), CircuitState::kOpen);
+}
+
+TEST(BreakerSequential, OpensAfterThresholdAndCoolsDown) {
+  BreakerPolicy policy;
+  policy.failure_threshold = 3;
+  policy.open_cooldown = 100;
+  CircuitBreaker breaker(policy);
+
+  EXPECT_TRUE(breaker.AllowCall(0));
+  breaker.OnFailure(10);
+  breaker.OnFailure(11);
+  EXPECT_EQ(breaker.state(), CircuitState::kClosed);
+  breaker.OnFailure(12);
+  EXPECT_EQ(breaker.state(), CircuitState::kOpen);
+
+  EXPECT_FALSE(breaker.AllowCall(50));   // Cooling down: fail fast.
+  EXPECT_FALSE(breaker.AllowCall(111));  // 12 + 100 not yet reached.
+  EXPECT_TRUE(breaker.AllowCall(112));   // Cooldown over: the probe.
+  EXPECT_EQ(breaker.state(), CircuitState::kHalfOpen);
+  EXPECT_FALSE(breaker.AllowCall(113));  // Budget of one: no second probe.
+
+  breaker.OnSuccess();
+  EXPECT_EQ(breaker.state(), CircuitState::kClosed);
+  EXPECT_TRUE(breaker.AllowCall(114));
+}
+
+TEST(BreakerSequential, FailedProbeReopensForAnotherCooldown) {
+  BreakerPolicy policy;
+  policy.failure_threshold = 2;
+  policy.open_cooldown = 100;
+  CircuitBreaker breaker(policy);
+  TripBreaker(breaker, 0);
+
+  ASSERT_TRUE(breaker.AllowCall(100));
+  breaker.OnFailure(100);  // Probe failed: re-open from 100.
+  EXPECT_EQ(breaker.state(), CircuitState::kOpen);
+  EXPECT_FALSE(breaker.AllowCall(150));
+  EXPECT_TRUE(breaker.AllowCall(200));  // New cooldown elapsed.
+}
+
+TEST(BreakerSequential, ProbeBudgetAdmitsExactlyThatMany) {
+  BreakerPolicy policy;
+  policy.failure_threshold = 1;
+  policy.open_cooldown = 10;
+  policy.probe_budget = 3;
+  CircuitBreaker breaker(policy);
+  TripBreaker(breaker, 0);
+
+  int admitted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (breaker.AllowCall(10)) {
+      ++admitted;
+    }
+  }
+  EXPECT_EQ(admitted, 3);
+}
+
+// The race the protocol exists for: N threads observe the cooldown's end at
+// the same instant. However the CAS and the budget stores interleave, the
+// number of admitted probes must be in [1, probe_budget]. Repeated over
+// many trips so the interleavings vary; any over-admission would let two
+// probes hit a struggling server where the supervisor promised one.
+TEST(BreakerHalfOpenRace, AdmitsAtMostBudgetAndAtLeastOne) {
+  constexpr int kThreads = 8;
+  constexpr int kReps = 50;
+  for (int budget : {1, 2, 3}) {
+    BreakerPolicy policy;
+    policy.failure_threshold = 1;
+    policy.open_cooldown = 10;
+    policy.probe_budget = budget;
+    CircuitBreaker breaker(policy);
+
+    for (int rep = 0; rep < kReps; ++rep) {
+      breaker.OnFailure(static_cast<SimTime>(rep) * 1000);
+      ASSERT_EQ(breaker.state(), CircuitState::kOpen);
+      const SimTime probe_time =
+          static_cast<SimTime>(rep) * 1000 + policy.open_cooldown;
+
+      std::atomic<int> ready{0};
+      std::atomic<bool> go{false};
+      std::atomic<int> admitted{0};
+      std::vector<std::thread> threads;
+      threads.reserve(kThreads);
+      for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&breaker, &ready, &go, &admitted, probe_time] {
+          ready.fetch_add(1, std::memory_order_relaxed);
+          while (!go.load(std::memory_order_acquire)) {
+            std::this_thread::yield();  // Runs on single-core CI machines.
+          }
+          if (breaker.AllowCall(probe_time)) {
+            admitted.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+      while (ready.load(std::memory_order_relaxed) < kThreads) {
+        std::this_thread::yield();
+      }
+      go.store(true, std::memory_order_release);
+      for (std::thread& thread : threads) {
+        thread.join();
+      }
+
+      EXPECT_GE(admitted.load(), 1) << "budget " << budget << " rep " << rep;
+      EXPECT_LE(admitted.load(), budget)
+          << "budget " << budget << " rep " << rep;
+      EXPECT_EQ(breaker.state(), CircuitState::kHalfOpen);
+      // Sim time is monotone per rep, so the next OnFailure re-opens with a
+      // later cooldown; unspent probes must not leak into the next epoch.
+    }
+  }
+}
+
+// Rejected counter accounts every refused call exactly once, even under
+// contention: threads that lose the probe race must all land in rejected().
+TEST(BreakerHalfOpenRace, LosersAreCountedRejected) {
+  BreakerPolicy policy;
+  policy.failure_threshold = 1;
+  policy.open_cooldown = 10;
+  policy.probe_budget = 1;
+  CircuitBreaker breaker(policy);
+  breaker.OnFailure(0);
+
+  constexpr int kThreads = 8;
+  std::atomic<bool> go{false};
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&breaker, &go, &admitted] {
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      if (breaker.AllowCall(10)) {
+        admitted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(admitted.load(), 1);
+  EXPECT_EQ(breaker.rejected(), static_cast<std::uint64_t>(kThreads - 1));
+}
+
+}  // namespace
+}  // namespace lrpc

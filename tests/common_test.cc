@@ -35,7 +35,7 @@ TEST(StatusTest, EqualityComparesCodesOnly) {
 }
 
 TEST(StatusTest, EveryCodeHasAName) {
-  for (int c = 0; c <= static_cast<int>(ErrorCode::kRetriesExhausted); ++c) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kOverloadShed); ++c) {
     EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(c)), "kUnknown");
   }
 }
@@ -77,13 +77,14 @@ TEST(StatusTest, ErrorCodeNamesMatchTheirEnumerators) {
       {ErrorCode::kDeadlineExceeded, "kDeadlineExceeded"},
       {ErrorCode::kCircuitOpen, "kCircuitOpen"},
       {ErrorCode::kRetriesExhausted, "kRetriesExhausted"},
+      {ErrorCode::kOverloadShed, "kOverloadShed"},
   };
   for (const auto& [code, name] : kNames) {
     EXPECT_EQ(ErrorCodeName(code), name);
   }
   // Every enumerator is listed above exactly once.
   EXPECT_EQ(std::size(kNames),
-            static_cast<std::size_t>(ErrorCode::kRetriesExhausted) + 1);
+            static_cast<std::size_t>(ErrorCode::kOverloadShed) + 1);
 }
 
 // Status::Retryable() is the single source of truth for which failures a
@@ -105,7 +106,7 @@ TEST(StatusTest, RetryableClassificationIsExhaustive) {
   // Everything else — including mid-execution failures (kCallFailed,
   // kCallAborted) and the supervisor's own verdicts — must never be
   // re-issued automatically.
-  for (int c = 0; c <= static_cast<int>(ErrorCode::kRetriesExhausted); ++c) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kOverloadShed); ++c) {
     const auto code = static_cast<ErrorCode>(c);
     const bool listed =
         std::find(std::begin(kRetryable), std::end(kRetryable), code) !=

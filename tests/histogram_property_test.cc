@@ -1,0 +1,183 @@
+// Property tests for Histogram merge and percentile math.
+//
+// The fleet harness folds one SloTracker per worker into a single report
+// (src/scale/slo.h), which is only sound if Histogram::Merge is exact: the
+// merged histogram must be indistinguishable from one pooled recorder that
+// saw the union of the samples, and Percentile must bracket the true
+// quantile by at most one bucket. These tests pin both properties over
+// seeded random sample sets.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace lrpc {
+namespace {
+
+std::vector<std::uint64_t> GeometricEdges(double base, double ratio,
+                                          int count) {
+  std::vector<std::uint64_t> edges;
+  double edge = base;
+  for (int i = 0; i < count; ++i) {
+    edges.push_back(static_cast<std::uint64_t>(edge));
+    edge *= ratio;
+  }
+  return edges;
+}
+
+// Heavy-tailed-ish sample: uniform mantissa scaled by a random power, so
+// samples span several buckets and regularly hit the overflow bucket.
+std::uint64_t DrawSample(Rng& rng) {
+  const int shift = static_cast<int>(rng.NextBelow(24));
+  return (rng.NextBelow(1000) + 1) << shift;
+}
+
+TEST(HistogramMergeProperty, MergeEqualsPooledRecorder) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const int parts = 1 + static_cast<int>(rng.NextBelow(6));
+    std::vector<Histogram> shards;
+    for (int i = 0; i < parts; ++i) {
+      shards.emplace_back(GeometricEdges(100.0, 1.2, 40));
+    }
+    Histogram pooled(GeometricEdges(100.0, 1.2, 40));
+
+    const int samples = 200 + static_cast<int>(rng.NextBelow(2000));
+    for (int i = 0; i < samples; ++i) {
+      const std::uint64_t v = DrawSample(rng);
+      shards[rng.NextBelow(static_cast<std::uint64_t>(parts))].Add(v);
+      pooled.Add(v);
+    }
+
+    Histogram merged(GeometricEdges(100.0, 1.2, 40));
+    for (const Histogram& shard : shards) {
+      ASSERT_TRUE(merged.Merge(shard).ok());
+    }
+
+    ASSERT_EQ(merged.total_count(), pooled.total_count()) << "seed " << seed;
+    ASSERT_EQ(merged.overflow_count(), pooled.overflow_count());
+    ASSERT_EQ(merged.min(), pooled.min());
+    ASSERT_EQ(merged.max(), pooled.max());
+    ASSERT_DOUBLE_EQ(merged.mean(), pooled.mean());
+    for (std::size_t b = 0; b < pooled.bucket_count(); ++b) {
+      ASSERT_EQ(merged.bucket_value(b), pooled.bucket_value(b))
+          << "seed " << seed << " bucket " << b;
+    }
+    for (const double f : {0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+      ASSERT_EQ(merged.Percentile(f), pooled.Percentile(f))
+          << "seed " << seed << " fraction " << f;
+    }
+  }
+}
+
+TEST(HistogramMergeProperty, MergeIsOrderIndependent) {
+  Rng rng(0xabcd);
+  Histogram a(GeometricEdges(100.0, 1.2, 30));
+  Histogram b(GeometricEdges(100.0, 1.2, 30));
+  for (int i = 0; i < 500; ++i) {
+    a.Add(DrawSample(rng));
+    b.Add(DrawSample(rng));
+  }
+  Histogram ab(GeometricEdges(100.0, 1.2, 30));
+  ASSERT_TRUE(ab.Merge(a).ok());
+  ASSERT_TRUE(ab.Merge(b).ok());
+  Histogram ba(GeometricEdges(100.0, 1.2, 30));
+  ASSERT_TRUE(ba.Merge(b).ok());
+  ASSERT_TRUE(ba.Merge(a).ok());
+  ASSERT_EQ(ab.total_count(), ba.total_count());
+  ASSERT_EQ(ab.min(), ba.min());
+  ASSERT_EQ(ab.max(), ba.max());
+  for (std::size_t i = 0; i < ab.bucket_count(); ++i) {
+    ASSERT_EQ(ab.bucket_value(i), ba.bucket_value(i));
+  }
+}
+
+TEST(HistogramMergeProperty, MismatchedEdgesRejected) {
+  Histogram a(GeometricEdges(100.0, 1.2, 30));
+  Histogram b(GeometricEdges(100.0, 1.3, 30));
+  Histogram c(GeometricEdges(100.0, 1.2, 29));
+  EXPECT_EQ(a.Merge(b).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(a.Merge(c).code(), ErrorCode::kInvalidArgument);
+  // A failed merge must not corrupt the target.
+  EXPECT_EQ(a.total_count(), 0u);
+}
+
+TEST(HistogramMergeProperty, MergeOfEmptyIsIdentity) {
+  Rng rng(7);
+  Histogram a(GeometricEdges(100.0, 1.2, 30));
+  for (int i = 0; i < 100; ++i) {
+    a.Add(DrawSample(rng));
+  }
+  const std::uint64_t min = a.min();
+  const std::uint64_t max = a.max();
+  const std::uint64_t p99 = a.Percentile(0.99);
+  Histogram empty(GeometricEdges(100.0, 1.2, 30));
+  ASSERT_TRUE(a.Merge(empty).ok());
+  EXPECT_EQ(a.min(), min);  // Empty operand must not clobber min/max.
+  EXPECT_EQ(a.max(), max);
+  EXPECT_EQ(a.Percentile(0.99), p99);
+
+  Histogram into(GeometricEdges(100.0, 1.2, 30));
+  ASSERT_TRUE(into.Merge(a).ok());
+  EXPECT_EQ(into.min(), min);
+  EXPECT_EQ(into.max(), max);
+}
+
+// Percentile must bracket the exact sample quantile: at least `fraction` of
+// samples lie at or below the reported edge, and the reported edge is at
+// most one bucket above the true quantile. The edge set spans the full
+// sample range (DrawSample tops out below 100 * 1.2^110) so nothing lands
+// in the overflow bucket, where the one-bucket bound cannot hold.
+TEST(HistogramPercentileProperty, BracketsExactQuantile) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed * 31);
+    Histogram h(GeometricEdges(100.0, 1.2, 110));
+    std::vector<std::uint64_t> samples;
+    const int n = 100 + static_cast<int>(rng.NextBelow(3000));
+    for (int i = 0; i < n; ++i) {
+      samples.push_back(DrawSample(rng));
+      h.Add(samples.back());
+    }
+    ASSERT_EQ(h.overflow_count(), 0u);
+    std::sort(samples.begin(), samples.end());
+    for (const double f : {0.1, 0.5, 0.9, 0.99}) {
+      const std::uint64_t reported = h.Percentile(f);
+      const auto rank = static_cast<std::size_t>(
+          f * static_cast<double>(samples.size()));
+      const std::uint64_t exact =
+          samples[std::min(rank, samples.size() - 1)];
+      // At least floor(f * n) samples are <= the reported edge (Percentile
+      // floors its target rank).
+      std::size_t at_or_below = static_cast<std::size_t>(
+          std::upper_bound(samples.begin(), samples.end(), reported) -
+          samples.begin());
+      EXPECT_GE(at_or_below,
+                static_cast<std::size_t>(
+                    f * static_cast<double>(samples.size())))
+          << "seed " << seed << " fraction " << f;
+      // And the edge over-reports by at most one bucket ratio (the first
+      // bucket spans [0, 100), so 100 is the floor of any reported edge).
+      EXPECT_LE(static_cast<double>(reported),
+                std::max(100.0, static_cast<double>(exact) * 1.2 + 2.0))
+          << "seed " << seed << " fraction " << f;
+    }
+  }
+}
+
+TEST(HistogramPercentileProperty, DegenerateInputs) {
+  Histogram h(GeometricEdges(100.0, 1.2, 10));
+  EXPECT_EQ(h.Percentile(0.99), 0u);  // Empty histogram.
+  h.Add(50);
+  EXPECT_GE(h.Percentile(0.5), 50u);  // Single sample, first bucket.
+  EXPECT_EQ(h.min(), 50u);
+  EXPECT_EQ(h.max(), 50u);
+}
+
+}  // namespace
+}  // namespace lrpc

@@ -52,6 +52,8 @@ TEST(KernelEventsTest, EveryKindHasItsName) {
       {KernelEventKind::kSupervisorRetry, "SupervisorRetry"},
       {KernelEventKind::kFailover, "Failover"},
       {KernelEventKind::kCircuitStateChange, "CircuitStateChange"},
+      {KernelEventKind::kAdmissionShed, "AdmissionShed"},
+      {KernelEventKind::kAdmissionDegraded, "AdmissionDegraded"},
   };
   for (const auto& [kind, name] : kNames) {
     EXPECT_EQ(KernelEventKindName(kind), name);

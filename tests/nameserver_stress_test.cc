@@ -1,0 +1,235 @@
+// NameServer at fleet scale: 10k registrations, duplicate and miss paths,
+// traffic counters, and a concurrent bind storm. The suite runs under the
+// default `unit` label so the TSan job covers the shared_mutex + atomic
+// counter paths (docs/scale.md).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/nameserver/name_server.h"
+
+namespace lrpc {
+namespace {
+
+constexpr int kFleetExports = 10000;
+
+std::string ExportName(int i) {
+  return "fleet.svc" + std::to_string(i);
+}
+
+ExportEntry MakeEntry(int i) {
+  ExportEntry entry;
+  entry.name = ExportName(i);
+  entry.interface_id = static_cast<InterfaceId>(i + 1);
+  entry.server = static_cast<DomainId>(i % 997);
+  return entry;
+}
+
+TEST(NameServerStress, TenThousandRegistrationsAndLookups) {
+  NameServer ns;
+  for (int i = 0; i < kFleetExports; ++i) {
+    ASSERT_TRUE(ns.Register(MakeEntry(i)).ok()) << i;
+  }
+  ASSERT_EQ(ns.size(), static_cast<std::size_t>(kFleetExports));
+
+  // Every export resolves, to the right entry.
+  for (int i = 0; i < kFleetExports; ++i) {
+    auto found = ns.Lookup(ExportName(i));
+    ASSERT_TRUE(found.ok()) << i;
+    EXPECT_EQ(found->interface_id, static_cast<InterfaceId>(i + 1));
+    EXPECT_EQ(found->server, static_cast<DomainId>(i % 997));
+  }
+
+  const NameServer::Stats stats = ns.stats();
+  EXPECT_EQ(stats.registers, static_cast<std::uint64_t>(kFleetExports));
+  EXPECT_EQ(stats.duplicate_registers, 0u);
+  EXPECT_EQ(stats.lookups, static_cast<std::uint64_t>(kFleetExports));
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kFleetExports));
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+// Hash-indexed lookup must stay flat as the table grows: time a burst of
+// lookups at 1k and at 10k live exports and require the per-lookup cost at
+// 10k to be within a generous constant factor of the 1k cost. A linear
+// scan would be ~10x; O(log n) or better passes easily. Generous bounds
+// keep this robust on loaded CI machines.
+TEST(NameServerStress, LookupCostFlatAcrossScale) {
+  const auto time_lookups = [](const NameServer& ns, int population,
+                               int reps) {
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t sink = 0;
+    for (int r = 0; r < reps; ++r) {
+      for (int i = 0; i < 256; ++i) {
+        const int probe = static_cast<int>(
+            (static_cast<std::uint64_t>(i) * 1315423911ull) %
+            static_cast<std::uint64_t>(population));
+        sink += ns.Lookup(ExportName(probe)).ok() ? 1 : 0;
+      }
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_EQ(sink, 256ull * static_cast<std::uint64_t>(reps));
+    return std::chrono::duration<double>(elapsed).count();
+  };
+
+  NameServer ns;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ns.Register(MakeEntry(i)).ok());
+  }
+  // Warm up, then take the best of three to shed scheduler noise.
+  double small = 1e9;
+  time_lookups(ns, 1000, 20);
+  for (int rep = 0; rep < 3; ++rep) {
+    small = std::min(small, time_lookups(ns, 1000, 200));
+  }
+
+  for (int i = 1000; i < kFleetExports; ++i) {
+    ASSERT_TRUE(ns.Register(MakeEntry(i)).ok());
+  }
+  double large = 1e9;
+  time_lookups(ns, kFleetExports, 20);
+  for (int rep = 0; rep < 3; ++rep) {
+    large = std::min(large, time_lookups(ns, kFleetExports, 200));
+  }
+
+  EXPECT_LT(large, small * 4.0)
+      << "lookup cost grew superlinearly: " << small << "s at 1k vs "
+      << large << "s at 10k";
+}
+
+TEST(NameServerStress, DuplicateRegisterRejectedAndCounted) {
+  NameServer ns;
+  ASSERT_TRUE(ns.Register(MakeEntry(1)).ok());
+  ExportEntry dup = MakeEntry(1);
+  dup.interface_id = static_cast<InterfaceId>(99);
+  const Status again = ns.Register(dup);
+  EXPECT_EQ(again.code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(ns.size(), 1u);
+  // The original export is untouched.
+  auto found = ns.Lookup(ExportName(1));
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->interface_id, static_cast<InterfaceId>(2));
+  EXPECT_EQ(ns.stats().duplicate_registers, 1u);
+  EXPECT_EQ(ns.stats().registers, 1u);
+}
+
+TEST(NameServerStress, MissesCountedAndWithdrawnNamesMiss) {
+  NameServer ns;
+  ASSERT_TRUE(ns.Register(MakeEntry(1)).ok());
+  ASSERT_TRUE(ns.Register(MakeEntry(2)).ok());
+
+  // A miss reports kNoSuchInterface: the code the clerk's bind handshake
+  // propagates to an importing client.
+  EXPECT_EQ(ns.Lookup("fleet.no-such-svc").status().code(),
+            ErrorCode::kNoSuchInterface);
+  ASSERT_TRUE(ns.Withdraw(ExportName(1)).ok());
+  EXPECT_EQ(ns.Lookup(ExportName(1)).status().code(),
+            ErrorCode::kNoSuchInterface);
+  EXPECT_EQ(ns.Withdraw(ExportName(1)).code(), ErrorCode::kNotFound);
+  // The swap-and-pop compaction must keep the survivor reachable.
+  EXPECT_TRUE(ns.Lookup(ExportName(2)).ok());
+
+  const NameServer::Stats stats = ns.stats();
+  EXPECT_EQ(stats.withdrawals, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(NameServerStress, WithdrawAllFromCompactsTable) {
+  NameServer ns;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(ns.Register(MakeEntry(i)).ok());
+  }
+  // MakeEntry assigns server i % 997, so each domain id below 100 owns
+  // exactly one export here.
+  EXPECT_EQ(ns.WithdrawAllFrom(static_cast<DomainId>(7)), 1);
+  EXPECT_EQ(ns.size(), 99u);
+  EXPECT_FALSE(ns.Lookup(ExportName(7)).ok());
+  for (int i = 0; i < 100; ++i) {
+    if (i != 7) {
+      EXPECT_TRUE(ns.Lookup(ExportName(i)).ok()) << i;
+    }
+  }
+  EXPECT_EQ(ns.entries().size(), 99u);
+}
+
+// Concurrent bind storm: readers hammer Lookup while writers register and
+// withdraw disjoint name ranges. Run under TSan this pins the shared_mutex
+// discipline; under any build it pins that concurrent mutation never loses
+// an unrelated export.
+TEST(NameServerStress, ConcurrentBindStorm) {
+  NameServer ns;
+  constexpr int kStable = 2000;    // Never touched by writers.
+  constexpr int kChurn = 1000;     // Registered/withdrawn concurrently.
+  constexpr int kRounds = 10;
+  constexpr int kReaders = 2;
+  constexpr int kWriters = 4;
+  for (int i = 0; i < kStable; ++i) {
+    ASSERT_TRUE(ns.Register(MakeEntry(i)).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reader_hits{0};
+  std::atomic<std::uint64_t> reader_errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders + kWriters);
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&ns, &stop, &reader_hits, &reader_errors, r] {
+      std::uint64_t x = 0x9e3779b9u + static_cast<std::uint64_t>(r);
+      while (!stop.load(std::memory_order_relaxed)) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const int probe = static_cast<int>((x >> 33) % kStable);
+        if (ns.Lookup(ExportName(probe)).ok()) {
+          reader_hits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          reader_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&ns, w] {
+      // Each writer owns a disjoint churn range; register + withdraw it
+      // repeatedly.
+      const int lo = kStable + w * (kChurn / kWriters);
+      const int hi = lo + kChurn / kWriters;
+      for (int round = 0; round < kRounds; ++round) {
+        for (int i = lo; i < hi; ++i) {
+          ASSERT_TRUE(ns.Register(MakeEntry(i)).ok());
+        }
+        for (int i = lo; i < hi; ++i) {
+          ASSERT_TRUE(ns.Withdraw(ExportName(i)).ok());
+        }
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) {
+    threads[static_cast<std::size_t>(kReaders + w)].join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (int r = 0; r < kReaders; ++r) {
+    threads[static_cast<std::size_t>(r)].join();
+  }
+
+  // Stable exports must never have been lost to concurrent churn.
+  EXPECT_EQ(reader_errors.load(), 0u);
+  EXPECT_GT(reader_hits.load(), 0u);
+  EXPECT_EQ(ns.size(), static_cast<std::size_t>(kStable));
+  const NameServer::Stats stats = ns.stats();
+  EXPECT_EQ(stats.registers,
+            static_cast<std::uint64_t>(kStable) +
+                static_cast<std::uint64_t>(kRounds) * kChurn);
+  EXPECT_EQ(stats.withdrawals,
+            static_cast<std::uint64_t>(kRounds) * kChurn);
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+}
+
+}  // namespace
+}  // namespace lrpc
