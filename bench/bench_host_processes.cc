@@ -53,6 +53,7 @@ void ServerLoop(SharedAStack* astack) {
     // Yield while waiting so the benchmark also works on single-core
     // machines, where pure spinning would deadlock-by-timeslice.
     while (astack->call_seq.load(std::memory_order_acquire) == seen) {
+      // LRPC_MO(stop-flag)
       if (astack->shutdown.load(std::memory_order_relaxed)) {
         return;
       }
@@ -109,6 +110,7 @@ double RunSharedMemory() {
   }
   const double elapsed = NowSeconds() - start;
 
+  // LRPC_MO(stop-flag)
   astack->shutdown.store(true, std::memory_order_relaxed);
   waitpid(child, nullptr, 0);
   munmap(astack, sizeof(SharedAStack));

@@ -1,0 +1,206 @@
+// A small-scope interleaving model checker for the lock-free protocols in
+// this repository (docs/static_analysis.md, layer 3).
+//
+// The sanitizers and the stress suite sample schedules; a proof-shaped
+// argument about a two- or three-thread window ("only the CAS winner can
+// publish the probe budget", "a stale validation cannot survive a
+// generation bump") wants ALL schedules of that window. This checker
+// enumerates them exhaustively: a protocol is modeled as a copyable State
+// plus a handful of threads, each a list of atomic step functions; the
+// explorer runs a depth-first search over every interleaving of those
+// steps, checking an invariant after each step and a terminal predicate at
+// quiescence, and reports the first failing schedule as a readable trace.
+//
+// Scope and honesty: steps interleave under sequential consistency. That
+// is the right model for the protocols checked here — each modeled step
+// mirrors one atomic operation whose synchronizing orders (acquire probe,
+// release publish, acq_rel CAS) make the interesting windows exactly the
+// step interleavings — but it does NOT model relaxed-memory reordering
+// between steps. The memory-order registry in docs/concurrency.md carries
+// the per-site ordering arguments; TSan covers the real interleavings at
+// runtime. What this checker adds is certainty that no *schedule* of the
+// protocol, however unlucky, violates the invariant.
+//
+// Spin loops are legal in a model: a step that re-polls and changes
+// nothing (same next step, state compares equal — State must be
+// equality-comparable) is pruned, because any schedule containing such a
+// no-op step reaches exactly the states of the schedule without it. A
+// spinning reader therefore only re-runs after some other thread changed
+// the state it polls, which keeps the search finite whenever writers are.
+// The `max_depth` option is the backstop that turns a model whose steps
+// cycle *through distinct states* into a reported failure instead of a
+// hung test.
+
+#ifndef SRC_COMMON_MODEL_CHECK_H_
+#define SRC_COMMON_MODEL_CHECK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lrpc {
+namespace model {
+
+// Returned by a step to report where its thread goes next.
+inline constexpr int kDone = -1;
+
+// One modeled thread: execution starts at steps[0]; each step performs one
+// atomic action on the shared state and returns the index of the next step
+// (branching is returning different indices), or kDone to retire. Thread
+// locals that must survive between steps belong in State, keyed by thread
+// id, so copying the State snapshots the whole configuration.
+template <typename State>
+struct ModelThread {
+  std::string name;
+  std::vector<std::function<int(State&)>> steps;
+};
+
+// One scheduling decision in a schedule: which thread ran which step.
+struct TraceEntry {
+  int thread = 0;
+  int step = 0;
+};
+
+struct ExploreStats {
+  // Complete schedules reached (every thread retired).
+  std::uint64_t schedules = 0;
+  // Individual steps executed across all schedules (DFS edges).
+  std::uint64_t steps_executed = 0;
+  // Longest schedule seen, in steps.
+  int max_depth_seen = 0;
+  // Spin re-polls skipped because they changed nothing (see file comment).
+  std::uint64_t pruned_noops = 0;
+  // Schedules (complete or truncated) that violated the invariant, the
+  // terminal predicate, or the depth bound.
+  std::uint64_t failures = 0;
+  // Human-readable traces for the first few failures.
+  std::vector<std::string> failure_traces;
+
+  bool ok() const { return failures == 0; }
+};
+
+template <typename State>
+class Explorer {
+ public:
+  struct Options {
+    // A schedule longer than this is itself a failure: the model cycles.
+    int max_depth = 256;
+    // Keep at most this many rendered failure traces.
+    int max_traces = 4;
+  };
+
+  explicit Explorer(std::vector<ModelThread<State>> threads,
+                    Options options = {})
+      : threads_(std::move(threads)), options_(options) {}
+
+  // Checked after every step; return false to fail the schedule.
+  void set_invariant(std::function<bool(const State&)> invariant) {
+    invariant_ = std::move(invariant);
+  }
+  // Checked once per complete schedule, on the quiescent state.
+  void set_terminal_check(std::function<bool(const State&)> check) {
+    terminal_check_ = std::move(check);
+  }
+
+  // Exhausts every interleaving from `initial`. Deterministic: the same
+  // model explores the same schedules in the same order.
+  ExploreStats Run(const State& initial) {
+    stats_ = ExploreStats{};
+    trace_.clear();
+    std::vector<int> pcs(threads_.size(), 0);
+    for (std::size_t t = 0; t < threads_.size(); ++t) {
+      if (threads_[t].steps.empty()) {
+        pcs[t] = kDone;
+      }
+    }
+    Explore(initial, pcs);
+    return stats_;
+  }
+
+ private:
+  void Explore(const State& state, const std::vector<int>& pcs) {
+    if (static_cast<int>(trace_.size()) > options_.max_depth) {
+      Fail("depth bound exceeded (cyclic model?)");
+      return;
+    }
+    bool any_runnable = false;
+    for (std::size_t t = 0; t < threads_.size(); ++t) {
+      if (pcs[t] == kDone) {
+        continue;
+      }
+      any_runnable = true;
+      // Branch the search: copy the configuration, run exactly one step of
+      // thread t, recurse. The copy is what makes the search exhaustive
+      // rather than destructive.
+      State next_state = state;
+      const int step = pcs[t];
+      const int next_pc = threads_[t].steps[static_cast<std::size_t>(step)](
+          next_state);
+      std::vector<int> next_pcs = pcs;
+      next_pcs[t] = next_pc;
+      if (next_pc == step && next_state == state) {
+        // A no-op re-poll: the thread would spin in place. Prune it — the
+        // subtree is identical to this one.
+        ++stats_.pruned_noops;
+        continue;
+      }
+      ++stats_.steps_executed;
+      trace_.push_back({static_cast<int>(t), step});
+      if (static_cast<int>(trace_.size()) > stats_.max_depth_seen) {
+        stats_.max_depth_seen = static_cast<int>(trace_.size());
+      }
+      if (invariant_ && !invariant_(next_state)) {
+        Fail("invariant violated");
+      } else {
+        Explore(next_state, next_pcs);
+      }
+      trace_.pop_back();
+    }
+    if (!any_runnable) {
+      ++stats_.schedules;
+      if (terminal_check_ && !terminal_check_(state)) {
+        Fail("terminal check failed");
+      }
+    }
+  }
+
+  void Fail(const std::string& why) {
+    ++stats_.failures;
+    if (static_cast<int>(stats_.failure_traces.size()) >=
+        options_.max_traces) {
+      return;
+    }
+    std::string rendered = why + "; schedule:";
+    for (const TraceEntry& e : trace_) {
+      const std::size_t t = static_cast<std::size_t>(e.thread);
+      rendered += " " + threads_[t].name + "/" + std::to_string(e.step);
+    }
+    stats_.failure_traces.push_back(std::move(rendered));
+  }
+
+  std::vector<ModelThread<State>> threads_;
+  Options options_;
+  std::function<bool(const State&)> invariant_;
+  std::function<bool(const State&)> terminal_check_;
+  ExploreStats stats_;
+  std::vector<TraceEntry> trace_;
+};
+
+// C(n+m, n): the number of interleavings of two straight-line threads with
+// n and m steps — the exhaustiveness floor the scheduler's schedule count
+// is asserted against in tests.
+inline std::uint64_t InterleavingCount(int n, int m) {
+  std::uint64_t result = 1;
+  for (int i = 1; i <= n; ++i) {
+    result = result * static_cast<std::uint64_t>(m + i) /
+             static_cast<std::uint64_t>(i);
+  }
+  return result;
+}
+
+}  // namespace model
+}  // namespace lrpc
+
+#endif  // SRC_COMMON_MODEL_CHECK_H_

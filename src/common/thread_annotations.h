@@ -1,0 +1,159 @@
+// Clang Thread Safety Analysis annotations (docs/static_analysis.md).
+//
+// Layer 1 of the concurrency static-analysis pass: every mutex-protected
+// structure in the tree names its lock relationships in the type system, and
+// the Clang analyzer (-Wthread-safety, promoted to an error by LRPC_WERROR)
+// proves at compile time that no annotated field is touched without its
+// capability held. Off Clang the macros expand to nothing, so GCC builds are
+// unaffected and the annotations are zero-cost everywhere.
+//
+// The analysis only understands annotated capability types, not std::mutex
+// directly, so this header also provides the thin annotated wrappers the
+// rest of the tree locks through:
+//
+//   Mutex / SharedMutex      annotated capabilities over std::mutex and
+//                            std::shared_mutex (same fairness, same cost)
+//   MutexLock                scoped exclusive acquisition
+//   ReaderMutexLock          scoped shared acquisition (SharedMutex only)
+//
+// Lock-free structures (docs/concurrency.md) are out of scope for this
+// layer by design: their correctness argument is the memory-order registry
+// (lrpc-mo-tag in tools/lrpc_lint) and the interleaving model checker
+// (tests/model_check_test.cc), not lock capabilities.
+
+#ifndef SRC_COMMON_THREAD_ANNOTATIONS_H_
+#define SRC_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__)
+#define LRPC_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define LRPC_THREAD_ANNOTATION__(x)
+#endif
+
+// A type that is a lock ("capability" in the analysis' vocabulary).
+#define LRPC_CAPABILITY(x) LRPC_THREAD_ANNOTATION__(capability(x))
+// A RAII type whose lifetime equals a critical section.
+#define LRPC_SCOPED_CAPABILITY LRPC_THREAD_ANNOTATION__(scoped_lockable)
+
+// Data members: may only be read or written with `x` held (exclusively for
+// writes, at least shared for reads).
+#define LRPC_GUARDED_BY(x) LRPC_THREAD_ANNOTATION__(guarded_by(x))
+// Pointer members: the pointed-to data is guarded, the pointer itself free.
+#define LRPC_PT_GUARDED_BY(x) LRPC_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+// Functions: the caller must hold the listed capabilities (exclusively /
+// shared) before calling, and still holds them after.
+#define LRPC_REQUIRES(...) \
+  LRPC_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define LRPC_REQUIRES_SHARED(...) \
+  LRPC_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+// Functions: acquire / release the listed capabilities (no argument: the
+// annotated object itself).
+#define LRPC_ACQUIRE(...) \
+  LRPC_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define LRPC_ACQUIRE_SHARED(...) \
+  LRPC_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define LRPC_RELEASE(...) \
+  LRPC_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define LRPC_RELEASE_SHARED(...) \
+  LRPC_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define LRPC_TRY_ACQUIRE(...) \
+  LRPC_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+// Functions: the caller must NOT hold the listed capabilities (deadlock
+// prevention for self-locking methods).
+#define LRPC_EXCLUDES(...) LRPC_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+// Functions: returns a reference to the named capability.
+#define LRPC_RETURN_CAPABILITY(x) LRPC_THREAD_ANNOTATION__(lock_returned(x))
+
+// Escape hatch for code the analysis cannot follow (document why at the
+// annotation site).
+#define LRPC_NO_THREAD_SAFETY_ANALYSIS \
+  LRPC_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace lrpc {
+
+// Annotated exclusive lock. Method names are capitalized so the lrpc-lint
+// fast-path rule can track the wrapper family ('MutexLock', 'Lock') exactly
+// as it tracks the std:: family it wraps.
+class LRPC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() LRPC_ACQUIRE() { mu_.lock(); }
+  void Unlock() LRPC_RELEASE() { mu_.unlock(); }
+  bool TryLock() LRPC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// Annotated shared (reader/writer) lock.
+class LRPC_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() LRPC_ACQUIRE() { mu_.lock(); }
+  void Unlock() LRPC_RELEASE() { mu_.unlock(); }
+  void LockShared() LRPC_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() LRPC_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// Scoped exclusive acquisition of a Mutex.
+class LRPC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LRPC_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() LRPC_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Scoped exclusive acquisition of a SharedMutex (writer side).
+class LRPC_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) LRPC_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() LRPC_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// Scoped shared acquisition of a SharedMutex.
+class LRPC_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) LRPC_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() LRPC_RELEASE() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_COMMON_THREAD_ANNOTATIONS_H_

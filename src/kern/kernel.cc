@@ -305,7 +305,7 @@ Result<int> Kernel::EnsureEStackParallel(Domain& server, const AStackRef& ref,
   }
   // First call on this A-stack: associate under the kernel's mutex so the
   // pool scans and the allocation are serialized.
-  std::lock_guard<std::mutex> guard(par_estack_mutex_);
+  MutexLock guard(par_estack_mutex_);
   EStackPool& pool = server.estacks();
   if (EStack* free_stack = pool.FindUnassociated()) {
     pool.MarkAssociated(free_stack->id, now);

@@ -12,13 +12,13 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/common/ids.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/kern/binding_table.h"
 #include "src/kern/domain.h"
 #include "src/kern/scheduler.h"
@@ -113,6 +113,7 @@ class Kernel {
   // Atomic so concurrent calls under the real-thread engine draw distinct
   // values; relaxed, because only uniqueness matters, not ordering.
   std::uint64_t NextLinkageSeq() {
+    // LRPC_MO(unique-id)
     return linkage_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
@@ -277,7 +278,11 @@ class Kernel {
   KernelEventListener* listener_ = nullptr;
   std::atomic<std::uint64_t> linkage_seq_{0};
   // Guards first-call E-stack association under the real-thread engine.
-  std::mutex par_estack_mutex_;
+  // The guarded state (the server's EStackPool and the region's estack
+  // slots) lives behind references the analysis cannot name, so the
+  // capability is documented here and held via MutexLock in
+  // EnsureEStackParallel rather than spelled as GUARDED_BY.
+  Mutex par_estack_mutex_;
   bool domain_caching_ = true;
   int auto_prod_threshold_ = 0;
   int misses_since_prod_ = 0;

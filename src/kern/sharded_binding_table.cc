@@ -42,8 +42,9 @@ ShardedBindingTable::ShardedBindingTable(Options options)
   // the old instance (the cache keys on the table pointer + generation).
   static std::atomic<std::uint64_t> table_epoch{1};
   generation_.store(table_epoch.fetch_add(std::uint64_t{1} << 32,
+                                          // LRPC_MO(unique-id)
                                           std::memory_order_relaxed),
-                    std::memory_order_relaxed);
+                    std::memory_order_relaxed);  // LRPC_MO(setup-single-thread)
   slots_per_shard_ =
       (options_.max_bindings + options_.shards - 1) / options_.shards;
   shards_ = std::make_unique<Shard[]>(static_cast<std::size_t>(options_.shards));
@@ -85,7 +86,8 @@ Status ShardedBindingTable::AddEntry(BindingId id, std::uint64_t nonce,
   if (!options_.lock_free) {
     global = std::unique_lock<std::mutex>(global_mutex_);
   }
-  std::lock_guard<std::mutex> guard(shard_of(id).mutex);
+  MutexLock guard(shard_of(id).mutex);
+  // LRPC_MO(seqlock-writer-seq)
   const std::uint64_t seq = entry->seq.load(std::memory_order_relaxed);
   if (seq != 0) {
     return Status(ErrorCode::kInvalidArgument, "binding id already mirrored");
@@ -93,9 +95,13 @@ Status ShardedBindingTable::AddEntry(BindingId id, std::uint64_t nonce,
   // Odd first: a concurrent reader retries rather than consuming a
   // half-written entry; the final even store publishes it.
   entry->seq.store(seq + 1, std::memory_order_release);
+  // LRPC_MO(seqlock-field)
   entry->nonce.store(nonce, std::memory_order_relaxed);
+  // LRPC_MO(seqlock-field)
   entry->client.store(client, std::memory_order_relaxed);
+  // LRPC_MO(seqlock-field)
   entry->revoked.store(revoked, std::memory_order_relaxed);
+  // LRPC_MO(seqlock-field)
   entry->record.store(record, std::memory_order_relaxed);
   entry->seq.store(seq + 2, std::memory_order_release);
   // Release AFTER the entry is published: a cached validator that observes
@@ -106,6 +112,7 @@ Status ShardedBindingTable::AddEntry(BindingId id, std::uint64_t nonce,
 
 Result<BindingRecord*> ShardedBindingTable::Validate(
     const BindingObject& object, DomainId caller) const {
+  // LRPC_MO(stat-counter)
   validations_.fetch_add(1, std::memory_order_relaxed);
   const Entry* entry = FindEntry(object.id);
   if (entry == nullptr) {
@@ -121,15 +128,21 @@ Result<BindingRecord*> ShardedBindingTable::Validate(
       return Status(ErrorCode::kForgedBinding, "binding id out of range");
     }
     if ((s1 & 1) != 0) {
+      // LRPC_MO(stat-counter)
       seq_retries_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
+    // LRPC_MO(seqlock-field)
     const std::uint64_t nonce = entry->nonce.load(std::memory_order_relaxed);
+    // LRPC_MO(seqlock-field)
     const DomainId client = entry->client.load(std::memory_order_relaxed);
+    // LRPC_MO(seqlock-field)
     const bool revoked = entry->revoked.load(std::memory_order_relaxed);
+    // LRPC_MO(seqlock-field)
     BindingRecord* record = entry->record.load(std::memory_order_relaxed);
     const std::uint64_t s2 = entry->seq.load(std::memory_order_acquire);
     if (s1 != s2) {
+      // LRPC_MO(stat-counter)
       seq_retries_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
@@ -157,6 +170,7 @@ Result<BindingRecord*> ShardedBindingTable::ValidateCached(
   const std::uint64_t gen = generation_.load(std::memory_order_acquire);
   if (slot.table == this && slot.generation == gen && slot.id == object.id &&
       slot.nonce == object.nonce && slot.client == caller) {
+    // LRPC_MO(stat-counter)
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
     return slot.record;
   }
@@ -214,12 +228,14 @@ void ShardedBindingTable::Revoke(BindingId id) {
   if (!options_.lock_free) {
     global = std::unique_lock<std::mutex>(global_mutex_);
   }
-  std::lock_guard<std::mutex> guard(shard_of(id).mutex);
+  MutexLock guard(shard_of(id).mutex);
+  // LRPC_MO(seqlock-writer-seq)
   const std::uint64_t seq = entry->seq.load(std::memory_order_relaxed);
   if (seq == 0) {
     return;
   }
   entry->seq.store(seq + 1, std::memory_order_release);
+  // LRPC_MO(seqlock-field)
   entry->revoked.store(true, std::memory_order_relaxed);
   entry->seq.store(seq + 2, std::memory_order_release);
   // The bump must be release and must FOLLOW the entry update: a reader

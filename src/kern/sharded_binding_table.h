@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/common/cacheline.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/ids.h"
 #include "src/common/status.h"
 #include "src/kern/binding_table.h"
@@ -88,14 +89,17 @@ class ShardedBindingTable {
   bool lock_free() const { return options_.lock_free; }
   int shard_count() const { return options_.shards; }
   std::uint64_t validations() const {
+    // LRPC_MO(stat-counter)
     return validations_.load(std::memory_order_relaxed);
   }
   // Times a reader saw an odd or moved sequence and went around again.
   std::uint64_t seq_retries() const {
+    // LRPC_MO(stat-counter)
     return seq_retries_.load(std::memory_order_relaxed);
   }
   // ValidateCached probes answered without touching the seqlock.
   std::uint64_t cache_hits() const {
+    // LRPC_MO(stat-counter)
     return cache_hits_.load(std::memory_order_relaxed);
   }
 
@@ -126,7 +130,7 @@ class ShardedBindingTable {
   static_assert(sizeof(Entry) == kCacheLineSize,
                 "binding-table entry layout audit: one line per entry");
   struct Shard {
-    std::mutex mutex;  // Writers only (lock-free mode).
+    Mutex mutex;  // Writers only (lock-free mode).
     std::unique_ptr<Entry[]> entries;
   };
 
@@ -139,7 +143,10 @@ class ShardedBindingTable {
   Options options_;
   int slots_per_shard_;
   mutable std::unique_ptr<Shard[]> shards_;
-  // The baseline's single table-wide lock (locked mode only).
+  // The baseline's single table-wide lock (locked mode only). Locked
+  // conditionally (std::unique_lock, engaged only when !lock_free), a shape
+  // the static analysis cannot follow, so it stays a raw std::mutex; the
+  // seqlock protocol, not a capability, is what protects the entries.
   mutable std::mutex global_mutex_;
   // The generation is read by every cached validation and written only by
   // the uncommon mutators; its own line keeps writer bumps from dragging

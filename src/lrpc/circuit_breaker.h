@@ -83,6 +83,7 @@ class CircuitBreaker {
     if (s == CircuitState::kOpen) {
       if (now < opened_at_.load(std::memory_order_acquire) +
                     policy_.open_cooldown) {
+        // LRPC_MO(stat-counter)
         rejected_.fetch_add(1, std::memory_order_relaxed);
         return false;
       }
@@ -95,6 +96,7 @@ class CircuitBreaker {
       if (state_.compare_exchange_strong(s, CircuitState::kHalfOpen,
                                          std::memory_order_acq_rel)) {
         probes_left_.store(policy_.probe_budget, std::memory_order_release);
+        // LRPC_MO(stat-counter)
         transitions_.fetch_add(1, std::memory_order_relaxed);
         s = CircuitState::kHalfOpen;
       }
@@ -103,6 +105,7 @@ class CircuitBreaker {
         if (s == CircuitState::kClosed) {
           return true;  // A rival probe already succeeded and re-closed.
         }
+        // LRPC_MO(stat-counter)
         rejected_.fetch_add(1, std::memory_order_relaxed);
         return false;
       }
@@ -117,7 +120,7 @@ class CircuitBreaker {
         return true;
       }
     }
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_.fetch_add(1, std::memory_order_relaxed);  // LRPC_MO(stat-counter)
     return false;
   }
 
@@ -125,15 +128,18 @@ class CircuitBreaker {
   // (from any state); failure counts toward the threshold in closed and
   // re-opens immediately in half-open.
   void OnSuccess() {
+    // LRPC_MO(breaker-failure-count)
     consecutive_failures_.store(0, std::memory_order_relaxed);
     const CircuitState prev =
         state_.exchange(CircuitState::kClosed, std::memory_order_acq_rel);
     if (prev != CircuitState::kClosed) {
+      // LRPC_MO(stat-counter)
       transitions_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   void OnFailure(SimTime now) {
     const int failures =
+        // LRPC_MO(breaker-failure-count)
         consecutive_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
     CircuitState s = state_.load(std::memory_order_acquire);
     if (s == CircuitState::kHalfOpen ||
@@ -144,19 +150,22 @@ class CircuitBreaker {
       opened_at_.store(now, std::memory_order_release);
       if (state_.compare_exchange_strong(s, CircuitState::kOpen,
                                          std::memory_order_acq_rel)) {
+        // LRPC_MO(stat-counter)
         transitions_.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
 
   int consecutive_failures() const {
+    // LRPC_MO(breaker-failure-count)
     return consecutive_failures_.load(std::memory_order_relaxed);
   }
   std::uint64_t transitions() const {
+    // LRPC_MO(stat-counter)
     return transitions_.load(std::memory_order_relaxed);
   }
   std::uint64_t rejected() const {
-    return rejected_.load(std::memory_order_relaxed);
+    return rejected_.load(std::memory_order_relaxed);  // LRPC_MO(stat-counter)
   }
 
  private:

@@ -144,7 +144,7 @@ Status LrpcRuntime::GrowAStacks(Processor& cpu, ClientBinding& binding,
 }
 
 SharedSegment* LrpcRuntime::OobSegment(std::uint64_t index) {
-  std::lock_guard<std::mutex> guard(oob_mutex_);
+  MutexLock guard(oob_mutex_);
   if (index >= oob_segments_.size()) {
     return nullptr;
   }
@@ -154,7 +154,7 @@ SharedSegment* LrpcRuntime::OobSegment(std::uint64_t index) {
 Result<std::uint64_t> LrpcRuntime::AllocateOobSegment(std::size_t size,
                                                       DomainId client,
                                                       DomainId server) {
-  std::lock_guard<std::mutex> guard(oob_mutex_);
+  MutexLock guard(oob_mutex_);
   // Reuse a released segment when one is big enough: out-of-band transfers
   // are per-call, so without reuse a long-running client would leak a
   // segment per oversized call.
@@ -178,7 +178,7 @@ Result<std::uint64_t> LrpcRuntime::AllocateOobSegment(std::size_t size,
 }
 
 void LrpcRuntime::ReleaseOobSegment(std::uint64_t index) {
-  std::lock_guard<std::mutex> guard(oob_mutex_);
+  MutexLock guard(oob_mutex_);
   if (index >= oob_segments_.size()) {
     return;
   }
@@ -186,7 +186,7 @@ void LrpcRuntime::ReleaseOobSegment(std::uint64_t index) {
 }
 
 std::size_t LrpcRuntime::LiveOobSegments() const {
-  std::lock_guard<std::mutex> guard(oob_mutex_);
+  MutexLock guard(oob_mutex_);
   return oob_segments_.size() - oob_free_list_.size();
 }
 
@@ -229,9 +229,11 @@ Status LrpcRuntime::MarshalArguments(Processor& cpu, DomainId client,
       if (!oob.ok()) {
         return oob.status();
       }
+      // Through the locked accessor: the vector's storage moves whenever a
+      // concurrent call allocates, so an unlocked element access is a race
+      // (caught by -Wthread-safety once oob_segments_ became GUARDED_BY).
       LRPC_RETURN_IF_ERROR(
-          oob_segments_[static_cast<std::size_t>(*oob)]->Write(client, 0, arg.data,
-                                                               arg.len));
+          OobSegment(*oob)->Write(client, 0, arg.data, arg.len));
       OobDescriptor descriptor;
       descriptor.marker = kOobMarker;
       descriptor.length = static_cast<std::uint32_t>(arg.len);

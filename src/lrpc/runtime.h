@@ -19,7 +19,6 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -27,6 +26,7 @@
 
 #include "src/common/ids.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/kern/kernel.h"
 #include "src/kern/sharded_binding_table.h"
 #include "src/lrpc/call_tracer.h"
@@ -275,12 +275,13 @@ class LrpcRuntime {
   std::vector<std::unique_ptr<Interface>> interfaces_;
   std::vector<std::unique_ptr<Clerk>> clerks_;       // Indexed by DomainId.
   std::vector<std::unique_ptr<ClientBinding>> bindings_;
-  std::vector<std::unique_ptr<SharedSegment>> oob_segments_;
-  std::vector<std::uint64_t> oob_free_list_;
   // Out-of-band segments are uncommon-case (Section 5.2) and mutate shared
   // vectors; the mutex keeps them safe under the parallel backend and is
   // uncontended in the deterministic one.
-  mutable std::mutex oob_mutex_;
+  mutable Mutex oob_mutex_;
+  std::vector<std::unique_ptr<SharedSegment>> oob_segments_
+      LRPC_GUARDED_BY(oob_mutex_);
+  std::vector<std::uint64_t> oob_free_list_ LRPC_GUARDED_BY(oob_mutex_);
   RuntimeStats stats_;
   CallTracer* tracer_ = nullptr;
 };

@@ -1,19 +1,19 @@
 #include "src/nameserver/name_server.h"
 
-#include <mutex>
 #include <utility>
 
 namespace lrpc {
 
 Status NameServer::Register(ExportEntry entry) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   if (index_.contains(entry.name)) {
+    // LRPC_MO(stat-counter)
     duplicate_registers_.fetch_add(1, std::memory_order_relaxed);
     return Status(ErrorCode::kAlreadyExists, "interface name already exported");
   }
   index_.emplace(entry.name, entries_.size());
   entries_.push_back(std::move(entry));
-  registers_.fetch_add(1, std::memory_order_relaxed);
+  registers_.fetch_add(1, std::memory_order_relaxed);  // LRPC_MO(stat-counter)
   return Status::Ok();
 }
 
@@ -25,11 +25,12 @@ void NameServer::RemoveSlotLocked(std::size_t slot) {
     index_[entries_[slot].name] = slot;
   }
   entries_.pop_back();
+  // LRPC_MO(stat-counter)
   withdrawals_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Status NameServer::Withdraw(std::string_view name) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   auto it = index_.find(name);
   if (it == index_.end()) {
     return Status(ErrorCode::kNotFound);
@@ -39,7 +40,7 @@ Status NameServer::Withdraw(std::string_view name) {
 }
 
 int NameServer::WithdrawAllFrom(DomainId domain) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   int removed = 0;
   // Swap-and-pop invalidates only slots >= the one removed, so a backward
   // scan visits every entry exactly once.
@@ -53,35 +54,39 @@ int NameServer::WithdrawAllFrom(DomainId domain) {
 }
 
 Result<ExportEntry> NameServer::Lookup(std::string_view name) const {
-  lookups_.fetch_add(1, std::memory_order_relaxed);
-  std::shared_lock lock(mu_);
+  lookups_.fetch_add(1, std::memory_order_relaxed);  // LRPC_MO(stat-counter)
+  ReaderMutexLock lock(mu_);
   auto it = index_.find(name);
   if (it == index_.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);  // LRPC_MO(stat-counter)
     return Status(ErrorCode::kNoSuchInterface);
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_.fetch_add(1, std::memory_order_relaxed);  // LRPC_MO(stat-counter)
   return entries_[it->second];
 }
 
 std::size_t NameServer::size() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return entries_.size();
 }
 
 NameServer::Stats NameServer::stats() const {
   Stats s;
+  // LRPC_MO(stat-counter)
   s.registers = registers_.load(std::memory_order_relaxed);
+  // LRPC_MO(stat-counter)
   s.duplicate_registers = duplicate_registers_.load(std::memory_order_relaxed);
+  // LRPC_MO(stat-counter)
   s.withdrawals = withdrawals_.load(std::memory_order_relaxed);
+  // LRPC_MO(stat-counter)
   s.lookups = lookups_.load(std::memory_order_relaxed);
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);  // LRPC_MO(stat-counter)
+  s.misses = misses_.load(std::memory_order_relaxed);  // LRPC_MO(stat-counter)
   return s;
 }
 
 std::vector<ExportEntry> NameServer::entries() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return entries_;
 }
 

@@ -19,7 +19,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -27,6 +26,7 @@
 
 #include "src/common/ids.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 
 namespace lrpc {
 
@@ -91,12 +91,14 @@ class NameServer {
 
   // Removes the entry at `slot` by swap-and-pop, fixing the index entry of
   // the export that moved into the hole. Caller holds mu_ exclusively.
-  void RemoveSlotLocked(std::size_t slot);
+  void RemoveSlotLocked(std::size_t slot) LRPC_REQUIRES(mu_);
 
-  mutable std::shared_mutex mu_;
-  std::vector<ExportEntry> entries_;  // Dense; order changes on Withdraw.
-  std::unordered_map<std::string, std::size_t, NameHash, NameEq>
-      index_;                         // name -> slot in entries_.
+  mutable SharedMutex mu_;
+  // Dense; order changes on Withdraw.
+  std::vector<ExportEntry> entries_ LRPC_GUARDED_BY(mu_);
+  // name -> slot in entries_.
+  std::unordered_map<std::string, std::size_t, NameHash, NameEq> index_
+      LRPC_GUARDED_BY(mu_);
 
   mutable std::atomic<std::uint64_t> registers_{0};
   mutable std::atomic<std::uint64_t> duplicate_registers_{0};

@@ -52,6 +52,7 @@ ParWorld::ParWorld(ParWorldOptions options) : options_(options) {
     def.name = "Null";
     def.simultaneous_calls = options_.astacks_per_group;
     def.handler = [this](ServerFrame&) {
+      // LRPC_MO(stat-counter)
       server_calls_seen_.fetch_add(1, std::memory_order_relaxed);
       return Status::Ok();
     };
@@ -76,6 +77,7 @@ ParWorld::ParWorld(ParWorldOptions options) : options_(options) {
       if (!b.ok()) {
         return b.status();
       }
+      // LRPC_MO(stat-counter)
       server_calls_seen_.fetch_add(1, std::memory_order_relaxed);
       // Unsigned wraparound, as in Testbed: callers probe INT_MAX + 1.
       const auto sum = static_cast<std::int32_t>(
@@ -101,7 +103,9 @@ ParWorld::ParWorld(ParWorldOptions options) : options_(options) {
       }
       // Accumulate, not overwrite: concurrent handlers must not lose each
       // other's observation (the stress test balances the grand total).
+      // LRPC_MO(stat-counter)
       server_bytes_seen_.fetch_add(sum, std::memory_order_relaxed);
+      // LRPC_MO(stat-counter)
       server_calls_seen_.fetch_add(1, std::memory_order_relaxed);
       return Status::Ok();
     };
@@ -121,6 +125,7 @@ ParWorld::ParWorld(ParWorldOptions options) : options_(options) {
       if (!n.ok()) {
         return n.status();
       }
+      // LRPC_MO(stat-counter)
       server_calls_seen_.fetch_add(1, std::memory_order_relaxed);
       std::reverse(buffer, buffer + kParBigSize);
       return frame.WriteResult(1, buffer, kParBigSize);

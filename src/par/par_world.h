@@ -85,10 +85,12 @@ class ParWorld {
   // Sum of every byte the server observed across all BigIn calls (stress
   // tests balance this against what the clients sent).
   std::uint64_t server_bytes_seen() const {
+    // LRPC_MO(stat-counter)
     return server_bytes_seen_.load(std::memory_order_relaxed);
   }
   // Completed server executions, counted inside the handlers.
   std::uint64_t server_calls_seen() const {
+    // LRPC_MO(stat-counter)
     return server_calls_seen_.load(std::memory_order_relaxed);
   }
 

@@ -97,7 +97,7 @@ ParallelMachine::RunReport ParallelMachine::RunWorkers(
   for (int w = 0; w < n; ++w) {
     threads.emplace_back([&, w] {
       const auto slot = static_cast<std::size_t>(w);
-      while (!stop.load(std::memory_order_relaxed)) {
+      while (!stop.load(std::memory_order_relaxed)) {  // LRPC_MO(stop-flag)
         const Status status = body(w);
         ++calls[slot];
         if (!status.ok()) {
@@ -107,7 +107,7 @@ ParallelMachine::RunReport ParallelMachine::RunWorkers(
     });
   }
   std::this_thread::sleep_for(budget);
-  stop.store(true, std::memory_order_relaxed);
+  stop.store(true, std::memory_order_relaxed);  // LRPC_MO(stop-flag)
   for (std::thread& t : threads) {
     t.join();
   }

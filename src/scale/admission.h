@@ -125,6 +125,7 @@ class AdmissionController {
           if (degraded_wait > kDegradedWaitFactor * options_.max_queue_delay) {
             return Shed();
           }
+          // LRPC_MO(stat-counter)
           degrades_.fetch_add(1, std::memory_order_relaxed);
           if (kernel_ != nullptr) {
             kernel_->NotifyEvent(KernelEventKind::kAdmissionDegraded);
@@ -151,15 +152,15 @@ class AdmissionController {
   }
 
   std::uint64_t sheds() const {
-    return sheds_.load(std::memory_order_relaxed);
+    return sheds_.load(std::memory_order_relaxed);  // LRPC_MO(stat-counter)
   }
   std::uint64_t degrades() const {
-    return degrades_.load(std::memory_order_relaxed);
+    return degrades_.load(std::memory_order_relaxed);  // LRPC_MO(stat-counter)
   }
 
  private:
   AdmissionDecision Shed() {
-    sheds_.fetch_add(1, std::memory_order_relaxed);
+    sheds_.fetch_add(1, std::memory_order_relaxed);  // LRPC_MO(stat-counter)
     if (kernel_ != nullptr) {
       kernel_->NotifyEvent(KernelEventKind::kAdmissionShed);
     }

@@ -12,8 +12,10 @@ ParFreeList::ParFreeList(std::string name, bool lock_free, int capacity)
       static_cast<std::size_t>(capacity));
   for (int i = 0; i < capacity; ++i) {
     next_[static_cast<std::size_t>(i)].store(kEmpty,
+                                             // LRPC_MO(setup-single-thread)
                                              std::memory_order_relaxed);
   }
+  MutexLock guard(mutex_);
   free_ids_.reserve(static_cast<std::size_t>(capacity));
 }
 
@@ -29,11 +31,15 @@ void ParFreeList::Register(AStackRef ref) {
   // Single-threaded setup: seed the free set through the normal paths so
   // the initial head chain is exactly what a sequence of pushes builds.
   if (lock_free_) {
+    // LRPC_MO(setup-single-thread)
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
     next_[static_cast<std::size_t>(id)].store(UnpackIndex(head),
+                                              // LRPC_MO(setup-single-thread)
                                               std::memory_order_relaxed);
+    // LRPC_MO(setup-single-thread)
     head_.store(Pack(UnpackTag(head) + 1, id), std::memory_order_relaxed);
   } else {
+    MutexLock guard(mutex_);
     free_ids_.push_back(id);
   }
 }
@@ -63,7 +69,7 @@ Result<AStackRef> ParFreeList::Pop(Processor& cpu,
       // stale next value cannot win then, because the tag has moved on.
       const std::int32_t next =
           next_[static_cast<std::size_t>(index)].load(
-              std::memory_order_relaxed);
+              std::memory_order_relaxed);  // LRPC_MO(treiber-next)
       // Success is the acquire edge: it orders this thread after the push
       // that freed `index`, covering the A-stack and linkage it now owns.
       // The FAILURE ordering must also be acquire — it cannot be relaxed,
@@ -76,19 +82,20 @@ Result<AStackRef> ParFreeList::Pop(Processor& cpu,
       if (head_.compare_exchange_weak(head, Pack(UnpackTag(head) + 1, next),
                                       std::memory_order_acquire,
                                       std::memory_order_acquire)) {
-        pops_.fetch_add(1, std::memory_order_relaxed);
+        pops_.fetch_add(1, std::memory_order_relaxed);  // LRPC_MO(stat-counter)
         return slots_[static_cast<std::size_t>(index)];
       }
+      // LRPC_MO(stat-counter)
       cas_retries_.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(mutex_);
   if (free_ids_.empty()) {
     return Status(ErrorCode::kAStacksExhausted);
   }
   const std::int32_t id = free_ids_.back();
   free_ids_.pop_back();
-  pops_.fetch_add(1, std::memory_order_relaxed);
+  pops_.fetch_add(1, std::memory_order_relaxed);  // LRPC_MO(stat-counter)
   return slots_[static_cast<std::size_t>(id)];
 }
 
@@ -100,24 +107,29 @@ void ParFreeList::Push(Processor& cpu, AStackRef ref,
   const std::int32_t id = NodeOf(ref);
   LRPC_CHECK(id >= 0 && id < registered());
   if (lock_free_) {
+    // LRPC_MO(cas-seed)
     std::uint64_t head = head_.load(std::memory_order_relaxed);
     for (;;) {
       next_[static_cast<std::size_t>(id)].store(UnpackIndex(head),
+                                                // LRPC_MO(treiber-next)
                                                 std::memory_order_relaxed);
       // Release publishes every write this owner made to the A-stack and
       // its linkage; the next pop's acquire picks them up.
       if (head_.compare_exchange_weak(head, Pack(UnpackTag(head) + 1, id),
                                       std::memory_order_release,
+                                      // LRPC_MO(cas-failure-reload)
                                       std::memory_order_relaxed)) {
+        // LRPC_MO(stat-counter)
         pushes_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
+      // LRPC_MO(stat-counter)
       cas_retries_.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(mutex_);
   free_ids_.push_back(id);
-  pushes_.fetch_add(1, std::memory_order_relaxed);
+  pushes_.fetch_add(1, std::memory_order_relaxed);  // LRPC_MO(stat-counter)
 }
 
 std::vector<AStackRef> ParFreeList::Snapshot() const {
@@ -127,11 +139,11 @@ std::vector<AStackRef> ParFreeList::Snapshot() const {
     while (index >= 0) {
       out.push_back(slots_[static_cast<std::size_t>(index)]);
       index = next_[static_cast<std::size_t>(index)].load(
-          std::memory_order_relaxed);
+          std::memory_order_relaxed);  // LRPC_MO(quiescent-audit)
     }
     return out;
   }
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(mutex_);
   for (auto it = free_ids_.rbegin(); it != free_ids_.rend(); ++it) {
     out.push_back(slots_[static_cast<std::size_t>(*it)]);
   }

@@ -30,12 +30,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/cacheline.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/shm/astack.h"
 #include "src/sim/processor.h"
 
@@ -70,16 +70,19 @@ class ParFreeList {
   std::vector<AStackRef> Snapshot() const;
 
   // Contention counters (relaxed; approximate while threads run).
+  // LRPC_MO(stat-counter)
   std::uint64_t pops() const { return pops_.load(std::memory_order_relaxed); }
   std::uint64_t pushes() const {
-    return pushes_.load(std::memory_order_relaxed);
+    return pushes_.load(std::memory_order_relaxed);  // LRPC_MO(stat-counter)
   }
   std::uint64_t cas_retries() const {
+    // LRPC_MO(stat-counter)
     return cas_retries_.load(std::memory_order_relaxed);
   }
   // Tag of the current head; each successful pop or push advances it (tests
   // use it to observe the ABA counter).
   std::uint32_t head_tag() const {
+    // LRPC_MO(quiescent-audit)
     return UnpackTag(head_.load(std::memory_order_relaxed));
   }
 
@@ -120,8 +123,8 @@ class ParFreeList {
   std::unique_ptr<std::atomic<std::int32_t>[]> next_;
 
   // Locked-baseline state.
-  mutable std::mutex mutex_;
-  std::vector<std::int32_t> free_ids_;
+  mutable Mutex mutex_;
+  std::vector<std::int32_t> free_ids_ LRPC_GUARDED_BY(mutex_);
 
   // Statistics, on their own line so bumping them never invalidates head_.
   LRPC_CACHELINE_ALIGNED std::atomic<std::uint64_t> pops_{0};

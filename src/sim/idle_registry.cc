@@ -14,7 +14,7 @@ IdleProcessorRegistry::IdleProcessorRegistry(int processor_count,
       static_cast<std::size_t>(max_contexts));
   for (int i = 0; i < max_contexts; ++i) {
     miss_counts_[static_cast<std::size_t>(i)].store(
-        0, std::memory_order_relaxed);
+        0, std::memory_order_relaxed);  // LRPC_MO(setup-single-thread)
   }
 }
 
@@ -27,6 +27,7 @@ void IdleProcessorRegistry::Park(int cpu, VmContextId context) {
                                   .value.exchange(Encode(context),
                                                   std::memory_order_release);
   if (prior == 0) {
+    // LRPC_MO(advisory-hint)
     parked_hint_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -35,8 +36,10 @@ void IdleProcessorRegistry::Unpark(int cpu) {
   LRPC_DCHECK(cpu >= 0 && cpu < processor_count_);
   const std::uint64_t prior = slots_[static_cast<std::size_t>(cpu)]
                                   .value.exchange(0,
+                                                  // LRPC_MO(advisory-hint)
                                                   std::memory_order_relaxed);
   if (prior != 0) {
+    // LRPC_MO(advisory-hint)
     parked_hint_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
@@ -48,14 +51,16 @@ int IdleProcessorRegistry::TryClaimInContext(VmContextId context) {
   // Advisory early-exit (see parked_hint_): a saturated machine attempts a
   // claim on both legs of every call, and without this the scan walks one
   // line per processor — twice per call — just to find nothing.
+  // LRPC_MO(advisory-hint)
   if (parked_hint_.load(std::memory_order_relaxed) <= 0) {
+    // LRPC_MO(stat-counter)
     failed_claims_.fetch_add(1, std::memory_order_relaxed);
     return -1;
   }
   const std::uint64_t want = Encode(context);
   for (int i = 0; i < processor_count_; ++i) {
     std::uint64_t seen = slots_[static_cast<std::size_t>(i)].value.load(
-        std::memory_order_relaxed);
+        std::memory_order_relaxed);  // LRPC_MO(cas-seed)
     if (seen != want) {
       continue;
     }
@@ -63,12 +68,15 @@ int IdleProcessorRegistry::TryClaimInContext(VmContextId context) {
     // published this processor, and therefore after the previous exchange's
     // writes to its clock, TLB and context.
     if (slots_[static_cast<std::size_t>(i)].value.compare_exchange_strong(
+            // LRPC_MO(cas-failure-reload)
             seen, 0, std::memory_order_acquire, std::memory_order_relaxed)) {
+      // LRPC_MO(advisory-hint)
       parked_hint_.fetch_sub(1, std::memory_order_relaxed);
-      claims_.fetch_add(1, std::memory_order_relaxed);
+      claims_.fetch_add(1, std::memory_order_relaxed);  // LRPC_MO(stat-counter)
       return i;
     }
   }
+  // LRPC_MO(stat-counter)
   failed_claims_.fetch_add(1, std::memory_order_relaxed);
   return -1;
 }
@@ -78,7 +86,7 @@ void IdleProcessorRegistry::RecordMiss(VmContextId context) {
     return;
   }
   miss_counts_[static_cast<std::size_t>(context)].fetch_add(
-      1, std::memory_order_relaxed);
+      1, std::memory_order_relaxed);  // LRPC_MO(stat-counter)
 }
 
 std::uint64_t IdleProcessorRegistry::misses(VmContextId context) const {
@@ -86,7 +94,7 @@ std::uint64_t IdleProcessorRegistry::misses(VmContextId context) const {
     return 0;
   }
   return miss_counts_[static_cast<std::size_t>(context)].load(
-      std::memory_order_relaxed);
+      std::memory_order_relaxed);  // LRPC_MO(stat-counter)
 }
 
 VmContextId IdleProcessorRegistry::BusiestMissedContext() const {
@@ -95,7 +103,7 @@ VmContextId IdleProcessorRegistry::BusiestMissedContext() const {
   for (int i = 0; i < max_contexts_; ++i) {
     const std::uint64_t count =
         miss_counts_[static_cast<std::size_t>(i)].load(
-            std::memory_order_relaxed);
+            std::memory_order_relaxed);  // LRPC_MO(stat-counter)
     if (count > best_count) {
       best_count = count;
       best = static_cast<VmContextId>(i);
@@ -108,7 +116,7 @@ int IdleProcessorRegistry::parked_count() const {
   int parked = 0;
   for (int i = 0; i < processor_count_; ++i) {
     if (slots_[static_cast<std::size_t>(i)].value.load(
-            std::memory_order_relaxed) != 0) {
+            std::memory_order_relaxed) != 0) {  // LRPC_MO(advisory-hint)
       ++parked;
     }
   }

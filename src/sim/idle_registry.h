@@ -64,9 +64,10 @@ class IdleProcessorRegistry {
   int processor_count() const { return processor_count_; }
   int parked_count() const;
   std::uint64_t claims() const {
-    return claims_.load(std::memory_order_relaxed);
+    return claims_.load(std::memory_order_relaxed);  // LRPC_MO(stat-counter)
   }
   std::uint64_t failed_claims() const {
+    // LRPC_MO(stat-counter)
     return failed_claims_.load(std::memory_order_relaxed);
   }
 

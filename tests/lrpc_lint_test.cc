@@ -33,6 +33,20 @@ LintResult LintSnippet(const std::string& path, const std::string& content) {
   return RunLint({{path, content}}, {});
 }
 
+// A minimal registry for snippets that exercise lrpc-mo-tag resolution.
+constexpr char kSnippetRegistry[] =
+    "## Memory-order registry\n"
+    "- `stat-counter` — approximate counters.\n"
+    "- `cas-seed` — the CAS re-validates.\n";
+
+LintResult LintSnippetWithRegistry(const std::string& path,
+                                   const std::string& content,
+                                   const std::string& registry) {
+  LintOptions options;
+  options.mo_registry = registry;
+  return RunLint({{path, content}}, {}, options);
+}
+
 // --- lrpc-fast-path ---
 
 TEST(FastPathRule, FlagsSeededNewInsideRegion) {
@@ -443,19 +457,265 @@ TEST(FaultPointRule, RequiresAnInjectionPointPerFaultKind) {
   EXPECT_TRUE(HasFinding(result, "lrpc-fault-point", "src/f.h", 5));
 }
 
+// --- lrpc-atomic-order ---
+
+TEST(AtomicOrderRule, FlagsImplicitOrderMemberCalls) {
+  const LintResult result = LintSnippet("src/x.cc",
+                                        "int v = pending_.load();\n"
+                                        "pending_.store(1);\n"
+                                        "pending_.fetch_add(2);\n");
+  EXPECT_EQ(CountRule(result, "lrpc-atomic-order"), 3);
+  EXPECT_TRUE(HasFinding(result, "lrpc-atomic-order", "src/x.cc", 1));
+}
+
+TEST(AtomicOrderRule, ExplicitOrdersAreClean) {
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "int v = pending_.load(std::memory_order_acquire);\n"
+      "pending_.store(1, std::memory_order_release);\n"
+      "pending_.fetch_add(2, std::memory_order_acq_rel);\n");
+  EXPECT_EQ(CountRule(result, "lrpc-atomic-order"), 0);
+}
+
+TEST(AtomicOrderRule, ExplicitOrderSpanningLinesIsClean) {
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "seq_.store(next,\n"
+      "           std::memory_order_release);\n");
+  EXPECT_EQ(CountRule(result, "lrpc-atomic-order"), 0);
+}
+
+TEST(AtomicOrderRule, FlagsOperatorFormsOnDeclaredAtomics) {
+  const LintResult result = LintSnippet("src/x.cc",
+                                        "std::atomic<int> counter_{0};\n"
+                                        "void F() {\n"
+                                        "  counter_++;\n"
+                                        "  counter_ += 2;\n"
+                                        "  counter_ = 7;\n"
+                                        "}\n");
+  EXPECT_EQ(CountRule(result, "lrpc-atomic-order"), 3);
+  EXPECT_TRUE(HasFinding(result, "lrpc-atomic-order", "src/x.cc", 3));
+  EXPECT_TRUE(HasFinding(result, "lrpc-atomic-order", "src/x.cc", 4));
+  EXPECT_TRUE(HasFinding(result, "lrpc-atomic-order", "src/x.cc", 5));
+}
+
+TEST(AtomicOrderRule, NonAtomicOperatorsAndComparisonsAreClean) {
+  const LintResult result = LintSnippet("src/x.cc",
+                                        "std::atomic<int> counter_{0};\n"
+                                        "int plain = 0;\n"
+                                        "void F() {\n"
+                                        "  plain++;\n"
+                                        "  plain += 2;\n"
+                                        "  if (counter_.load(\n"
+                                        "          std::memory_order_acquire)"
+                                        " == 3) {\n"
+                                        "    plain = 4;\n"
+                                        "  }\n"
+                                        "}\n");
+  EXPECT_EQ(CountRule(result, "lrpc-atomic-order"), 0);
+}
+
+// --- lrpc-mo-tag ---
+
+TEST(MoTagRule, RelaxedWithoutTagIsFlagged) {
+  const LintResult result = LintSnippet(
+      "src/x.cc", "hits_.fetch_add(1, std::memory_order_relaxed);\n");
+  EXPECT_EQ(CountRule(result, "lrpc-mo-tag"), 1);
+}
+
+TEST(MoTagRule, TagOnSameOrPreviousLinePassesWithoutRegistry) {
+  // With no registry supplied only the presence check runs.
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "// LRPC_MO(stat-counter)\n"
+      "hits_.fetch_add(1, std::memory_order_relaxed);\n"
+      "hits_.fetch_add(1, std::memory_order_relaxed);"
+      "  // LRPC_MO(stat-counter)\n");
+  EXPECT_EQ(CountRule(result, "lrpc-mo-tag"), 0);
+}
+
+TEST(MoTagRule, TagMustResolveInTheRegistry) {
+  const LintResult resolved = LintSnippetWithRegistry(
+      "src/x.cc",
+      "// LRPC_MO(stat-counter)\n"
+      "hits_.fetch_add(1, std::memory_order_relaxed);\n",
+      kSnippetRegistry);
+  EXPECT_EQ(CountRule(resolved, "lrpc-mo-tag"), 1);  // cas-seed unused.
+
+  const LintResult unresolved = LintSnippetWithRegistry(
+      "src/x.cc",
+      "// LRPC_MO(no-such-entry)\n"
+      "hits_.fetch_add(1, std::memory_order_relaxed);\n",
+      kSnippetRegistry);
+  EXPECT_TRUE(HasFinding(unresolved, "lrpc-mo-tag", "src/x.cc", 2));
+}
+
+TEST(MoTagRule, UnusedRegistryEntriesAreDriftFindings) {
+  const LintResult result = LintSnippetWithRegistry(
+      "src/x.cc",
+      "// LRPC_MO(stat-counter)\n"
+      "hits_.fetch_add(1, std::memory_order_relaxed);\n"
+      "// LRPC_MO(cas-seed)\n"
+      "std::uint64_t head = head_.load(std::memory_order_relaxed);\n",
+      kSnippetRegistry);
+  EXPECT_EQ(CountRule(result, "lrpc-mo-tag"), 0);
+
+  const LintResult drifted = LintSnippetWithRegistry(
+      "src/x.cc",
+      "// LRPC_MO(stat-counter)\n"
+      "hits_.fetch_add(1, std::memory_order_relaxed);\n",
+      kSnippetRegistry);
+  ASSERT_EQ(CountRule(drifted, "lrpc-mo-tag"), 1);
+  // The drift finding anchors to the registry document, not a source file.
+  EXPECT_TRUE(
+      HasFinding(drifted, "lrpc-mo-tag", "docs/concurrency.md", 3));
+}
+
+// --- lrpc-seqlock-recheck ---
+
+TEST(SeqlockRule, ProbeWithoutRecheckIsFlagged) {
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "int Read(const Entry& e) {\n"
+      "  const std::uint64_t s1 = e.seq.load(std::memory_order_acquire);\n"
+      "  // LRPC_MO(stat-counter)\n"
+      "  return e.value.load(std::memory_order_relaxed);\n"
+      "}\n");
+  ASSERT_EQ(CountRule(result, "lrpc-seqlock-recheck"), 1);
+  EXPECT_TRUE(HasFinding(result, "lrpc-seqlock-recheck", "src/x.cc", 2));
+}
+
+TEST(SeqlockRule, ProbeWithRecheckIsClean) {
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "int Read(const Entry& e) {\n"
+      "  for (;;) {\n"
+      "    const std::uint64_t s1 = e.seq.load(std::memory_order_acquire);\n"
+      "    // LRPC_MO(stat-counter)\n"
+      "    const int v = e.value.load(std::memory_order_relaxed);\n"
+      "    if (e.seq.load(std::memory_order_acquire) == s1) {\n"
+      "      return v;\n"
+      "    }\n"
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(CountRule(result, "lrpc-seqlock-recheck"), 0);
+}
+
+TEST(SeqlockRule, AcquireLoadsWithoutRelaxedReadsAreClean) {
+  // An occupancy-style scan: one acquire load per entry, no relaxed field
+  // reads hanging off it.
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "int Count(const Entry* entries, int n) {\n"
+      "  int occupied = 0;\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    if (entries[i].seq.load(std::memory_order_acquire) != 0) {\n"
+      "      ++occupied;\n"
+      "    }\n"
+      "  }\n"
+      "  return occupied;\n"
+      "}\n");
+  EXPECT_EQ(CountRule(result, "lrpc-seqlock-recheck"), 0);
+}
+
+// --- lrpc-cas-retry ---
+
+TEST(CasRetryRule, WeakOutsideALoopIsFlagged) {
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "bool Claim(int expected) {\n"
+      "  return word_.compare_exchange_weak(expected, 1,\n"
+      "                                     std::memory_order_acq_rel,\n"
+      "                                     std::memory_order_acquire);\n"
+      "}\n");
+  ASSERT_EQ(CountRule(result, "lrpc-cas-retry"), 1);
+  EXPECT_TRUE(HasFinding(result, "lrpc-cas-retry", "src/x.cc", 2));
+}
+
+TEST(CasRetryRule, WeakInsideARetryLoopIsClean) {
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "void Push(int id) {\n"
+      "  for (;;) {\n"
+      "    if (word_.compare_exchange_weak(expected, id,\n"
+      "                                    std::memory_order_release,\n"
+      "                                    std::memory_order_acquire)) {\n"
+      "      return;\n"
+      "    }\n"
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(CountRule(result, "lrpc-cas-retry"), 0);
+}
+
+TEST(CasRetryRule, WeakInANegatedWhileConditionIsClean) {
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "while (!head_.compare_exchange_weak(expected, next,\n"
+      "                                    std::memory_order_release,\n"
+      "                                    std::memory_order_acquire)) {\n"
+      "}\n");
+  EXPECT_EQ(CountRule(result, "lrpc-cas-retry"), 0);
+}
+
+TEST(CasRetryRule, StrongInAnUnboundedLoopIsFlagged) {
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "void Spin() {\n"
+      "  while (true) {\n"
+      "    if (word_.compare_exchange_strong(expected, 1,\n"
+      "                                      std::memory_order_acq_rel,\n"
+      "                                      std::memory_order_acquire)) {\n"
+      "      return;\n"
+      "    }\n"
+      "  }\n"
+      "}\n");
+  ASSERT_EQ(CountRule(result, "lrpc-cas-retry"), 1);
+  EXPECT_TRUE(HasFinding(result, "lrpc-cas-retry", "src/x.cc", 3));
+}
+
+TEST(CasRetryRule, StrongInABoundedScanIsClean) {
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "int Scan(std::atomic<int>* slots, int n) {\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    int want = 1;\n"
+      "    if (slots[i].compare_exchange_strong(want, 0,\n"
+      "                                         std::memory_order_acquire,\n"
+      "                                         std::memory_order_acquire))"
+      " {\n"
+      "      return i;\n"
+      "    }\n"
+      "  }\n"
+      "  return -1;\n"
+      "}\n");
+  EXPECT_EQ(CountRule(result, "lrpc-cas-retry"), 0);
+}
+
+TEST(CasRetryRule, StrongAsASingleShotIsClean) {
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "bool Open(State expected) {\n"
+      "  return state_.compare_exchange_strong(expected, State::kOpen,\n"
+      "                                        std::memory_order_acq_rel,\n"
+      "                                        std::memory_order_acquire);\n"
+      "}\n");
+  EXPECT_EQ(CountRule(result, "lrpc-cas-retry"), 0);
+}
+
 // --- The on-disk fixture tree, through the same loader the CLI uses ---
 
 TEST(FixtureTree, LoadsAndFindsEverySeededViolation) {
   std::vector<SourceFile> sources;
   std::vector<SourceFile> tests;
   std::string error;
-  ASSERT_TRUE(LoadSourceTree(std::string(LRPC_LINT_TESTDATA_DIR) + "/tree",
-                             &sources, &tests, &error))
-      << error;
-  ASSERT_GE(sources.size(), 6u);
+  const std::string root = std::string(LRPC_LINT_TESTDATA_DIR) + "/tree";
+  ASSERT_TRUE(LoadSourceTree(root, &sources, &tests, &error)) << error;
+  ASSERT_GE(sources.size(), 11u);
   ASSERT_EQ(tests.size(), 1u);
+  LintOptions options;
+  ASSERT_TRUE(LoadMoRegistry(root, &options.mo_registry, &error)) << error;
 
-  const LintResult result = RunLint(sources, tests);
+  const LintResult result = RunLint(sources, tests, options);
   // The seeded fast-path new, log call and lock guard, plus the seeded
   // mutex acquisition; the CAS loop in fastpath_atomic.cc adds nothing.
   EXPECT_EQ(CountRule(result, "lrpc-fast-path"), 4);
@@ -478,6 +738,27 @@ TEST(FixtureTree, LoadsAndFindsEverySeededViolation) {
   // The untested enumerator and the unwired fault kind.
   EXPECT_TRUE(HasFinding(result, "lrpc-enum-coverage", "src/enums.h", 10));
   EXPECT_TRUE(HasFinding(result, "lrpc-fault-point", "src/enums.h", 15));
+  // Three implicit member calls plus four operator forms; the disciplined
+  // twin and the tagged CAS loop in fastpath_atomic.cc add nothing.
+  EXPECT_EQ(CountRule(result, "lrpc-atomic-order"), 7);
+  EXPECT_TRUE(
+      HasFinding(result, "lrpc-atomic-order", "src/bad/atomic_order.cc", 13));
+  EXPECT_TRUE(
+      HasFinding(result, "lrpc-atomic-order", "src/bad/atomic_order.cc", 22));
+  // The untagged relaxed site and the tag the fixture registry rejects.
+  EXPECT_EQ(CountRule(result, "lrpc-mo-tag"), 2);
+  EXPECT_TRUE(HasFinding(result, "lrpc-mo-tag", "src/bad/mo_untagged.cc", 10));
+  EXPECT_TRUE(HasFinding(result, "lrpc-mo-tag", "src/bad/mo_untagged.cc", 15));
+  // The acquire probe that never re-checks its sequence word.
+  EXPECT_EQ(CountRule(result, "lrpc-seqlock-recheck"), 1);
+  EXPECT_TRUE(HasFinding(result, "lrpc-seqlock-recheck",
+                         "src/bad/seqlock_norecheck.cc", 13));
+  // The loopless weak and the strong spin.
+  EXPECT_EQ(CountRule(result, "lrpc-cas-retry"), 2);
+  EXPECT_TRUE(
+      HasFinding(result, "lrpc-cas-retry", "src/bad/cas_misuse.cc", 11));
+  EXPECT_TRUE(
+      HasFinding(result, "lrpc-cas-retry", "src/bad/cas_misuse.cc", 19));
   // clean.cc contributes suppressions, not findings.
   EXPECT_EQ(CountRule(result, "lrpc-fast-path") +
                 CountRule(result, "lrpc-cacheline") +
@@ -485,7 +766,11 @@ TEST(FixtureTree, LoadsAndFindsEverySeededViolation) {
                 CountRule(result, "lrpc-using-namespace") +
                 CountRule(result, "lrpc-check-in-header") +
                 CountRule(result, "lrpc-enum-coverage") +
-                CountRule(result, "lrpc-fault-point"),
+                CountRule(result, "lrpc-fault-point") +
+                CountRule(result, "lrpc-atomic-order") +
+                CountRule(result, "lrpc-mo-tag") +
+                CountRule(result, "lrpc-seqlock-recheck") +
+                CountRule(result, "lrpc-cas-retry"),
             static_cast<int>(result.findings.size()));
   EXPECT_EQ(result.suppressions_used, 4);
 }

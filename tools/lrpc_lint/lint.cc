@@ -204,6 +204,17 @@ constexpr ForbiddenConstruct kForbidden[] = {
     {"std::scoped_lock", false, "mutex acquisition"},
     {"lock", true, "mutex acquisition"},
     {"try_lock", true, "mutex acquisition"},
+    // The annotated wrappers (src/common/thread_annotations.h) are the same
+    // blocking mutexes under new names; the fast-path discipline must
+    // survive the migration from the std:: family to the wrappers.
+    {"Mutex", false, "mutex acquisition"},
+    {"SharedMutex", false, "mutex acquisition"},
+    {"MutexLock", false, "mutex acquisition"},
+    {"WriterMutexLock", false, "mutex acquisition"},
+    {"ReaderMutexLock", false, "mutex acquisition"},
+    {"Lock", true, "mutex acquisition"},
+    {"TryLock", true, "mutex acquisition"},
+    {"LockShared", true, "mutex acquisition"},
 };
 
 // Lock-free synchronization is the one kind the fast path may do: a line
@@ -243,11 +254,91 @@ bool IsAtomicDeclaration(const std::string& line) {
   return false;
 }
 
+// The cleaned text of one file with every space and tab removed (newlines
+// too), plus a map from each remaining character back to its 1-based source
+// line. Statement-level matchers (atomic calls whose argument lists span
+// lines, seqlock windows, loop headers) run over this, so formatting never
+// splits a pattern.
+struct DenseText {
+  std::string text;
+  std::vector<int> line_of;  // Parallel to text.
+};
+
+DenseText Densify(const std::vector<std::string>& cleaned) {
+  DenseText dense;
+  for (std::size_t i = 0; i < cleaned.size(); ++i) {
+    for (char c : cleaned[i]) {
+      if (c == ' ' || c == '\t') {
+        continue;
+      }
+      dense.text.push_back(c);
+      dense.line_of.push_back(static_cast<int>(i) + 1);
+    }
+  }
+  return dense;
+}
+
+// Index just past the parenthesized span opening at `open` (which must be
+// '('), or npos when unbalanced.
+std::size_t MatchParen(const std::string& text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '(') {
+      ++depth;
+    } else if (text[i] == ')') {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    }
+  }
+  return std::string::npos;
+}
+
+// One entry of the memory-order registry in docs/concurrency.md: a bullet
+// or heading inside the "Memory-order registry" section whose first
+// backticked token is the tag LRPC_MO(<tag>) comments resolve against.
+struct MoRegistryEntry {
+  std::string tag;
+  int line = 0;  // 1-based line in the registry markdown.
+};
+
+std::vector<MoRegistryEntry> ParseMoRegistry(const std::string& markdown) {
+  std::vector<MoRegistryEntry> entries;
+  bool in_section = false;
+  const std::vector<std::string> lines = SplitLines(markdown);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.rfind("## ", 0) == 0) {
+      in_section = line.find("Memory-order registry") != std::string::npos;
+      continue;
+    }
+    if (!in_section) {
+      continue;
+    }
+    std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos ||
+        (line[first] != '-' && line[first] != '*' && line[first] != '#')) {
+      continue;
+    }
+    const std::size_t tick = line.find('`', first);
+    if (tick == std::string::npos) {
+      continue;
+    }
+    const std::size_t end = line.find('`', tick + 1);
+    if (end == std::string::npos || end == tick + 1) {
+      continue;
+    }
+    entries.push_back({line.substr(tick + 1, end - tick - 1),
+                       static_cast<int>(i) + 1});
+  }
+  return entries;
+}
+
 class Linter {
  public:
   Linter(const std::vector<SourceFile>& sources,
-         const std::vector<SourceFile>& tests)
-      : sources_(sources), tests_(tests) {}
+         const std::vector<SourceFile>& tests, const LintOptions& options)
+      : sources_(sources), tests_(tests), options_(options) {}
 
   LintResult Run() {
     for (const SourceFile& test : tests_) {
@@ -264,6 +355,7 @@ class Linter {
     result_.files_scanned += static_cast<int>(tests_.size());
     CheckEnumCoverage();
     CheckFaultPoints();
+    CheckMoRegistryDrift();
     std::sort(result_.findings.begin(), result_.findings.end(),
               [](const Finding& a, const Finding& b) {
                 if (a.file != b.file) return a.file < b.file;
@@ -292,6 +384,10 @@ class Linter {
     const std::vector<std::string> raw = SplitLines(file.content);
     const std::vector<std::string> cleaned = CleanLines(raw);
     CheckFastPath(file, raw, cleaned);
+    CheckAtomicOrder(file, raw, cleaned);
+    CheckMoTags(file, raw, cleaned);
+    CheckSeqlockRecheck(file, raw, cleaned);
+    CheckCasRetry(file, raw, cleaned);
     CollectEnums(file, cleaned);
     if (IsHeader(file.path)) {
       CheckHeaderGuard(file, raw, cleaned);
@@ -503,6 +599,415 @@ class Linter {
     }
   }
 
+  // --- lrpc-atomic-order ---
+  // Every atomic operation must name its memory_order: an implicit seq_cst
+  // is indistinguishable from an order nobody thought about, and the whole
+  // registry discipline (docs/concurrency.md) rests on the order being part
+  // of the visible contract at each site.
+
+  void CheckAtomicOrder(const SourceFile& file,
+                        const std::vector<std::string>& raw,
+                        const std::vector<std::string>& cleaned) {
+    static constexpr const char* kOps[] = {
+        "load",          "store",         "exchange",
+        "fetch_add",     "fetch_sub",     "fetch_and",
+        "fetch_or",      "fetch_xor",     "test_and_set",
+        "compare_exchange_weak",          "compare_exchange_strong"};
+    const DenseText dense = Densify(cleaned);
+    for (const char* op : kOps) {
+      std::size_t pos = 0;
+      while ((pos = FindWord(dense.text, op, pos)) != std::string::npos) {
+        const std::size_t start = pos;
+        pos += std::string_view(op).size();
+        const bool member =
+            (start >= 1 && dense.text[start - 1] == '.') ||
+            (start >= 2 && dense.text[start - 2] == '-' &&
+             dense.text[start - 1] == '>');
+        const std::size_t open = start + std::string_view(op).size();
+        if (!member || open >= dense.text.size() ||
+            dense.text[open] != '(') {
+          continue;
+        }
+        const std::size_t end = MatchParen(dense.text, open);
+        if (end == std::string::npos) {
+          continue;
+        }
+        const std::string args = dense.text.substr(open, end - open);
+        if (args.find("memory_order") != std::string::npos) {
+          continue;
+        }
+        Report(file, raw, dense.line_of[start], "lrpc-atomic-order",
+               std::string("atomic '") + op +
+                   "' without an explicit memory_order argument; implicit "
+                   "seq_cst hides the synchronization contract "
+                   "(docs/concurrency.md)");
+      }
+    }
+    CheckAtomicOperators(file, raw, dense);
+  }
+
+  // Operator forms (x++, x += n, x = v) on a std::atomic are implicit
+  // seq_cst accesses with no place to hang an order. Names are collected
+  // from this file's own `std::atomic<...> name` declarations; plain
+  // assignment is only flagged for member accesses (`.`/`->` prefix or a
+  // trailing-underscore member name) so locals that shadow an atomic
+  // member's name in another scope cannot misfire.
+  void CheckAtomicOperators(const SourceFile& file,
+                            const std::vector<std::string>& raw,
+                            const DenseText& dense) {
+    std::vector<std::string> names;
+    std::size_t pos = 0;
+    while ((pos = FindWord(dense.text, "std::atomic", pos)) !=
+           std::string::npos) {
+      pos += std::string_view("std::atomic").size();
+      if (pos >= dense.text.size() || dense.text[pos] != '<') {
+        continue;
+      }
+      int depth = 0;
+      while (pos < dense.text.size()) {
+        if (dense.text[pos] == '<') {
+          ++depth;
+        } else if (dense.text[pos] == '>') {
+          if (--depth == 0) {
+            ++pos;
+            break;
+          }
+        }
+        ++pos;
+      }
+      std::string name;
+      while (pos < dense.text.size() && IsWordChar(dense.text[pos])) {
+        name.push_back(dense.text[pos++]);
+      }
+      if (!name.empty() && (pos >= dense.text.size() ||
+                            dense.text[pos] != '(')) {
+        names.push_back(name);
+      }
+    }
+    for (const std::string& name : names) {
+      std::size_t at = 0;
+      while ((at = FindWord(dense.text, name, at)) != std::string::npos) {
+        const std::size_t after = at + name.size();
+        const int line = dense.line_of[at];
+        at = after;
+        if (after >= dense.text.size()) {
+          break;
+        }
+        // Skip the declaration itself and the braced initializer.
+        const std::size_t from = after >= 40 ? after - 40 : 0;
+        if (dense.text.substr(from, after - from).find("std::atomic") !=
+            std::string::npos) {
+          continue;
+        }
+        const std::string_view rest(dense.text.c_str() + after);
+        const bool member_prefix =
+            (at >= name.size() + 1 && dense.text[at - name.size() - 1] == '.') ||
+            (at >= name.size() + 2 &&
+             dense.text[at - name.size() - 2] == '-' &&
+             dense.text[at - name.size() - 1] == '>');
+        const char* what = nullptr;
+        if (rest.rfind("++", 0) == 0 || rest.rfind("--", 0) == 0) {
+          what = "increment/decrement";
+        } else if (rest.rfind("+=", 0) == 0 || rest.rfind("-=", 0) == 0 ||
+                   rest.rfind("|=", 0) == 0 || rest.rfind("&=", 0) == 0 ||
+                   rest.rfind("^=", 0) == 0) {
+          what = "compound assignment";
+        } else if (rest[0] == '=' && (rest.size() < 2 || rest[1] != '=') &&
+                   (member_prefix || name.back() == '_')) {
+          what = "assignment";
+        } else if (at >= name.size() + 2 &&
+                   (dense.text.compare(at - name.size() - 2, 2, "++") == 0 ||
+                    dense.text.compare(at - name.size() - 2, 2, "--") == 0)) {
+          what = "increment/decrement";
+        }
+        if (what != nullptr) {
+          Report(file, raw, line, "lrpc-atomic-order",
+                 std::string(what) + " operator on std::atomic '" + name +
+                     "' is an implicit seq_cst access; spell it as "
+                     ".load/.store/.fetch_* with a named memory_order");
+        }
+      }
+    }
+  }
+
+  // --- lrpc-mo-tag ---
+  // memory_order_relaxed drops every ordering guarantee, so each relaxed
+  // site must cite its argument: an `// LRPC_MO(<tag>)` comment on the same
+  // or the previous line, whose tag resolves to an entry of the
+  // "Memory-order registry" section in docs/concurrency.md. The resolution
+  // check runs when a registry was provided (LintOptions::mo_registry); the
+  // tag-presence check always runs.
+
+  static std::string ExtractMoTag(const std::string& raw_line) {
+    const std::size_t at = raw_line.find("LRPC_MO(");
+    if (at == std::string::npos) {
+      return "";
+    }
+    const std::size_t open = at + std::string_view("LRPC_MO(").size();
+    const std::size_t close = raw_line.find(')', open);
+    if (close == std::string::npos) {
+      return "";
+    }
+    return raw_line.substr(open, close - open);
+  }
+
+  void CheckMoTags(const SourceFile& file, const std::vector<std::string>& raw,
+                   const std::vector<std::string>& cleaned) {
+    for (std::size_t i = 0; i < cleaned.size(); ++i) {
+      if (FindWord(cleaned[i], "memory_order_relaxed") == std::string::npos) {
+        continue;
+      }
+      std::string tag = ExtractMoTag(raw[i]);
+      if (tag.empty() && i > 0) {
+        tag = ExtractMoTag(raw[i - 1]);
+      }
+      const int line_no = static_cast<int>(i) + 1;
+      if (tag.empty()) {
+        Report(file, raw, line_no, "lrpc-mo-tag",
+               "memory_order_relaxed without an LRPC_MO(<tag>) justification "
+               "on this or the previous line (memory-order registry, "
+               "docs/concurrency.md)");
+        continue;
+      }
+      used_mo_tags_.push_back(tag);
+      if (!options_.mo_registry.empty() && !registry_parsed_) {
+        registry_ = ParseMoRegistry(options_.mo_registry);
+        registry_parsed_ = true;
+      }
+      if (!options_.mo_registry.empty() && !ResolvesInRegistry(tag)) {
+        Report(file, raw, line_no, "lrpc-mo-tag",
+               "LRPC_MO tag '" + tag +
+                   "' does not resolve to a \"Memory-order registry\" entry "
+                   "in docs/concurrency.md");
+      }
+    }
+  }
+
+  bool ResolvesInRegistry(const std::string& tag) const {
+    for (const MoRegistryEntry& e : registry_) {
+      if (e.tag == tag) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Drift in the other direction: a registry entry no LRPC_MO site cites is
+  // documentation for code that no longer exists (or never did).
+  void CheckMoRegistryDrift() {
+    if (options_.mo_registry.empty()) {
+      return;
+    }
+    if (!registry_parsed_) {
+      registry_ = ParseMoRegistry(options_.mo_registry);
+      registry_parsed_ = true;
+    }
+    for (const MoRegistryEntry& e : registry_) {
+      const bool used =
+          std::find(used_mo_tags_.begin(), used_mo_tags_.end(), e.tag) !=
+          used_mo_tags_.end();
+      if (!used) {
+        result_.findings.push_back(
+            {options_.mo_registry_path, e.line, "lrpc-mo-tag",
+             "memory-order registry entry '" + e.tag +
+                 "' is cited by no LRPC_MO site in the tree; delete the "
+                 "entry or restore the citation"});
+      }
+    }
+  }
+
+  // --- lrpc-seqlock-recheck ---
+  // A seqlock read is only correct as a pair: an acquire probe of the
+  // sequence word, the relaxed field reads, then a second acquire load of
+  // the SAME sequence word to detect a racing writer. A probe whose
+  // enclosing block does relaxed loads but never re-reads the sequence
+  // consumes torn data on exactly the interleavings the protocol exists
+  // for (docs/concurrency.md; tests/model_check_test.cc enumerates them).
+
+  void CheckSeqlockRecheck(const SourceFile& file,
+                           const std::vector<std::string>& raw,
+                           const std::vector<std::string>& cleaned) {
+    const DenseText dense = Densify(cleaned);
+    static constexpr const char* kProbe = ".load(std::memory_order_acquire";
+    // Brace depth before each character, for the enclosing-block window.
+    std::vector<int> depth(dense.text.size() + 1, 0);
+    for (std::size_t i = 0; i < dense.text.size(); ++i) {
+      depth[i + 1] = depth[i] + (dense.text[i] == '{') -
+                     (dense.text[i] == '}');
+    }
+    std::size_t pos = 0;
+    while ((pos = dense.text.find(kProbe, pos)) != std::string::npos) {
+      const std::size_t probe = pos;
+      pos += 1;
+      // The loaded expression, scanned back over member/index chains; only
+      // sequence words (a final component containing "seq") are probes.
+      std::size_t expr_begin = probe;
+      while (expr_begin > 0) {
+        const char c = dense.text[expr_begin - 1];
+        if (IsWordChar(c) || c == '.' || c == ':' || c == ']' || c == '[' ||
+            c == '>' || c == '-') {
+          --expr_begin;
+        } else {
+          break;
+        }
+      }
+      const std::string expr =
+          dense.text.substr(expr_begin, probe - expr_begin);
+      std::size_t comp = expr.find_last_of(".>");
+      const std::string last =
+          comp == std::string::npos ? expr : expr.substr(comp + 1);
+      if (last.find("seq") == std::string::npos) {
+        continue;
+      }
+      // Window: the rest of the enclosing block.
+      const int enclosing = depth[probe];
+      std::size_t window_end = probe;
+      while (window_end < dense.text.size() && depth[window_end] >= enclosing) {
+        ++window_end;
+      }
+      // The window starts at the probe's own expression so the probe counts
+      // as the first of the (at least) two required acquire loads.
+      const std::string window =
+          dense.text.substr(expr_begin, window_end - expr_begin);
+      int same_probe = 0;
+      const std::string needle = expr + kProbe;
+      for (std::size_t at = window.find(needle); at != std::string::npos;
+           at = window.find(needle, at + 1)) {
+        ++same_probe;
+      }
+      const bool relaxed_reads =
+          window.find("load(std::memory_order_relaxed") != std::string::npos;
+      if (relaxed_reads && same_probe < 2) {
+        Report(file, raw, dense.line_of[probe], "lrpc-seqlock-recheck",
+               "acquire probe of '" + expr +
+                   "' is followed by relaxed reads but never re-checked; a "
+                   "seqlock read must load the sequence word again (acquire) "
+                   "after the fields and retry on mismatch");
+      }
+    }
+  }
+
+  // --- lrpc-cas-retry ---
+  // compare_exchange_weak may fail spuriously, so it is only correct inside
+  // a retry loop; compare_exchange_strong inside an unbounded retry loop
+  // pays strong's internal loop twice for nothing — the weak idiom is the
+  // sanctioned shape (docs/concurrency.md). A strong CAS in a *bounded*
+  // scan loop (try each slot once) is legitimate and stays clean.
+
+  void CheckCasRetry(const SourceFile& file,
+                     const std::vector<std::string>& raw,
+                     const std::vector<std::string>& cleaned) {
+    const DenseText dense = Densify(cleaned);
+    enum class Loop { kNone, kBounded, kUnbounded };
+    // Innermost-loop context before each character: a stack of open braces,
+    // each classified by the loop header (if any) that opened it.
+    std::vector<Loop> stack;
+    Loop pending = Loop::kNone;
+    bool pending_active = false;       // Between a loop keyword and its '{'.
+    std::size_t header_start = 0;      // Where the pending header began.
+    int header_parens = 0;
+    for (std::size_t i = 0; i < dense.text.size(); ++i) {
+      const char c = dense.text[i];
+      if (IsWordChar(c) && (i == 0 || !IsWordChar(dense.text[i - 1]))) {
+        if (dense.text.compare(i, 3, "for") == 0 && !IsWordChar(At(dense, i + 3))) {
+          pending = dense.text.compare(i + 3, 4, "(;;)") == 0
+                        ? Loop::kUnbounded
+                        : Loop::kBounded;
+          pending_active = true;
+          header_start = i;
+          header_parens = 0;
+        } else if (dense.text.compare(i, 5, "while") == 0 &&
+                   !IsWordChar(At(dense, i + 5))) {
+          pending = dense.text.compare(i + 5, 6, "(true)") == 0
+                        ? Loop::kUnbounded
+                        : Loop::kBounded;
+          pending_active = true;
+          header_start = i;
+          header_parens = 0;
+        } else if (dense.text.compare(i, 2, "do") == 0 &&
+                   !IsWordChar(At(dense, i + 2))) {
+          pending = Loop::kUnbounded;
+          pending_active = true;
+          header_start = i;
+          header_parens = 0;
+        }
+      }
+      const bool weak =
+          MatchesCall(dense.text, i, "compare_exchange_weak");
+      const bool strong =
+          MatchesCall(dense.text, i, "compare_exchange_strong");
+      if (weak || strong) {
+        Loop innermost = Loop::kNone;
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+          if (*it != Loop::kNone) {
+            innermost = *it;
+            break;
+          }
+        }
+        const bool in_header = pending_active;
+        // `while (!x.compare_exchange_strong(...))` is an unbounded retry
+        // loop spelled as a condition.
+        const bool negated_header =
+            in_header &&
+            dense.text.substr(header_start, i - header_start).find("(!") !=
+                std::string::npos;
+        if (weak && innermost == Loop::kNone && !in_header) {
+          Report(file, raw, dense.line_of[i], "lrpc-cas-retry",
+                 "compare_exchange_weak outside any retry loop; weak may "
+                 "fail spuriously even when the value matches — retry it, "
+                 "or use compare_exchange_strong for a one-shot attempt");
+        }
+        if (strong &&
+            (innermost == Loop::kUnbounded ||
+             (in_header && (pending == Loop::kUnbounded || negated_header)))) {
+          Report(file, raw, dense.line_of[i], "lrpc-cas-retry",
+                 "compare_exchange_strong inside an unbounded retry loop; "
+                 "the retry already tolerates spurious failure — use the "
+                 "compare_exchange_weak idiom");
+        }
+      }
+      if (c == '(' && pending_active) {
+        ++header_parens;
+      } else if (c == ')' && pending_active) {
+        if (--header_parens == 0) {
+          // Header closed; the kind attaches to the next '{' (or dies at
+          // the statement end for a braceless body).
+        }
+      } else if (c == ';' && pending_active && header_parens == 0) {
+        pending_active = false;  // Braceless loop body or do-while tail.
+        pending = Loop::kNone;
+      } else if (c == '{') {
+        stack.push_back(pending_active ? pending : Loop::kNone);
+        pending_active = false;
+        pending = Loop::kNone;
+      } else if (c == '}') {
+        if (!stack.empty()) {
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  static char At(const DenseText& dense, std::size_t i) {
+    return i < dense.text.size() ? dense.text[i] : '\0';
+  }
+
+  // True when `name` occurs at `i` as a member call: `.name(`/`->name(`.
+  static bool MatchesCall(const std::string& text, std::size_t i,
+                          std::string_view name) {
+    if (text.compare(i, name.size(), name) != 0) {
+      return false;
+    }
+    if (i >= 1 && IsWordChar(text[i - 1])) {
+      return false;
+    }
+    const bool member =
+        (i >= 1 && text[i - 1] == '.') ||
+        (i >= 2 && text[i - 2] == '-' && text[i - 1] == '>');
+    const std::size_t after = i + name.size();
+    return member && after < text.size() && text[after] == '(';
+  }
+
   // --- lrpc-enum-coverage, lrpc-fault-point ---
 
   void CollectEnums(const SourceFile& file,
@@ -631,9 +1136,13 @@ class Linter {
 
   const std::vector<SourceFile>& sources_;
   const std::vector<SourceFile>& tests_;
+  LintOptions options_;
   std::string test_corpus_;
   std::string joined_sources_;
   std::vector<Enumerator> enumerators_;
+  std::vector<std::string> used_mo_tags_;
+  std::vector<MoRegistryEntry> registry_;
+  bool registry_parsed_ = false;
   LintResult result_;
 };
 
@@ -641,7 +1150,31 @@ class Linter {
 
 LintResult RunLint(const std::vector<SourceFile>& sources,
                    const std::vector<SourceFile>& tests) {
-  return Linter(sources, tests).Run();
+  return Linter(sources, tests, LintOptions{}).Run();
+}
+
+LintResult RunLint(const std::vector<SourceFile>& sources,
+                   const std::vector<SourceFile>& tests,
+                   const LintOptions& options) {
+  return Linter(sources, tests, options).Run();
+}
+
+bool LoadMoRegistry(const std::string& root, std::string* registry,
+                    std::string* error) {
+  namespace fs = std::filesystem;
+  const fs::path doc = fs::path(root) / "docs" / "concurrency.md";
+  std::ifstream in(doc, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot read '" + doc.generic_string() +
+               "' (the memory-order registry lives there)";
+    }
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *registry = buffer.str();
+  return true;
 }
 
 std::string FormatFinding(const Finding& finding) {
@@ -668,7 +1201,7 @@ bool LoadSourceTree(const std::string& root, std::vector<SourceFile>* sources,
   auto relative_path = [&](const fs::path& p) {
     return fs::relative(p, base).generic_string();
   };
-  for (const char* dir : {"src", "tools"}) {
+  for (const char* dir : {"src", "tools", "bench"}) {
     const fs::path top = base / dir;
     if (!fs::is_directory(top)) {
       continue;

@@ -21,6 +21,21 @@
 //   lrpc-using-namespace  No `using namespace` at header scope.
 //   lrpc-check-in-header  No LRPC_CHECK family in public headers outside
 //                       src/common/check.h.
+//   lrpc-atomic-order   Every std::atomic load/store/RMW names an explicit
+//                       memory_order (member-call form; operator forms like
+//                       ++/+=/= on an atomic are flagged outright).
+//   lrpc-mo-tag         Every memory_order_relaxed site carries an
+//                       `// LRPC_MO(<tag>)` justification on the same or the
+//                       previous line, and the tag resolves to an entry of
+//                       the "Memory-order registry" in docs/concurrency.md
+//                       (both directions: unused registry entries are also
+//                       findings, so docs and code cannot drift).
+//   lrpc-seqlock-recheck  An acquire probe of a sequence word followed by
+//                       relaxed field reads must re-load the same sequence
+//                       word (acquire) before trusting the fields.
+//   lrpc-cas-retry      compare_exchange_weak only inside retry loops;
+//                       compare_exchange_strong never inside an unbounded
+//                       retry loop (bounded scan loops are fine).
 //
 // Any finding can be suppressed with `// NOLINT(lrpc-<rule>)` on the line it
 // anchors to (bare `// NOLINT` suppresses every rule on the line).
@@ -57,20 +72,41 @@ struct LintResult {
   int suppressions_used = 0;  // NOLINT / LRPC_FAST_PATH_ALLOW that fired.
 };
 
+// Knobs for the atomics-discipline rules.
+struct LintOptions {
+  // Markdown of docs/concurrency.md (or a fixture standing in for it). The
+  // lrpc-mo-tag resolution and drift checks only run when non-empty; the
+  // tag-presence check always runs.
+  std::string mo_registry;
+  // Path reported for registry-drift findings.
+  std::string mo_registry_path = "docs/concurrency.md";
+};
+
 // Runs every rule. `sources` are the runtime/tool files (headers and .cc);
 // `tests` are the test corpus the coverage rules check against. Findings
 // come back sorted by file then line.
 LintResult RunLint(const std::vector<SourceFile>& sources,
                    const std::vector<SourceFile>& tests);
+LintResult RunLint(const std::vector<SourceFile>& sources,
+                   const std::vector<SourceFile>& tests,
+                   const LintOptions& options);
 
 // "file:line: [rule] message" — the single-line diagnostic format.
 std::string FormatFinding(const Finding& finding);
 
 // Loads the repository tree rooted at `root` into the two corpora:
-// src/** and tools/** (.h/.cc, minus tools/lrpc_lint/testdata) as sources,
-// tests/**.cc as tests. Returns false if `root` has no src/ directory.
+// src/**, tools/** and bench/** (.h/.cc, minus tools/lrpc_lint/testdata) as
+// sources, tests/**.cc as tests. Returns false if `root` has no src/
+// directory.
 bool LoadSourceTree(const std::string& root, std::vector<SourceFile>* sources,
                     std::vector<SourceFile>* tests, std::string* error);
+
+// Reads docs/concurrency.md under `root` into `*registry` for
+// LintOptions::mo_registry. Returns false (with `*error` set) when the doc
+// is missing — the registry is load-bearing for lrpc-mo-tag, so the CLI
+// treats that as a hard error rather than skipping the checks.
+bool LoadMoRegistry(const std::string& root, std::string* registry,
+                    std::string* error);
 
 }  // namespace lint
 }  // namespace lrpc

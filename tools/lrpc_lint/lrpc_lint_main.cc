@@ -36,8 +36,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "lrpc_lint: %s\n", error.c_str());
     return 2;
   }
+  lrpc::lint::LintOptions options;
+  if (!lrpc::lint::LoadMoRegistry(root, &options.mo_registry, &error)) {
+    std::fprintf(stderr, "lrpc_lint: %s\n", error.c_str());
+    return 2;
+  }
 
-  const lrpc::lint::LintResult result = lrpc::lint::RunLint(sources, tests);
+  const lrpc::lint::LintResult result =
+      lrpc::lint::RunLint(sources, tests, options);
   for (const lrpc::lint::Finding& finding : result.findings) {
     std::printf("%s\n", lrpc::lint::FormatFinding(finding).c_str());
   }

@@ -1,0 +1,25 @@
+// Fixture: std::atomic operations that hide their memory order. Implicit
+// seq_cst member calls and operator-form RMWs must each be flagged by
+// lrpc-atomic-order; good/atomic_disciplined.cc has the sanctioned
+// spellings.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> counter_{0};
+std::atomic<bool> ready_{false};
+
+int ImplicitCalls() {
+  counter_.store(1);
+  counter_.fetch_add(2);
+  return counter_.load();
+}
+
+void OperatorForms() {
+  counter_++;
+  ++counter_;
+  counter_ += 3;
+  ready_ = true;
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture: compare_exchange misuse. A weak CAS outside any retry loop
+// can fail spuriously and silently drop the update; a strong CAS inside
+// an unbounded retry loop pays for a guarantee the loop then ignores.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> word_{0};
+
+inline bool SingleShotWeak(int expected) {
+  return word_.compare_exchange_weak(expected, expected + 1,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire);
+}
+
+inline void StrongSpin() {
+  int expected = 0;
+  for (;;) {
+    if (word_.compare_exchange_strong(expected, 1,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      return;
+    }
+    expected = 0;
+  }
+}
+
+}  // namespace fixture

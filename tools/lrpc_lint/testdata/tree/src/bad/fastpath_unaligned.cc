@@ -17,6 +17,7 @@ int Next(int step) {
   counter += step;
   ++aligned_hits;
   ++allowed_calls;
+  // LRPC_MO(fixture-counter)
   return counter + pending.load(std::memory_order_relaxed) + kBase;
 }
 

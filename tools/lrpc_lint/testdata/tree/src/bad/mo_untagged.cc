@@ -1,0 +1,18 @@
+// Fixture: memory_order_relaxed without its LRPC_MO justification, and
+// with a tag the registry does not know. Both are lrpc-mo-tag findings.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> hits_{0};
+
+inline void Bump() {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline int Peek() {
+  // LRPC_MO(no-such-entry)
+  return hits_.load(std::memory_order_relaxed);
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: a seqlock read that trusts relaxed fields without re-loading
+// the sequence word. lrpc-seqlock-recheck must flag the acquire probe.
+#include <atomic>
+
+namespace fixture {
+
+struct Entry {
+  std::atomic<unsigned long> seq{0};
+  std::atomic<int> value{0};
+};
+
+inline int ReadUnchecked(const Entry& e) {
+  const unsigned long s1 = e.seq.load(std::memory_order_acquire);
+  if ((s1 & 1) != 0) {
+    return -1;
+  }
+  // LRPC_MO(fixture-handoff)
+  return e.value.load(std::memory_order_relaxed);
+}
+
+}  // namespace fixture

@@ -1,0 +1,57 @@
+// Fixture: the disciplined spellings of everything bad/atomic_order.cc,
+// bad/mo_untagged.cc, bad/seqlock_norecheck.cc and bad/cas_misuse.cc get
+// wrong — explicit orders, tagged relaxations, a re-checked seqlock
+// read, weak-in-retry-loop and strong-in-bounded-scan. Must lint clean.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<unsigned long> head_{0};
+std::atomic<unsigned long> stats_{0};
+
+struct Entry {
+  std::atomic<unsigned long> seq{0};
+  std::atomic<int> value{0};
+};
+
+inline void Increment() {
+  // LRPC_MO(fixture-handoff)
+  unsigned long expected = head_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (head_.compare_exchange_weak(expected, expected + 1,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+      // LRPC_MO(fixture-counter)
+      stats_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+inline int BoundedClaim(std::atomic<int>* slots, int n) {
+  for (int i = 0; i < n; ++i) {
+    int want = 1;
+    if (slots[i].compare_exchange_strong(want, 0,
+                                         std::memory_order_acquire,
+                                         std::memory_order_acquire)) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+inline int ReadChecked(const Entry& e) {
+  for (;;) {
+    const unsigned long s1 = e.seq.load(std::memory_order_acquire);
+    if ((s1 & 1) != 0) {
+      continue;
+    }
+    // LRPC_MO(fixture-handoff)
+    const int value = e.value.load(std::memory_order_relaxed);
+    if (e.seq.load(std::memory_order_acquire) == s1) {
+      return value;
+    }
+  }
+}
+
+}  // namespace fixture

@@ -19,8 +19,10 @@ Node* Pop() {
   while (expected != nullptr &&
          !head_.compare_exchange_weak(expected, expected->next,
                                       std::memory_order_acquire,
+                                      // LRPC_MO(fixture-handoff)
                                       std::memory_order_relaxed)) {
   }
+  // LRPC_MO(fixture-counter)
   claims_.fetch_add(1, std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_seq_cst);
   return expected;
