@@ -70,6 +70,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "kRetriesExhausted";
     case ErrorCode::kOverloadShed:
       return "kOverloadShed";
+    case ErrorCode::kPeerDied:
+      return "kPeerDied";
   }
   return "kUnknown";
 }

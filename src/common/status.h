@@ -60,6 +60,8 @@ enum class ErrorCode : std::uint8_t {
   kRetriesExhausted,      // Transient failures outlasted the retry budget.
   // Admission control (docs/scale.md).
   kOverloadShed,          // Load shedding rejected the call under overload.
+  // Process backend (docs/multiprocess.md).
+  kPeerDied,              // Server process died before accepting the call.
 };
 
 // Human-readable name of an error code ("kOk", "kForgedBinding", ...).
@@ -67,8 +69,9 @@ std::string_view ErrorCodeName(ErrorCode code);
 
 // True exactly for the transient resource/transport failures that a caller
 // may safely retry: the call never began executing in the server (A-stack /
-// E-stack / linkage / message-queue exhaustion, or the simulated network
-// dropped the request before delivery). Mid-execution failures (kCallFailed,
+// E-stack / linkage / message-queue exhaustion, the simulated network
+// dropped the request before delivery, or a peer process died before it
+// accepted the call). Mid-execution failures (kCallFailed,
 // kCallAborted) are never retryable — the handler may have run, and LRPC
 // makes no idempotency promise. This is the single source of truth for the
 // classification; supervision (docs/supervision.md) and the chaos testbed
@@ -80,6 +83,7 @@ constexpr bool IsRetryable(ErrorCode code) {
     case ErrorCode::kEStackExhausted:
     case ErrorCode::kQueueFull:
     case ErrorCode::kRemoteUnreachable:
+    case ErrorCode::kPeerDied:
       return true;
     default:
       return false;

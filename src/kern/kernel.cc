@@ -47,6 +47,8 @@ std::string_view KernelEventKindName(KernelEventKind kind) {
       return "AdmissionShed";
     case KernelEventKind::kAdmissionDegraded:
       return "AdmissionDegraded";
+    case KernelEventKind::kPeerDeath:
+      return "PeerDeath";
   }
   return "Unknown";
 }

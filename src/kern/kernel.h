@@ -51,6 +51,8 @@ enum class KernelEventKind : std::uint8_t {
   // Admission-control events (docs/scale.md).
   kAdmissionShed,       // Load shedding rejected a call before dispatch.
   kAdmissionDegraded,   // Overload routed a call to the message-RPC path.
+  // Process-backend events (docs/multiprocess.md).
+  kPeerDeath,           // A real server process died and was collected.
 };
 
 std::string_view KernelEventKindName(KernelEventKind kind);

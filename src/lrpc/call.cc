@@ -6,6 +6,7 @@
 #include "src/common/check.h"
 #include "src/common/fast_path.h"
 #include "src/common/logging.h"
+#include "src/lrpc/proc_transport.h"
 #include "src/lrpc/runtime.h"
 #include "src/lrpc/server_frame.h"
 #include "src/lrpc/wire.h"
@@ -453,19 +454,69 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
   cpu.Charge(CostCategory::kServerStub, model.lrpc_server_stub);
   kernel_.TouchPages(cpu, server.page_base(), kServerPages);
 
-  ServerFrame frame(this, cpu, def, astack, server.id(), client->id(),
-                    thread_id, &cs.copies);
-  if (win != nullptr) {
-    // Inline path: the frame serves the handler straight from the linkage
-    // record's register window; no A-stack slot decoding, no segment
-    // rights checks.
-    frame.AttachRegisterWindow(linkage.regs);
+  // Multi-process backend (docs/multiprocess.md): the marshaled window
+  // crosses into the server's real process over the shared channel instead
+  // of branching into the handler here. Calls the channel cannot carry
+  // (out-of-band segments, oversized A-stacks) execute in-process as on the
+  // other backends. A death status from the transport runs the §5.3
+  // collector against the real corpse further down.
+  bool peer_pre_death = false;   // Died before accepting: handler never ran.
+  bool peer_mid_death = false;   // Died after accepting: handler may have run.
+  bool proc_executed = false;
+  Status server_status = Status::Ok();
+  if (backend_ == RuntimeBackend::kMultiProcess && proc_ != nullptr &&
+      proc_->Serves(record->server) && oob_used.empty()) {
+    std::uint8_t* window = win != nullptr
+        ? linkage.regs
+        : astack.region->segment().DataUnchecked() + astack.offset();
+    const std::size_t window_len =
+        win != nullptr ? pd.slot_span : pd.astack_size;
+    if (window_len <= proc_->payload_capacity()) {
+      ProcTransport::KillPhase kill = ProcTransport::KillPhase::kNone;
+      if (FaultPointFires(injector, FaultKind::kPeerProcessDeath)) {
+        // The phase cycles with the per-kind hit counter, so a seeded
+        // schedule replays the same kill at the same protocol point.
+        switch (injector->hits(FaultKind::kPeerProcessDeath) % 3) {
+          case 0: kill = ProcTransport::KillPhase::kBeforeAccept; break;
+          case 1: kill = ProcTransport::KillPhase::kInServerBody; break;
+          default: kill = ProcTransport::KillPhase::kAfterReturn; break;
+        }
+      }
+      const Status leg =
+          proc_->Execute(record->server, client->id(), procedure,
+                         win != nullptr, window, window_len, &server_status,
+                         kill);
+      proc_executed = true;
+      if (leg.code() == ErrorCode::kPeerDied) {
+        peer_pre_death = true;
+      } else if (!leg.ok()) {
+        peer_mid_death = true;
+      }
+    }
   }
-  Status server_status = frame.PrepareArguments();
-  if (server_status.ok() && def.handler) {
-    server_status = def.handler(frame);
+  if (!proc_executed) {
+    ServerFrame frame(this, cpu, def, astack, server.id(), client->id(),
+                      thread_id, &cs.copies);
+    if (win != nullptr) {
+      // Inline path: the frame serves the handler straight from the linkage
+      // record's register window; no A-stack slot decoding, no segment
+      // rights checks.
+      frame.AttachRegisterWindow(linkage.regs);
+    }
+    server_status = frame.PrepareArguments();
+    if (server_status.ok() && def.handler) {
+      server_status = def.handler(frame);
+    }
   }
   cs.server_status = server_status;
+
+  if (peer_pre_death || peer_mid_death) {
+    // The real server process is a corpse: revoke its bindings, unwind the
+    // visiting thread and reclaim its segments — the same collector the
+    // simulated terminations run, now with a reaped child behind it.
+    (void)TerminateDomain(record->server);
+    kernel_.NotifyEvent(KernelEventKind::kPeerDeath);
+  }
 
   // Injected Section 5.3 emergencies, landing while the thread is still in
   // the server: the server domain terminates mid-call, or the client gives
@@ -514,9 +565,16 @@ Status LrpcRuntime::CallLocal(Processor& cpu, ThreadId thread_id,
       kernel_.EnterDomain(cpu, *t, *resumed_in, /*allow_exchange=*/true);
     }
     const ThreadException exc = t->TakeException();
-    return exc == ThreadException::kCallAborted
-               ? Status(ErrorCode::kCallAborted)
-               : Status(ErrorCode::kCallFailed, "server domain terminated");
+    if (exc == ThreadException::kCallAborted) {
+      return Status(ErrorCode::kCallAborted);
+    }
+    if (peer_pre_death) {
+      // The server process died before it accepted the call: the handler
+      // never ran, so the failure is retryable (docs/multiprocess.md).
+      return Status(ErrorCode::kPeerDied,
+                    "server process died before accepting the call");
+    }
+    return Status(ErrorCode::kCallFailed, "server domain terminated");
   }
 
   t->PopLinkage();

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/common/rng.h"
+#include "src/lrpc/proc_transport.h"
 #include "src/lrpc/testbed.h"
 
 namespace lrpc {
@@ -112,8 +113,12 @@ ChaosResult RunChaosSchedule(const ChaosOptions& options) {
   Machine machine(MachineModel::CVaxFirefly(),
                   std::max(1, options.processors));
   Kernel kernel(machine, options.seed);
-  LrpcRuntime runtime(kernel);
+  LrpcRuntime runtime(kernel, options.backend);
   Processor& cpu = machine.processor(0);
+
+  // The multi-process transport, when armed. Declared right after `runtime`
+  // so it is destroyed first (it detaches itself and reaps its children).
+  std::unique_ptr<ProcTransport> proc_host;
 
   struct ServerCtx {
     DomainId domain = kNoDomain;
@@ -152,6 +157,23 @@ ChaosResult RunChaosSchedule(const ChaosOptions& options) {
     }
     ctx.iface = iface;
     servers.push_back(std::move(ctx));
+  }
+
+  if (options.proc_factory) {
+    // Fork one real server process per exported interface. The children
+    // inherit the sealed interfaces (and their handler closures) by fork,
+    // so this runs after every export and before any call.
+    proc_host = options.proc_factory(runtime);
+    for (const ServerCtx& server : servers) {
+      const Status status = proc_host->SpawnServer(server.domain,
+                                                   server.iface);
+      if (!status.ok()) {
+        result.undocumented.push_back("setup: proc spawn failed for " +
+                                      server.name + ": " +
+                                      std::string(ErrorCodeName(status.code())));
+        return result;
+      }
+    }
   }
 
   // The supervision layer (docs/supervision.md): one supervisor shepherds

@@ -52,6 +52,15 @@ struct ChaosOptions {
   // transport: lrpc_core cannot link the baseline RPC library, so stress
   // tests supply MsgRpcSystem from the outside. Null disables failover.
   std::function<std::unique_ptr<FallbackTransport>(Kernel&)> fallback_factory;
+
+  // Multi-process backend (docs/multiprocess.md): the runtime is built with
+  // this backend, and when `proc_factory` is set every server domain is
+  // forked as a real process right after its export. A factory for the same
+  // reason as above: lrpc_core cannot link the proc library, so tests hand
+  // in a ProcHost from the outside. Callers must check fork is permitted
+  // first (ProcHost::ForkPermitted) or the schedule fails at setup.
+  RuntimeBackend backend = RuntimeBackend::kDeterministicSim;
+  std::function<std::unique_ptr<ProcTransport>(LrpcRuntime&)> proc_factory;
 };
 
 struct ChaosResult {

@@ -4,6 +4,7 @@
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
+#include "src/lrpc/proc_transport.h"
 #include "src/lrpc/wire.h"
 
 namespace lrpc {
@@ -317,6 +318,11 @@ Status LrpcRuntime::UnmarshalResults(Processor& cpu, DomainId client,
 
 Status LrpcRuntime::TerminateDomain(DomainId domain) {
   names_.WithdrawAllFrom(domain);
+  if (proc_ != nullptr) {
+    // Kill/reap the real process and reclaim its shared segments before the
+    // collector runs; idempotent when the process is already a corpse.
+    proc_->OnDomainTerminated(domain);
+  }
   const Status status = kernel_.TerminateDomain(domain);
   if (tracer_ != nullptr && status.ok()) {
     TraceEvent event;

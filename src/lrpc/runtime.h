@@ -90,7 +90,13 @@ struct CallStats {
 enum class RuntimeBackend : std::uint8_t {
   kDeterministicSim,
   kParallelHost,
+  // Real protection domains: server domains are forked processes, the
+  // argument window crosses a shared mmap segment behind a futex doorbell,
+  // and peer death is a first-class protocol event (docs/multiprocess.md).
+  kMultiProcess,
 };
+
+class ProcTransport;
 
 class LrpcRuntime {
  public:
@@ -183,6 +189,14 @@ class LrpcRuntime {
   }
   ShardedBindingTable* sharded_bindings() { return par_bindings_; }
 
+  // --- Multi-process backend (src/proc, docs/multiprocess.md). ---
+  // Installs the transport the server-execution leg routes through on the
+  // kMultiProcess backend (non-owning; a ProcHost owns it). Null detaches.
+  // TerminateDomain notifies the transport so real corpses are reaped and
+  // their shared segments reclaimed regardless of which side died first.
+  void AttachProcTransport(ProcTransport* transport) { proc_ = transport; }
+  ProcTransport* proc_transport() { return proc_; }
+
   // --- Out-of-band segments (Section 5.2). ---
   SharedSegment* OobSegment(std::uint64_t index);
   // Number of currently-live (unreleased) out-of-band segments.
@@ -271,6 +285,7 @@ class LrpcRuntime {
   Kernel& kernel_;
   RuntimeBackend backend_ = RuntimeBackend::kDeterministicSim;
   ShardedBindingTable* par_bindings_ = nullptr;
+  ProcTransport* proc_ = nullptr;
   NameServer names_;
   std::vector<std::unique_ptr<Interface>> interfaces_;
   std::vector<std::unique_ptr<Clerk>> clerks_;       // Indexed by DomainId.

@@ -1,0 +1,49 @@
+#include "src/proc/proc_segment.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+namespace lrpc {
+
+std::size_t ProcSegment::PageRound(std::size_t size) {
+  const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return (size + page - 1) / page * page;
+}
+
+Status ProcSegment::Map(std::size_t size) {
+  Unmap();
+  if (size == 0) {
+    return Status(ErrorCode::kInvalidArgument, "empty segment");
+  }
+  const std::size_t rounded = PageRound(size);
+  void* mem = mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    return Status(ErrorCode::kOutOfMemory, "mmap(MAP_SHARED) failed");
+  }
+  data_ = mem;
+  size_ = rounded;
+  return Status::Ok();
+}
+
+Status ProcSegment::Protect(Access access) {
+  if (!mapped()) {
+    return Status(ErrorCode::kInvalidArgument, "segment not mapped");
+  }
+  const int prot =
+      access == Access::kNone ? PROT_NONE : (PROT_READ | PROT_WRITE);
+  if (mprotect(data_, size_, prot) != 0) {
+    return Status(ErrorCode::kPermissionDenied, "mprotect failed");
+  }
+  return Status::Ok();
+}
+
+void ProcSegment::Unmap() {
+  if (data_ != nullptr) {
+    munmap(data_, size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace lrpc

@@ -1,0 +1,65 @@
+// ProcSegment: a real shared memory segment (mmap MAP_SHARED|MAP_ANONYMOUS)
+// with per-process protection control — the multi-process backend's
+// equivalent of the simulator's rights-checked SharedSegment
+// (docs/multiprocess.md).
+//
+// The mapping is created by the parent before fork, so every server process
+// inherits it; a child then drops its rights to channels it is not a party
+// to with Protect(kNone) — the real mprotect expression of the paper's
+// "pair-wise shared" A-stack rule.
+
+#ifndef SRC_PROC_PROC_SEGMENT_H_
+#define SRC_PROC_PROC_SEGMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace lrpc {
+
+class ProcSegment {
+ public:
+  enum class Access : std::uint8_t { kNone, kReadWrite };
+
+  ProcSegment() = default;
+  ~ProcSegment() { Unmap(); }
+
+  ProcSegment(const ProcSegment&) = delete;
+  ProcSegment& operator=(const ProcSegment&) = delete;
+  ProcSegment(ProcSegment&& other) noexcept { *this = static_cast<ProcSegment&&>(other); }
+  ProcSegment& operator=(ProcSegment&& other) noexcept {
+    if (this != &other) {
+      Unmap();
+      data_ = other.data_;
+      size_ = other.size_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  // Maps `size` bytes (rounded up to whole pages) shared and zero-filled.
+  Status Map(std::size_t size);
+
+  // Changes this process's rights to the mapping; the peer's mapping of the
+  // same pages is unaffected (that is the whole point).
+  Status Protect(Access access);
+
+  void Unmap();
+
+  bool mapped() const { return data_ != nullptr; }
+  void* data() { return data_; }
+  const void* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+  static std::size_t PageRound(std::size_t size);
+
+ private:
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_PROC_PROC_SEGMENT_H_

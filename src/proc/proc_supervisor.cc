@@ -1,0 +1,175 @@
+#include "src/proc/proc_supervisor.h"
+
+#include <signal.h>
+#include <sys/epoll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace lrpc {
+
+namespace {
+
+// The process-wide SIGCHLD tally. A lock-free fetch_add is async-signal-safe
+// (no locks, no allocation); the handler does nothing else.
+std::atomic<std::uint64_t> g_sigchld_seen{0};
+int g_handler_refs = 0;  // Guarded by "supervisors are built single-threaded".
+struct sigaction g_old_action;
+
+void OnSigchld(int) {
+  // LRPC_MO(stat-counter)
+  g_sigchld_seen.fetch_add(1, std::memory_order_relaxed);
+}
+
+void InstallHandler() {
+  if (g_handler_refs++ > 0) {
+    return;
+  }
+  struct sigaction action = {};
+  action.sa_handler = &OnSigchld;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART | SA_NOCLDSTOP;
+  sigaction(SIGCHLD, &action, &g_old_action);
+}
+
+void RestoreHandler() {
+  if (--g_handler_refs > 0) {
+    return;
+  }
+  sigaction(SIGCHLD, &g_old_action, nullptr);
+}
+
+}  // namespace
+
+std::uint64_t ProcSupervisor::SigchldSeen() {
+  // LRPC_MO(stat-counter)
+  return g_sigchld_seen.load(std::memory_order_relaxed);
+}
+
+ProcSupervisor::ProcSupervisor() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  InstallHandler();
+}
+
+ProcSupervisor::~ProcSupervisor() {
+  for (auto& [domain, w] : watched_) {
+    if (w.liveness_fd >= 0) {
+      close(w.liveness_fd);
+    }
+  }
+  if (epoll_fd_ >= 0) {
+    close(epoll_fd_);
+  }
+  RestoreHandler();
+}
+
+void ProcSupervisor::Watch(DomainId domain, int pid, int liveness_fd) {
+  Watched w;
+  w.pid = pid;
+  w.liveness_fd = liveness_fd;
+  if (epoll_fd_ >= 0 && liveness_fd >= 0) {
+    struct epoll_event event = {};
+    // EPOLLHUP is always reported; registering for reads is enough. The
+    // event's data carries the domain so a hangup names its victim.
+    event.events = EPOLLIN;
+    event.data.u64 = static_cast<std::uint64_t>(static_cast<std::uint32_t>(domain));
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, liveness_fd, &event);
+  }
+  watched_[domain] = w;
+}
+
+void ProcSupervisor::Unwatch(DomainId domain) {
+  auto it = watched_.find(domain);
+  if (it == watched_.end()) {
+    return;
+  }
+  if (it->second.liveness_fd >= 0) {
+    if (epoll_fd_ >= 0) {
+      epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second.liveness_fd, nullptr);
+    }
+    close(it->second.liveness_fd);
+  }
+  watched_.erase(it);
+}
+
+void ProcSupervisor::MarkReaped(DomainId domain, bool signaled,
+                                int term_signal) {
+  auto it = watched_.find(domain);
+  if (it == watched_.end()) {
+    return;
+  }
+  it->second.reaped = true;
+  it->second.signaled = signaled;
+  it->second.term_signal = term_signal;
+}
+
+std::vector<ProcSupervisor::DeadPeer> ProcSupervisor::Poll() {
+  // Pass 1: a non-blocking epoll sweep attributes hangups to domains.
+  if (epoll_fd_ >= 0 && !watched_.empty()) {
+    struct epoll_event events[16];
+    int n;
+    while ((n = epoll_wait(epoll_fd_, events, 16, 0)) > 0) {
+      for (int i = 0; i < n; ++i) {
+        if ((events[i].events & (EPOLLHUP | EPOLLERR)) == 0) {
+          continue;
+        }
+        const auto domain =
+            static_cast<DomainId>(static_cast<std::uint32_t>(events[i].data.u64));
+        auto it = watched_.find(domain);
+        if (it != watched_.end()) {
+          it->second.hup = true;
+          // One report per corpse: a closed pipe stays readable-hung-up
+          // forever, so take it out of the set now.
+          epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second.liveness_fd, nullptr);
+        }
+      }
+      if (n < 16) {
+        break;
+      }
+    }
+  }
+
+  // Pass 2: the authoritative waitpid sweep. Only watched pids — never -1 —
+  // so the supervisor cannot steal another subsystem's children.
+  std::vector<DeadPeer> dead;
+  for (auto it = watched_.begin(); it != watched_.end();) {
+    Watched& w = it->second;
+    bool corpse = w.reaped;
+    if (!corpse) {
+      int wait_status = 0;
+      const pid_t r = waitpid(w.pid, &wait_status, WNOHANG);
+      if (r == w.pid) {
+        corpse = true;
+        w.signaled = WIFSIGNALED(wait_status);
+        w.term_signal = w.signaled ? WTERMSIG(wait_status) : 0;
+        w.exit_code = WIFEXITED(wait_status) ? WEXITSTATUS(wait_status) : 0;
+      } else if (r < 0) {
+        // ECHILD: someone else reaped it; the process is certainly gone.
+        corpse = true;
+      }
+    }
+    if (!corpse) {
+      ++it;
+      continue;
+    }
+    DeadPeer peer;
+    peer.domain = it->first;
+    peer.pid = w.pid;
+    peer.via_hup = w.hup;
+    peer.signaled = w.signaled;
+    peer.term_signal = w.term_signal;
+    peer.exit_code = w.exit_code;
+    dead.push_back(peer);
+    if (w.liveness_fd >= 0) {
+      if (epoll_fd_ >= 0) {
+        epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, w.liveness_fd, nullptr);
+      }
+      close(w.liveness_fd);
+    }
+    it = watched_.erase(it);
+  }
+  return dead;
+}
+
+}  // namespace lrpc

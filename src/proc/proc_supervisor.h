@@ -1,0 +1,87 @@
+// ProcSupervisor: the kernel-side watcher of forked server domains
+// (docs/multiprocess.md).
+//
+// Death is detected through three independent signals, any one of which is
+// sufficient and all of which are cheap to check:
+//
+//   SIGCHLD     a process-wide handler (installed refcounted, restored when
+//               the last supervisor goes away) bumps an async-signal-safe
+//               counter; a moved counter marks "some child changed state".
+//   EPOLLHUP    each server domain holds the write end of a liveness pipe
+//               for its whole life; the parent's epoll set holds the read
+//               ends, and a hangup names exactly which domain died.
+//   waitpid     the authoritative check (and the reap): Poll sweeps every
+//               watched pid with WNOHANG and reports the corpses.
+//
+// Poll() never blocks and never reaps a pid it does not watch, so it
+// coexists with whatever else the test process forks.
+
+#ifndef SRC_PROC_PROC_SUPERVISOR_H_
+#define SRC_PROC_PROC_SUPERVISOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace lrpc {
+
+class ProcSupervisor {
+ public:
+  struct DeadPeer {
+    DomainId domain = kNoDomain;
+    int pid = -1;
+    bool via_hup = false;    // The liveness pipe hung up before the sweep.
+    bool signaled = false;   // Terminated by a signal (vs _exit).
+    int term_signal = 0;
+    int exit_code = 0;
+  };
+
+  ProcSupervisor();
+  ~ProcSupervisor();
+
+  // False when epoll could not be set up; the host then degrades to plain
+  // waitpid sweeps.
+  bool ok() const { return epoll_fd_ >= 0; }
+
+  // Starts watching a forked domain. Takes ownership of `liveness_fd` (the
+  // read end of the child's liveness pipe).
+  void Watch(DomainId domain, int pid, int liveness_fd);
+
+  // Stops watching and closes the liveness fd. Safe when not watched.
+  void Unwatch(DomainId domain);
+
+  // Marks a domain as already reaped (its Execute-side waitpid got there
+  // first) so the sweep reports it dead without another waitpid.
+  void MarkReaped(DomainId domain, bool signaled, int term_signal);
+
+  // Non-blocking sweep: epoll for hangups, waitpid(WNOHANG) every watched
+  // pid, return (and unwatch) the newly dead. Reaps what it finds.
+  std::vector<DeadPeer> Poll();
+
+  std::size_t watched() const { return watched_.size(); }
+
+  // Process-wide SIGCHLD deliveries observed by the shared handler since
+  // the first supervisor was built. Advisory: tests poll it to prove the
+  // signal path is live; death detection never depends on it.
+  static std::uint64_t SigchldSeen();
+
+ private:
+  struct Watched {
+    int pid = -1;
+    int liveness_fd = -1;
+    bool hup = false;
+    bool reaped = false;
+    bool signaled = false;
+    int term_signal = 0;
+    int exit_code = 0;
+  };
+
+  int epoll_fd_ = -1;
+  std::map<DomainId, Watched> watched_;
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_PROC_PROC_SUPERVISOR_H_

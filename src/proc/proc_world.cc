@@ -1,0 +1,155 @@
+#include "src/proc/proc_world.h"
+
+#include <algorithm>
+#include <new>
+#include <string>
+
+#include "src/common/check.h"
+#include "src/lrpc/server_frame.h"
+
+namespace lrpc {
+
+namespace {
+
+// Registers the measurement procedures with handlers that bump the shared
+// counters — the cross-process execution proof.
+void AddProcProcedures(Interface* iface, ProcCounters* counters,
+                       int* null_proc, int* add_proc, int* biginout_proc) {
+  {
+    ProcedureDef def;
+    def.name = "Null";
+    def.handler = [counters](ServerFrame&) {
+      // LRPC_MO(stat-counter)
+      counters->calls.fetch_add(1, std::memory_order_relaxed);
+      return Status::Ok();
+    };
+    *null_proc = iface->AddProcedure(std::move(def));
+  }
+  {
+    ProcedureDef def;
+    def.name = "Add";
+    def.params.push_back({.name = "a", .direction = ParamDirection::kIn,
+                          .size = 4});
+    def.params.push_back({.name = "b", .direction = ParamDirection::kIn,
+                          .size = 4});
+    def.params.push_back({.name = "sum", .direction = ParamDirection::kOut,
+                          .size = 4});
+    def.handler = [counters](ServerFrame& frame) -> Status {
+      Result<std::int32_t> a = frame.Arg<std::int32_t>(0);
+      Result<std::int32_t> b = frame.Arg<std::int32_t>(1);
+      if (!a.ok()) {
+        return a.status();
+      }
+      if (!b.ok()) {
+        return b.status();
+      }
+      // LRPC_MO(stat-counter)
+      counters->calls.fetch_add(1, std::memory_order_relaxed);
+      const auto sum = static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(*a) + static_cast<std::uint32_t>(*b));
+      return frame.Result_<std::int32_t>(2, sum);
+    };
+    *add_proc = iface->AddProcedure(std::move(def));
+  }
+  {
+    ProcedureDef def;
+    def.name = "BigInOut";
+    def.params.push_back({.name = "in", .direction = ParamDirection::kIn,
+                          .size = kBigSize});
+    def.params.push_back({.name = "out", .direction = ParamDirection::kOut,
+                          .size = kBigSize});
+    def.handler = [counters](ServerFrame& frame) -> Status {
+      std::uint8_t buffer[kBigSize];
+      Result<std::size_t> n = frame.ReadArg(0, buffer, sizeof(buffer));
+      if (!n.ok()) {
+        return n.status();
+      }
+      // LRPC_MO(stat-counter)
+      counters->calls.fetch_add(1, std::memory_order_relaxed);
+      // LRPC_MO(stat-counter)
+      counters->bytes.fetch_add(kBigSize, std::memory_order_relaxed);
+      // Echo reversed, so callers can prove the server transformed it.
+      std::reverse(buffer, buffer + kBigSize);
+      return frame.WriteResult(1, buffer, kBigSize);
+    };
+    *biginout_proc = iface->AddProcedure(std::move(def));
+  }
+}
+
+}  // namespace
+
+ProcWorld::ProcWorld(Options options) {
+  machine_ = std::make_unique<Machine>(MachineModel::CVaxFirefly(), 1);
+  kernel_ = std::make_unique<Kernel>(*machine_);
+  runtime_ = std::make_unique<LrpcRuntime>(*kernel_,
+                                           RuntimeBackend::kMultiProcess);
+  host_ = std::make_unique<ProcHost>(*runtime_, options.host);
+
+  // The shared counter page must exist before any fork so every server
+  // process inherits the mapping.
+  const int servers = options.servers > 0 ? options.servers : 1;
+  LRPC_CHECK_OK(counter_segment_.Map(
+      static_cast<std::size_t>(servers) * sizeof(ProcCounters)));
+  counters_ = static_cast<ProcCounters*>(counter_segment_.data());
+  for (int i = 0; i < servers; ++i) {
+    new (&counters_[i]) ProcCounters();
+  }
+
+  client_ = kernel_->CreateDomain({.name = "proc-client"});
+  thread_ = kernel_->CreateThread(client_);
+
+  for (int i = 0; i < servers; ++i) {
+    const DomainId server =
+        kernel_->CreateDomain({.name = "proc-server-" + std::to_string(i)});
+    server_domains_.push_back(server);
+    Interface* iface = runtime_->CreateInterface(
+        server, "proc.Measures" + std::to_string(i));
+    AddProcProcedures(iface, &counters_[i], &null_proc_, &add_proc_,
+                      &biginout_proc_);
+    LRPC_CHECK_OK(runtime_->Export(iface));
+
+    // Fork the real server domain; remember the first failure (fork
+    // forbidden, handshake refused) so tests can skip gracefully.
+    if (spawn_status_.ok()) {
+      spawn_status_ = host_->SpawnServer(server, iface);
+    }
+
+    Result<ClientBinding*> bound =
+        runtime_->Import(cpu(), client_, iface->name());
+    LRPC_CHECK(bound.ok());
+    bindings_.push_back(*bound);
+  }
+
+  cpu().LoadContext(kernel_->domain(client_).vm_context());
+  kernel_->thread(thread_).set_current_domain(client_);
+}
+
+ProcWorld::~ProcWorld() = default;
+
+const ProcCounters& ProcWorld::counters(int i) const {
+  return counters_[static_cast<std::size_t>(i)];
+}
+
+Status ProcWorld::CallNull(int server, CallStats* stats) {
+  return runtime_->Call(cpu(), thread_, binding(server), null_proc_, {}, {},
+                        stats);
+}
+
+Status ProcWorld::CallAdd(std::int32_t a, std::int32_t b, std::int32_t* sum,
+                          int server, CallStats* stats) {
+  const CallArg args[] = {CallArg::Of(a), CallArg::Of(b)};
+  const CallRet rets[] = {CallRet::Of(sum)};
+  return runtime_->Call(cpu(), thread_, binding(server), add_proc_, args,
+                        rets, stats);
+}
+
+Status ProcWorld::CallBigInOut(const std::uint8_t (&in)[kBigSize],
+                               std::uint8_t (&out)[kBigSize], int server,
+                               CallStats* stats) {
+  const CallArg args[] = {CallArg(in, kBigSize)};
+  const CallRet rets[] = {CallRet(out, kBigSize)};
+  return runtime_->Call(cpu(), thread_, binding(server), biginout_proc_,
+                        args, rets, stats);
+}
+
+}  // namespace lrpc

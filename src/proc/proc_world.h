@@ -1,0 +1,97 @@
+// ProcWorld: a ready-made world for the multi-process backend's tests and
+// benchmarks — a machine, a kernel, an LRPC runtime built with
+// RuntimeBackend::kMultiProcess, a ProcHost, and N forked server domains
+// each exporting the paper's measurement procedures.
+//
+// Proof that the handlers really run in the server *process* (not silently
+// in-process): every handler bumps per-server counters living in a shared
+// MAP_SHARED segment mapped before fork. Parent-heap state written by a
+// child is invisible to the parent; only the shared counters move.
+
+#ifndef SRC_PROC_PROC_WORLD_H_
+#define SRC_PROC_PROC_WORLD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/lrpc/runtime.h"
+#include "src/lrpc/testbed.h"
+#include "src/proc/proc_host.h"
+#include "src/proc/proc_segment.h"
+
+namespace lrpc {
+
+// One per server, placement-new'd into the shared counter segment.
+struct ProcCounters {
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> bytes{0};
+};
+
+class ProcWorld {
+ public:
+  struct Options {
+    int servers = 1;
+    ProcHost::Options host;
+  };
+
+  ProcWorld() : ProcWorld(Options()) {}
+  explicit ProcWorld(Options options);
+  ~ProcWorld();
+
+  ProcWorld(const ProcWorld&) = delete;
+  ProcWorld& operator=(const ProcWorld&) = delete;
+
+  // False when a server process could not be spawned (fork forbidden, or
+  // the handshake failed); `spawn_status` says why.
+  bool ok() const { return spawn_status_.ok(); }
+  const Status& spawn_status() const { return spawn_status_; }
+
+  Machine& machine() { return *machine_; }
+  Kernel& kernel() { return *kernel_; }
+  LrpcRuntime& runtime() { return *runtime_; }
+  ProcHost& host() { return *host_; }
+  Processor& cpu() { return machine_->processor(0); }
+
+  int servers() const { return static_cast<int>(server_domains_.size()); }
+  DomainId client_domain() const { return client_; }
+  DomainId server_domain(int i = 0) const { return server_domains_[static_cast<std::size_t>(i)]; }
+  ThreadId client_thread() const { return thread_; }
+  ClientBinding& binding(int i = 0) { return *bindings_[static_cast<std::size_t>(i)]; }
+
+  // Per-server shared counters, written by the server process's handlers.
+  const ProcCounters& counters(int i = 0) const;
+
+  // --- Convenience callers (processor 0, the client thread). ---
+  Status CallNull(int server = 0, CallStats* stats = nullptr);
+  Status CallAdd(std::int32_t a, std::int32_t b, std::int32_t* sum,
+                 int server = 0, CallStats* stats = nullptr);
+  Status CallBigInOut(const std::uint8_t (&in)[kBigSize],
+                      std::uint8_t (&out)[kBigSize], int server = 0,
+                      CallStats* stats = nullptr);
+
+  int null_proc() const { return null_proc_; }
+  int add_proc() const { return add_proc_; }
+  int biginout_proc() const { return biginout_proc_; }
+
+ private:
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<Kernel> kernel_;
+  std::unique_ptr<LrpcRuntime> runtime_;
+  std::unique_ptr<ProcHost> host_;  // After runtime_: destroyed first.
+  ProcSegment counter_segment_;
+  ProcCounters* counters_ = nullptr;
+  DomainId client_ = kNoDomain;
+  ThreadId thread_ = kNoThread;
+  std::vector<DomainId> server_domains_;
+  std::vector<ClientBinding*> bindings_;
+  int null_proc_ = -1;
+  int add_proc_ = -1;
+  int biginout_proc_ = -1;
+  Status spawn_status_ = Status::Ok();
+};
+
+}  // namespace lrpc
+
+#endif  // SRC_PROC_PROC_WORLD_H_

@@ -26,6 +26,8 @@ std::string_view FaultKindName(FaultKind kind) {
       return "WatchdogLateFire";
     case FaultKind::kFailoverTargetDead:
       return "FailoverTargetDead";
+    case FaultKind::kPeerProcessDeath:
+      return "PeerProcessDeath";
   }
   return "Unknown";
 }

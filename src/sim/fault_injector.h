@@ -45,9 +45,12 @@ enum class FaultKind : std::uint8_t {
                        // overrun is only detected after the return.
   kFailoverTargetDead, // Supervised failover: the rebind/message-RPC target
                        // reads as dead, so recovery is skipped.
+  kPeerProcessDeath,   // Proc leg: the server process is SIGKILLed; the kill
+                       // phase (pre-accept / in-body / post-return) cycles
+                       // deterministically with the per-kind hit counter.
 };
 
-inline constexpr int kFaultKindCount = 10;
+inline constexpr int kFaultKindCount = 11;
 
 std::string_view FaultKindName(FaultKind kind);
 

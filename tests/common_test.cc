@@ -35,7 +35,7 @@ TEST(StatusTest, EqualityComparesCodesOnly) {
 }
 
 TEST(StatusTest, EveryCodeHasAName) {
-  for (int c = 0; c <= static_cast<int>(ErrorCode::kOverloadShed); ++c) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kPeerDied); ++c) {
     EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(c)), "kUnknown");
   }
 }
@@ -78,13 +78,14 @@ TEST(StatusTest, ErrorCodeNamesMatchTheirEnumerators) {
       {ErrorCode::kCircuitOpen, "kCircuitOpen"},
       {ErrorCode::kRetriesExhausted, "kRetriesExhausted"},
       {ErrorCode::kOverloadShed, "kOverloadShed"},
+      {ErrorCode::kPeerDied, "kPeerDied"},
   };
   for (const auto& [code, name] : kNames) {
     EXPECT_EQ(ErrorCodeName(code), name);
   }
   // Every enumerator is listed above exactly once.
   EXPECT_EQ(std::size(kNames),
-            static_cast<std::size_t>(ErrorCode::kOverloadShed) + 1);
+            static_cast<std::size_t>(ErrorCode::kPeerDied) + 1);
 }
 
 // Status::Retryable() is the single source of truth for which failures a
@@ -98,6 +99,7 @@ TEST(StatusTest, RetryableClassificationIsExhaustive) {
       ErrorCode::kEStackExhausted,   // E-stack budget read as spent.
       ErrorCode::kQueueFull,         // No idle server thread (msg RPC).
       ErrorCode::kRemoteUnreachable, // Transport loss before dispatch.
+      ErrorCode::kPeerDied,          // Server process died pre-accept.
   };
   for (ErrorCode code : kRetryable) {
     EXPECT_TRUE(IsRetryable(code)) << ErrorCodeName(code);
@@ -106,7 +108,7 @@ TEST(StatusTest, RetryableClassificationIsExhaustive) {
   // Everything else — including mid-execution failures (kCallFailed,
   // kCallAborted) and the supervisor's own verdicts — must never be
   // re-issued automatically.
-  for (int c = 0; c <= static_cast<int>(ErrorCode::kOverloadShed); ++c) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kPeerDied); ++c) {
     const auto code = static_cast<ErrorCode>(c);
     const bool listed =
         std::find(std::begin(kRetryable), std::end(kRetryable), code) !=

@@ -54,6 +54,7 @@ TEST(KernelEventsTest, EveryKindHasItsName) {
       {KernelEventKind::kCircuitStateChange, "CircuitStateChange"},
       {KernelEventKind::kAdmissionShed, "AdmissionShed"},
       {KernelEventKind::kAdmissionDegraded, "AdmissionDegraded"},
+      {KernelEventKind::kPeerDeath, "PeerDeath"},
   };
   for (const auto& [kind, name] : kNames) {
     EXPECT_EQ(KernelEventKindName(kind), name);

@@ -702,6 +702,62 @@ TEST(CasRetryRule, StrongAsASingleShotIsClean) {
   EXPECT_EQ(CountRule(result, "lrpc-cas-retry"), 0);
 }
 
+// --- lrpc-raw-process ---
+
+TEST(RawProcess, FlagsRawPrimitivesOutsideTheProcSeam) {
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "int Spawn() {\n"
+      "  int pid = fork();\n"
+      "  void* p = mmap(nullptr, 64, 0, 0, -1, 0);\n"
+      "  kill(pid, 9);\n"
+      "  (void)p;\n"
+      "  return pid;\n"
+      "}\n");
+  EXPECT_EQ(CountRule(result, "lrpc-raw-process"), 3);
+  EXPECT_TRUE(HasFinding(result, "lrpc-raw-process", "src/x.cc", 2));
+  EXPECT_TRUE(HasFinding(result, "lrpc-raw-process", "src/x.cc", 3));
+  EXPECT_TRUE(HasFinding(result, "lrpc-raw-process", "src/x.cc", 4));
+}
+
+TEST(RawProcess, ProcAndBenchDirectoriesAreTheAllowedSeam) {
+  const std::string body =
+      "int Spawn() {\n"
+      "  void* p = mmap(nullptr, 64, 0, 0, -1, 0);\n"
+      "  (void)p;\n"
+      "  return fork();\n"
+      "}\n";
+  EXPECT_EQ(CountRule(LintSnippet("src/proc/proc_host.cc", body),
+                      "lrpc-raw-process"),
+            0);
+  EXPECT_EQ(CountRule(LintSnippet("bench/bench_host_processes.cc", body),
+                      "lrpc-raw-process"),
+            0);
+}
+
+TEST(RawProcess, MemberAndQualifiedCallsAreSomeonesApiNotThePrimitive) {
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "void Reap(Host& host, Host* ptr) {\n"
+      "  host.kill(3);\n"
+      "  ptr->fork();\n"
+      "  Host::mmap(ptr);\n"
+      "  int forked = 0;  // The bare word without a call is fine.\n"
+      "  (void)forked;\n"
+      "}\n");
+  EXPECT_EQ(CountRule(result, "lrpc-raw-process"), 0);
+}
+
+TEST(RawProcess, NolintSuppressesAndCounts) {
+  const LintResult result = LintSnippet(
+      "src/x.cc",
+      "int Probe() {\n"
+      "  return fork();  // NOLINT(lrpc-raw-process)\n"
+      "}\n");
+  EXPECT_EQ(CountRule(result, "lrpc-raw-process"), 0);
+  EXPECT_EQ(result.suppressions_used, 1);
+}
+
 // --- The on-disk fixture tree, through the same loader the CLI uses ---
 
 TEST(FixtureTree, LoadsAndFindsEverySeededViolation) {
@@ -710,7 +766,7 @@ TEST(FixtureTree, LoadsAndFindsEverySeededViolation) {
   std::string error;
   const std::string root = std::string(LRPC_LINT_TESTDATA_DIR) + "/tree";
   ASSERT_TRUE(LoadSourceTree(root, &sources, &tests, &error)) << error;
-  ASSERT_GE(sources.size(), 11u);
+  ASSERT_GE(sources.size(), 13u);
   ASSERT_EQ(tests.size(), 1u);
   LintOptions options;
   ASSERT_TRUE(LoadMoRegistry(root, &options.mo_registry, &error)) << error;
@@ -759,6 +815,13 @@ TEST(FixtureTree, LoadsAndFindsEverySeededViolation) {
       HasFinding(result, "lrpc-cas-retry", "src/bad/cas_misuse.cc", 11));
   EXPECT_TRUE(
       HasFinding(result, "lrpc-cas-retry", "src/bad/cas_misuse.cc", 19));
+  // The raw fork and mmap outside the seam; the suppressed kill and the
+  // whole of src/proc/spawn.cc add nothing.
+  EXPECT_EQ(CountRule(result, "lrpc-raw-process"), 2);
+  EXPECT_TRUE(
+      HasFinding(result, "lrpc-raw-process", "src/bad/raw_process.cc", 10));
+  EXPECT_TRUE(
+      HasFinding(result, "lrpc-raw-process", "src/bad/raw_process.cc", 11));
   // clean.cc contributes suppressions, not findings.
   EXPECT_EQ(CountRule(result, "lrpc-fast-path") +
                 CountRule(result, "lrpc-cacheline") +
@@ -770,9 +833,10 @@ TEST(FixtureTree, LoadsAndFindsEverySeededViolation) {
                 CountRule(result, "lrpc-atomic-order") +
                 CountRule(result, "lrpc-mo-tag") +
                 CountRule(result, "lrpc-seqlock-recheck") +
-                CountRule(result, "lrpc-cas-retry"),
+                CountRule(result, "lrpc-cas-retry") +
+                CountRule(result, "lrpc-raw-process"),
             static_cast<int>(result.findings.size()));
-  EXPECT_EQ(result.suppressions_used, 4);
+  EXPECT_EQ(result.suppressions_used, 5);
 }
 
 TEST(FixtureTree, FormatFindingIsFileLineRuleMessage) {

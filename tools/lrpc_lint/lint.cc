@@ -388,6 +388,7 @@ class Linter {
     CheckMoTags(file, raw, cleaned);
     CheckSeqlockRecheck(file, raw, cleaned);
     CheckCasRetry(file, raw, cleaned);
+    CheckRawProcess(file, raw, cleaned);
     CollectEnums(file, cleaned);
     if (IsHeader(file.path)) {
       CheckHeaderGuard(file, raw, cleaned);
@@ -1006,6 +1007,61 @@ class Linter {
         (i >= 2 && text[i - 2] == '-' && text[i - 1] == '>');
     const std::size_t after = i + name.size();
     return member && after < text.size() && text[after] == '(';
+  }
+
+  // --- lrpc-raw-process ---
+
+  // The multi-process backend's audited seam (docs/multiprocess.md): only
+  // src/proc/ (the primitives) and bench/ (the measurement harnesses) may
+  // call the raw process/shared-memory syscalls. Everywhere else must go
+  // through ProcHost/ProcSegment so death detection, reaping and segment
+  // reclamation cannot be bypassed.
+  static bool PathAllowsRawProcess(const std::string& path) {
+    return path.rfind("src/proc/", 0) == 0 || path.rfind("bench/", 0) == 0;
+  }
+
+  void CheckRawProcess(const SourceFile& file,
+                       const std::vector<std::string>& raw,
+                       const std::vector<std::string>& cleaned) {
+    if (PathAllowsRawProcess(file.path)) {
+      return;
+    }
+    static const char* kPrimitives[] = {"fork", "mmap", "kill"};
+    for (std::size_t i = 0; i < cleaned.size(); ++i) {
+      const std::string& line = cleaned[i];
+      if (IsPreprocessorLine(line)) {
+        continue;
+      }
+      for (const char* token : kPrimitives) {
+        const std::string name(token);
+        std::size_t pos = FindWord(line, name);
+        bool flagged = false;
+        while (!flagged && pos != std::string::npos) {
+          const std::size_t start = pos;
+          // Member or qualified uses (host.kill(...), Host::fork(...)) are
+          // someone's API, not the raw primitive.
+          const bool member_or_qualified =
+              (start >= 1 && (line[start - 1] == '.' ||
+                              line[start - 1] == ':')) ||
+              (start >= 2 && line[start - 2] == '-' &&
+               line[start - 1] == '>');
+          std::size_t after = start + name.size();
+          while (after < line.size() && line[after] == ' ') {
+            ++after;
+          }
+          const bool is_call = after < line.size() && line[after] == '(';
+          if (is_call && !member_or_qualified) {
+            Report(file, raw, static_cast<int>(i) + 1, "lrpc-raw-process",
+                   "raw '" + name +
+                       "(' outside src/proc/ and bench/; route it through "
+                       "the src/proc primitives (ProcHost, ProcSegment) so "
+                       "supervision and reclamation stay intact");
+            flagged = true;
+          }
+          pos = FindWord(line, name, start + name.size());
+        }
+      }
+    }
   }
 
   // --- lrpc-enum-coverage, lrpc-fault-point ---

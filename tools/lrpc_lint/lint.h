@@ -36,6 +36,11 @@
 //   lrpc-cas-retry      compare_exchange_weak only inside retry loops;
 //                       compare_exchange_strong never inside an unbounded
 //                       retry loop (bounded scan loops are fine).
+//   lrpc-raw-process    The raw process/shared-memory primitives — fork(,
+//                       mmap(, kill( — only inside src/proc/ and bench/;
+//                       everything else goes through ProcHost/ProcSegment
+//                       (docs/multiprocess.md) so peer-death supervision
+//                       and segment reclamation cannot be bypassed.
 //
 // Any finding can be suppressed with `// NOLINT(lrpc-<rule>)` on the line it
 // anchors to (bare `// NOLINT` suppresses every rule on the line).

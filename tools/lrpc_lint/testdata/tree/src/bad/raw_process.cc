@@ -1,0 +1,19 @@
+// Seeded lrpc-raw-process violations: raw process primitives used
+// outside src/proc/ and bench/, bypassing the ProcHost seam.
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+namespace fixture {
+
+int SpawnRaw() {
+  const int pid = fork();
+  void* segment = mmap(nullptr, 4096, 0, 0, -1, 0);
+  (void)segment;
+  if (pid > 0) {
+    kill(pid, 9);  // NOLINT(lrpc-raw-process)
+  }
+  return pid;
+}
+
+}  // namespace fixture
