@@ -72,6 +72,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "kOverloadShed";
     case ErrorCode::kPeerDied:
       return "kPeerDied";
+    case ErrorCode::kAsyncQueueFull:
+      return "kAsyncQueueFull";
   }
   return "kUnknown";
 }

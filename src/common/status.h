@@ -62,6 +62,8 @@ enum class ErrorCode : std::uint8_t {
   kOverloadShed,          // Load shedding rejected the call under overload.
   // Process backend (docs/multiprocess.md).
   kPeerDied,              // Server process died before accepting the call.
+  // Async call path (docs/async.md).
+  kAsyncQueueFull,        // The ring has no free slot until a Reap.
 };
 
 // Human-readable name of an error code ("kOk", "kForgedBinding", ...).

@@ -61,8 +61,10 @@ std::string ServerParams(const CompiledProc& proc) {
   return out;
 }
 
-std::string ClientParams(const CompiledProc& proc) {
-  std::string out = "lrpc::Processor& cpu, lrpc::ThreadId thread";
+// The per-procedure parameter list shared by the synchronous stub and its
+// async twin (which differ only in their leading and trailing parameters).
+std::string ClientParamList(const CompiledProc& proc) {
+  std::string out;
   for (const CompiledParam& p : proc.params) {
     if (IsInOut(p)) {
       if (IsBytes(p)) {
@@ -94,8 +96,77 @@ std::string ClientParams(const CompiledProc& proc) {
       }
     }
   }
-  out += ", lrpc::CallStats* stats = nullptr";
   return out;
+}
+
+std::string ClientParams(const CompiledProc& proc) {
+  return "lrpc::Processor& cpu, lrpc::ThreadId thread" +
+         ClientParamList(proc) + ", lrpc::CallStats* stats = nullptr";
+}
+
+std::string AsyncParams(const CompiledProc& proc) {
+  return "lrpc::AsyncRing& ring, lrpc::Processor& cpu" +
+         ClientParamList(proc) + ", lrpc::AsyncCallback callback = nullptr";
+}
+
+// The CallArg/CallRet initializer lists of the general path, shared by the
+// synchronous stub body and the async twin's Submit.
+struct SpanInits {
+  std::string args_init;
+  std::string rets_init;
+  int n_args = 0;
+  int n_rets = 0;
+};
+
+SpanInits BuildSpanInits(const CompiledProc& proc) {
+  SpanInits spans;
+  for (const CompiledParam& p : proc.params) {
+    const std::string size_expr =
+        IsStruct(p) ? "sizeof(" + p.struct_name + ")"
+                    : std::to_string(p.fixed_size);
+    if (IsInOut(p)) {
+      if (!spans.args_init.empty()) {
+        spans.args_init += ", ";
+      }
+      if (!spans.rets_init.empty()) {
+        spans.rets_init += ", ";
+      }
+      spans.args_init += "lrpc::CallArg(" + p.name + ", " + size_expr + ")";
+      spans.rets_init += "lrpc::CallRet(" + p.name + ", " + size_expr + ")";
+      ++spans.n_args;
+      ++spans.n_rets;
+    } else if (IsIn(p)) {
+      if (!spans.args_init.empty()) {
+        spans.args_init += ", ";
+      }
+      if (IsBuffer(p)) {
+        spans.args_init += "lrpc::CallArg(" + p.name + ", " + p.name +
+                           "_len)";
+      } else if (IsBytes(p)) {
+        spans.args_init += "lrpc::CallArg(" + p.name + ", " + size_expr + ")";
+      } else if (IsStruct(p)) {
+        spans.args_init += "lrpc::CallArg(&" + p.name + ", " + size_expr +
+                           ")";
+      } else {
+        spans.args_init += "lrpc::CallArg::Of(" + p.name + ")";
+      }
+      ++spans.n_args;
+    } else {
+      if (!spans.rets_init.empty()) {
+        spans.rets_init += ", ";
+      }
+      if (IsBuffer(p)) {
+        spans.rets_init += "lrpc::CallRet(" + p.name + ", " + p.name +
+                           "_cap)";
+      } else if (IsBytes(p) || IsStruct(p)) {
+        spans.rets_init += "lrpc::CallRet(" + p.name + ", " + size_expr + ")";
+      } else {
+        spans.rets_init += "lrpc::CallRet::Of(" + p.name + ")";
+      }
+      ++spans.n_rets;
+    }
+  }
+  return spans;
 }
 
 std::string IdlTypeSpelling(const CompiledParam& p) {
@@ -405,62 +476,48 @@ void CodeGenerator::EmitClientClass(const CompiledInterface& iface,
                             const std::string& method_name) {
     *out += "  lrpc::Status " + method_name + "(" + ClientParams(proc) +
             ") {\n";
-    std::string args_init, rets_init;
-    int n_args = 0, n_rets = 0;
-    for (const CompiledParam& p : proc.params) {
-      const std::string size_expr =
-          IsStruct(p) ? "sizeof(" + p.struct_name + ")"
-                      : std::to_string(p.fixed_size);
-      if (IsInOut(p)) {
-        if (!args_init.empty()) {
-          args_init += ", ";
-        }
-        if (!rets_init.empty()) {
-          rets_init += ", ";
-        }
-        args_init += "lrpc::CallArg(" + p.name + ", " + size_expr + ")";
-        rets_init += "lrpc::CallRet(" + p.name + ", " + size_expr + ")";
-        ++n_args;
-        ++n_rets;
-      } else if (IsIn(p)) {
-        if (!args_init.empty()) {
-          args_init += ", ";
-        }
-        if (IsBuffer(p)) {
-          args_init += "lrpc::CallArg(" + p.name + ", " + p.name + "_len)";
-        } else if (IsBytes(p)) {
-          args_init += "lrpc::CallArg(" + p.name + ", " + size_expr + ")";
-        } else if (IsStruct(p)) {
-          args_init += "lrpc::CallArg(&" + p.name + ", " + size_expr + ")";
-        } else {
-          args_init += "lrpc::CallArg::Of(" + p.name + ")";
-        }
-        ++n_args;
-      } else {
-        if (!rets_init.empty()) {
-          rets_init += ", ";
-        }
-        if (IsBuffer(p)) {
-          rets_init += "lrpc::CallRet(" + p.name + ", " + p.name + "_cap)";
-        } else if (IsBytes(p) || IsStruct(p)) {
-          rets_init += "lrpc::CallRet(" + p.name + ", " + size_expr + ")";
-        } else {
-          rets_init += "lrpc::CallRet::Of(" + p.name + ")";
-        }
-        ++n_rets;
-      }
+    const SpanInits spans = BuildSpanInits(proc);
+    if (spans.n_args > 0) {
+      *out += "    const lrpc::CallArg args[] = {" + spans.args_init + "};\n";
     }
-    if (n_args > 0) {
-      *out += "    const lrpc::CallArg args[] = {" + args_init + "};\n";
-    }
-    if (n_rets > 0) {
-      *out += "    const lrpc::CallRet rets[] = {" + rets_init + "};\n";
+    if (spans.n_rets > 0) {
+      *out += "    const lrpc::CallRet rets[] = {" + spans.rets_init + "};\n";
     }
     *out += "    return runtime_->Call(cpu, thread, *binding_, " +
             std::to_string(pi) + ",\n        ";
-    *out += n_args > 0 ? "args, " : "{}, ";
-    *out += n_rets > 0 ? "rets, " : "{}, ";
+    *out += spans.n_args > 0 ? "args, " : "{}, ";
+    *out += spans.n_rets > 0 ? "rets, " : "{}, ";
     *out += "stats);\n";
+    *out += "  }\n\n";
+  };
+
+  // The async twin (docs/async.md): the same marshaling as the general
+  // path, submitted onto a caller-owned AsyncRing instead of trapping.
+  // Argument bytes are copied at submit; result destinations must outlive
+  // the reap. Always the A-stack path — the ring's batched kernel leg has
+  // no register-window mode.
+  auto emit_async = [out](const CompiledProc& proc, std::size_t pi) {
+    *out += "  // Async twin of " + proc.name +
+            ": submits onto `ring` (bound to this\n"
+            "  // import); completes when the ring is flushed and reaped.\n";
+    *out += "  lrpc::Result<lrpc::CallToken> " + proc.name + "Async(" +
+            AsyncParams(proc) + ") {\n";
+    *out += "    if (&ring.binding() != binding_) {\n"
+            "      return lrpc::Status(lrpc::ErrorCode::kInvalidArgument,\n"
+            "                          \"ring is bound to a different "
+            "import\");\n"
+            "    }\n";
+    const SpanInits spans = BuildSpanInits(proc);
+    if (spans.n_args > 0) {
+      *out += "    const lrpc::CallArg args[] = {" + spans.args_init + "};\n";
+    }
+    if (spans.n_rets > 0) {
+      *out += "    const lrpc::CallRet rets[] = {" + spans.rets_init + "};\n";
+    }
+    *out += "    return ring.Submit(cpu, " + std::to_string(pi) + ",\n        ";
+    *out += spans.n_args > 0 ? "args, " : "{}, ";
+    *out += spans.n_rets > 0 ? "rets, " : "{}, ";
+    *out += "std::move(callback));\n";
     *out += "  }\n\n";
   };
 
@@ -522,6 +579,7 @@ void CodeGenerator::EmitClientClass(const CompiledInterface& iface,
     } else {
       emit_general(proc, pi, proc.name);
     }
+    emit_async(proc, pi);
   }
 
   *out += " private:\n";
@@ -613,7 +671,8 @@ std::string CodeGenerator::GenerateHeader(
   const std::string guard = "LRPC_GEN_" + guard_token + "_H_";
   out += "#ifndef " + guard + "\n#define " + guard + "\n\n";
   out += "#include <cstddef>\n#include <cstdint>\n#include <cstring>\n"
-         "#include <vector>\n\n";
+         "#include <utility>\n#include <vector>\n\n";
+  out += "#include \"src/lrpc/async_call.h\"\n";
   out += "#include \"src/lrpc/runtime.h\"\n";
   out += "#include \"src/lrpc/server_frame.h\"\n\n";
   out += "namespace lrpcgen {\n\n";

@@ -81,6 +81,39 @@ void InvariantChecker::CheckLinkageStacks(std::string_view context) {
       }
     }
   }
+
+  // I5: async-pending reservations (claim-at-submit, docs/async.md) are
+  // claimed linkages that sit on no stack, held by exactly one thread.
+  for (std::size_t i = 0; i < kernel_.thread_count(); ++i) {
+    const Thread& t = kernel_.thread(static_cast<ThreadId>(i));
+    if (t.state() == ThreadState::kDead) {
+      continue;
+    }
+    for (const AStackRef& ref : t.async_pending()) {
+      if (!ref.valid() || ref.index >= ref.region->count()) {
+        Violate(context, "thread " + std::to_string(t.id()) +
+                             " has a dangling async reservation");
+        continue;
+      }
+      if (!ref.region->linkage(ref.index).in_use) {
+        Violate(context, "thread " + std::to_string(t.id()) +
+                             " async-reserved A-stack " +
+                             std::to_string(ref.index) +
+                             " whose linkage is not in_use");
+      }
+      auto [it, inserted] = seen.emplace(
+          std::make_pair(static_cast<const AStackRegion*>(ref.region),
+                         ref.index),
+          t.id());
+      if (!inserted) {
+        Violate(context, "A-stack " + std::to_string(ref.index) +
+                             " async-reserved by thread " +
+                             std::to_string(t.id()) +
+                             " while claimed by thread " +
+                             std::to_string(it->second));
+      }
+    }
+  }
 }
 
 void InvariantChecker::CheckEStackOwnership(std::string_view context) {

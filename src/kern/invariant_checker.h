@@ -14,6 +14,9 @@
 //       server under a claimed linkage has an E-stack there.
 //   I4  Revocation is final: a revoked Binding Object's stored nonce never
 //       validates again, and a perturbed nonce never validates at all.
+//   I5  Async reservation discipline (docs/async.md): every A-stack a
+//       thread's async-pending set holds is claimed (in_use), sits on no
+//       thread's linkage stack, and is reserved by exactly one thread.
 //
 // Layers above the kernel (e.g. the chaos testbed, which can see the
 // client-side A-stack free queues) register additional conservation checks
@@ -60,7 +63,7 @@ class InvariantChecker : public KernelEventListener {
  private:
   void Violate(std::string_view context, std::string what);
 
-  void CheckLinkageStacks(std::string_view context);   // I1 + I2.
+  void CheckLinkageStacks(std::string_view context);   // I1 + I2 + I5.
   void CheckEStackOwnership(std::string_view context); // I3.
   void CheckRevokedBindings(std::string_view context); // I4.
 

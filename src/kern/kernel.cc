@@ -49,6 +49,10 @@ std::string_view KernelEventKindName(KernelEventKind kind) {
       return "AdmissionDegraded";
     case KernelEventKind::kPeerDeath:
       return "PeerDeath";
+    case KernelEventKind::kAsyncSubmitted:
+      return "AsyncSubmitted";
+    case KernelEventKind::kAsyncCompleted:
+      return "AsyncCompleted";
   }
   return "Unknown";
 }

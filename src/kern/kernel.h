@@ -53,6 +53,9 @@ enum class KernelEventKind : std::uint8_t {
   kAdmissionDegraded,   // Overload routed a call to the message-RPC path.
   // Process-backend events (docs/multiprocess.md).
   kPeerDeath,           // A real server process died and was collected.
+  // Async call-path events (docs/async.md).
+  kAsyncSubmitted,      // A ring slot claimed its A-stack/linkage pair.
+  kAsyncCompleted,      // A ring call's completion was published.
 };
 
 std::string_view KernelEventKindName(KernelEventKind kind);

@@ -69,6 +69,24 @@ class Thread {
   const std::vector<AStackRef>& linkage_stack() const { return linkage_stack_; }
   std::vector<AStackRef>& linkage_stack() { return linkage_stack_; }
 
+  // --- Async in-flight linkages (kernel-only; docs/async.md). ---
+  // A-stack/linkage pairs an AsyncRing claimed for this thread but has not
+  // yet pushed: the submit leg reserves the pair (in_use, caller recorded)
+  // and registers it here, so the kernel and the invariant checker can see
+  // every in-flight call even though only the one currently executing sits
+  // on the linkage stack. The flush leg moves each entry from this set onto
+  // the stack (one at a time) for the duration of its server execution.
+  void RegisterAsyncPending(AStackRef ref) { async_pending_.push_back(ref); }
+  void UnregisterAsyncPending(const AStackRef& ref) {
+    for (auto it = async_pending_.begin(); it != async_pending_.end(); ++it) {
+      if (*it == ref) {
+        async_pending_.erase(it);
+        return;
+      }
+    }
+  }
+  const std::vector<AStackRef>& async_pending() const { return async_pending_; }
+
   // Simulated user stack pointer; repointed at the server's E-stack during
   // a call and restored from the linkage on return.
   std::uint64_t user_sp() const { return user_sp_; }
@@ -98,6 +116,7 @@ class Thread {
   ThreadState state_ = ThreadState::kReady;
   ThreadException pending_exception_ = ThreadException::kNone;
   std::vector<AStackRef> linkage_stack_;
+  std::vector<AStackRef> async_pending_;
   std::uint64_t user_sp_ = 0;
   bool captured_ = false;
   bool alerted_ = false;

@@ -1,11 +1,13 @@
 #include "src/lrpc/chaos_testbed.h"
 
 #include <algorithm>
+#include <array>
 #include <map>
 #include <memory>
 #include <utility>
 
 #include "src/common/rng.h"
+#include "src/lrpc/async_call.h"
 #include "src/lrpc/proc_transport.h"
 #include "src/lrpc/testbed.h"
 
@@ -252,6 +254,32 @@ ChaosResult RunChaosSchedule(const ChaosOptions& options) {
     result.trace += '\n';
   };
 
+  // After a kCallAborted outcome the captured thread died in the kernel;
+  // adopt the replacement AbandonCapturedCall parked in the client domain
+  // (highest thread id wins: the newest replacement).
+  auto adopt_replacement_thread = [&](int op, ClientCtx& client) {
+    Thread* old = kernel.FindThread(client.thread);
+    if (old != nullptr && old->state() != ThreadState::kDead) {
+      return;
+    }
+    ThreadId replacement = kNoThread;
+    for (std::size_t i = 0; i < kernel.thread_count(); ++i) {
+      Thread& cand = kernel.thread(static_cast<ThreadId>(i));
+      if (cand.state() != ThreadState::kDead &&
+          cand.home_domain() == client.domain) {
+        replacement = cand.id();
+      }
+    }
+    if (replacement == kNoThread) {
+      result.undocumented.push_back(
+          "op " + std::to_string(op) +
+          ": aborted call left the client without a thread");
+    } else {
+      client.thread = replacement;
+      kernel.thread(replacement).TakeException();
+    }
+  };
+
   for (int op = 0; op < options.operations; ++op) {
     // Refresh liveness: injected mid-call terminations kill servers without
     // going through the schedule's own terminate operation.
@@ -322,6 +350,116 @@ ChaosResult RunChaosSchedule(const ChaosOptions& options) {
     const auto binding_index = static_cast<std::size_t>(rng.NextBelow(
         static_cast<std::uint64_t>(client.bindings.size())));
     ClientBinding& binding = *client.bindings[binding_index];
+
+    if (options.async_depth > 0 && supervisor == nullptr) {
+      // Async burst (docs/async.md): pipeline a seeded batch of calls
+      // through an AsyncRing instead of issuing one synchronously, so the
+      // armed fault kinds also fire inside the batched submit/flush legs.
+      // The ring is per-burst: a poisoned ring (captured thread) dies with
+      // the burst and the replacement thread is adopted below.
+      struct BurstCall {
+        std::uint64_t which = 0;
+        std::int32_t a = 0;
+        std::int32_t b = 0;
+        std::int32_t sum = 0;
+        std::array<std::uint8_t, kBigSize> in = {};
+        std::array<std::uint8_t, kBigSize> out = {};
+        CallToken token = 0;
+        bool submitted = false;
+        ErrorCode code = ErrorCode::kOk;
+      };
+      const auto burst = static_cast<int>(1 + rng.NextBelow(
+          static_cast<std::uint64_t>(options.async_depth)));
+      std::vector<BurstCall> burst_calls(static_cast<std::size_t>(burst));
+      AsyncRing ring(runtime, binding, client.thread, options.async_depth);
+      auto submit_one = [&](BurstCall& bc) -> Result<CallToken> {
+        if (bc.which == 0) {
+          return ring.Submit(cpu, procs.null_proc, {}, {});
+        }
+        if (bc.which == 1) {
+          bc.a = static_cast<std::int32_t>(rng.NextInRange(-1000, 1000));
+          bc.b = static_cast<std::int32_t>(rng.NextInRange(-1000, 1000));
+          const CallArg args[] = {CallArg::Of(bc.a), CallArg::Of(bc.b)};
+          const CallRet rets[] = {CallRet::Of(&bc.sum)};
+          return ring.Submit(cpu, procs.add_proc, args, rets);
+        }
+        for (std::size_t i = 0; i < kBigSize; ++i) {
+          bc.in[i] = static_cast<std::uint8_t>(rng.NextBelow(256));
+        }
+        const CallArg args[] = {CallArg(bc.in.data(), kBigSize)};
+        const CallRet rets[] = {CallRet(bc.out.data(), kBigSize)};
+        return ring.Submit(cpu, procs.biginout_proc, args, rets);
+      };
+      for (BurstCall& bc : burst_calls) {
+        bc.which = rng.NextBelow(3);
+        ++result.calls_attempted;
+        const Result<CallToken> token = submit_one(bc);
+        if (token.ok()) {
+          bc.token = *token;
+          bc.submitted = true;
+        } else {
+          bc.code = token.status().code();
+        }
+      }
+      ring.Drain(cpu);
+      bool aborted = false;
+      std::string statuses;
+      for (BurstCall& bc : burst_calls) {
+        if (bc.submitted) {
+          const AsyncCompletion* done = ring.Find(bc.token);
+          if (done == nullptr) {
+            // Every drained submission must complete exactly once; a lost
+            // completion is a ring bug, not a documented fault outcome.
+            result.undocumented.push_back(
+                "op " + std::to_string(op) + ": async completion lost");
+            bc.code = ErrorCode::kCallFailed;
+          } else {
+            bc.code = done->status.code();
+          }
+          if (bc.code == ErrorCode::kOk) {
+            if (bc.which == 1 && bc.sum != bc.a + bc.b) {
+              result.undocumented.push_back(
+                  "op " + std::to_string(op) +
+                  ": async Add returned a wrong sum");
+            } else if (bc.which == 2) {
+              for (std::size_t i = 0; i < kBigSize; ++i) {
+                if (bc.out[i] != bc.in[kBigSize - 1 - i]) {
+                  result.undocumented.push_back(
+                      "op " + std::to_string(op) +
+                      ": async BigInOut echo corrupted");
+                  break;
+                }
+              }
+            }
+          }
+        }
+        if (bc.code == ErrorCode::kOk) {
+          ++result.calls_ok;
+        } else {
+          ++result.calls_failed;
+        }
+        if (!DocumentedCallStatus(bc.code, /*supervised=*/false)) {
+          result.undocumented.push_back(
+              "op " + std::to_string(op) +
+              ": async call returned undocumented " +
+              std::string(ErrorCodeName(bc.code)));
+        }
+        aborted |= bc.code == ErrorCode::kCallAborted;
+        statuses += ' ';
+        statuses += ErrorCodeName(bc.code);
+      }
+      ++result.async_bursts;
+      trace_line("op=" + std::to_string(op) + " async client=" +
+                 std::to_string(client.domain) + " binding=" +
+                 std::to_string(binding.object().id) + " burst=" +
+                 std::to_string(burst) + " status=[" + statuses.substr(1) +
+                 "]");
+      if (aborted) {
+        adopt_replacement_thread(op, client);
+      }
+      continue;
+    }
+
     const std::uint64_t which = rng.NextBelow(3);
     ++result.calls_attempted;
     int attempts = 1;
@@ -401,28 +539,7 @@ ChaosResult RunChaosSchedule(const ChaosOptions& options) {
                     : ""));
 
     if (status.code() == ErrorCode::kCallAborted) {
-      // The captured thread died in the kernel; adopt the replacement
-      // AbandonCapturedCall parked in the client domain (highest thread id
-      // wins: the newest replacement).
-      Thread* old = kernel.FindThread(client.thread);
-      if (old == nullptr || old->state() == ThreadState::kDead) {
-        ThreadId replacement = kNoThread;
-        for (std::size_t i = 0; i < kernel.thread_count(); ++i) {
-          Thread& cand = kernel.thread(static_cast<ThreadId>(i));
-          if (cand.state() != ThreadState::kDead &&
-              cand.home_domain() == client.domain) {
-            replacement = cand.id();
-          }
-        }
-        if (replacement == kNoThread) {
-          result.undocumented.push_back(
-              "op " + std::to_string(op) +
-              ": aborted call left the client without a thread");
-        } else {
-          client.thread = replacement;
-          kernel.thread(replacement).TakeException();
-        }
-      }
+      adopt_replacement_thread(op, client);
     }
   }
 

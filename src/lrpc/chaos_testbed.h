@@ -42,6 +42,14 @@ struct ChaosOptions {
   // Injection kinds to arm; empty means the default call-path set.
   std::vector<FaultKind> fault_kinds;
 
+  // Async pipelining (docs/async.md): when positive, every unsupervised
+  // call operation submits a seeded burst of 1..async_depth calls through
+  // an AsyncRing and drains it, instead of issuing one synchronous call —
+  // so every armed FaultKind also fires inside the batched submit/flush
+  // legs. Ignored when supervision is on (the supervisor wraps synchronous
+  // calls; SupervisedAsync is its own layer).
+  int async_depth = 0;
+
   // Supervision (docs/supervision.md): when on, every call is shepherded by
   // a SupervisedCall — deadline watchdog, seeded retry/backoff, per-binding
   // circuit breaker, rebind-or-failover on revocation/termination.
@@ -86,6 +94,7 @@ struct ChaosResult {
   int calls_failed = 0;
   int terminations = 0;
   int imports_attempted = 0;
+  int async_bursts = 0;  // Call ops routed through an AsyncRing batch.
 
   // Supervision counters (zero when ChaosOptions::supervision is off).
   int calls_recovered = 0;      // Succeeded only thanks to supervision.

@@ -26,6 +26,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 
 #include "src/common/ids.h"
 #include "src/common/status.h"
@@ -73,6 +74,43 @@ class ProcTransport {
                          bool inline_window, std::uint8_t* window,
                          std::size_t window_len, Status* handler_status,
                          KillPhase kill = KillPhase::kNone) = 0;
+
+  // One call of a batched domain transfer (docs/async.md): an AsyncRing's
+  // flush leg ships every pending window in a single doorbell ring.
+  struct BatchCall {
+    int procedure = -1;
+    bool inline_window = false;
+    std::uint8_t* window = nullptr;
+    std::size_t window_len = 0;
+    Status leg;             // Per-call transport-leg status (see Execute).
+    Status handler_status;  // The handler's own Status when `leg` is ok.
+  };
+
+  // Batched submission/return legs: ship `calls` to `server`'s process,
+  // amortizing the doorbell wake pair across the batch, and triage each
+  // call individually on peer death (never accepted => kPeerDied,
+  // retryable; accepted but not finished => kCallFailed; finished => the
+  // handler's real result). Per-call outcomes land in each entry's
+  // `leg`/`handler_status`; the return value reports only a transport-setup
+  // failure of the batch as a whole. `kill` arms at most one SIGKILL for
+  // the whole batch. The default implementation loops Execute, preserving
+  // exact semantics for transports that predate batching; ProcHost
+  // overrides it with the single-doorbell protocol (src/proc/proc_host.cc).
+  virtual Status ExecuteBatch(DomainId server, DomainId client,
+                              std::span<BatchCall> calls,
+                              KillPhase kill = KillPhase::kNone) {
+    for (BatchCall& call : calls) {
+      if (!Serves(server)) {
+        call.leg = Status(ErrorCode::kPeerDied, "server process already dead");
+        continue;
+      }
+      call.leg = Execute(server, client, call.procedure, call.inline_window,
+                         call.window, call.window_len, &call.handler_status,
+                         kill);
+      kill = KillPhase::kNone;  // At most one induced death per batch.
+    }
+    return Status::Ok();
+  }
 
   // Idempotent teardown hook: the runtime's TerminateDomain calls this so a
   // termination initiated from the simulated side also kills, reaps and

@@ -222,6 +222,10 @@ class LrpcRuntime {
 
  private:
   friend class ServerFrame;
+  // The async ring (src/lrpc/async_call.h) is the pipelined twin of
+  // CallLocal: its submit/flush legs reuse the marshal helpers and the
+  // backend routing below.
+  friend class AsyncRing;
 
   // Grows a binding's A-stack supply with a secondary region (Section 5.2).
   Status GrowAStacks(Processor& cpu, ClientBinding& binding, int group);

@@ -1,6 +1,8 @@
 #include "src/lrpc/supervised_call.h"
 
 #include <algorithm>
+#include <cstring>
+#include <utility>
 
 #include "src/kern/kernel.h"
 #include "src/lrpc/call_tracer.h"
@@ -8,23 +10,29 @@
 
 namespace lrpc {
 
+SimDuration SupervisedBackoff(const RetryPolicy& policy,
+                              std::size_t retry_index, Rng& rng) {
+  double base =
+      static_cast<double>(std::max<SimDuration>(policy.initial_backoff, 1));
+  const double cap =
+      static_cast<double>(std::max<SimDuration>(policy.max_backoff, 1));
+  for (std::size_t i = 0; i < retry_index && base < cap; ++i) {
+    base *= policy.multiplier;
+  }
+  base = std::min(base, cap);
+  // Jitter scales the pause by [1 - j/2, 1 + j/2); the draw order is fixed
+  // (one draw per retry), so the schedule replays exactly from the seed.
+  const double factor = 1.0 + policy.jitter * (rng.NextDouble() - 0.5);
+  const auto pause = static_cast<SimDuration>(base * factor);
+  return pause > 0 ? pause : 1;
+}
+
 SupervisedCall::SupervisedCall(LrpcRuntime& runtime, SupervisionPolicy policy,
                                std::uint64_t seed)
     : runtime_(runtime), policy_(policy), rng_(seed) {}
 
 SimDuration SupervisedCall::NextBackoff(std::size_t retry_index) {
-  const RetryPolicy& r = policy_.retry;
-  double base = static_cast<double>(std::max<SimDuration>(r.initial_backoff, 1));
-  const double cap = static_cast<double>(std::max<SimDuration>(r.max_backoff, 1));
-  for (std::size_t i = 0; i < retry_index && base < cap; ++i) {
-    base *= r.multiplier;
-  }
-  base = std::min(base, cap);
-  // Jitter scales the pause by [1 - j/2, 1 + j/2); the draw order is fixed
-  // (one draw per retry), so the schedule replays exactly from the seed.
-  const double factor = 1.0 + r.jitter * (rng_.NextDouble() - 0.5);
-  const auto pause = static_cast<SimDuration>(base * factor);
-  return pause > 0 ? pause : 1;
+  return SupervisedBackoff(policy_.retry, retry_index, rng_);
 }
 
 void SupervisedCall::AdoptReplacement(SupervisionOutcome& out) {
@@ -238,6 +246,277 @@ void SupervisedCall::Trace(Processor& cpu, const SupervisionOutcome& out,
   event.procedure = procedure;
   event.result = out.status.code();
   tracer->Record(event);
+}
+
+// --- SupervisedAsync: the same policies over a pipelined ring. ---
+
+SupervisedAsync::SupervisedAsync(LrpcRuntime& runtime, AsyncRing& ring,
+                                 SupervisionPolicy policy, std::uint64_t seed)
+    : runtime_(runtime), ring_(ring), policy_(policy), rng_(seed) {}
+
+SupervisedAsync::Pending* SupervisedAsync::FindPending(
+    CallToken current_token) {
+  for (Pending& pending : pending_) {
+    if (!pending.done && pending.current_token == current_token) {
+      return &pending;
+    }
+  }
+  return nullptr;
+}
+
+Result<CallToken> SupervisedAsync::Submit(Processor& cpu, int procedure,
+                                          std::span<const CallArg> args,
+                                          std::span<const CallRet> rets) {
+  Kernel& kernel = runtime_.kernel();
+  ++stats_.calls;
+  if (policy_.breaker_enabled) {
+    CircuitBreaker& breaker = ring_.binding().EnsureBreaker(policy_.breaker);
+    const CircuitState before = breaker.state();
+    const bool admitted = breaker.AllowCall(cpu.clock());
+    if (breaker.state() != before) {
+      kernel.NotifyEvent(KernelEventKind::kCircuitStateChange);
+    }
+    if (!admitted) {
+      ++stats_.breaker_rejections;
+      return Status(ErrorCode::kCircuitOpen, "circuit breaker is open");
+    }
+  }
+
+  Pending pending;
+  pending.outcome.procedure = procedure;
+  pending.retries_left = std::max(1, policy_.retry.max_attempts) - 1;
+
+  // Retain the argument bytes: the ring copies them into the A-stack now,
+  // but a retryable failure is re-marshalled from this copy at Drain time,
+  // long after the caller's originals may have died.
+  std::size_t total = 0;
+  for (const CallArg& arg : args) {
+    total += arg.len;
+  }
+  pending.arg_bytes.resize(total);
+  pending.args.reserve(args.size());
+  std::size_t at = 0;
+  for (const CallArg& arg : args) {
+    if (arg.len > 0 && arg.data != nullptr) {
+      std::memcpy(pending.arg_bytes.data() + at, arg.data, arg.len);
+    }
+    pending.args.emplace_back(pending.arg_bytes.data() + at, arg.len);
+    at += arg.len;
+  }
+  pending.rets.assign(rets.begin(), rets.end());
+
+  auto collect = [this](const AsyncCompletion& c) { reaped_.push_back(c); };
+  Result<CallToken> token =
+      ring_.Submit(cpu, procedure, std::span<const CallArg>(pending.args),
+                   std::span<const CallRet>(pending.rets), collect);
+  // Submission-time transients (A-stack exhaustion under the kFail policy)
+  // retry here, under the same budget and backoff schedule a flush-time
+  // transient would get.
+  while (!token.ok() && token.status().Retryable() &&
+         pending.retries_left > 0) {
+    --pending.retries_left;
+    const SimDuration pause = SupervisedBackoff(
+        policy_.retry, pending.outcome.backoffs.size(), rng_);
+    pending.outcome.backoffs.push_back(pause);
+    ++stats_.retries;
+    cpu.AdvanceTo(cpu.clock() + pause);
+    kernel.NotifyEvent(KernelEventKind::kSupervisorRetry);
+    ++pending.outcome.attempts;
+    token = ring_.Submit(cpu, procedure, std::span<const CallArg>(pending.args),
+                         std::span<const CallRet>(pending.rets), collect);
+  }
+  if (!token.ok()) {
+    Status status = token.status();
+    if (status.Retryable() && policy_.retry.max_attempts > 1) {
+      status = Status(ErrorCode::kRetriesExhausted,
+                      "transient failures outlasted the retry budget");
+    }
+    if (policy_.breaker_enabled) {
+      CircuitBreaker& breaker = ring_.binding().EnsureBreaker(policy_.breaker);
+      const CircuitState before = breaker.state();
+      breaker.OnFailure(cpu.clock());
+      if (breaker.state() != before) {
+        kernel.NotifyEvent(KernelEventKind::kCircuitStateChange);
+      }
+    }
+    return status;
+  }
+  ++pending.outcome.attempts;
+  pending.outcome.token = *token;
+  pending.current_token = *token;
+  pending_.push_back(std::move(pending));
+  return *token;
+}
+
+void SupervisedAsync::Finalize(Processor& cpu, Pending& pending,
+                               Status status) {
+  pending.outcome.status = status;
+  pending.done = true;
+  if (status.ok() && pending.outcome.attempts > 1) {
+    pending.outcome.recovered = true;
+    ++stats_.recovered_calls;
+  }
+  if (policy_.breaker_enabled) {
+    Kernel& kernel = runtime_.kernel();
+    CircuitBreaker& breaker = ring_.binding().EnsureBreaker(policy_.breaker);
+    const CircuitState before = breaker.state();
+    if (status.ok()) {
+      breaker.OnSuccess();
+    } else {
+      breaker.OnFailure(cpu.clock());
+    }
+    if (breaker.state() != before) {
+      kernel.NotifyEvent(KernelEventKind::kCircuitStateChange);
+    }
+  }
+}
+
+void SupervisedAsync::Resubmit(Processor& cpu, Pending& pending) {
+  Kernel& kernel = runtime_.kernel();
+  const SimDuration pause =
+      SupervisedBackoff(policy_.retry, pending.outcome.backoffs.size(), rng_);
+  pending.outcome.backoffs.push_back(pause);
+  ++stats_.retries;
+  cpu.AdvanceTo(cpu.clock() + pause);
+  kernel.NotifyEvent(KernelEventKind::kSupervisorRetry);
+  ++pending.outcome.attempts;
+  Result<CallToken> token = ring_.Submit(
+      cpu, pending.outcome.procedure, std::span<const CallArg>(pending.args),
+      std::span<const CallRet>(pending.rets),
+      [this](const AsyncCompletion& c) { reaped_.push_back(c); });
+  if (!token.ok()) {
+    // The ring itself refused (queue full, a dead ring that could not be
+    // revived): surface the refusal rather than spinning on it.
+    Finalize(cpu, pending, token.status());
+    return;
+  }
+  pending.current_token = *token;
+}
+
+bool SupervisedAsync::ReviveRing(bool* revived) {
+  Kernel& kernel = runtime_.kernel();
+  ThreadId replacement = kNoThread;
+  const bool fired = kernel.ConsumeWatchdogFire(ring_.thread(), &replacement);
+  if (replacement == kNoThread) {
+    // A plain captured-thread escape (no watchdog): the newest live thread
+    // homed in the client domain is the replacement AbandonCapturedCall
+    // parked there.
+    const DomainId client = ring_.binding().client();
+    for (std::size_t i = 0; i < kernel.thread_count(); ++i) {
+      Thread& cand = kernel.thread(static_cast<ThreadId>(i));
+      if (cand.state() != ThreadState::kDead && cand.home_domain() == client) {
+        replacement = cand.id();
+      }
+    }
+  }
+  if (replacement == kNoThread) {
+    *revived = false;
+    return fired;
+  }
+  kernel.thread(replacement).TakeException();
+  ring_.AdoptThread(replacement);
+  *revived = true;
+  return fired;
+}
+
+std::vector<AsyncSupervisionOutcome> SupervisedAsync::Drain(Processor& cpu) {
+  ring_.set_call_deadline(policy_.deadline);
+  while (true) {
+    bool any_in_flight = false;
+    for (const Pending& pending : pending_) {
+      if (!pending.done) {
+        any_in_flight = true;
+        break;
+      }
+    }
+    if (!any_in_flight) {
+      break;
+    }
+
+    reaped_.clear();
+    ring_.Flush(cpu);
+    bool fired = false;
+    bool revived = true;
+    if (ring_.dead()) {
+      fired = ReviveRing(&revived);
+    }
+    ring_.Reap();  // Runs the submission callbacks, filling reaped_.
+
+    // Completions publish in slot order, so when the flush abandoned the
+    // ring's thread, the first kCallAborted is the call that was executing
+    // (it may have run in the server: terminal, or kDeadlineExceeded when
+    // the watchdog did the abandoning) and every later one is collateral —
+    // abandoned before reaching the server, safe to re-issue.
+    bool first_abort = true;
+    for (const AsyncCompletion& c : reaped_) {
+      Pending* pending = FindPending(c.token);
+      if (pending == nullptr) {
+        continue;  // Not ours (an unsupervised user of the same ring).
+      }
+      Status status = c.status;
+      bool collateral = false;
+      if (status.code() == ErrorCode::kCallAborted) {
+        const bool captured = first_abort;
+        first_abort = false;
+        if (captured) {
+          if (fired) {
+            pending->outcome.deadline_expired = true;
+            pending->outcome.watchdog_abandoned = true;
+            ++stats_.deadline_expiries;
+            Finalize(cpu, *pending,
+                     Status(ErrorCode::kDeadlineExceeded,
+                            "watchdog abandoned the call"));
+          } else {
+            // The handler may have executed: never re-issued.
+            Finalize(cpu, *pending, status);
+          }
+          continue;
+        }
+        collateral = true;
+      } else if (status.code() == ErrorCode::kNoSuchThread) {
+        collateral = true;  // Died between submit and flush: never ran.
+      }
+      if (!collateral && !status.Retryable()) {
+        // Success, or a terminal error. Revocation lands here: there is no
+        // async rebind/failover (see the class comment), so kRevokedBinding
+        // and kDomainTerminated surface unchanged.
+        Finalize(cpu, *pending, status);
+        continue;
+      }
+      if (pending->retries_left <= 0) {
+        if (!collateral && policy_.retry.max_attempts > 1) {
+          status = Status(ErrorCode::kRetriesExhausted,
+                          "transient failures outlasted the retry budget");
+        }
+        Finalize(cpu, *pending, status);
+        continue;
+      }
+      --pending->retries_left;
+      Resubmit(cpu, *pending);
+    }
+
+    if (!revived) {
+      // The client domain has no live thread left: nothing pending can ever
+      // execute again.
+      for (Pending& pending : pending_) {
+        if (!pending.done) {
+          Finalize(cpu, pending,
+                   Status(ErrorCode::kNoSuchThread,
+                          "no replacement thread to adopt"));
+        }
+      }
+      break;
+    }
+  }
+
+  std::vector<AsyncSupervisionOutcome> outcomes;
+  outcomes.reserve(pending_.size());
+  for (Pending& pending : pending_) {
+    outcomes.push_back(std::move(pending.outcome));
+  }
+  pending_.clear();
+  reaped_.clear();
+  return outcomes;
 }
 
 }  // namespace lrpc

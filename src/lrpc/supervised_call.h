@@ -27,6 +27,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/lrpc/async_call.h"
 #include "src/lrpc/circuit_breaker.h"
 #include "src/lrpc/runtime.h"
 #include "src/sim/time.h"
@@ -93,6 +94,12 @@ struct SupervisionOutcome {
   std::vector<SimDuration> backoffs;
 };
 
+// The retry_index-th backoff of the supervised schedule: exponential,
+// capped, jittered from `rng` (exactly one draw per retry, so a schedule
+// replays from the seed). Shared by SupervisedCall and SupervisedAsync.
+SimDuration SupervisedBackoff(const RetryPolicy& policy,
+                              std::size_t retry_index, Rng& rng);
+
 class SupervisedCall {
  public:
   // `seed` drives backoff jitter (and nothing else).
@@ -149,6 +156,100 @@ class SupervisedCall {
   Rng rng_;
   FallbackTransport* fallback_ = nullptr;
   Stats stats_;
+};
+
+// What SupervisedAsync reports per supervised submission, in submission
+// order. `token` is the first ring token the submission got; resubmissions
+// get fresh tokens internally, the outcome keeps the original.
+struct AsyncSupervisionOutcome {
+  CallToken token = 0;
+  int procedure = -1;
+  Status status;
+  int attempts = 0;
+  bool deadline_expired = false;
+  bool watchdog_abandoned = false;
+  bool recovered = false;  // Succeeded, but only on a resubmission.
+  std::vector<SimDuration> backoffs;  // Pauses before each resubmission.
+};
+
+// SupervisedAsync: the supervision layer over an AsyncRing (docs/async.md).
+//
+// Submit gates the per-binding circuit breaker — an open circuit fails fast
+// with kCircuitOpen before any A-stack is claimed. Drain drives the ring to
+// quiescence: each flush runs under the policy deadline (the kernel call
+// watchdog abandons an over-deadline server execution; the supervisor maps
+// that abandonment to kDeadlineExceeded and adopts the replacement thread
+// into the ring), retryable completions are resubmitted under the same
+// seeded backoff schedule as SupervisedCall, and every final status folds
+// into the breaker.
+//
+// A watchdog abandonment poisons the whole in-flight batch, but only the
+// call that was executing overran: the collateral entries were abandoned
+// before they ever reached the server, so Drain resubmits them on the
+// replacement thread (under the same retry budget) instead of surfacing
+// their kCallAborted.
+//
+// Deliberately absent, unlike SupervisedCall: rebind and message-RPC
+// failover. A pipelined batch's argument windows live in the binding's own
+// A-stack regions, which die with the binding on revocation — there is
+// nothing left to re-issue from. Revocation is terminal per call; the
+// caller re-imports and builds a new ring.
+class SupervisedAsync {
+ public:
+  // The ring must outlive the supervisor; `seed` drives backoff jitter.
+  SupervisedAsync(LrpcRuntime& runtime, AsyncRing& ring,
+                  SupervisionPolicy policy, std::uint64_t seed);
+
+  AsyncRing& ring() { return ring_; }
+  const SupervisionPolicy& policy() const { return policy_; }
+
+  // The supervised submission leg: breaker gate, then AsyncRing::Submit.
+  // Argument bytes are retained internally so failed attempts can be
+  // re-issued at Drain time; every CallRet destination must stay alive
+  // until Drain returns its outcome.
+  Result<CallToken> Submit(Processor& cpu, int procedure,
+                           std::span<const CallArg> args,
+                           std::span<const CallRet> rets);
+
+  // Flushes, reaps and retries until every supervised submission has a
+  // final status; returns the outcomes in submission order and resets the
+  // supervisor for the next batch.
+  std::vector<AsyncSupervisionOutcome> Drain(Processor& cpu);
+
+  const SupervisedCall::Stats& stats() const { return stats_; }
+
+ private:
+  // One supervised submission: enough retained state to re-issue it.
+  struct Pending {
+    AsyncSupervisionOutcome outcome;
+    CallToken current_token = 0;  // Changes on every resubmission.
+    std::vector<std::uint8_t> arg_bytes;  // Owned copy of the input bytes.
+    std::vector<CallArg> args;            // Point into arg_bytes.
+    std::vector<CallRet> rets;
+    int retries_left = 0;
+    bool done = false;
+  };
+
+  Pending* FindPending(CallToken current_token);
+  // Final status: breaker fold, recovery accounting, done.
+  void Finalize(Processor& cpu, Pending& pending, Status status);
+  // Backoff pause + kSupervisorRetry + AsyncRing::Submit with a fresh
+  // token; finalizes the entry instead when the ring refuses terminally.
+  void Resubmit(Processor& cpu, Pending& pending);
+  // After a flush left the ring dead: consume a watchdog fire and adopt the
+  // replacement thread (the watchdog's, or the newest live thread in the
+  // client domain for a plain captured-thread escape). Returns whether the
+  // abandonment was the watchdog's doing.
+  bool ReviveRing(bool* revived);
+
+  LrpcRuntime& runtime_;
+  AsyncRing& ring_;
+  SupervisionPolicy policy_;
+  Rng rng_;
+  SupervisedCall::Stats stats_;
+  std::vector<Pending> pending_;
+  // Completions of the current reap, collected by the submission callbacks.
+  std::vector<AsyncCompletion> reaped_;
 };
 
 }  // namespace lrpc

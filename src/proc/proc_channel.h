@@ -42,6 +42,26 @@ inline constexpr std::uint32_t kProcDieNone = 0;
 inline constexpr std::uint32_t kProcDieInServerBody = 1;
 inline constexpr std::uint32_t kProcDieAfterReturn = 2;
 
+// Batched calls (docs/async.md): an AsyncRing's flush leg ships up to
+// kProcBatchMax calls behind ONE call_seq ring and ONE return_seq ring —
+// the doorbell wake pair is amortized across the batch. Each entry carries
+// its own window slice plus a per-entry `done` word, so a mid-batch death
+// can be triaged call by call (finished entries keep their real results).
+inline constexpr std::uint32_t kProcBatchMax = 16;  // == AsyncRing::kMaxDepth.
+inline constexpr std::size_t kProcBatchEntryBytes = 1024;
+
+struct ProcBatchEntry {
+  std::int32_t procedure = -1;
+  std::uint32_t inline_window = 0;  // 1: payload is the register window.
+  std::uint32_t payload_len = 0;
+  std::int32_t handler_code = 0;  // ErrorCode of the handler's own Status.
+  // The server's release store publishes this entry's result bytes; the
+  // client reads it (acquire) after a peer death to learn which entries
+  // finished before the corpse.
+  std::atomic<std::uint32_t> done{0};
+  std::uint8_t payload[kProcBatchEntryBytes] = {};
+};
+
 struct ProcChannel {
   std::atomic<std::uint32_t> call_seq{0};
   std::atomic<std::uint32_t> accept_seq{0};
@@ -60,11 +80,15 @@ struct ProcChannel {
   std::int32_t caller_thread = -1;
   std::uint32_t inline_window = 0;  // 1: payload is the register window.
   std::uint32_t payload_len = 0;
+  // >0: batch mode — serve `batch[0..batch_count)` and ignore the single-
+  // call fields above (except die_mode/client_domain/caller_thread).
+  std::uint32_t batch_count = 0;
 
   // --- Per-call result, written by the server before the return_seq store. ---
   std::int32_t handler_code = 0;  // ErrorCode of the handler's own Status.
 
   std::uint8_t payload[kProcPayloadBytes] = {};
+  ProcBatchEntry batch[kProcBatchMax];
 };
 
 // The doorbells must be plain lock-free words for the cross-process futexes

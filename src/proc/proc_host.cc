@@ -257,40 +257,41 @@ Status ProcHost::SpawnServer(DomainId server, const Interface* iface) {
     // pre-accept (kPeerDied) — the word the client's status split reads.
     ch->accept_seq.fetch_add(1, std::memory_order_acq_rel);
     const std::uint32_t die = ch->die_mode;
+    const std::uint32_t batch = ch->batch_count;
+
+    if (batch > 0) {
+      // Batched mode (docs/async.md): serve every entry, then ring the
+      // return doorbell ONCE — the wake pair the batch amortizes. A
+      // mid-body death lands halfway through, so the client's per-entry
+      // triage sees finished and unfinished calls in the same corpse.
+      for (std::uint32_t i = 0; i < batch && i < kProcBatchMax; ++i) {
+        if (die == kProcDieInServerBody && i == batch / 2) {
+          kill(getpid(), SIGKILL);
+        }
+        ProcBatchEntry& entry = ch->batch[i];
+        const Status handler_status = ChildRunHandler(
+            self, cpu, entry.procedure, entry.inline_window != 0,
+            entry.payload, entry.payload_len);
+        entry.handler_code = static_cast<std::int32_t>(handler_status.code());
+        entry.done.store(1, std::memory_order_release);
+      }
+      handled = seen;
+      ch->return_seq.fetch_add(1, std::memory_order_release);
+      FutexDoorbell::Wake(&ch->return_seq, &ch->return_sleepers);
+      if (die == kProcDieAfterReturn) {
+        kill(getpid(), SIGKILL);
+      }
+      continue;
+    }
+
     if (die == kProcDieInServerBody) {
       // Chaos schedule: die "inside the handler", after accepting.
       kill(getpid(), SIGKILL);
     }
 
-    const int procedure = ch->procedure;
-    Status handler_status(ErrorCode::kNoSuchProcedure);
-    if (procedure >= 0 && procedure < self.iface->procedure_count()) {
-      const ProcedureDescriptor& pd = self.iface->pd(procedure);
-      const ProcedureDef& def = *pd.def;
-      const auto client = static_cast<DomainId>(ch->client_domain);
-      const auto caller = static_cast<ThreadId>(ch->caller_thread);
-      // A scratch A-stack shaped like the real one; the register-window
-      // mode serves arguments straight from the payload instead.
-      const std::size_t scratch_size =
-          pd.astack_size > 0 ? pd.astack_size : kLinkageRegsSize;
-      AStackRegion scratch(client, self.domain, scratch_size, 1, false);
-      const AStackRef ref{&scratch, 0};
-      ServerFrame frame(nullptr, cpu, def, ref, self.domain, client, caller,
-                        nullptr);
-      const std::size_t len = ch->payload_len;
-      if (ch->inline_window != 0) {
-        frame.AttachRegisterWindow(ch->payload);
-      } else if (len > 0) {
-        std::memcpy(scratch.segment().DataUnchecked(), ch->payload, len);
-      }
-      handler_status = frame.PrepareArguments();
-      if (handler_status.ok() && def.handler) {
-        handler_status = def.handler(frame);
-      }
-      if (ch->inline_window == 0 && len > 0) {
-        std::memcpy(ch->payload, scratch.segment().DataUnchecked(), len);
-      }
-    }
+    const Status handler_status = ChildRunHandler(
+        self, cpu, ch->procedure, ch->inline_window != 0, ch->payload,
+        ch->payload_len);
 
     ch->handler_code = static_cast<std::int32_t>(handler_status.code());
     handled = seen;
@@ -302,6 +303,39 @@ Status ProcHost::SpawnServer(DomainId server, const Interface* iface) {
       kill(getpid(), SIGKILL);
     }
   }
+}
+
+Status ProcHost::ChildRunHandler(Endpoint& self, Processor& cpu,
+                                 int procedure, bool inline_window,
+                                 std::uint8_t* payload, std::size_t len) {
+  if (procedure < 0 || procedure >= self.iface->procedure_count()) {
+    return Status(ErrorCode::kNoSuchProcedure);
+  }
+  const ProcedureDescriptor& pd = self.iface->pd(procedure);
+  const ProcedureDef& def = *pd.def;
+  const auto client = static_cast<DomainId>(self.channel->client_domain);
+  const auto caller = static_cast<ThreadId>(self.channel->caller_thread);
+  // A scratch A-stack shaped like the real one; the register-window mode
+  // serves arguments straight from the payload instead.
+  const std::size_t scratch_size =
+      pd.astack_size > 0 ? pd.astack_size : kLinkageRegsSize;
+  AStackRegion scratch(client, self.domain, scratch_size, 1, false);
+  const AStackRef ref{&scratch, 0};
+  ServerFrame frame(nullptr, cpu, def, ref, self.domain, client, caller,
+                    nullptr);
+  if (inline_window) {
+    frame.AttachRegisterWindow(payload);
+  } else if (len > 0) {
+    std::memcpy(scratch.segment().DataUnchecked(), payload, len);
+  }
+  Status handler_status = frame.PrepareArguments();
+  if (handler_status.ok() && def.handler) {
+    handler_status = def.handler(frame);
+  }
+  if (!inline_window && len > 0) {
+    std::memcpy(payload, scratch.segment().DataUnchecked(), len);
+  }
+  return handler_status;
 }
 
 Status ProcHost::Execute(DomainId server, DomainId client, int procedure,
@@ -341,6 +375,7 @@ Status ProcHost::Execute(DomainId server, DomainId client, int procedure,
   ch->caller_thread = static_cast<std::int32_t>(kNoThread);
   ch->inline_window = inline_window ? 1u : 0u;
   ch->payload_len = static_cast<std::uint32_t>(window_len);
+  ch->batch_count = 0;  // Single-call mode.
   if (window_len > 0) {
     std::memcpy(ch->payload, window, window_len);
   }
@@ -402,6 +437,143 @@ Status ProcHost::Execute(DomainId server, DomainId client, int procedure,
                       "wedged server killed before accepting the call");
       }
       return Status(ErrorCode::kCallFailed, "wedged server killed mid-call");
+    }
+  }
+}
+
+Status ProcHost::ExecuteBatch(DomainId server, DomainId client,
+                              std::span<BatchCall> calls,
+                              KillPhase kill_phase) {
+  if (calls.empty()) {
+    return Status::Ok();
+  }
+  // Batches the channel's batch area cannot carry take the compatibility
+  // loop — exact semantics first, doorbell amortization second.
+  bool fits = calls.size() <= kProcBatchMax;
+  for (const BatchCall& call : calls) {
+    fits = fits && call.window_len <= kProcBatchEntryBytes;
+  }
+  if (!fits) {
+    return ProcTransport::ExecuteBatch(server, client, calls, kill_phase);
+  }
+
+  Endpoint* ep = Find(server);
+  if (ep == nullptr) {
+    return Status(ErrorCode::kNoSuchDomain, "no process endpoint");
+  }
+  auto fail_all = [&calls](ErrorCode code, const char* detail) {
+    for (BatchCall& call : calls) {
+      call.leg = Status(code, detail);
+    }
+  };
+  if (ep->dead_pending || !ep->live) {
+    MarkDead(*ep);
+    fail_all(ErrorCode::kPeerDied, "server process already dead");
+    return Status::Ok();
+  }
+  if (kill_phase == KillPhase::kBeforeAccept) {
+    kill(ep->pid, SIGKILL);
+    MarkDead(*ep);
+    fail_all(ErrorCode::kPeerDied,
+             "server process died before accepting the call");
+    return Status::Ok();
+  }
+
+  ProcChannel* ch = ep->channel;
+  ch->die_mode = kill_phase == KillPhase::kInServerBody ? kProcDieInServerBody
+                 : kill_phase == KillPhase::kAfterReturn ? kProcDieAfterReturn
+                                                         : kProcDieNone;
+  ch->client_domain = static_cast<std::int32_t>(client);
+  ch->caller_thread = static_cast<std::int32_t>(kNoThread);
+  ch->batch_count = static_cast<std::uint32_t>(calls.size());
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    ProcBatchEntry& entry = ch->batch[i];
+    entry.procedure = calls[i].procedure;
+    entry.inline_window = calls[i].inline_window ? 1u : 0u;
+    entry.payload_len = static_cast<std::uint32_t>(calls[i].window_len);
+    entry.handler_code = 0;
+    // Ordered by the call_seq release store below, like the plain header
+    // fields.  LRPC_MO(pre-publish-reset)
+    entry.done.store(0, std::memory_order_relaxed);
+    if (calls[i].window_len > 0) {
+      std::memcpy(entry.payload, calls[i].window, calls[i].window_len);
+    }
+  }
+  const std::uint32_t accepted_before =
+      ch->accept_seq.load(std::memory_order_acquire);
+  const std::uint32_t returned_before =
+      ch->return_seq.load(std::memory_order_acquire);
+  // ONE doorbell ring for the whole batch — the amortization this protocol
+  // exists for; the single return ring below is its pair.
+  ch->call_seq.fetch_add(1, std::memory_order_release);
+  FutexDoorbell::Wake(&ch->call_seq, &ch->call_sleepers);
+  ++transfers_;
+
+  // Per-entry triage after a peer death: never accepted => every call is
+  // retryable; accepted => finished entries (done word published) keep
+  // their real results, the rest may have run their handler => kCallFailed.
+  auto triage_death = [&](const char* mid_detail) {
+    const std::uint32_t accepted =
+        ch->accept_seq.load(std::memory_order_acquire);
+    if (accepted == accepted_before) {
+      fail_all(ErrorCode::kPeerDied,
+               "server process died before accepting the call");
+      return;
+    }
+    for (std::size_t i = 0; i < calls.size(); ++i) {
+      ProcBatchEntry& entry = ch->batch[i];
+      if (entry.done.load(std::memory_order_acquire) != 0) {
+        if (calls[i].window_len > 0) {
+          std::memcpy(calls[i].window, entry.payload, calls[i].window_len);
+        }
+        calls[i].leg = Status::Ok();
+        calls[i].handler_status =
+            Status(static_cast<ErrorCode>(entry.handler_code));
+      } else {
+        calls[i].leg = Status(ErrorCode::kCallFailed, mid_detail);
+      }
+    }
+  };
+
+  int waited_ms = 0;
+  for (;;) {
+    const std::uint32_t returned =
+        FutexDoorbell::WaitWhile(&ch->return_seq, &ch->return_sleepers,
+                                 returned_before, options_.wait_slice_ms);
+    if (returned != returned_before) {
+      // The server rang the return doorbell once for the whole batch; its
+      // release store published every entry's result bytes.
+      for (std::size_t i = 0; i < calls.size(); ++i) {
+        ProcBatchEntry& entry = ch->batch[i];
+        if (calls[i].window_len > 0) {
+          std::memcpy(calls[i].window, entry.payload, calls[i].window_len);
+        }
+        calls[i].leg = Status::Ok();
+        calls[i].handler_status =
+            Status(static_cast<ErrorCode>(entry.handler_code));
+      }
+      if (kill_phase == KillPhase::kAfterReturn) {
+        // Synchronous post-return death, reaped now (see Execute).
+        MarkDead(*ep);
+      }
+      return Status::Ok();
+    }
+
+    int wait_status = 0;
+    const pid_t r = waitpid(ep->pid, &wait_status, WNOHANG);
+    if (r != 0) {
+      ep->reaped = r == ep->pid;
+      MarkDead(*ep);
+      triage_death("server process died mid-call");
+      return Status::Ok();
+    }
+
+    waited_ms += options_.wait_slice_ms;
+    if (waited_ms >= options_.call_deadline_ms) {
+      kill(ep->pid, SIGKILL);
+      MarkDead(*ep);
+      triage_death("wedged server killed mid-call");
+      return Status::Ok();
     }
   }
 }

@@ -64,6 +64,14 @@ class ProcHost : public ProcTransport {
                  bool inline_window, std::uint8_t* window,
                  std::size_t window_len, Status* handler_status,
                  KillPhase kill) override;
+  // The single-doorbell batch protocol (docs/async.md): every call crosses
+  // the channel's batch area behind ONE call doorbell and ONE return
+  // doorbell; a peer death is triaged per entry via the `done` words.
+  // Batches the area cannot carry (oversized windows, overlong batches)
+  // fall back to the compatibility loop.
+  Status ExecuteBatch(DomainId server, DomainId client,
+                      std::span<BatchCall> calls,
+                      KillPhase kill) override;
   void OnDomainTerminated(DomainId domain) override;
 
   // --- Robustness surface (supervisor-driven, out-of-call). ---
@@ -104,6 +112,11 @@ class ProcHost : public ProcTransport {
 
   // Serve loop of the forked child; never returns.
   [[noreturn]] void ChildServe(Endpoint& self);
+  // One handler execution in the child, against `payload` as the argument
+  // window; shared by the single-call and batched serve paths.
+  Status ChildRunHandler(Endpoint& self, Processor& cpu, int procedure,
+                         bool inline_window, std::uint8_t* payload,
+                         std::size_t len);
 
   // Reaps (if needed) and marks an endpoint's corpse; idempotent.
   void MarkDead(Endpoint& ep);

@@ -766,19 +766,22 @@ TEST(FixtureTree, LoadsAndFindsEverySeededViolation) {
   std::string error;
   const std::string root = std::string(LRPC_LINT_TESTDATA_DIR) + "/tree";
   ASSERT_TRUE(LoadSourceTree(root, &sources, &tests, &error)) << error;
-  ASSERT_GE(sources.size(), 13u);
+  ASSERT_GE(sources.size(), 14u);
   ASSERT_EQ(tests.size(), 1u);
   LintOptions options;
   ASSERT_TRUE(LoadMoRegistry(root, &options.mo_registry, &error)) << error;
 
   const LintResult result = RunLint(sources, tests, options);
-  // The seeded fast-path new, log call and lock guard, plus the seeded
-  // mutex acquisition; the CAS loop in fastpath_atomic.cc adds nothing.
-  EXPECT_EQ(CountRule(result, "lrpc-fast-path"), 4);
+  // The seeded fast-path new, log call and lock guard, the seeded mutex
+  // acquisition, and the async submission leg's vector growth; the CAS
+  // loop in fastpath_atomic.cc adds nothing.
+  EXPECT_EQ(CountRule(result, "lrpc-fast-path"), 5);
   EXPECT_TRUE(
       HasFinding(result, "lrpc-fast-path", "src/bad/fastpath_new.cc", 12));
   EXPECT_TRUE(
       HasFinding(result, "lrpc-fast-path", "src/bad/fastpath_mutex.cc", 15));
+  EXPECT_TRUE(
+      HasFinding(result, "lrpc-fast-path", "src/bad/fastpath_async.cc", 14));
   // The unaligned function-static and atomic declaration; the aligned,
   // const and allowed ones in the same fixture stay clean.
   EXPECT_EQ(CountRule(result, "lrpc-cacheline"), 2);

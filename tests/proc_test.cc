@@ -16,6 +16,7 @@
 #include <string>
 
 #include "src/common/rng.h"
+#include "src/lrpc/async_call.h"
 #include "src/lrpc/chaos_testbed.h"
 #include "src/lrpc/supervised_call.h"
 #include "src/proc/proc_host.h"
@@ -311,6 +312,124 @@ TEST(ProcChaosTest, SupervisedScheduleRecoversAcrossRealProcessDeath) {
                                           ? ""
                                           : result.violations.front())
                                    : result.undocumented.front());
+}
+
+// --- Async batches: one doorbell pair per flush (docs/async.md). ---
+
+TEST(ProcAsyncTest, BatchedFlushAmortizesTheDoorbellAcrossTheBatch) {
+  SKIP_WITHOUT_FORK();
+  ProcWorld world;
+  ASSERT_TRUE(world.ok()) << world.spawn_status().detail();
+
+  AsyncRing ring(world.runtime(), world.binding(), world.client_thread(),
+                 /*depth=*/8);
+  std::int32_t sums[4] = {};
+  std::uint8_t in[kBigSize];
+  std::uint8_t out[kBigSize] = {};
+  for (std::size_t i = 0; i < kBigSize; ++i) {
+    in[i] = static_cast<std::uint8_t>(i * 5 + 1);
+  }
+  std::int32_t lhs[4];
+  std::int32_t rhs[4];
+  for (int i = 0; i < 4; ++i) {
+    lhs[i] = 100 * i;
+    rhs[i] = i;
+    const CallArg args[] = {CallArg::Of(lhs[i]), CallArg::Of(rhs[i])};
+    const CallRet rets[] = {CallRet::Of(&sums[i])};
+    ASSERT_TRUE(ring.Submit(world.cpu(), world.add_proc(), args, rets).ok());
+  }
+  {
+    const CallArg args[] = {CallArg(in, kBigSize)};
+    const CallRet rets[] = {CallRet(out, kBigSize)};
+    ASSERT_TRUE(
+        ring.Submit(world.cpu(), world.biginout_proc(), args, rets).ok());
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ring.Submit(world.cpu(), world.null_proc(), {}, {}).ok());
+  }
+  ring.Drain(world.cpu());
+
+  ASSERT_EQ(ring.results().size(), 8u);
+  for (const AsyncCompletion& done : ring.results()) {
+    EXPECT_TRUE(done.status.ok()) << ErrorCodeName(done.status.code());
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sums[i], 100 * i + i);
+  }
+  for (std::size_t i = 0; i < kBigSize; ++i) {
+    ASSERT_EQ(out[i], in[kBigSize - 1 - i]) << "at " << i;
+  }
+  // Every handler ran in the server process, and the whole batch crossed
+  // the channel behind ONE doorbell pair: one transfer, not eight.
+  EXPECT_EQ(world.counters().calls.load(std::memory_order_acquire), 8u);
+  EXPECT_EQ(world.host().transfers(), 1u);
+}
+
+TEST(ProcAsyncTest, MidBatchDeathIsTriagedPerEntry) {
+  SKIP_WITHOUT_FORK();
+  ProcWorld world;
+  ASSERT_TRUE(world.ok()) << world.spawn_status().detail();
+
+  // Drive the transport directly: four Nulls with a SIGKILL armed inside
+  // the server body — the child dies halfway (before entry batch/2 == 2),
+  // so the done words split the batch into finished and unfinished halves.
+  ProcTransport::BatchCall calls[4];
+  for (ProcTransport::BatchCall& call : calls) {
+    call.procedure = world.null_proc();
+  }
+  ASSERT_TRUE(world.host()
+                  .ExecuteBatch(world.server_domain(), world.client_domain(),
+                                std::span<ProcTransport::BatchCall>(calls),
+                                ProcTransport::KillPhase::kInServerBody)
+                  .ok());
+  EXPECT_TRUE(calls[0].leg.ok());
+  EXPECT_TRUE(calls[0].handler_status.ok());
+  EXPECT_TRUE(calls[1].leg.ok());
+  EXPECT_EQ(calls[2].leg.code(), ErrorCode::kCallFailed);
+  EXPECT_EQ(calls[3].leg.code(), ErrorCode::kCallFailed);
+  // The corpse was reaped synchronously; collect it so teardown is clean.
+  EXPECT_EQ(world.host().CollectDead(), 1);
+}
+
+TEST(ProcAsyncTest, PreAcceptBatchDeathIsRetryableForEveryEntry) {
+  SKIP_WITHOUT_FORK();
+  ProcWorld world;
+  ASSERT_TRUE(world.ok()) << world.spawn_status().detail();
+
+  ProcTransport::BatchCall calls[3];
+  for (ProcTransport::BatchCall& call : calls) {
+    call.procedure = world.null_proc();
+  }
+  ASSERT_TRUE(world.host()
+                  .ExecuteBatch(world.server_domain(), world.client_domain(),
+                                std::span<ProcTransport::BatchCall>(calls),
+                                ProcTransport::KillPhase::kBeforeAccept)
+                  .ok());
+  for (const ProcTransport::BatchCall& call : calls) {
+    EXPECT_EQ(call.leg.code(), ErrorCode::kPeerDied);
+    EXPECT_TRUE(IsRetryable(call.leg.code()));
+  }
+  EXPECT_EQ(world.counters().calls.load(std::memory_order_acquire), 0u);
+  EXPECT_EQ(world.host().CollectDead(), 1);
+}
+
+TEST(ProcChaosTest, AsyncBurstSchedulesSurviveRealProcessDeath) {
+  SKIP_WITHOUT_FORK();
+  // The full combination: chaos schedules drive AsyncRing bursts against
+  // real forked servers with kill phases armed — batched doorbells, per-
+  // entry death triage and the collector, all under the invariant checker.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    ChaosOptions options = ProcChaosOptions(seed * 31);
+    options.async_depth = 4;
+    ChaosResult result = RunChaosSchedule(options);
+    EXPECT_TRUE(result.ok()) << "seed " << seed << ":\n"
+                             << (result.undocumented.empty()
+                                     ? (result.violations.empty()
+                                            ? ""
+                                            : result.violations.front())
+                                     : result.undocumented.front());
+    EXPECT_GT(result.async_bursts, 0) << "seed " << seed;
+  }
 }
 
 TEST(ProcChaosTest, DeterministicReplayHoldsOnTheProcBackend) {

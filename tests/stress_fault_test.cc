@@ -104,6 +104,75 @@ TEST(ChaosStress, QuietSchedulesStayFaultFreeAndAllCallsSucceed) {
   EXPECT_GT(result.calls_ok, 0);
 }
 
+// --- Async pipelining (docs/async.md): the same chaos, now batched. ---
+
+TEST(ChaosStress, AsyncBurstSchedulesHoldEveryInvariant) {
+  // Every call operation pipelines a seeded burst through an AsyncRing with
+  // the full default fault set armed, so every injection point fires inside
+  // the batched submit/flush legs too — and the invariant checker (including
+  // the async-pending audit, I5) must stay silent throughout.
+  std::set<int> kinds_fired;
+  std::uint64_t total_faults = 0;
+  int total_calls = 0;
+  int total_ok = 0;
+  int total_bursts = 0;
+  for (int seed = 1; seed <= 300; ++seed) {
+    ChaosOptions options;
+    options.seed = static_cast<std::uint64_t>(seed) * 6700417;
+    options.operations = 30;
+    options.async_depth = 8;
+    const ChaosResult result = RunChaosSchedule(options);
+    ASSERT_TRUE(result.ok()) << "seed " << seed << "\n" << Describe(result);
+    ASSERT_EQ(result.violation_count, 0u) << "seed " << seed;
+    total_faults += result.faults_fired;
+    total_calls += result.calls_attempted;
+    total_ok += result.calls_ok;
+    total_bursts += result.async_bursts;
+    for (int k = 0; k < kFaultKindCount; ++k) {
+      if (result.fired_by_kind[static_cast<std::size_t>(k)] > 0) {
+        kinds_fired.insert(k);
+      }
+    }
+  }
+  EXPECT_GT(total_bursts, 300);
+  // Bursts really pipeline: several calls ride each ring on average.
+  EXPECT_GT(total_calls, total_bursts * 2);
+  EXPECT_GT(total_faults, 300u);
+  // A burst on a revoked binding fails every pipelined call at once, so the
+  // success share sits below the sync sweep's — but a healthy share remain.
+  EXPECT_GT(total_ok, total_calls / 8);
+  EXPECT_GE(kinds_fired.size(), 7u)
+      << "only " << kinds_fired.size() << " distinct fault kinds fired";
+}
+
+TEST(ChaosStress, AsyncScheduleReplaysItsTrace) {
+  ChaosOptions options;
+  options.seed = 42;
+  options.operations = 60;
+  options.async_depth = 8;
+  const ChaosResult first = RunChaosSchedule(options);
+  const ChaosResult second = RunChaosSchedule(options);
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.calls_ok, second.calls_ok);
+  EXPECT_EQ(first.faults_fired, second.faults_fired);
+}
+
+TEST(ChaosStress, QuietAsyncSchedulesCompleteEveryCall) {
+  // Injection off, no terminations, and bursts capped below the default
+  // five-A-stack group allocation: every pipelined call must succeed — the
+  // async path itself introduces no failures.
+  const ChaosResult result = RunChaosSchedule({.seed = 3,
+                                               .operations = 120,
+                                               .fault_injection = false,
+                                               .allow_termination = false,
+                                               .async_depth = 4});
+  ASSERT_TRUE(result.ok()) << Describe(result);
+  EXPECT_EQ(result.faults_fired, 0u);
+  EXPECT_EQ(result.calls_failed, 0);
+  EXPECT_GT(result.calls_ok, 0);
+  EXPECT_GT(result.async_bursts, 0);
+}
+
 // --- Supervision (docs/supervision.md): the same chaos, now shepherded. ---
 
 TEST(ChaosStress, SupervisedRevocationSchedulesCompleteEveryCall) {

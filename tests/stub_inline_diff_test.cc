@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "examples/generated/geometry_stubs.h"
+#include "src/lrpc/async_call.h"
 #include "src/lrpc/runtime.h"
 
 namespace lrpc {
@@ -209,6 +210,50 @@ TEST_F(StubInlineDiffTest, RandomizedSweepNeverDiverges) {
     ASSERT_TRUE(client().Translate_General(cpu(), thread_, &p2, dx, dy).ok());
     ASSERT_EQ(0, std::memcmp(&p1, &p2, sizeof(p1))) << "iteration " << i;
   }
+}
+
+// --- The generated `<Name>Async` twins (docs/async.md). ---
+
+TEST_F(StubInlineDiffTest, AsyncTwinsMatchTheSyncStubs) {
+  AsyncRing ring(runtime_, client().binding(), thread_, /*depth=*/8);
+
+  const lrpcgen::Rect r{{100, 50}, 1200, 800};
+  std::int64_t async_area = -1;
+  lrpcgen::Point p{10, 20};
+  const lrpcgen::Rect a{{0, 0}, 10, 10};
+  const lrpcgen::Rect b{{5, 5}, 10, 10};
+  lrpcgen::Rect bounding{};
+  ASSERT_TRUE(client().AreaAsync(ring, cpu(), r, &async_area).ok());
+  ASSERT_TRUE(client().TranslateAsync(ring, cpu(), &p, 3, 4).ok());
+  ASSERT_TRUE(client().UnionAsync(ring, cpu(), a, b, &bounding).ok());
+  ring.Drain(cpu());
+
+  ASSERT_EQ(ring.results().size(), 3u);
+  for (const AsyncCompletion& done : ring.results()) {
+    EXPECT_TRUE(done.status.ok()) << ErrorCodeName(done.status.code());
+  }
+  EXPECT_EQ(async_area, std::int64_t{1200} * 800);
+  EXPECT_EQ(p.x, 13);
+  EXPECT_EQ(p.y, 24);
+  EXPECT_EQ(bounding.width, 15);
+  EXPECT_EQ(bounding.height, 15);
+  EXPECT_EQ(impl_.area_calls, 1);
+  EXPECT_EQ(impl_.translate_calls, 1);
+  EXPECT_EQ(impl_.union_calls, 1);
+}
+
+TEST_F(StubInlineDiffTest, AsyncTwinRejectsAForeignRing) {
+  // A ring carries its own binding; submitting through a different import's
+  // ring is a caller bug the generated stub catches before any marshaling.
+  auto other = lrpcgen::GeometryClient::Import(runtime_, cpu(), app_);
+  ASSERT_TRUE(other.ok());
+  AsyncRing foreign(runtime_, other->binding(), thread_, /*depth=*/4);
+  const lrpcgen::Rect r{{0, 0}, 2, 2};
+  std::int64_t area = 0;
+  const Result<CallToken> token = client().AreaAsync(foreign, cpu(), r, &area);
+  ASSERT_FALSE(token.ok());
+  EXPECT_EQ(token.status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(impl_.area_calls, 0);
 }
 
 }  // namespace

@@ -446,5 +446,218 @@ TEST(SupervisionTest, DisabledBreakerAllocatesNothingOnTheBinding) {
   EXPECT_EQ(bed.binding().breaker(), nullptr);
 }
 
+// --- SupervisedAsync: the same policies over a pipelined ring
+// (docs/async.md). ---
+
+TEST(SupervisedAsyncTest, SubmitTimeTransientIsRetriedUnderTheBackoff) {
+  Testbed bed;
+  bed.binding().set_exhaustion_policy(AStackExhaustionPolicy::kFail);
+  FaultInjector injector(
+      FaultPlan::Scripted({{.kind = FaultKind::kAStackExhaustion}}));
+  bed.kernel().set_fault_injector(&injector);
+
+  AsyncRing ring(bed.runtime(), bed.binding(), bed.client_thread(), 4);
+  SupervisedAsync supervisor(bed.runtime(), ring, {}, /*seed=*/11);
+  const std::int32_t a = 20;
+  const std::int32_t b = 22;
+  std::int32_t sum = 0;
+  const CallArg args[] = {CallArg::Of(a), CallArg::Of(b)};
+  const CallRet rets[] = {CallRet::Of(&sum)};
+  Result<CallToken> token =
+      supervisor.Submit(bed.cpu(0), bed.add_proc(), args, rets);
+  ASSERT_TRUE(token.ok());
+  std::vector<AsyncSupervisionOutcome> outcomes = supervisor.Drain(bed.cpu(0));
+  bed.kernel().set_fault_injector(nullptr);
+
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].status.ok());
+  EXPECT_EQ(outcomes[0].attempts, 2);
+  EXPECT_TRUE(outcomes[0].recovered);
+  ASSERT_EQ(outcomes[0].backoffs.size(), 1u);
+  EXPECT_GT(outcomes[0].backoffs[0], 0);
+  EXPECT_EQ(sum, 42);
+  EXPECT_EQ(supervisor.stats().retries, 1u);
+  EXPECT_EQ(supervisor.stats().recovered_calls, 1u);
+}
+
+TEST(SupervisedAsyncTest, FlushTimeTransientIsResubmitted) {
+  Testbed bed;
+  // E-stack association fails inside the batched kernel leg — a transient
+  // the supervisor only sees as a completion, never as a Submit error.
+  FaultInjector injector(
+      FaultPlan::Scripted({{.kind = FaultKind::kEStackExhaustion}}));
+  bed.kernel().set_fault_injector(&injector);
+
+  EventRecorder recorder;
+  bed.kernel().set_event_listener(&recorder);
+  AsyncRing ring(bed.runtime(), bed.binding(), bed.client_thread(), 4);
+  SupervisedAsync supervisor(bed.runtime(), ring, {}, /*seed=*/11);
+  ASSERT_TRUE(supervisor.Submit(bed.cpu(0), bed.null_proc(), {}, {}).ok());
+  std::vector<AsyncSupervisionOutcome> outcomes = supervisor.Drain(bed.cpu(0));
+  bed.kernel().set_event_listener(nullptr);
+  bed.kernel().set_fault_injector(nullptr);
+
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].status.ok());
+  EXPECT_EQ(outcomes[0].attempts, 2);
+  EXPECT_TRUE(outcomes[0].recovered);
+  EXPECT_EQ(outcomes[0].backoffs.size(), 1u);
+  EXPECT_EQ(recorder.Count(KernelEventKind::kSupervisorRetry), 1);
+}
+
+TEST(SupervisedAsyncTest, PersistentTransientsExhaustTheBudget) {
+  Testbed bed;
+  bed.binding().set_exhaustion_policy(AStackExhaustionPolicy::kFail);
+  FaultInjector injector(FaultPlan::Scripted(
+      {{.kind = FaultKind::kAStackExhaustion, .repeat = true,
+        .max_fires = 100}}));
+  bed.kernel().set_fault_injector(&injector);
+
+  SupervisionPolicy policy;
+  policy.retry.max_attempts = 3;
+  policy.breaker_enabled = false;
+  AsyncRing ring(bed.runtime(), bed.binding(), bed.client_thread(), 4);
+  SupervisedAsync supervisor(bed.runtime(), ring, policy, /*seed=*/11);
+  Result<CallToken> token =
+      supervisor.Submit(bed.cpu(0), bed.null_proc(), {}, {});
+  bed.kernel().set_fault_injector(nullptr);
+
+  ASSERT_FALSE(token.ok());
+  EXPECT_EQ(token.status().code(), ErrorCode::kRetriesExhausted);
+  EXPECT_EQ(supervisor.stats().retries, 2u);
+  EXPECT_TRUE(supervisor.Drain(bed.cpu(0)).empty());
+}
+
+TEST(SupervisedAsyncTest, WatchdogMapsTheOverrunAndResubmitsTheCollateral) {
+  StallWorld world(/*stall=*/5 * kMillisecond);
+  InvariantChecker checker(world.kernel);
+  RegisterAStackConservationCheck(checker, world.runtime);
+
+  SupervisionPolicy policy;
+  policy.deadline = 1 * kMillisecond;
+  AsyncRing ring(world.runtime, *world.binding, world.thread, 4);
+  SupervisedAsync supervisor(world.runtime, ring, policy, /*seed=*/3);
+  const ThreadId original = world.thread;
+  ASSERT_TRUE(supervisor.Submit(world.cpu(), world.stall_proc, {}, {}).ok());
+  ASSERT_TRUE(supervisor.Submit(world.cpu(), world.null_proc, {}, {}).ok());
+  std::vector<AsyncSupervisionOutcome> outcomes = supervisor.Drain(world.cpu());
+
+  // The stalled call overran its deadline: the watchdog abandoned it and
+  // the supervisor surfaces kDeadlineExceeded, terminal.
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].status.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_TRUE(outcomes[0].deadline_expired);
+  EXPECT_TRUE(outcomes[0].watchdog_abandoned);
+  EXPECT_EQ(outcomes[0].attempts, 1);
+  EXPECT_EQ(world.kernel.watchdog_fires(), 1u);
+  EXPECT_EQ(supervisor.stats().deadline_expiries, 1u);
+
+  // The null call behind it was collateral — abandoned before it ever
+  // reached the server — so it was re-issued on the replacement thread and
+  // completed.
+  EXPECT_TRUE(outcomes[1].status.ok());
+  EXPECT_EQ(outcomes[1].attempts, 2);
+  EXPECT_TRUE(outcomes[1].recovered);
+
+  // The ring was revived onto the replacement AbandonCapturedCall parked in
+  // the client domain; nothing leaked.
+  EXPECT_FALSE(ring.dead());
+  EXPECT_NE(ring.thread(), original);
+  EXPECT_EQ(world.kernel.thread(original).state(), ThreadState::kDead);
+  EXPECT_EQ(world.kernel.thread(ring.thread()).home_domain(), world.client);
+  checker.CheckNow("after async watchdog abandonment");
+  EXPECT_TRUE(checker.ok()) << (checker.violations().empty()
+                                    ? ""
+                                    : checker.violations().front());
+}
+
+TEST(SupervisedAsyncTest, RevocationIsTerminalPerCallNoRebind) {
+  Testbed bed;
+  FaultInjector injector(
+      FaultPlan::Scripted({{.kind = FaultKind::kBindingRevocation}}));
+  bed.kernel().set_fault_injector(&injector);
+
+  SupervisionPolicy policy;
+  policy.breaker_enabled = false;
+  AsyncRing ring(bed.runtime(), bed.binding(), bed.client_thread(), 4);
+  SupervisedAsync supervisor(bed.runtime(), ring, policy, /*seed=*/5);
+  ASSERT_TRUE(supervisor.Submit(bed.cpu(0), bed.null_proc(), {}, {}).ok());
+  ASSERT_TRUE(supervisor.Submit(bed.cpu(0), bed.null_proc(), {}, {}).ok());
+  std::vector<AsyncSupervisionOutcome> outcomes = supervisor.Drain(bed.cpu(0));
+  bed.kernel().set_fault_injector(nullptr);
+
+  // Unlike SupervisedCall there is no rebind or failover on the async
+  // path: the revocation rejects the whole batch, one attempt each.
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const AsyncSupervisionOutcome& out : outcomes) {
+    EXPECT_EQ(out.status.code(), ErrorCode::kRevokedBinding);
+    EXPECT_EQ(out.attempts, 1);
+    EXPECT_TRUE(out.backoffs.empty());
+  }
+  EXPECT_EQ(supervisor.stats().retries, 0u);
+}
+
+TEST(SupervisedAsyncTest, BreakerOpensAndFailsFastAtSubmit) {
+  Testbed bed;
+  bed.binding().set_exhaustion_policy(AStackExhaustionPolicy::kFail);
+  FaultInjector injector(FaultPlan::Scripted(
+      {{.kind = FaultKind::kAStackExhaustion, .repeat = true,
+        .max_fires = 100}}));
+  bed.kernel().set_fault_injector(&injector);
+
+  SupervisionPolicy policy;
+  policy.retry.max_attempts = 1;  // No retry: each failure folds directly.
+  policy.breaker.failure_threshold = 2;
+  AsyncRing ring(bed.runtime(), bed.binding(), bed.client_thread(), 4);
+  SupervisedAsync supervisor(bed.runtime(), ring, policy, /*seed=*/9);
+
+  EXPECT_EQ(supervisor.Submit(bed.cpu(0), bed.null_proc(), {}, {})
+                .status()
+                .code(),
+            ErrorCode::kAStacksExhausted);
+  EXPECT_EQ(supervisor.Submit(bed.cpu(0), bed.null_proc(), {}, {})
+                .status()
+                .code(),
+            ErrorCode::kAStacksExhausted);
+  ASSERT_NE(bed.binding().breaker(), nullptr);
+  EXPECT_EQ(bed.binding().breaker()->state(), CircuitState::kOpen);
+
+  // Open circuit: the submission leg fails fast, before any A-stack pop.
+  EXPECT_EQ(supervisor.Submit(bed.cpu(0), bed.null_proc(), {}, {})
+                .status()
+                .code(),
+            ErrorCode::kCircuitOpen);
+  EXPECT_EQ(supervisor.stats().breaker_rejections, 1u);
+  bed.kernel().set_fault_injector(nullptr);
+}
+
+TEST(SupervisedAsyncTest, BackoffScheduleReplaysFromTheSeed) {
+  auto run = [] {
+    Testbed bed;
+    bed.binding().set_exhaustion_policy(AStackExhaustionPolicy::kFail);
+    FaultInjector injector(FaultPlan::Scripted(
+        {{.kind = FaultKind::kAStackExhaustion, .repeat = true,
+          .max_fires = 2}}));
+    bed.kernel().set_fault_injector(&injector);
+    SupervisionPolicy policy;
+    policy.retry.max_attempts = 4;
+    AsyncRing ring(bed.runtime(), bed.binding(), bed.client_thread(), 4);
+    SupervisedAsync supervisor(bed.runtime(), ring, policy, /*seed=*/77);
+    Result<CallToken> token =
+        supervisor.Submit(bed.cpu(0), bed.null_proc(), {}, {});
+    EXPECT_TRUE(token.ok());
+    std::vector<AsyncSupervisionOutcome> outcomes =
+        supervisor.Drain(bed.cpu(0));
+    bed.kernel().set_fault_injector(nullptr);
+    EXPECT_EQ(outcomes.size(), 1u);
+    return outcomes.empty() ? std::vector<SimDuration>{}
+                            : outcomes[0].backoffs;
+  };
+  const std::vector<SimDuration> first = run();
+  const std::vector<SimDuration> second = run();
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first, second);
+}
+
 }  // namespace
 }  // namespace lrpc

@@ -1,0 +1,19 @@
+// Fixture: the async submission leg as a fast-path region
+// (docs/async.md). Slot reuse and the completion ring's release store are
+// fast-path-legal; the seeded result-vector growth is the violation
+// lrpc_lint must flag.
+#include <vector>
+
+namespace fixture {
+
+LRPC_FAST_PATH_BEGIN("async submit fixture");
+
+void Publish(Slot& slot) {
+  slot.rets.assign(rets_.begin(), rets_.end());  // Reuse, no growth.
+  comp_tail_.store(tail_mirror_, std::memory_order_release);
+  results_.push_back(slot.value);  // Growth: flagged.
+}
+
+LRPC_FAST_PATH_END("async submit fixture");
+
+}  // namespace fixture
